@@ -1,0 +1,62 @@
+// Command benchtable regenerates the paper's Table I: the Alpha-21364-
+// like chip plus hypothetical chips HC01..HC10, comparing the greedy TEC
+// deployment against the full-cover baseline.
+//
+// Usage:
+//
+//	benchtable [-chip all|alpha|hc] [-limit 85]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tecopt/internal/bench"
+	"tecopt/internal/floorplan"
+	"tecopt/internal/power"
+)
+
+func main() {
+	chip := flag.String("chip", "all", "which rows: all, alpha, or hc")
+	limit := flag.Float64("limit", 85, "base allowable temperature (C)")
+	flag.Parse()
+
+	opt := bench.TableIOptions{BaseLimitC: *limit}
+	start := time.Now()
+	var rows []*bench.TableIRow
+	var err error
+	switch *chip {
+	case "all":
+		rows, err = bench.RunTableI(opt)
+	case "alpha":
+		f, g := floorplan.Alpha21364Grid()
+		var row *bench.TableIRow
+		row, err = bench.RunTableIRow("Alpha", power.AlphaTilePowers(f, g), opt)
+		rows = []*bench.TableIRow{row}
+	case "hc":
+		var chips []*power.HCChip
+		chips, err = power.GenerateHCSuite(power.DefaultHCSpec())
+		if err == nil {
+			for _, c := range chips {
+				var row *bench.TableIRow
+				row, err = bench.RunTableIRow(c.Name, c.TilePower, opt)
+				if err != nil {
+					break
+				}
+				rows = append(rows, row)
+			}
+		}
+	default:
+		err = fmt.Errorf("unknown -chip %q", *chip)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtable:", err)
+		os.Exit(1)
+	}
+	fmt.Print(bench.FormatTableI(rows))
+	fmt.Printf("\nmax cooling swing %.1f C | avg swing loss %.1f C | failures at %.0f C: %v | total %v\n",
+		bench.MaxCoolingSwingC(rows), bench.AvgSwingLossC(rows), *limit,
+		bench.FailuresAtBase(rows), time.Since(start).Round(time.Millisecond))
+}

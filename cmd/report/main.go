@@ -1,0 +1,75 @@
+// Command report runs every non-Table-I experiment — the model
+// validation, Figures 6 and 7, and all four ablations — and prints a
+// compact experiment log (the data behind EXPERIMENTS.md).
+package main
+
+import (
+	"fmt"
+
+	"tecopt/internal/bench"
+)
+
+func main() {
+	val, err := bench.RunValidation()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("validation: matched worst %.3f C | fine worst %.3f C mean bias %.3f C | ref nodes %d\n\n",
+		val.WorstDiffC, val.FineWorstDiffC, val.FineMeanBiasC, val.ReferenceNodes)
+
+	f6, err := bench.RunFigure6(12)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(bench.FormatFigure6(f6))
+
+	f7, err := bench.RunFigure7()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nFigure 7(b): %d TEC sites %v\n%s\n", len(f7.Sites), f7.Sites, f7.Map)
+
+	opt, err := bench.RunOptimizerAblation()
+	if err != nil {
+		panic(err)
+	}
+	sol, err := bench.RunSolverAblation()
+	if err != nil {
+		panic(err)
+	}
+	cvx, err := bench.RunConvexityAblation([]int{1, 2, 4, 8})
+	if err != nil {
+		panic(err)
+	}
+	lam, err := bench.RunLambdaToleranceAblation([]float64{1e-3, 1e-6, 1e-10})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(bench.FormatAblations(opt, sol, cvx, lam))
+
+	contact, err := bench.RunContactSensitivity([]float64{0.25, 0.5, 1, 2, 4})
+	if err != nil {
+		panic(err)
+	}
+	strategies, err := bench.RunDeploymentStrategies()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(bench.FormatSensitivity(contact, strategies))
+
+	workloads, err := bench.RunWorkloadValidation()
+	if err != nil {
+		panic(err)
+	}
+	res, err := bench.RunResolutionAblation([]int{10, 20, 30})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(bench.FormatValidationStudies(workloads, res))
+
+	active, err := bench.RunActiveValidation()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(active)
+}

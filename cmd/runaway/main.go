@@ -1,0 +1,79 @@
+// Command runaway explores the thermal-runaway behaviour of Section
+// V.C.1: it computes the supply-current limit lambda_m for the Alpha
+// chip's greedy deployment and sweeps the transfer coefficient h_kl(i)
+// and peak temperature toward the limit, regenerating Figure 6.
+//
+// Usage:
+//
+//	runaway [-points 16] [-transient]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tecopt/internal/bench"
+	"tecopt/internal/core"
+	"tecopt/internal/floorplan"
+	"tecopt/internal/material"
+	"tecopt/internal/power"
+	"tecopt/internal/transient"
+)
+
+func main() {
+	points := flag.Int("points", 16, "number of current samples")
+	doTransient := flag.Bool("transient", false, "also simulate a beyond-limit transient trajectory")
+	csvPath := flag.String("csv", "", "write the sweep as CSV (current_A,hkl_KperW,peak_C) to this path")
+	flag.Parse()
+
+	res, err := bench.RunFigure6(*points)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(bench.FormatFigure6(res))
+
+	if *csvPath != "" {
+		out, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(out, "current_A,hkl_KperW,peak_C")
+		for n := range res.Currents {
+			fmt.Fprintf(out, "%g,%g,%g\n", res.Currents[n], res.Hkl[n], res.PeakC[n])
+		}
+		if err := out.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("sweep written to %s\n", *csvPath)
+	}
+
+	if *doTransient {
+		f, g := floorplan.Alpha21364Grid()
+		p := power.AlphaTilePowers(f, g)
+		dep, err := core.GreedyDeploy(core.Config{TilePower: p}, material.CelsiusToKelvin(85), core.CurrentOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		sys := dep.System
+		fmt.Printf("\ntransient at 1.2 * lambda_m = %.2f A (dynamic runaway):\n", 1.2*res.LambdaM)
+		tr, err := transient.Simulate(sys, []transient.Phase{{Current: 1.2 * res.LambdaM, Duration: 600}},
+			transient.Options{Dt: 0.05, SampleEvery: 100, RunawayCeilingK: 600})
+		if err != nil {
+			fatal(err)
+		}
+		for _, s := range tr.Samples {
+			fmt.Printf("  t=%7.2fs peak=%8.2f C\n", s.TimeS, material.KelvinToCelsius(s.PeakK))
+		}
+		if tr.Runaway {
+			fmt.Println("  -> thermal runaway: trajectory crossed the temperature ceiling")
+		} else {
+			fmt.Println("  -> no runaway within the horizon")
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "runaway:", err)
+	os.Exit(1)
+}

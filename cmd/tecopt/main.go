@@ -1,0 +1,182 @@
+// Command tecopt runs the end-to-end cooling-system configuration flow
+// of the paper on a benchmark chip: greedy TEC deployment (Figure 5),
+// convex supply-current optimization (Section V.C), and the full-cover
+// baseline comparison (Table I columns).
+//
+// Usage:
+//
+//	tecopt [-chip alpha|hcNN|hc:<seed>] [-limit 85] [-map]
+//	       [-method golden|gradient|brent]
+//	       [-flp chip.flp -ptrace chip.ptrace [-tiles 12x12] [-margin 1.2]]
+//
+// Examples:
+//
+//	tecopt -chip alpha -limit 85 -map
+//	tecopt -chip hc03
+//	tecopt -flp mychip.flp -ptrace mychip.ptrace -tiles 12x12
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tecopt/internal/chipload"
+	"tecopt/internal/core"
+	"tecopt/internal/floorplan"
+	"tecopt/internal/material"
+)
+
+func main() {
+	chip := flag.String("chip", "alpha", "benchmark chip: alpha, hc01..hc10, or hc:<seed>")
+	limitC := flag.Float64("limit", 85, "maximum allowable silicon temperature (C)")
+	showMap := flag.Bool("map", false, "print the Figure-7-style deployment map")
+	method := flag.String("method", "golden", "current optimizer: golden, gradient or brent")
+	fullCover := flag.Bool("fullcover", true, "also run the full-cover baseline")
+	flpPath := flag.String("flp", "", "custom floorplan file (HotSpot .flp format)")
+	ptracePath := flag.String("ptrace", "", "power trace for the custom floorplan (.ptrace)")
+	tiles := flag.String("tiles", "12x12", "tile grid for custom floorplans, COLSxROWS")
+	margin := flag.Float64("margin", 1.2, "worst-case margin over the trace envelope")
+	jsonOut := flag.Bool("json", false, "emit the result as JSON on stdout (for scripting)")
+	flag.Parse()
+
+	cols, rows, err := parseTiles(*tiles)
+	if err != nil {
+		fatal(err)
+	}
+	loaded, err := chipload.Load(chipload.Spec{
+		Name: *chip, FLP: *flpPath, Ptrace: *ptracePath,
+		Cols: cols, Rows: rows, Margin: *margin,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	var m core.CurrentMethod
+	switch *method {
+	case "golden":
+		m = core.CurrentGolden
+	case "gradient":
+		m = core.CurrentGradient
+	case "brent":
+		m = core.CurrentBrent
+	default:
+		fatal(fmt.Errorf("unknown method %q", *method))
+	}
+	opt := core.CurrentOptions{Method: m}
+	cfg := core.Config{
+		Geom: loaded.Geom,
+		Cols: loaded.Grid.Cols, Rows: loaded.Grid.Rows,
+		TilePower: loaded.TilePower,
+	}
+
+	res, err := core.GreedyDeploy(cfg, material.CelsiusToKelvin(*limitC), opt)
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		emitJSON(loaded.Name, *limitC, res)
+		return
+	}
+	fmt.Printf("chip %s: no-TEC peak %.2f C, limit %.1f C\n",
+		loaded.Name, material.KelvinToCelsius(res.NoTECPeakK), *limitC)
+	if res.Success {
+		fmt.Printf("greedy deployment SUCCEEDS: %d TECs, %d iteration(s)\n",
+			len(res.Sites), len(res.Iterations))
+	} else {
+		fmt.Printf("greedy deployment FAILS (limit unreachable): best with %d TECs\n", len(res.Sites))
+	}
+	fmt.Printf("  I_opt   = %.3f A (lambda_m = %.2f A)\n", res.Current.IOpt, res.Current.LambdaM)
+	fmt.Printf("  peak    = %.2f C (cooling swing %.2f C)\n",
+		material.KelvinToCelsius(res.Current.PeakK),
+		res.NoTECPeakK-res.Current.PeakK)
+	fmt.Printf("  P_TEC   = %.3f W\n", res.Current.TECPowerW)
+	if res.System.Array.Count() > 0 && res.Current.IOpt > 0 {
+		fmt.Printf("  COP     = %.2f\n", res.System.Array.ArrayCOP(res.Current.Theta, res.Current.IOpt))
+		fmt.Printf("  V_str   = %.3f V (series string)\n",
+			res.System.Array.StringVoltage(res.Current.Theta, res.Current.IOpt))
+	}
+	for n, it := range res.Iterations {
+		fmt.Printf("  iter %d: +%d tiles -> peak %.2f C, %d still over\n",
+			n+1, len(it.Added), material.KelvinToCelsius(it.PeakK), len(it.OverLimit))
+	}
+
+	if *fullCover {
+		fc, _, err := core.FullCover(cfg, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("full-cover baseline: min peak %.2f C at %.3f A (P_TEC %.2f W, lambda_m %.2f A)\n",
+			material.KelvinToCelsius(fc.PeakK), fc.IOpt, fc.TECPowerW, fc.LambdaM)
+		fmt.Printf("  swing loss vs greedy: %.2f C\n", fc.PeakK-res.Current.PeakK)
+	}
+
+	if *showMap {
+		marked := map[int]bool{}
+		for _, s := range res.Sites {
+			marked[s] = true
+		}
+		fmt.Print(floorplan.AsciiMap(loaded.Floorplan, loaded.Grid, marked))
+	}
+}
+
+// jsonResult is the stable machine-readable summary emitted by -json.
+type jsonResult struct {
+	Chip        string  `json:"chip"`
+	LimitC      float64 `json:"limit_c"`
+	Success     bool    `json:"success"`
+	NoTECPeakC  float64 `json:"no_tec_peak_c"`
+	NumTECs     int     `json:"num_tecs"`
+	Sites       []int   `json:"sites"`
+	IOptA       float64 `json:"iopt_a"`
+	LambdaMA    float64 `json:"lambda_m_a"`
+	PeakC       float64 `json:"peak_c"`
+	PTECW       float64 `json:"ptec_w"`
+	StringVoltV float64 `json:"string_volt_v"`
+	Iterations  int     `json:"iterations"`
+}
+
+func emitJSON(chip string, limitC float64, res *core.DeployResult) {
+	out := jsonResult{
+		Chip:       chip,
+		LimitC:     limitC,
+		Success:    res.Success,
+		NoTECPeakC: material.KelvinToCelsius(res.NoTECPeakK),
+		NumTECs:    len(res.Sites),
+		Sites:      res.Sites,
+		IOptA:      res.Current.IOpt,
+		LambdaMA:   res.Current.LambdaM,
+		PeakC:      material.KelvinToCelsius(res.Current.PeakK),
+		PTECW:      res.Current.TECPowerW,
+		Iterations: len(res.Iterations),
+	}
+	if res.System.Array.Count() > 0 {
+		out.StringVoltV = res.System.Array.StringVoltage(res.Current.Theta, res.Current.IOpt)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+}
+
+func parseTiles(s string) (cols, rows int, err error) {
+	parts := strings.SplitN(strings.ToLower(s), "x", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad -tiles %q, want COLSxROWS", s)
+	}
+	if _, err := fmt.Sscanf(parts[0], "%d", &cols); err != nil {
+		return 0, 0, fmt.Errorf("bad -tiles %q: %v", s, err)
+	}
+	if _, err := fmt.Sscanf(parts[1], "%d", &rows); err != nil {
+		return 0, 0, fmt.Errorf("bad -tiles %q: %v", s, err)
+	}
+	return cols, rows, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tecopt:", err)
+	os.Exit(1)
+}

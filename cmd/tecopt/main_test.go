@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestParseTiles(t *testing.T) {
+	cols, rows, err := parseTiles("12x12")
+	if err != nil || cols != 12 || rows != 12 {
+		t.Fatalf("parseTiles(12x12) = %d,%d,%v", cols, rows, err)
+	}
+	cols, rows, err = parseTiles("16X8")
+	if err != nil || cols != 16 || rows != 8 {
+		t.Fatalf("parseTiles(16X8) = %d,%d,%v", cols, rows, err)
+	}
+	for _, bad := range []string{"12", "ax12", "12xb", ""} {
+		if _, _, err := parseTiles(bad); err == nil {
+			t.Errorf("parseTiles(%q) accepted", bad)
+		}
+	}
+}

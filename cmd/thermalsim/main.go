@@ -1,0 +1,114 @@
+// Command thermalsim performs steady-state thermal analysis of a chip
+// package, optionally with TEC devices at a fixed supply current, and
+// prints a per-tile temperature map (the raw model of Section IV).
+//
+// Usage:
+//
+//	thermalsim [-chip alpha|hcNN] [-tec 100,101,102] [-current 6.0] [-grid]
+//	           [-flp chip.flp -ptrace chip.ptrace]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tecopt/internal/chipload"
+	"tecopt/internal/core"
+	"tecopt/internal/material"
+	"tecopt/internal/visual"
+)
+
+func main() {
+	chip := flag.String("chip", "alpha", "benchmark chip: alpha, hc01..hc10, or hc:<seed>")
+	tecList := flag.String("tec", "", "comma-separated TEC tile indices (empty = passive)")
+	current := flag.Float64("current", 0, "TEC supply current (A)")
+	gridOut := flag.Bool("grid", false, "print the per-tile temperature grid")
+	pngPath := flag.String("png", "", "write a heatmap PNG of the silicon layer to this path")
+	flpPath := flag.String("flp", "", "custom floorplan file (HotSpot .flp format)")
+	ptracePath := flag.String("ptrace", "", "power trace for the custom floorplan (.ptrace)")
+	flag.Parse()
+
+	loaded, err := chipload.Load(chipload.Spec{Name: *chip, FLP: *flpPath, Ptrace: *ptracePath})
+	if err != nil {
+		fatal(err)
+	}
+	var sites []int
+	if *tecList != "" {
+		for _, s := range strings.Split(*tecList, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fatal(fmt.Errorf("bad TEC tile %q: %v", s, err))
+			}
+			sites = append(sites, v)
+		}
+	}
+	sys, err := core.NewSystem(core.Config{
+		Geom: loaded.Geom,
+		Cols: loaded.Grid.Cols, Rows: loaded.Grid.Rows,
+		TilePower: loaded.TilePower,
+	}, sites)
+	if err != nil {
+		fatal(err)
+	}
+	peak, tile, theta, err := sys.PeakAt(*current)
+	if err != nil {
+		fatal(fmt.Errorf("solve at %.3f A: %w", *current, err))
+	}
+	sil := sys.PN.SiliconTemps(theta)
+	var mean float64
+	for _, v := range sil {
+		mean += v
+	}
+	mean /= float64(len(sil))
+
+	fmt.Printf("chip %s: %d tiles, %d TEC(s) at %.3f A\n", loaded.Name, len(sil), len(sites), *current)
+	fmt.Printf("  peak %.2f C at tile %d, mean %.2f C, ambient %.2f C\n",
+		material.KelvinToCelsius(peak), tile, material.KelvinToCelsius(mean),
+		material.KelvinToCelsius(sys.Cfg.Geom.AmbientK))
+	if len(sites) > 0 {
+		fmt.Printf("  TEC input power %.3f W", sys.TECPower(theta, *current))
+		if *current > 0 {
+			fmt.Printf(", COP %.2f", sys.Array.ArrayCOP(theta, *current))
+		}
+		fmt.Println()
+		lambda, err := sys.RunawayLimit(core.RunawayOptions{})
+		if err == nil {
+			fmt.Printf("  runaway limit lambda_m = %.2f A\n", lambda)
+		}
+	}
+	if *gridOut {
+		g := loaded.Grid
+		for r := g.Rows - 1; r >= 0; r-- {
+			for c := 0; c < g.Cols; c++ {
+				fmt.Printf("%6.1f ", material.KelvinToCelsius(sil[g.TileIndex(c, r)]))
+			}
+			fmt.Println()
+		}
+	}
+	if *pngPath != "" {
+		out, err := os.Create(*pngPath)
+		if err != nil {
+			fatal(err)
+		}
+		err = visual.WriteHeatmap(out, loaded.Grid, sil, visual.HeatmapOptions{
+			TECSites:  sites,
+			Floorplan: loaded.Floorplan,
+			ColorBar:  true,
+		})
+		if cerr := out.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  heatmap written to %s\n", *pngPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "thermalsim:", err)
+	os.Exit(1)
+}

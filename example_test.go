@@ -1,0 +1,87 @@
+package tecopt_test
+
+import (
+	"fmt"
+
+	"tecopt"
+)
+
+// ExampleGreedyDeploy configures the Alpha study chip's cooling system
+// end to end, exactly as the paper's Section VI.A does.
+func ExampleGreedyDeploy() {
+	_, _, tilePower := tecopt.AlphaChip()
+	res, err := tecopt.GreedyDeploy(
+		tecopt.Config{TilePower: tilePower},
+		tecopt.CelsiusToKelvin(85),
+		tecopt.CurrentOptions{},
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("success: %v\n", res.Success)
+	fmt.Printf("devices: %d\n", len(res.Sites))
+	fmt.Printf("peak under limit: %v\n", tecopt.KelvinToCelsius(res.Current.PeakK) <= 85)
+	// Output:
+	// success: true
+	// devices: 7
+	// peak under limit: true
+}
+
+// ExampleSystem_RunawayLimit computes the thermal-runaway current limit
+// lambda_m of Theorem 1 for a deployment.
+func ExampleSystem_RunawayLimit() {
+	_, _, tilePower := tecopt.AlphaChip()
+	sys, err := tecopt.NewSystem(tecopt.Config{TilePower: tilePower}, []int{100, 101})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	lambda, err := sys.RunawayLimit(tecopt.RunawayOptions{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("finite limit: %v\n", lambda > 0 && lambda < 1e6)
+	// Currents beyond lambda_m are infeasible: the solve must fail.
+	_, err = sys.SolveAt(lambda * 1.1)
+	fmt.Printf("beyond limit solvable: %v\n", err == nil)
+	// Output:
+	// finite limit: true
+	// beyond limit solvable: false
+}
+
+// ExampleFullCover reproduces the paper's baseline comparison: covering
+// every tile is worse than the greedy deployment.
+func ExampleFullCover() {
+	_, _, tilePower := tecopt.AlphaChip()
+	cfg := tecopt.Config{TilePower: tilePower}
+	greedy, err := tecopt.GreedyDeploy(cfg, tecopt.CelsiusToKelvin(85), tecopt.CurrentOptions{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fc, _, err := tecopt.FullCover(cfg, tecopt.CurrentOptions{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("full cover worse: %v\n", fc.PeakK > greedy.Current.PeakK)
+	// Output:
+	// full cover worse: true
+}
+
+// ExampleHypotheticalChip generates one of the Section VI.B benchmark
+// chips deterministically.
+func ExampleHypotheticalChip() {
+	chip, err := tecopt.HypotheticalChip("HC01", 1, tecopt.DefaultHCSpec())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("tiles: %d\n", chip.Grid.NumTiles())
+	fmt.Printf("hot units: %d\n", len(chip.HotUnits))
+	// Output:
+	// tiles: 144
+	// hot units: 2
+}

@@ -1,0 +1,90 @@
+// Example alpha21364 reproduces the paper's Section VI.A study in full:
+// passive analysis of the Alpha-21364-like chip, greedy TEC deployment,
+// the full-cover baseline and its cooling-swing loss, the runaway limit,
+// and the Theorem-4 optimality certificate for the optimized current.
+//
+// Run with:
+//
+//	go run ./examples/alpha21364
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tecopt"
+)
+
+func main() {
+	fp, grid, tilePower := tecopt.AlphaChip()
+	cfg := tecopt.Config{TilePower: tilePower}
+
+	// --- Passive chip -----------------------------------------------
+	passive, err := tecopt.NewSystem(cfg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	peak0, tile0, theta0, err := passive.PeakAt(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== Passive analysis ==\n")
+	fmt.Printf("total power %.1f W; peak %.2f C at tile %d\n",
+		sum(tilePower), tecopt.KelvinToCelsius(peak0), tile0)
+	over := passive.OverLimitTiles(theta0, tecopt.CelsiusToKelvin(85))
+	fmt.Printf("tiles over 85 C: %v\n", over)
+	for _, name := range tecopt.AlphaHotUnits() {
+		tiles := grid.TilesOfUnit(fp, name)
+		var mx float64
+		for _, t := range tiles {
+			if v := theta0[passive.PN.SilNode[t]]; v > mx {
+				mx = v
+			}
+		}
+		fmt.Printf("  %-8s %2d tiles, hottest %.2f C\n", name, len(tiles), tecopt.KelvinToCelsius(mx))
+	}
+
+	// --- Greedy deployment -------------------------------------------
+	fmt.Printf("\n== Greedy deployment (limit 85 C) ==\n")
+	res, err := tecopt.GreedyDeploy(cfg, tecopt.CelsiusToKelvin(85), tecopt.CurrentOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("success=%v: %d TECs, I_opt %.2f A, peak %.2f C, P_TEC %.2f W\n",
+		res.Success, len(res.Sites), res.Current.IOpt,
+		tecopt.KelvinToCelsius(res.Current.PeakK), res.Current.TECPowerW)
+	fmt.Print(tecopt.DeploymentMap(fp, grid, res.Sites))
+
+	// --- Runaway limit and optimality --------------------------------
+	fmt.Printf("\n== Runaway and optimality ==\n")
+	lambda := res.Current.LambdaM
+	fmt.Printf("lambda_m = %.2f A; operating at %.1f%% of the runaway limit\n",
+		lambda, 100*res.Current.IOpt/lambda)
+	certified, err := res.System.ConvexityCertificate(res.Current.PeakTile, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Theorem-4 convexity certificate (4 subranges): %v\n", certified)
+	if certified {
+		fmt.Println("-> under Conjecture 1 the optimized current is globally optimal")
+	}
+
+	// --- Full-cover baseline ------------------------------------------
+	fmt.Printf("\n== Full-cover baseline (TEC on every tile) ==\n")
+	fc, _, err := tecopt.FullCover(cfg, tecopt.CurrentOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("min peak %.2f C at %.2f A; P_TEC %.2f W; lambda_m %.2f A\n",
+		tecopt.KelvinToCelsius(fc.PeakK), fc.IOpt, fc.TECPowerW, fc.LambdaM)
+	fmt.Printf("swing loss vs greedy: %.2f C — excessive deployment reduces cooling efficiency\n",
+		fc.PeakK-res.Current.PeakK)
+}
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

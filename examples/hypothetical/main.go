@@ -1,0 +1,58 @@
+// Example hypothetical reproduces the paper's Section VI.B flow on a
+// generated benchmark chip: random floorplan with two hot units, greedy
+// deployment at 85 C, and — when the limit is unreachable (the paper's
+// HC06/HC09 situation) — the relaxed-limit retry.
+//
+// Run with:
+//
+//	go run ./examples/hypothetical [seed]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"tecopt"
+)
+
+func main() {
+	seed := int64(3) // HC03 is one of the chips that fails at 85 C
+	if len(os.Args) > 1 {
+		v, err := strconv.ParseInt(os.Args[1], 10, 64)
+		if err != nil {
+			log.Fatalf("bad seed %q: %v", os.Args[1], err)
+		}
+		seed = v
+	}
+	chip, err := tecopt.HypotheticalChip(fmt.Sprintf("HC%02d", seed), seed, tecopt.DefaultHCSpec())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chip %s: %.2f W total, %d units, hot pair %v (%.0f%% of power)\n",
+		chip.Name, chip.TotalPower, len(chip.Floorplan.Units), chip.HotUnits,
+		100*(chip.UnitPower[chip.HotUnits[0]]+chip.UnitPower[chip.HotUnits[1]])/chip.TotalPower)
+	fmt.Print(tecopt.DeploymentMap(chip.Floorplan, chip.Grid, nil))
+
+	cfg := tecopt.Config{TilePower: chip.TilePower}
+	for limit := 85.0; limit <= 95; limit++ {
+		res, err := tecopt.GreedyDeploy(cfg, tecopt.CelsiusToKelvin(limit), tecopt.CurrentOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if limit == 85 {
+			fmt.Printf("\npassive peak %.2f C\n", tecopt.KelvinToCelsius(res.NoTECPeakK))
+		}
+		if !res.Success {
+			fmt.Printf("limit %.0f C: INFEASIBLE (best peak %.2f C with %d TECs) — relaxing like the paper's HC06/HC09\n",
+				limit, tecopt.KelvinToCelsius(res.Current.PeakK), len(res.Sites))
+			continue
+		}
+		fmt.Printf("limit %.0f C: %d TECs at %.2f A -> peak %.2f C (P_TEC %.2f W, %d iteration(s))\n",
+			limit, len(res.Sites), res.Current.IOpt,
+			tecopt.KelvinToCelsius(res.Current.PeakK), res.Current.TECPowerW, len(res.Iterations))
+		fmt.Print(tecopt.DeploymentMap(chip.Floorplan, chip.Grid, res.Sites))
+		break
+	}
+}

@@ -1,0 +1,40 @@
+// Quickstart: configure an active cooling system for the Alpha-21364-
+// like study chip in ~20 lines using the public tecopt API.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tecopt"
+)
+
+func main() {
+	// The paper's study chip: floorplan, 12x12 TEC-site grid, and the
+	// calibrated worst-case per-tile power profile (20.6 W total).
+	fp, grid, tilePower := tecopt.AlphaChip()
+
+	// Run the greedy deployment (Figure 5) against an 85 C limit; the
+	// inner loop sets the shared supply current by convex optimization.
+	res, err := tecopt.GreedyDeploy(
+		tecopt.Config{TilePower: tilePower},
+		tecopt.CelsiusToKelvin(85),
+		tecopt.CurrentOptions{},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("passive peak:   %.2f C\n", tecopt.KelvinToCelsius(res.NoTECPeakK))
+	fmt.Printf("deployment:     %d TEC devices on tiles %v\n", len(res.Sites), res.Sites)
+	fmt.Printf("supply current: %.2f A (runaway limit %.1f A)\n", res.Current.IOpt, res.Current.LambdaM)
+	fmt.Printf("cooled peak:    %.2f C (swing %.2f C)\n",
+		tecopt.KelvinToCelsius(res.Current.PeakK),
+		res.NoTECPeakK-res.Current.PeakK)
+	fmt.Printf("TEC power:      %.2f W\n\n", res.Current.TECPowerW)
+	fmt.Print(tecopt.DeploymentMap(fp, grid, res.Sites))
+}

@@ -1,0 +1,91 @@
+// Example runawaydemo explores the thermal-runaway phenomenon of
+// Section V.C.1 three ways:
+//
+//  1. statically, sweeping the steady-state peak temperature toward the
+//     current limit lambda_m (where it diverges, Theorem 2);
+//  2. structurally, showing lambda_m shrink as more TECs are deployed;
+//  3. dynamically, integrating a transient trajectory at a current 20%
+//     beyond lambda_m and watching the exponential blow-up (an
+//     extension beyond the paper's steady-state analysis).
+//
+// Run with:
+//
+//	go run ./examples/runawaydemo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tecopt"
+)
+
+func main() {
+	_, _, tilePower := tecopt.AlphaChip()
+	cfg := tecopt.Config{TilePower: tilePower}
+
+	dep, err := tecopt.GreedyDeploy(cfg, tecopt.CelsiusToKelvin(85), tecopt.CurrentOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := dep.System
+	lambda := dep.Current.LambdaM
+	fmt.Printf("deployment: %d TECs, lambda_m = %.2f A, I_opt = %.2f A\n\n",
+		len(dep.Sites), lambda, dep.Current.IOpt)
+
+	// 1. Static divergence.
+	fmt.Println("steady-state peak vs supply current (Theorem 2 divergence):")
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 0.9999} {
+		i := lambda * frac
+		peak, _, _, err := sys.PeakAt(i)
+		if err != nil {
+			fmt.Printf("  i=%8.2f A: not positive definite (beyond lambda_m)\n", i)
+			continue
+		}
+		fmt.Printf("  i=%8.2f A (%5.2f%% of lambda_m): peak %12.2f C\n",
+			i, 100*frac, tecopt.KelvinToCelsius(peak))
+	}
+
+	// 2. lambda_m vs deployment size.
+	fmt.Println("\nrunaway limit vs number of deployed TECs:")
+	for _, n := range []int{1, 4, 16, 64, 144} {
+		sites := make([]int, n)
+		for k := range sites {
+			sites[k] = k
+		}
+		s, err := tecopt.NewSystem(cfg, sites)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lam, err := s.RunawayLimit(tecopt.RunawayOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %3d TECs: lambda_m = %7.2f A\n", n, lam)
+	}
+
+	// 3. Dynamic runaway (transient extension).
+	fmt.Printf("\ntransient at 1.2 * lambda_m = %.1f A:\n", 1.2*lambda)
+	tr, err := tecopt.Simulate(sys, []tecopt.Phase{{Current: 1.2 * lambda, Duration: 900}},
+		tecopt.TransientOptions{Dt: 0.05, SampleEvery: 200, RunawayCeilingK: 600})
+	if err != nil {
+		log.Fatal(err)
+	}
+	times, peaks := tr.PeakSeries()
+	for k := range times {
+		fmt.Printf("  t=%7.1f s: peak %8.2f C\n", times[k], peaks[k])
+	}
+	if tr.Runaway {
+		fmt.Println("  -> THERMAL RUNAWAY: the trajectory crossed the safety ceiling")
+	}
+
+	// Contrast: just below the limit the system stays stable.
+	tr2, err := tecopt.Simulate(sys, []tecopt.Phase{{Current: 0.8 * lambda, Duration: 900}},
+		tecopt.TransientOptions{Dt: 0.05, SampleEvery: 6000, RunawayCeilingK: 5000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	last := tr2.Samples[len(tr2.Samples)-1]
+	fmt.Printf("\nat 0.8 * lambda_m the system settles: peak %.2f C after %.0f s (runaway=%v)\n",
+		tecopt.KelvinToCelsius(last.PeakK), last.TimeS, tr2.Runaway)
+}

@@ -1,0 +1,3 @@
+module tecopt
+
+go 1.22

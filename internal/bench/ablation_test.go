@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRunOptimizerAblation(t *testing.T) {
+	rows, err := RunOptimizerAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// All methods must find (near) the same minimum peak.
+	base := rows[0].PeakC
+	for _, r := range rows[1:] {
+		if math.Abs(r.PeakC-base) > 0.05 {
+			t.Errorf("%s peak %.3f C deviates from %s %.3f C", r.Method, r.PeakC, rows[0].Method, base)
+		}
+	}
+	for _, r := range rows {
+		if r.Evaluations <= 0 {
+			t.Errorf("%s: no evaluations recorded", r.Method)
+		}
+	}
+}
+
+func TestRunSolverAblation(t *testing.T) {
+	rows, err := RunSolverAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The two backends must agree tightly.
+	if rows[1].MaxDiffC > 1e-4 {
+		t.Errorf("solver disagreement %.2e C", rows[1].MaxDiffC)
+	}
+	if math.Abs(rows[0].PeakC-rows[1].PeakC) > 1e-4 {
+		t.Errorf("peaks differ: %.6f vs %.6f", rows[0].PeakC, rows[1].PeakC)
+	}
+}
+
+func TestRunConvexityAblation(t *testing.T) {
+	rows, err := RunConvexityAblation([]int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper notes the single-range check "would be quite pessimistic
+	// since eta'(0) is a very loose lower bound" — so ranges=1 may fail
+	// to certify (we log it), while a modest partition must certify.
+	for _, r := range rows {
+		t.Logf("ranges=%d certified=%v (%v)", r.Ranges, r.Certified, r.Runtime)
+		if r.Ranges >= 4 && !r.Certified {
+			t.Errorf("ranges=%d: physical system not certified", r.Ranges)
+		}
+	}
+}
+
+func TestRunLambdaToleranceAblation(t *testing.T) {
+	rows, err := RunLambdaToleranceAblation([]float64{1e-3, 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Tightening the tolerance must not move lambda_m by more than the
+	// loose tolerance itself.
+	rel := math.Abs(rows[0].LambdaM-rows[1].LambdaM) / rows[1].LambdaM
+	if rel > 2e-3 {
+		t.Errorf("lambda_m moved %.2e with tolerance", rel)
+	}
+}
+
+func TestFormatAblations(t *testing.T) {
+	opt, err := RunOptimizerAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := RunSolverAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cvx, err := RunConvexityAblation([]int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lam, err := RunLambdaToleranceAblation([]float64{1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatAblations(opt, sol, cvx, lam)
+	for _, want := range []string{"optimizer", "solver", "subrange", "tolerance"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q section", want)
+		}
+	}
+}

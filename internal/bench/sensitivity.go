@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"tecopt/internal/core"
+	"tecopt/internal/floorplan"
+	"tecopt/internal/material"
+	"tecopt/internal/power"
+	"tecopt/internal/tec"
+)
+
+// Device-parameter sensitivity and deployment-strategy studies.
+
+// ContactSensitivityRow reports one contact-conductance scaling.
+type ContactSensitivityRow struct {
+	// Scale multiplies the nominal g_h and g_c.
+	Scale float64
+	// LambdaM is the runaway limit of the Alpha greedy deployment.
+	LambdaM float64
+	// IOptA, PeakC are the optimized operating point.
+	IOptA float64
+	PeakC float64
+	// SwingC is the cooling swing vs the passive chip.
+	SwingC float64
+}
+
+// RunContactSensitivity sweeps the TEC contact conductances. The paper
+// singles out g_h — "such thermal conductors which lie between the hot
+// side and the ambient end up playing an important role in the thermal
+// runaway problem" — and this study quantifies it: poorer contacts lower
+// lambda_m and shrink the achievable swing.
+func RunContactSensitivity(scales []float64) ([]ContactSensitivityRow, error) {
+	f, g := floorplan.Alpha21364Grid()
+	p := power.AlphaTilePowers(f, g)
+	passive, err := core.NewSystem(core.Config{TilePower: p}, nil)
+	if err != nil {
+		return nil, err
+	}
+	peak0, _, _, err := passive.PeakAt(0)
+	if err != nil {
+		return nil, err
+	}
+	// Fix the deployment to the nominal greedy choice so the sweep
+	// isolates device quality.
+	dep, err := core.GreedyDeploy(core.Config{TilePower: p}, material.CelsiusToKelvin(85), core.CurrentOptions{})
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []ContactSensitivityRow
+	for _, s := range scales {
+		dev := tec.ChowdhuryDevice()
+		dev.ContactCold *= s
+		dev.ContactHot *= s
+		sys, err := core.NewSystem(core.Config{TilePower: p, Device: dev}, dep.Sites)
+		if err != nil {
+			return nil, err
+		}
+		lambda, err := sys.RunawayLimit(core.RunawayOptions{})
+		if err != nil {
+			return nil, err
+		}
+		cur, err := sys.OptimizeCurrent(core.CurrentOptions{})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ContactSensitivityRow{
+			Scale:   s,
+			LambdaM: lambda,
+			IOptA:   cur.IOpt,
+			PeakC:   material.KelvinToCelsius(cur.PeakK),
+			SwingC:  peak0 - cur.PeakK,
+		})
+	}
+	return rows, nil
+}
+
+// DeploymentStrategyRow compares one deployment heuristic.
+type DeploymentStrategyRow struct {
+	Strategy string
+	NumTECs  int
+	IOptA    float64
+	PeakC    float64
+}
+
+// RunDeploymentStrategies compares the paper's greedy deployment against
+// two natural heuristics with the same device budget: covering the
+// highest-power tiles, and covering the passively hottest tiles. On the
+// Alpha chip all three select overlapping hot-cluster tiles; the study
+// quantifies how much the temperature-feedback in the greedy loop
+// matters.
+func RunDeploymentStrategies() ([]DeploymentStrategyRow, error) {
+	f, g := floorplan.Alpha21364Grid()
+	p := power.AlphaTilePowers(f, g)
+	cfg := core.Config{TilePower: p}
+
+	dep, err := core.GreedyDeploy(cfg, material.CelsiusToKelvin(85), core.CurrentOptions{})
+	if err != nil {
+		return nil, err
+	}
+	budget := len(dep.Sites)
+	rows := []DeploymentStrategyRow{{
+		Strategy: "greedy (paper)",
+		NumTECs:  budget,
+		IOptA:    dep.Current.IOpt,
+		PeakC:    material.KelvinToCelsius(dep.Current.PeakK),
+	}}
+
+	run := func(name string, sites []int) error {
+		sys, err := core.NewSystem(cfg, sites)
+		if err != nil {
+			return err
+		}
+		cur, err := sys.OptimizeCurrent(core.CurrentOptions{})
+		if err != nil {
+			return err
+		}
+		rows = append(rows, DeploymentStrategyRow{
+			Strategy: name, NumTECs: len(sites),
+			IOptA: cur.IOpt, PeakC: material.KelvinToCelsius(cur.PeakK),
+		})
+		return nil
+	}
+
+	// Top-power tiles.
+	if err := run("top-power", power.TopTiles(p, budget)); err != nil {
+		return nil, err
+	}
+	// Passively hottest tiles.
+	passive, err := core.NewSystem(cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	theta, err := passive.SolveAt(0)
+	if err != nil {
+		return nil, err
+	}
+	sil := passive.PN.SiliconTemps(theta)
+	if err := run("hottest-tiles", power.TopTiles(sil, budget)); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// FormatSensitivity renders both studies.
+func FormatSensitivity(contact []ContactSensitivityRow, strategies []DeploymentStrategyRow) string {
+	var b strings.Builder
+	b.WriteString("Sensitivity: TEC contact conductance scale (fixed Alpha deployment)\n")
+	for _, r := range contact {
+		fmt.Fprintf(&b, "  scale=%4.2f lambda_m=%8.2f A  Iopt=%6.2f A  peak=%7.2f C  swing=%5.2f C\n",
+			r.Scale, r.LambdaM, r.IOptA, r.PeakC, r.SwingC)
+	}
+	b.WriteString("Study: deployment strategy at equal device budget\n")
+	for _, r := range strategies {
+		fmt.Fprintf(&b, "  %-16s #TEC=%2d  Iopt=%6.2f A  peak=%7.2f C\n",
+			r.Strategy, r.NumTECs, r.IOptA, r.PeakC)
+	}
+	return b.String()
+}

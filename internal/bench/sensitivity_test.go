@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunContactSensitivityMonotone(t *testing.T) {
+	rows, err := RunContactSensitivity([]float64{0.25, 1.0, 4.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Better contacts -> higher runaway limit and larger swing.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].LambdaM <= rows[i-1].LambdaM {
+			t.Errorf("lambda_m not increasing with contact quality: %v", rows)
+		}
+		if rows[i].SwingC <= rows[i-1].SwingC {
+			t.Errorf("swing not increasing with contact quality: %v", rows)
+		}
+	}
+	// The nominal point must match the Table-I regime.
+	if rows[1].IOptA < 3 || rows[1].IOptA > 12 {
+		t.Errorf("nominal Iopt %.2f A out of regime", rows[1].IOptA)
+	}
+}
+
+func TestRunDeploymentStrategies(t *testing.T) {
+	rows, err := RunDeploymentStrategies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	budget := rows[0].NumTECs
+	for _, r := range rows {
+		if r.NumTECs != budget {
+			t.Errorf("%s used %d devices, want the common budget %d", r.Strategy, r.NumTECs, budget)
+		}
+	}
+	// The greedy (temperature-driven) choice must be at least as good as
+	// the power heuristic within a small tolerance, and all three land
+	// in the same regime on this chip.
+	greedy := rows[0].PeakC
+	for _, r := range rows[1:] {
+		if greedy > r.PeakC+0.5 {
+			t.Errorf("greedy (%.2f C) clearly worse than %s (%.2f C)", greedy, r.Strategy, r.PeakC)
+		}
+	}
+}
+
+func TestFormatSensitivity(t *testing.T) {
+	contact, err := RunContactSensitivity([]float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strategies, err := RunDeploymentStrategies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatSensitivity(contact, strategies)
+	if !strings.Contains(out, "contact conductance") || !strings.Contains(out, "greedy") {
+		t.Fatalf("report incomplete:\n%s", out)
+	}
+}

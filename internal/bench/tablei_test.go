@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"tecopt/internal/floorplan"
+	"tecopt/internal/power"
+)
+
+func TestRunTableIRowAlpha(t *testing.T) {
+	f, g := floorplan.Alpha21364Grid()
+	row, err := RunTableIRow("Alpha", power.AlphaTilePowers(f, g), TableIOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Table I row "Alpha": theta_peak 91.8 C, 16 TECs, Iopt 6.10 A,
+	// P_TEC 1.31 W, full-cover min peak 90.2 C, swing loss 5.2 C.
+	// Our calibrated reproduction must match the shape:
+	if row.NoTECPeakC < 90 || row.NoTECPeakC > 94 {
+		t.Errorf("no-TEC peak %.1f C, want ~91.8", row.NoTECPeakC)
+	}
+	if row.FailedAt85 || row.LimitC != 85 {
+		t.Errorf("Alpha must succeed at 85 C (limit used: %g)", row.LimitC)
+	}
+	if row.NumTECs < 4 || row.NumTECs > 24 {
+		t.Errorf("#TECs = %d, want O(10) like the paper's 16", row.NumTECs)
+	}
+	if row.IOptA < 3 || row.IOptA > 12 {
+		t.Errorf("Iopt %.2f A, want the paper's few-amp regime", row.IOptA)
+	}
+	if row.PTECW < 0.3 || row.PTECW > 4 {
+		t.Errorf("P_TEC %.2f W, want ~1-2 W", row.PTECW)
+	}
+	if row.GreedyPeakC > 85 {
+		t.Errorf("greedy peak %.2f C over the limit", row.GreedyPeakC)
+	}
+	// Full cover must lose: the paper's central claim.
+	if row.SwingLossC < 2 || row.SwingLossC > 9 {
+		t.Errorf("swing loss %.2f C, want ~4-6 like the paper's 5.2", row.SwingLossC)
+	}
+	if row.FullCoverMinPeakC <= 85 {
+		t.Errorf("full cover reached %.2f C <= 85: should fail the limit like the paper's 90.2", row.FullCoverMinPeakC)
+	}
+	// Paper: "execution time of our algorithm is less than 3 minutes".
+	if row.Runtime.Minutes() > 3 {
+		t.Errorf("runtime %v exceeds the paper's 3-minute bound", row.Runtime)
+	}
+}
+
+func TestRunTableIFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table I in -short mode")
+	}
+	rows, err := RunTableI(TableIOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 11 {
+		t.Fatalf("rows = %d, want 11 (Alpha + HC01..HC10)", len(rows))
+	}
+	// Shape assertions mirroring the paper's aggregate claims.
+	if s := MaxCoolingSwingC(rows); s < 5 || s > 25 {
+		t.Errorf("max cooling swing %.1f C, paper reports up to 7.5 C", s)
+	}
+	if l := AvgSwingLossC(rows); l < 2 || l > 9 {
+		t.Errorf("average swing loss %.1f C, paper reports 4.2 C", l)
+	}
+	fails := FailuresAtBase(rows)
+	if len(fails) == 0 || len(fails) > 4 {
+		t.Errorf("failures at 85 C: %v, paper has 2 (HC06, HC09)", fails)
+	}
+	for _, r := range rows {
+		if r.GreedyPeakC > r.LimitC {
+			t.Errorf("%s: peak %.2f over its limit %.0f", r.Name, r.GreedyPeakC, r.LimitC)
+		}
+		if !r.FailedAt85 && r.LimitC != 85 {
+			t.Errorf("%s: limit %g without recorded failure", r.Name, r.LimitC)
+		}
+		if r.Runtime.Minutes() > 3 {
+			t.Errorf("%s: runtime %v over 3 minutes", r.Name, r.Runtime)
+		}
+	}
+	// Formatting.
+	table := FormatTableI(rows)
+	if !strings.Contains(table, "Alpha") || !strings.Contains(table, "HC10") {
+		t.Error("formatted table missing rows")
+	}
+	if !strings.Contains(table, "Avg.") {
+		t.Error("formatted table missing average row")
+	}
+	t.Logf("\n%s", table)
+}

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRunWorkloadValidationAllWithinBound(t *testing.T) {
+	rows, err := RunWorkloadValidation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d, want 10 workloads", len(rows))
+	}
+	for _, r := range rows {
+		// The paper's validation bound, per power trace.
+		if r.WorstDiffC > 1.5 {
+			t.Errorf("%s: worst diff %.3f C exceeds 1.5 C", r.Workload, r.WorstDiffC)
+		}
+		// Per-workload peaks must sit below the worst-case envelope peak.
+		if r.PeakC > 92.5 {
+			t.Errorf("%s: peak %.2f C above the envelope peak", r.Workload, r.PeakC)
+		}
+		if r.PeakC < 50 {
+			t.Errorf("%s: peak %.2f C implausibly cold", r.Workload, r.PeakC)
+		}
+	}
+}
+
+func TestRunResolutionAblationConverges(t *testing.T) {
+	rows, err := RunResolutionAblation([]int{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Node counts must grow, and the peak must converge: the 20->30 step
+	// changes less than the 10->20 step.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Nodes <= rows[i-1].Nodes {
+			t.Errorf("nodes not increasing: %+v", rows)
+		}
+	}
+	d1 := math.Abs(rows[1].PeakC - rows[0].PeakC)
+	d2 := math.Abs(rows[2].PeakC - rows[1].PeakC)
+	if d2 > d1+1e-9 {
+		t.Errorf("no convergence: steps %.4f then %.4f C", d1, d2)
+	}
+	// All resolutions agree within a degree (the coarse layers matter
+	// little for silicon peaks).
+	if math.Abs(rows[2].PeakC-rows[0].PeakC) > 1.0 {
+		t.Errorf("resolution sensitivity too large: %+v", rows)
+	}
+}
+
+func TestFormatValidationStudies(t *testing.T) {
+	rows, err := RunWorkloadValidation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunResolutionAblation([]int{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatValidationStudies(rows, res)
+	if !strings.Contains(out, "workload") || !strings.Contains(out, "resolution") {
+		t.Fatalf("report incomplete:\n%s", out)
+	}
+}

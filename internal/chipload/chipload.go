@@ -1,0 +1,149 @@
+// Package chipload resolves benchmark-chip specifications for the CLI
+// tools: the built-in Alpha chip, the canonical HC01..HC10 suite,
+// arbitrary hc:<seed> draws, and user-supplied HotSpot-format floorplan
+// (.flp) plus power-trace (.ptrace) files.
+package chipload
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tecopt/internal/floorplan"
+	"tecopt/internal/material"
+	"tecopt/internal/power"
+)
+
+// Chip is a resolved benchmark chip ready for optimization.
+type Chip struct {
+	Name      string
+	Floorplan *floorplan.Floorplan
+	Grid      *floorplan.Grid
+	TilePower []float64
+	// Geom is the package geometry with the die dimensions taken from
+	// the floorplan (custom .flp dies may differ from the default
+	// 6 mm x 6 mm study chip).
+	Geom material.PackageGeometry
+}
+
+// Spec selects a chip.
+type Spec struct {
+	// Name is "alpha", "hc01".."hc10", or "hc:<seed>"; ignored when FLP
+	// is set.
+	Name string
+	// FLP is a path to a HotSpot .flp floorplan file (optional).
+	FLP string
+	// Ptrace is a path to a .ptrace power trace (required with FLP).
+	Ptrace string
+	// Cols, Rows tile the custom floorplan (default 12x12).
+	Cols, Rows int
+	// Margin is the worst-case guard band over the trace envelope
+	// (default 1.2, the paper's +20%).
+	Margin float64
+}
+
+// Load resolves the spec.
+func Load(spec Spec) (*Chip, error) {
+	if spec.FLP != "" {
+		return loadCustom(spec)
+	}
+	switch {
+	case spec.Name == "alpha" || spec.Name == "":
+		f, g := floorplan.Alpha21364Grid()
+		return &Chip{
+			Name: "alpha", Floorplan: f, Grid: g,
+			TilePower: power.AlphaTilePowers(f, g),
+			Geom:      geomFor(f),
+		}, nil
+	case strings.HasPrefix(spec.Name, "hc:"):
+		seed, err := strconv.ParseInt(spec.Name[3:], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("chipload: bad hc seed in %q: %v", spec.Name, err)
+		}
+		return fromHC(spec.Name, seed)
+	case strings.HasPrefix(spec.Name, "hc"):
+		n, err := strconv.Atoi(spec.Name[2:])
+		if err != nil || n < 1 || n > 10 {
+			return nil, fmt.Errorf("chipload: unknown chip %q (want alpha, hc01..hc10, or hc:<seed>)", spec.Name)
+		}
+		return fromHC(fmt.Sprintf("HC%02d", n), int64(n))
+	default:
+		return nil, fmt.Errorf("chipload: unknown chip %q (want alpha, hc01..hc10, or hc:<seed>)", spec.Name)
+	}
+}
+
+func fromHC(name string, seed int64) (*Chip, error) {
+	chip, err := power.GenerateHC(name, seed, power.DefaultHCSpec())
+	if err != nil {
+		return nil, err
+	}
+	return &Chip{
+		Name: name, Floorplan: chip.Floorplan, Grid: chip.Grid,
+		TilePower: chip.TilePower, Geom: geomFor(chip.Floorplan),
+	}, nil
+}
+
+// geomFor adapts the default package to the floorplan's die dimensions,
+// keeping the spreader/sink at least as large as the die.
+func geomFor(f *floorplan.Floorplan) material.PackageGeometry {
+	geom := material.DefaultPackage()
+	geom.DieWidth = f.DieW
+	geom.DieHeight = f.DieH
+	side := f.DieW
+	if f.DieH > side {
+		side = f.DieH
+	}
+	if geom.SpreaderSide < side {
+		geom.SpreaderSide = 5 * side
+	}
+	if geom.SinkSide < geom.SpreaderSide {
+		geom.SinkSide = 2 * geom.SpreaderSide
+	}
+	return geom
+}
+
+func loadCustom(spec Spec) (*Chip, error) {
+	if spec.Ptrace == "" {
+		return nil, fmt.Errorf("chipload: -flp requires a -ptrace power trace")
+	}
+	if spec.Cols <= 0 {
+		spec.Cols = 12
+	}
+	if spec.Rows <= 0 {
+		spec.Rows = 12
+	}
+	if spec.Margin <= 0 {
+		spec.Margin = 1.2
+	}
+	ff, err := os.Open(spec.FLP)
+	if err != nil {
+		return nil, fmt.Errorf("chipload: %v", err)
+	}
+	defer ff.Close()
+	f, err := floorplan.ParseFLP(spec.FLP, ff)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Validate(1e-6); err != nil {
+		return nil, err
+	}
+	g, err := f.Tile(spec.Cols, spec.Rows)
+	if err != nil {
+		return nil, err
+	}
+	pf, err := os.Open(spec.Ptrace)
+	if err != nil {
+		return nil, fmt.Errorf("chipload: %v", err)
+	}
+	defer pf.Close()
+	tr, err := power.ParsePtrace(pf)
+	if err != nil {
+		return nil, err
+	}
+	tp, err := power.TilePowersFromTrace(tr, f, g, spec.Margin)
+	if err != nil {
+		return nil, err
+	}
+	return &Chip{Name: spec.FLP, Floorplan: f, Grid: g, TilePower: tp, Geom: geomFor(f)}, nil
+}

@@ -1,0 +1,106 @@
+package chipload
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tecopt/internal/floorplan"
+	"tecopt/internal/power"
+)
+
+func TestLoadBuiltins(t *testing.T) {
+	for _, name := range []string{"alpha", "", "hc01", "hc10", "hc:42"} {
+		chip, err := Load(Spec{Name: name})
+		if err != nil {
+			t.Fatalf("Load(%q): %v", name, err)
+		}
+		if chip.Grid.NumTiles() != 144 || len(chip.TilePower) != 144 {
+			t.Fatalf("Load(%q): malformed chip", name)
+		}
+	}
+}
+
+func TestLoadUnknown(t *testing.T) {
+	for _, name := range []string{"nope", "hc99", "hc:x"} {
+		if _, err := Load(Spec{Name: name}); err == nil {
+			t.Errorf("Load(%q) accepted", name)
+		}
+	}
+}
+
+func TestLoadCustomFiles(t *testing.T) {
+	dir := t.TempDir()
+
+	// Write the Alpha floorplan and a synthesized trace to disk.
+	f := floorplan.Alpha21364()
+	flpPath := filepath.Join(dir, "chip.flp")
+	ff, err := os.Create(flpPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := floorplan.WriteFLP(ff, f); err != nil {
+		t.Fatal(err)
+	}
+	ff.Close()
+
+	tr := power.SynthesizeTrace(power.NewAlphaModel(), f, power.SyntheticSPECWorkloads())
+	ptPath := filepath.Join(dir, "chip.ptrace")
+	pf, err := os.Create(ptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := power.WritePtrace(pf, tr); err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+
+	chip, err := Load(Spec{FLP: flpPath, Ptrace: ptPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The file-based path must reproduce the built-in Alpha powers.
+	_, _, want := alphaRef()
+	for i := range want {
+		d := chip.TilePower[i] - want[i]
+		if d > 1e-6 || d < -1e-6 {
+			t.Fatalf("tile %d: file path %v vs builtin %v", i, chip.TilePower[i], want[i])
+		}
+	}
+}
+
+func alphaRef() (*floorplan.Floorplan, *floorplan.Grid, []float64) {
+	f, g := floorplan.Alpha21364Grid()
+	return f, g, power.AlphaTilePowers(f, g)
+}
+
+func TestLoadCustomErrors(t *testing.T) {
+	if _, err := Load(Spec{FLP: "x.flp"}); err == nil {
+		t.Error("missing ptrace accepted")
+	}
+	if _, err := Load(Spec{FLP: "/nonexistent.flp", Ptrace: "/nonexistent.ptrace"}); err == nil {
+		t.Error("missing files accepted")
+	}
+}
+
+func TestGeomFollowsDie(t *testing.T) {
+	chip, err := Load(Spec{Name: "alpha"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chip.Geom.DieWidth != chip.Floorplan.DieW || chip.Geom.DieHeight != chip.Floorplan.DieH {
+		t.Fatalf("geom die %gx%g != floorplan %gx%g",
+			chip.Geom.DieWidth, chip.Geom.DieHeight, chip.Floorplan.DieW, chip.Floorplan.DieH)
+	}
+	if err := chip.Geom.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A large custom die must enlarge the spreader/sink consistently.
+	big := geomFor(floorplan.New("big", 40e-3, 40e-3))
+	if err := big.Validate(); err != nil {
+		t.Fatalf("large-die geometry invalid: %v", err)
+	}
+	if big.SpreaderSide < 40e-3 || big.SinkSide < big.SpreaderSide {
+		t.Fatalf("spreader/sink not scaled: %+v", big)
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Budgeted placement: the dual of the paper's Problem 1.
+//
+// GreedyDeploy minimizes the device count subject to a temperature
+// limit. BudgetedDeploy answers the dual question a cost-constrained
+// designer asks: with at most K devices (pins, TIM area and dollars are
+// all proportional to K), where should they go to minimize the peak
+// temperature? The algorithm adds devices one at a time, each round
+// placing a device on the candidate tile with the best marginal
+// peak-temperature reduction at a re-optimized shared current — a
+// submodular-style greedy on top of the paper's convex current setting.
+
+// BudgetedOptions tunes the placement search.
+type BudgetedOptions struct {
+	// Candidates caps the tiles considered each round: the N hottest
+	// uncovered tiles in the current operating point (default 8).
+	// Larger values search better and cost proportionally more.
+	Candidates int
+	// PlateauEpsK groups near-peak tiles: when no single device helps
+	// (cooling one tile of a flat hotspot just shifts the peak to its
+	// neighbor), the whole plateau — uncovered tiles within PlateauEpsK
+	// of the peak — is tried as one group, budget permitting.
+	// Default 0.75 K.
+	PlateauEpsK float64
+	// Current tunes the inner supply-current optimization.
+	Current CurrentOptions
+}
+
+func (o BudgetedOptions) withDefaults() BudgetedOptions {
+	if o.Candidates <= 0 {
+		o.Candidates = 8
+	}
+	if o.PlateauEpsK <= 0 {
+		o.PlateauEpsK = 0.75
+	}
+	return o
+}
+
+// BudgetedStep records one placement round.
+type BudgetedStep struct {
+	// Tiles are the sites added this round (one, or a peak plateau).
+	Tiles []int
+	// PeakK is the optimized peak after placing them.
+	PeakK float64
+	// IOpt is the re-optimized shared current.
+	IOpt float64
+}
+
+// BudgetedResult is the outcome of BudgetedDeploy.
+type BudgetedResult struct {
+	Sites   []int
+	Current *CurrentResult
+	Steps   []BudgetedStep
+	System  *System
+}
+
+// BudgetedDeploy places up to budget TEC devices greedily by marginal
+// peak reduction. It stops early when no candidate improves the peak.
+func BudgetedDeploy(cfg Config, budget int, opt BudgetedOptions) (*BudgetedResult, error) {
+	opt = opt.withDefaults()
+	if budget <= 0 {
+		return nil, fmt.Errorf("core: nonpositive device budget %d", budget)
+	}
+	cfg = cfg.withDefaults()
+
+	covered := map[int]bool{}
+	res := &BudgetedResult{}
+
+	// Current best operating point (starts passive).
+	sys, err := NewSystem(cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	best, err := sys.OptimizeCurrent(opt.Current)
+	if err != nil {
+		return nil, err
+	}
+	res.System, res.Current = sys, best
+
+	type trial struct {
+		tiles []int
+		cur   *CurrentResult
+		sys   *System
+	}
+	evaluate := func(extra []int) (*trial, error) {
+		sites := sortedKeys(covered)
+		sites = append(sites, extra...)
+		sort.Ints(sites)
+		trialSys, err := NewSystem(cfg, sites)
+		if err != nil {
+			return nil, err
+		}
+		cur, err := trialSys.OptimizeCurrent(opt.Current)
+		if err != nil {
+			return nil, err
+		}
+		return &trial{tiles: extra, cur: cur, sys: trialSys}, nil
+	}
+
+	for len(covered) < budget {
+		// Candidate tiles: hottest uncovered silicon tiles at the
+		// current operating point.
+		sil := res.System.PN.SiliconTemps(res.Current.Theta)
+		peakNow := res.Current.PeakK
+		type cand struct {
+			tile int
+			temp float64
+		}
+		cands := make([]cand, 0, len(sil))
+		for t, v := range sil {
+			if !covered[t] {
+				cands = append(cands, cand{t, v})
+			}
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].temp > cands[b].temp })
+		if len(cands) == 0 {
+			break
+		}
+		singles := cands
+		if len(singles) > opt.Candidates {
+			singles = singles[:opt.Candidates]
+		}
+
+		// Single-device trials.
+		var bestTrial *trial
+		for _, c := range singles {
+			tr, err := evaluate([]int{c.tile})
+			if err != nil {
+				return nil, err
+			}
+			if bestTrial == nil || tr.cur.PeakK < bestTrial.cur.PeakK {
+				bestTrial = tr
+			}
+		}
+		// Plateau trial: cover the whole near-peak group at once when a
+		// single device cannot move a flat hotspot.
+		var plateau []int
+		for _, c := range cands {
+			if c.temp >= peakNow-opt.PlateauEpsK {
+				plateau = append(plateau, c.tile)
+			}
+		}
+		if len(plateau) > 1 && len(covered)+len(plateau) <= budget {
+			tr, err := evaluate(plateau)
+			if err != nil {
+				return nil, err
+			}
+			if bestTrial == nil || tr.cur.PeakK < bestTrial.cur.PeakK {
+				bestTrial = tr
+			}
+		}
+
+		if bestTrial == nil || bestTrial.cur.PeakK >= peakNow-1e-9 {
+			break // nothing improves: adding more devices only heats
+		}
+		for _, t := range bestTrial.tiles {
+			covered[t] = true
+		}
+		res.Sites = sortedKeys(covered)
+		res.Current = bestTrial.cur
+		res.System = bestTrial.sys
+		res.Steps = append(res.Steps, BudgetedStep{
+			Tiles: bestTrial.tiles, PeakK: bestTrial.cur.PeakK, IOpt: bestTrial.cur.IOpt,
+		})
+	}
+	return res, nil
+}

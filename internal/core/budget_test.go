@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestBudgetedDeployImprovesMonotonically(t *testing.T) {
+	cfg := smallConfig()
+	res, err := BudgetedDeploy(cfg, 4, BudgetedOptions{Candidates: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sites) == 0 {
+		t.Fatal("no devices placed")
+	}
+	var placed int
+	for _, st := range res.Steps {
+		placed += len(st.Tiles)
+	}
+	if placed != len(res.Sites) {
+		t.Fatalf("sites %d vs placed %d", len(res.Sites), placed)
+	}
+	// Each round must strictly improve the peak.
+	passive, _ := NewSystem(cfg, nil)
+	prev, _, _, err := passive.PeakAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range res.Steps {
+		if st.PeakK >= prev {
+			t.Fatalf("round %d did not improve: %.3f -> %.3f K", i, prev, st.PeakK)
+		}
+		prev = st.PeakK
+	}
+	// Placements must land on hotspot tiles (the 2x2 block): the flat
+	// hotspot forces the plateau group move.
+	hot := map[int]bool{27: true, 28: true, 35: true, 36: true}
+	for _, s := range res.Sites {
+		if !hot[s] {
+			t.Fatalf("placement at tile %d, want hotspot tiles only", s)
+		}
+	}
+}
+
+func TestBudgetedDeployStopsWhenNoGain(t *testing.T) {
+	// A device with terrible contacts is a net heater: the greedy must
+	// recognize that no placement improves the peak and stop at zero.
+	cfg := smallConfig()
+	dev := cfg.Device
+	dev.ContactCold /= 50
+	dev.ContactHot /= 50
+	cfg.Device = dev
+	res, err := BudgetedDeploy(cfg, 8, BudgetedOptions{Candidates: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sites) != 0 {
+		t.Fatalf("greedy placed %d useless devices", len(res.Sites))
+	}
+	// The result still carries the passive operating point.
+	if res.Current == nil || res.Current.IOpt != 0 {
+		t.Fatalf("expected passive fallback, got %+v", res.Current)
+	}
+}
+
+func TestBudgetedDeployValidation(t *testing.T) {
+	if _, err := BudgetedDeploy(smallConfig(), 0, BudgetedOptions{}); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+}
+
+func TestBudgetedBeatsNaiveAtSameBudget(t *testing.T) {
+	// With budget 2 on the two-hotspot chip, the marginal-gain greedy
+	// must do at least as well as covering the two highest-power tiles.
+	cfg := twoHotspotConfig()
+	res, err := BudgetedDeploy(cfg, 2, BudgetedOptions{Candidates: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := NewSystem(cfg, []int{18, 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naiveCur, err := naive.OptimizeCurrent(CurrentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Current.PeakK > naiveCur.PeakK+0.05 {
+		t.Fatalf("budgeted greedy %.3f K worse than naive %.3f K",
+			res.Current.PeakK, naiveCur.PeakK)
+	}
+}

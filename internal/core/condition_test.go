@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"tecopt/internal/mat"
+)
+
+func TestConditionNumberAgainstDense(t *testing.T) {
+	sys := tinySystem(t, []int{5})
+	got, err := sys.ConditionNumber(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dense reference: ratio of extremal eigenvalues (the matrix is
+	// symmetric PD at 2 A).
+	d := denseOf(sys, 2)
+	mat.Symmetrize(d)
+	chol, err := mat.NewCholesky(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := chol.Inverse()
+	// Largest eigenvalues via crude power iteration on dense products.
+	big := powerDense(d)
+	smallInv := powerDense(inv)
+	want := big * smallInv
+	if math.Abs(got-want) > 0.02*want {
+		t.Fatalf("condition number %.4g, dense reference %.4g", got, want)
+	}
+}
+
+func powerDense(a *mat.Dense) float64 {
+	n := a.Rows()
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1 + float64(i%3)
+	}
+	var lambda float64
+	for it := 0; it < 2000; it++ {
+		w := a.MulVec(v)
+		lambda = mat.Dot(v, w) / mat.Dot(v, v)
+		nw := mat.Norm2(w)
+		if nw == 0 {
+			return 0
+		}
+		mat.ScaleVec(1/nw, w)
+		v = w
+	}
+	return lambda
+}
+
+func TestConditionNumberDivergesAtLambda(t *testing.T) {
+	sys := tinySystem(t, []int{5, 6})
+	lambda, conds, err := sys.ConditionSweep([]float64{0, 0.5, 0.99, 0.99999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lambda <= 0 {
+		t.Fatalf("lambda = %v", lambda)
+	}
+	// Monotone growth toward the limit and a large final value.
+	for i := 1; i < len(conds); i++ {
+		if conds[i] < conds[i-1]*0.99 {
+			t.Fatalf("condition number not growing: %v", conds)
+		}
+	}
+	if conds[len(conds)-1] < 100*conds[0] {
+		t.Fatalf("no conditioning blow-up near lambda_m: %v", conds)
+	}
+	// Beyond the limit: +Inf by convention.
+	c, err := sys.ConditionNumber(lambda * 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(c, 1) {
+		t.Fatalf("condition beyond lambda_m = %v, want +Inf", c)
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"tecopt/internal/optimize"
+)
+
+// Optimality certification (Section V.C.2).
+//
+// Eq. (10) splits a node temperature as
+//
+//	theta_k(i) = (r i^2 / 2) * eta(i) + zeta(i)
+//	eta(i)  = sum_{l in HOT u CLD} h_kl(i)
+//	zeta(i) = sum_{l in SIL} h_kl(i) * p_l      (+ ambient-leg terms here)
+//
+// Under Conjecture 1 every h_kl is convex (Theorem 3), so eta and zeta
+// are convex; only the product term r i^2 eta(i)/2 needs the Lemma-4
+// feasibility test, partitioned over subranges per Theorem 4.
+
+// EtaZeta evaluates eta(i), eta'(i) and zeta(i) for silicon tile k.
+// eta' uses the identity H'(i) = H D H (proof of Theorem 3):
+// eta'(i) = sum_{l in HOT u CLD} (H D H)_{kl} = x' D y with
+// x = H e_k and y = H 1_{HOT u CLD} — two linear solves.
+func (s *System) EtaZeta(i float64, tile int) (eta, etaPrime, zeta float64, err error) {
+	if tile < 0 || tile >= s.PN.NumTiles() {
+		return 0, 0, 0, fmt.Errorf("core: tile %d out of range", tile)
+	}
+	f, err := s.Factor(i)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	n := s.NumNodes()
+	k := s.PN.SilNode[tile]
+
+	// x = H e_k (row k of H by symmetry).
+	e := make([]float64, n)
+	e[k] = 1
+	x := f.Solve(e)
+
+	// Indicator of HOT u CLD.
+	ind := make([]float64, n)
+	for idx := range s.Array.Tiles {
+		ind[s.Array.Hot[idx]] = 1
+		ind[s.Array.Cold[idx]] = 1
+	}
+	for l, on := range ind {
+		if on != 0 {
+			eta += x[l]
+		}
+	}
+	// zeta: transfer from the current-independent RHS (tile powers and
+	// ambient legs).
+	for l, b := range s.base {
+		if b != 0 {
+			zeta += x[l] * b
+		}
+	}
+	// eta' = x' D y with y = H 1_{HC}.
+	y := f.Solve(ind)
+	for l, dv := range s.d {
+		if dv != 0 {
+			etaPrime += x[l] * dv * y[l]
+		}
+	}
+	return eta, etaPrime, zeta, nil
+}
+
+// ThetaDecomposition cross-checks Eq. (10): it evaluates
+// r i^2 eta/2 + zeta and the directly solved theta_k, returning both.
+func (s *System) ThetaDecomposition(i float64, tile int) (viaEq10, direct float64, err error) {
+	eta, _, zeta, err := s.EtaZeta(i, tile)
+	if err != nil {
+		return 0, 0, err
+	}
+	theta, err := s.SolveAt(i)
+	if err != nil {
+		return 0, 0, err
+	}
+	r := s.Array.Params.Resistance
+	return 0.5*r*i*i*eta + zeta, theta[s.PN.SilNode[tile]], nil
+}
+
+// ConvexityCertificate runs the Theorem-4 check for tile k over
+// [0, lambda_m) partitioned into ranges subranges. It returns whether
+// convexity of theta_k is certified; when it is, and Conjecture 1 holds,
+// the current returned by OptimizeCurrent is globally optimal.
+//
+// More subranges tighten the eta'(i_t) lower bound at higher cost — the
+// runtime/accuracy trade-off the paper describes after Theorem 4.
+func (s *System) ConvexityCertificate(tile, ranges int) (bool, error) {
+	if s.Array.Count() == 0 {
+		return true, nil // theta is constant in i without TECs
+	}
+	lambda, err := s.RunawayLimit(RunawayOptions{})
+	if err != nil {
+		return false, err
+	}
+	hi := lambda
+	if math.IsInf(hi, 1) {
+		// No finite runaway limit: certify over the practically relevant
+		// range instead (up to the current where Joule heating clearly
+		// dominates; 10x the optimum search cap is ample).
+		hi = 1e3
+	}
+	eta := func(i float64) float64 {
+		e, _, _, err := s.EtaZeta(i, tile)
+		if err != nil {
+			return math.Inf(1)
+		}
+		return e
+	}
+	etaPrime := func(i float64) float64 {
+		_, ep, _, err := s.EtaZeta(i, tile)
+		if err != nil {
+			return math.Inf(1)
+		}
+		return ep
+	}
+	ok, _ := optimize.ConvexityCheck(eta, etaPrime, s.Array.Params.Resistance, hi, ranges)
+	return ok, nil
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"tecopt/internal/optimize"
+)
+
+// Supply-current setting (Problem 2, Section V.C): choose the single
+// shared current i in [0, lambda_m) minimizing the peak silicon tile
+// temperature. Under Conjecture 1 the objective max_k theta_k(i) is a
+// maximum of convex functions, hence convex; the paper solves it with
+// gradient descent, and we provide both that and a golden-section variant
+// (derivative-free, robust at the kinks of the max).
+
+// CurrentMethod selects the optimizer.
+type CurrentMethod int
+
+const (
+	// CurrentGolden uses golden-section search (default).
+	CurrentGolden CurrentMethod = iota
+	// CurrentGradient uses projected gradient descent with backtracking
+	// (the paper's stated method).
+	CurrentGradient
+	// CurrentBrent uses Brent's method.
+	CurrentBrent
+)
+
+// CurrentOptions tunes the current optimization.
+type CurrentOptions struct {
+	Method CurrentMethod
+	// Tol is the absolute current tolerance in amperes (default 1e-4).
+	Tol float64
+	// SafetyMargin keeps the search away from lambda_m: the upper bound
+	// is lambda_m*(1-SafetyMargin). Default 1e-3.
+	SafetyMargin float64
+	// Runaway tunes the lambda_m computation.
+	Runaway RunawayOptions
+}
+
+func (o CurrentOptions) withDefaults() CurrentOptions {
+	if o.Tol <= 0 {
+		o.Tol = 1e-4
+	}
+	if o.SafetyMargin <= 0 {
+		o.SafetyMargin = 1e-3
+	}
+	return o
+}
+
+// CurrentResult reports the optimized operating point.
+type CurrentResult struct {
+	// IOpt is the optimal shared supply current (A).
+	IOpt float64
+	// PeakK is the minimized peak silicon temperature (kelvin).
+	PeakK float64
+	// PeakTile is the hottest tile at IOpt.
+	PeakTile int
+	// Theta is the full nodal field at IOpt.
+	Theta []float64
+	// TECPowerW is the array's electrical input power at IOpt (Eq. 3).
+	TECPowerW float64
+	// LambdaM is the runaway limit used to bound the search (may be
+	// +Inf when unreachable).
+	LambdaM float64
+	// Evaluations counts objective evaluations (solves).
+	Evaluations int
+}
+
+// OptimizeCurrent solves Problem 2 for the system's deployment. With no
+// TECs deployed it degenerates to the passive solve at i = 0.
+func (s *System) OptimizeCurrent(opt CurrentOptions) (*CurrentResult, error) {
+	opt = opt.withDefaults()
+	if s.Array.Count() == 0 {
+		peak, tile, theta, err := s.PeakAt(0)
+		if err != nil {
+			return nil, err
+		}
+		return &CurrentResult{
+			IOpt: 0, PeakK: peak, PeakTile: tile, Theta: theta,
+			LambdaM: math.Inf(1), Evaluations: 1,
+		}, nil
+	}
+
+	lambda, err := s.RunawayLimit(opt.Runaway)
+	if err != nil && !errors.Is(err, ErrNoRunawayLimit) {
+		return nil, err
+	}
+
+	evals := 0
+	objective := func(i float64) float64 {
+		evals++
+		peak, _, _, err := s.PeakAt(i)
+		if err != nil {
+			// At/beyond runaway: treat as +Inf so the optimizer backs off.
+			return math.Inf(1)
+		}
+		return peak
+	}
+
+	// Upper search bound: inside the runaway limit, or found by bracket
+	// expansion when lambda_m is unreachable (the convex objective must
+	// eventually increase with i as Joule heating dominates).
+	var hi float64
+	if math.IsInf(lambda, 1) {
+		hi = 1.0
+		f0 := objective(0)
+		for objective(hi) < f0 && hi < 1e6 {
+			hi *= 2
+		}
+	} else {
+		hi = lambda * (1 - opt.SafetyMargin)
+	}
+	if hi <= 0 {
+		return nil, fmt.Errorf("core: empty feasible current range (lambda_m = %g)", lambda)
+	}
+
+	var iOpt float64
+	switch opt.Method {
+	case CurrentGolden:
+		res, err := optimize.GoldenSection(objective, 0, hi, opt.Tol, 300)
+		if err != nil {
+			return nil, err
+		}
+		iOpt = res.X
+	case CurrentBrent:
+		res, err := optimize.Brent(objective, 0, hi, opt.Tol/math.Max(hi, 1), 300)
+		if err != nil {
+			return nil, err
+		}
+		iOpt = res.X
+	case CurrentGradient:
+		res, err := optimize.GradientDescent(objective, optimize.GradientDescentOptions{
+			Lo: 0, Hi: hi, X0: hi / 4, Tol: opt.Tol, GradEps: opt.Tol / 4,
+		})
+		if err != nil {
+			return nil, err
+		}
+		iOpt = res.X
+	default:
+		return nil, fmt.Errorf("core: unknown current method %d", opt.Method)
+	}
+
+	// i = 0 is always feasible; never settle for a current that is worse
+	// than doing nothing (can happen within tolerance at the boundary).
+	peak0, tile0, theta0, err := s.PeakAt(0)
+	if err != nil {
+		return nil, err
+	}
+	peak, tile, theta, err := s.PeakAt(iOpt)
+	if err != nil {
+		return nil, err
+	}
+	evals += 2
+	if peak0 <= peak {
+		iOpt, peak, tile, theta = 0, peak0, tile0, theta0
+	}
+	return &CurrentResult{
+		IOpt:        iOpt,
+		PeakK:       peak,
+		PeakTile:    tile,
+		Theta:       theta,
+		TECPowerW:   s.TECPower(theta, iOpt),
+		LambdaM:     lambda,
+		Evaluations: evals,
+	}, nil
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"tecopt/internal/material"
+)
+
+func TestOptimizeCurrentNoTEC(t *testing.T) {
+	sys, _ := NewSystem(smallConfig(), nil)
+	res, err := sys.OptimizeCurrent(CurrentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IOpt != 0 {
+		t.Fatalf("IOpt = %v, want 0 without TECs", res.IOpt)
+	}
+	if !math.IsInf(res.LambdaM, 1) {
+		t.Fatalf("LambdaM = %v, want +Inf", res.LambdaM)
+	}
+}
+
+func TestOptimizeCurrentImprovesOnPassive(t *testing.T) {
+	sys, err := NewSystem(smallConfig(), []int{27, 28, 35, 36})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak0, _, _, _ := sys.PeakAt(0)
+	res, err := sys.OptimizeCurrent(CurrentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakK >= peak0 {
+		t.Fatalf("optimized peak %.2f K not below passive %.2f K", res.PeakK, peak0)
+	}
+	if res.IOpt <= 0 || res.IOpt >= res.LambdaM {
+		t.Fatalf("IOpt = %v outside (0, lambda_m=%v)", res.IOpt, res.LambdaM)
+	}
+	if res.TECPowerW <= 0 {
+		t.Fatalf("TECPowerW = %v", res.TECPowerW)
+	}
+	if res.Evaluations <= 0 {
+		t.Fatal("no evaluations recorded")
+	}
+	// The field must be consistent with an independent solve at IOpt.
+	peak, tile, _, err := sys.PeakAt(res.IOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(peak-res.PeakK) > 1e-9 || tile != res.PeakTile {
+		t.Fatal("reported operating point inconsistent with direct solve")
+	}
+}
+
+func TestOptimizeCurrentMethodsAgree(t *testing.T) {
+	sys, err := NewSystem(smallConfig(), []int{27, 28, 35, 36})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := sys.OptimizeCurrent(CurrentOptions{Method: CurrentGolden})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad, err := sys.OptimizeCurrent(CurrentOptions{Method: CurrentGradient})
+	if err != nil {
+		t.Fatal(err)
+	}
+	brent, err := sys.OptimizeCurrent(CurrentOptions{Method: CurrentBrent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The objective is flat near the optimum, so compare peaks not
+	// currents: all three must find (near) the same minimum temperature.
+	if math.Abs(golden.PeakK-grad.PeakK) > 0.05 {
+		t.Errorf("golden %.4f vs gradient %.4f K", golden.PeakK, grad.PeakK)
+	}
+	if math.Abs(golden.PeakK-brent.PeakK) > 0.05 {
+		t.Errorf("golden %.4f vs brent %.4f K", golden.PeakK, brent.PeakK)
+	}
+	if math.Abs(golden.IOpt-brent.IOpt) > 0.5 {
+		t.Errorf("golden IOpt %.3f vs brent %.3f A", golden.IOpt, brent.IOpt)
+	}
+}
+
+func TestOptimizeCurrentStaysBelowRunaway(t *testing.T) {
+	// Full cover on the small chip: low lambda_m; the optimizer must
+	// respect it.
+	all := make([]int, 64)
+	for i := range all {
+		all[i] = i
+	}
+	sys, err := NewSystem(smallConfig(), all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.OptimizeCurrent(CurrentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IOpt >= res.LambdaM {
+		t.Fatalf("IOpt %.3f >= lambda_m %.3f", res.IOpt, res.LambdaM)
+	}
+}
+
+func TestOptimizeCurrentUnknownMethod(t *testing.T) {
+	sys, _ := NewSystem(smallConfig(), []int{27})
+	if _, err := sys.OptimizeCurrent(CurrentOptions{Method: CurrentMethod(99)}); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestOptimalCurrentInPaperRange(t *testing.T) {
+	// On the small hotspot chip the optimum should land in the few-amp
+	// regime the paper reports (Table I: 5.05 - 10.42 A); allow a wide
+	// but physical band.
+	sys, err := NewSystem(smallConfig(), []int{27, 28, 35, 36})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.OptimizeCurrent(CurrentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IOpt < 1 || res.IOpt > 20 {
+		t.Fatalf("IOpt = %.2f A, want ~3-12 A", res.IOpt)
+	}
+	cooled := material.KelvinToCelsius(res.PeakK)
+	if cooled < 40 || cooled > 120 {
+		t.Fatalf("cooled peak %.1f C implausible", cooled)
+	}
+}

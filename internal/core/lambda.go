@@ -1,0 +1,151 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"tecopt/internal/optimize"
+)
+
+// Thermal-runaway analysis (Section V.C.1).
+//
+// Theorem 1 defines lambda_m = min{ theta' G theta : theta' D theta = 1 }:
+// G - i*D is positive definite for 0 <= i < lambda_m and loses positive
+// definiteness beyond it. Theorem 2 shows every entry of
+// H(i) = (G - i*D)^{-1} diverges to +infinity as i -> lambda_m^-, i.e.
+// the whole chip overheats without bound: thermal runaway. The paper
+// computes lambda_m by binary search with Cholesky positive-definiteness
+// tests, which is exactly what RunawayLimit does (using the banded
+// factorization for O(n*bw^2) probes).
+
+// ErrNoRunawayLimit indicates D has no positive diagonal entry, so
+// G - i*D stays positive definite for every i >= 0 (no finite lambda_m);
+// this happens only for systems without TEC devices.
+var ErrNoRunawayLimit = errors.New("core: system has no runaway limit (no TEC devices)")
+
+// RunawayOptions tunes the lambda_m search.
+type RunawayOptions struct {
+	// RelTol is the relative tolerance of the binary search (1e-10).
+	RelTol float64
+	// BracketMax caps the geometric bracketing phase; if G - i*D is
+	// still positive definite at BracketMax amperes the limit is
+	// reported as +Inf. Default 1e6 A.
+	BracketMax float64
+}
+
+func (o RunawayOptions) withDefaults() RunawayOptions {
+	if o.RelTol <= 0 {
+		o.RelTol = 1e-10
+	}
+	if o.BracketMax <= 0 {
+		o.BracketMax = 1e6
+	}
+	return o
+}
+
+// RunawayLimit computes lambda_m for the system. It returns
+// ErrNoRunawayLimit when no TEC is deployed, and +Inf (no error) when the
+// limit exceeds BracketMax.
+func (s *System) RunawayLimit(opt RunawayOptions) (float64, error) {
+	opt = opt.withDefaults()
+	hasPositive := false
+	for _, v := range s.d {
+		if v > 0 {
+			hasPositive = true
+			break
+		}
+	}
+	if !hasPositive {
+		return math.Inf(1), ErrNoRunawayLimit
+	}
+
+	pd := func(i float64) bool {
+		_, err := s.Factor(i)
+		return err == nil
+	}
+	if !pd(0) {
+		// G itself must be PD (Lemma 1); anything else is a modeling bug.
+		return 0, errors.New("core: G is not positive definite at i=0")
+	}
+	// Geometric bracketing.
+	hi := 1.0
+	for pd(hi) {
+		hi *= 2
+		if hi > opt.BracketMax {
+			return math.Inf(1), nil
+		}
+	}
+	lo := hi / 2
+	if hi == 1.0 {
+		lo = 0
+	}
+	lambda, err := optimize.BinarySearchBoundary(pd, lo, hi, opt.RelTol, 200)
+	if err != nil {
+		return 0, err
+	}
+	return lambda, nil
+}
+
+// RunawayMode returns an approximate runaway mode: the temperature field
+// shape that blows up at lambda_m, computed by one inverse-iteration-like
+// solve just below the limit. The returned vector is normalized to unit
+// maximum entry. Useful for visualizing which region runs away first.
+func (s *System) RunawayMode(lambda float64) ([]float64, error) {
+	if math.IsInf(lambda, 1) {
+		return nil, ErrNoRunawayLimit
+	}
+	// Slightly inside the limit the solution is dominated by the
+	// diverging mode (Theorem 2).
+	i := lambda * (1 - 1e-7)
+	f, err := s.Factor(i)
+	if err != nil {
+		// Numerical edge: retreat further from the limit.
+		i = lambda * (1 - 1e-5)
+		if f, err = s.Factor(i); err != nil {
+			return nil, err
+		}
+	}
+	x := f.Solve(s.RHS(i))
+	mx := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	if mx == 0 {
+		return x, nil
+	}
+	for k := range x {
+		x[k] /= mx
+	}
+	return x, nil
+}
+
+// Hkl returns the transfer coefficient h_kl(i) = e_k' (G - i*D)^{-1} e_l,
+// the temperature of node k per watt injected at node l (the quantity of
+// Figure 6). The factorization is reused across l via one solve with e_l.
+func (s *System) Hkl(i float64, k, l int) (float64, error) {
+	f, err := s.Factor(i)
+	if err != nil {
+		return 0, err
+	}
+	e := make([]float64, s.NumNodes())
+	e[l] = 1
+	x := f.Solve(e)
+	return x[k], nil
+}
+
+// HklSweep evaluates h_kl over a set of currents, for regenerating
+// Figure 6. Currents at or beyond lambda_m yield +Inf entries.
+func (s *System) HklSweep(k, l int, currents []float64) []float64 {
+	out := make([]float64, len(currents))
+	for idx, i := range currents {
+		v, err := s.Hkl(i, k, l)
+		if err != nil {
+			out[idx] = math.Inf(1)
+			continue
+		}
+		out[idx] = v
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestRunawayLimitNoTEC(t *testing.T) {
+	sys, _ := NewSystem(smallConfig(), nil)
+	lambda, err := sys.RunawayLimit(RunawayOptions{})
+	if !errors.Is(err, ErrNoRunawayLimit) {
+		t.Fatalf("err = %v, want ErrNoRunawayLimit", err)
+	}
+	if !math.IsInf(lambda, 1) {
+		t.Fatalf("lambda = %v, want +Inf", lambda)
+	}
+}
+
+func TestRunawayLimitBoundary(t *testing.T) {
+	sys, err := NewSystem(smallConfig(), []int{27, 28, 35, 36})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda, err := sys.RunawayLimit(RunawayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(lambda, 1) || lambda <= 0 {
+		t.Fatalf("lambda = %v, want finite positive", lambda)
+	}
+	// Theorem 1: PD strictly below, not PD above.
+	if _, err := sys.Factor(lambda * (1 - 1e-6)); err != nil {
+		t.Errorf("G - iD not PD just below lambda_m: %v", err)
+	}
+	if _, err := sys.Factor(lambda * (1 + 1e-6)); err == nil {
+		t.Error("G - iD still PD just above lambda_m")
+	}
+}
+
+func TestRunawayLimitDecreasesWithMoreTECs(t *testing.T) {
+	// More devices -> more negative-conductor mass -> earlier runaway.
+	cfg := smallConfig()
+	few, err := NewSystem(cfg, []int{27})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambdaFew, err := few.RunawayLimit(RunawayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]int, 64)
+	for i := range all {
+		all[i] = i
+	}
+	many, err := NewSystem(cfg, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambdaMany, err := many.RunawayLimit(RunawayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lambdaMany >= lambdaFew {
+		t.Fatalf("lambda_m(64 TECs) = %.2f >= lambda_m(1 TEC) = %.2f", lambdaMany, lambdaFew)
+	}
+}
+
+func TestThermalRunawayDivergence(t *testing.T) {
+	// Theorem 2: temperatures blow up as i -> lambda_m^-.
+	sys, err := NewSystem(smallConfig(), []int{27, 28})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda, err := sys.RunawayLimit(RunawayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peakMid, _, _, err := sys.PeakAt(lambda * 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peakNear, _, _, err := sys.PeakAt(lambda * (1 - 1e-8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peakNear < 100*peakMid {
+		t.Fatalf("no divergence near lambda_m: %.3g vs %.3g K", peakNear, peakMid)
+	}
+}
+
+func TestRunawayMode(t *testing.T) {
+	sys, err := NewSystem(smallConfig(), []int{27, 28})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda, err := sys.RunawayLimit(RunawayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mode, err := sys.RunawayMode(lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxAbs := 0.0
+	for _, v := range mode {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if math.Abs(maxAbs-1) > 1e-9 {
+		t.Fatalf("mode not normalized: max |v| = %v", maxAbs)
+	}
+	// No-TEC systems have no mode.
+	passive, _ := NewSystem(smallConfig(), nil)
+	if _, err := passive.RunawayMode(math.Inf(1)); err == nil {
+		t.Error("RunawayMode accepted infinite lambda")
+	}
+}
+
+func TestHklProperties(t *testing.T) {
+	sys, err := NewSystem(smallConfig(), []int{27, 28})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sys.PN.SilNode[27]
+	l := sys.Array.Hot[0]
+	// Lemma 3: nonnegative entries of H.
+	for _, i := range []float64{0, 2, 5} {
+		v, err := sys.Hkl(i, k, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < 0 {
+			t.Fatalf("h_kl(%g) = %v < 0", i, v)
+		}
+		// Symmetry h_kl = h_lk.
+		w, err := sys.Hkl(i, l, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(v-w) > 1e-9*(1+math.Abs(v)) {
+			t.Fatalf("h_kl != h_lk at i=%g: %v vs %v", i, v, w)
+		}
+	}
+	// Theorem 3 (under Conjecture 1): convexity along i.
+	lambda, err := sys.RunawayLimit(RunawayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := 0.0, lambda*0.9
+	mid := (a + b) / 2
+	ha, _ := sys.Hkl(a, k, l)
+	hb, _ := sys.Hkl(b, k, l)
+	hm, _ := sys.Hkl(mid, k, l)
+	if hm > (ha+hb)/2+1e-9 {
+		t.Fatalf("h_kl midpoint %v above chord %v (convexity violated)", hm, (ha+hb)/2)
+	}
+}
+
+func TestHklSweepInfinityBeyondLimit(t *testing.T) {
+	sys, err := NewSystem(smallConfig(), []int{27})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda, err := sys.RunawayLimit(RunawayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sys.PN.SilNode[27]
+	vals := sys.HklSweep(k, k, []float64{0, lambda / 2, lambda * (1 - 1e-9), lambda * 1.1})
+	if math.IsInf(vals[0], 1) || math.IsInf(vals[1], 1) {
+		t.Fatal("finite currents produced infinite h_kk")
+	}
+	if !math.IsInf(vals[3], 1) {
+		t.Fatalf("beyond-limit current gave finite h_kk = %v", vals[3])
+	}
+	// Figure 6 shape: h_kk may dip at moderate currents (that is the
+	// useful cooling region) but must blow up approaching lambda_m.
+	if !(vals[2] > 100*vals[0]) {
+		t.Fatalf("h_kk near lambda_m (%v) does not diverge past h_kk(0)=%v", vals[2], vals[0])
+	}
+}

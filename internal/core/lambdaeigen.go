@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math"
+
+	"tecopt/internal/eigen"
+	"tecopt/internal/sparse"
+)
+
+// Spectral cross-check of the runaway limit.
+//
+// Theorem 1's lambda_m = min{theta' G theta : theta' D theta = 1} is the
+// reciprocal of the largest eigenvalue of the symmetrically reduced
+// pencil: with G = L L',
+//
+//	G - i*D > 0  <=>  I - i * L^{-1} D L^{-T} > 0
+//	             <=>  i * mu_max(L^{-1} D L^{-T}) < 1,
+//
+// so lambda_m = 1 / mu_max (and +Inf when mu_max <= 0). The operator
+// L^{-1} D L^{-T} has rank at most 2 * #TEC (D is zero away from the
+// device nodes), so a short Lanczos run resolves mu_max exactly. This is
+// an independent algorithm from the paper's binary search; the tests
+// require the two to agree to high precision.
+
+// RunawayLimitEigen computes lambda_m spectrally. It returns
+// ErrNoRunawayLimit when D has no positive entry (no TEC deployed).
+func (s *System) RunawayLimitEigen() (float64, error) {
+	hasPositive := false
+	nnz := 0
+	for _, v := range s.d {
+		if v != 0 {
+			nnz++
+		}
+		if v > 0 {
+			hasPositive = true
+		}
+	}
+	if !hasPositive {
+		return math.Inf(1), ErrNoRunawayLimit
+	}
+
+	// Factor G (permuted) once.
+	gp := s.g.Permute(s.perm)
+	chol, err := sparse.NewBandCholesky(gp)
+	if err != nil {
+		return 0, err
+	}
+	dp := sparse.PermuteVec(s.perm, s.d)
+
+	n := s.NumNodes()
+	op := func(x []float64) []float64 {
+		z := chol.SolveLT(x)
+		for i, dv := range dp {
+			z[i] *= dv
+		}
+		return chol.SolveL(z)
+	}
+	// rank(D) + slack Lanczos steps capture the full nonzero spectrum.
+	k := nnz + 8
+	if k > n {
+		k = n
+	}
+	ritz, err := eigen.Lanczos(op, n, k)
+	if err != nil {
+		return 0, err
+	}
+	muMax := ritz[len(ritz)-1]
+	if muMax <= 0 {
+		return math.Inf(1), nil
+	}
+	return 1 / muMax, nil
+}

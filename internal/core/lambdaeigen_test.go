@@ -1,0 +1,59 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestRunawayLimitEigenMatchesBinarySearch(t *testing.T) {
+	for _, sites := range [][]int{{27}, {27, 28}, {27, 28, 35, 36}} {
+		sys, err := NewSystem(smallConfig(), sites)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bin, err := sys.RunawayLimit(RunawayOptions{RelTol: 1e-12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := sys.RunawayLimitEigen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := math.Abs(bin-spec) / bin
+		if rel > 1e-7 {
+			t.Fatalf("%d TECs: binary %.9f vs spectral %.9f (rel %.2e)",
+				len(sites), bin, spec, rel)
+		}
+	}
+}
+
+func TestRunawayLimitEigenNoTEC(t *testing.T) {
+	sys, _ := NewSystem(smallConfig(), nil)
+	lam, err := sys.RunawayLimitEigen()
+	if !errors.Is(err, ErrNoRunawayLimit) {
+		t.Fatalf("err = %v, want ErrNoRunawayLimit", err)
+	}
+	if !math.IsInf(lam, 1) {
+		t.Fatalf("lambda = %v, want +Inf", lam)
+	}
+}
+
+func TestRunawayLimitEigenPDAtBoundary(t *testing.T) {
+	// Consistency: G - i*D must be PD just below the spectral lambda_m
+	// and not PD just above.
+	sys, err := NewSystem(smallConfig(), []int{27, 36})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lam, err := sys.RunawayLimitEigen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Factor(lam * (1 - 1e-6)); err != nil {
+		t.Errorf("not PD just below spectral lambda_m: %v", err)
+	}
+	if _, err := sys.Factor(lam * (1 + 1e-6)); err == nil {
+		t.Error("still PD just above spectral lambda_m")
+	}
+}

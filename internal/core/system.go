@@ -1,0 +1,191 @@
+// Package core implements the paper's contribution: configuration of an
+// on-chip active cooling system built from thin-film thermoelectric
+// coolers. It assembles the coupled package+TEC model
+// (G - i*D) theta = p, computes the thermal-runaway current limit
+// lambda_m (Theorem 1), optimizes the shared TEC supply current by convex
+// programming over [0, lambda_m) (Section V.C), decides the TEC
+// deployment with the GreedyDeploy algorithm (Figure 5), certifies
+// optimality via the Theorem-4 convexity check, and provides the
+// Full-Cover baseline and the Conjecture-1 verification campaign of the
+// experimental section.
+package core
+
+import (
+	"fmt"
+
+	"tecopt/internal/material"
+	"tecopt/internal/sparse"
+	"tecopt/internal/tec"
+	"tecopt/internal/thermal"
+)
+
+// Config bundles everything needed to instantiate a cooling-system model.
+type Config struct {
+	// Geom is the package geometry; defaults to material.DefaultPackage.
+	Geom material.PackageGeometry
+	// Cols, Rows define the die tiling (default 12x12).
+	Cols, Rows int
+	// SpreaderCells, SinkCells set the coarse-layer resolutions
+	// (defaults 20, 20).
+	SpreaderCells, SinkCells int
+	// Device gives the TEC parameters; defaults to tec.ChowdhuryDevice.
+	Device tec.DeviceParams
+	// TilePower is the worst-case per-tile silicon power (W), length
+	// Cols*Rows.
+	TilePower []float64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Geom == (material.PackageGeometry{}) {
+		c.Geom = material.DefaultPackage()
+	}
+	if c.Cols == 0 && c.Rows == 0 {
+		c.Cols, c.Rows = 12, 12
+	}
+	if c.SpreaderCells == 0 {
+		c.SpreaderCells = 20
+	}
+	if c.SinkCells == 0 {
+		c.SinkCells = 20
+	}
+	if c.Device == (tec.DeviceParams{}) {
+		c.Device = tec.ChowdhuryDevice()
+	}
+	return c
+}
+
+// System is an assembled thermal model of a package with a fixed TEC
+// deployment, ready for current-domain analysis: (G - i*D) theta = p(i).
+type System struct {
+	Cfg   Config
+	PN    *thermal.PackageNetwork
+	Array *tec.Array // empty (Count()==0) when no TECs are deployed
+
+	g    *sparse.CSR
+	d    []float64
+	base []float64 // ambient legs + silicon tile powers (current-free RHS)
+	perm []int     // RCM ordering of g's pattern, shared by every G - i*D
+}
+
+// NewSystem builds the package network with the given TEC sites reserved,
+// attaches one device per site, and assembles G, D and the base RHS.
+// sites may be empty for a passive (no-TEC) model.
+func NewSystem(cfg Config, sites []int) (*System, error) {
+	cfg = cfg.withDefaults()
+	nt := cfg.Cols * cfg.Rows
+	if len(cfg.TilePower) != nt {
+		return nil, fmt.Errorf("core: tile power length %d, want %d", len(cfg.TilePower), nt)
+	}
+	opts := thermal.BuildOptions{
+		Cols: cfg.Cols, Rows: cfg.Rows,
+		SpreaderCells: cfg.SpreaderCells, SinkCells: cfg.SinkCells,
+		TECSites: make(map[int]bool, len(sites)),
+	}
+	for _, s := range sites {
+		if s < 0 || s >= nt {
+			return nil, fmt.Errorf("core: TEC site %d out of range %d", s, nt)
+		}
+		if opts.TECSites[s] {
+			return nil, fmt.Errorf("core: duplicate TEC site %d", s)
+		}
+		opts.TECSites[s] = true
+	}
+	pn, err := thermal.BuildPackage(cfg.Geom, opts)
+	if err != nil {
+		return nil, err
+	}
+	arr, err := tec.Attach(pn, cfg.Device, sites)
+	if err != nil {
+		return nil, err
+	}
+
+	g := pn.Net.G()
+	base := pn.Net.BaseRHS()
+	p, err := pn.PowerVector(cfg.TilePower)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range p {
+		base[i] += v
+	}
+	return &System{
+		Cfg:   cfg,
+		PN:    pn,
+		Array: arr,
+		g:     g,
+		d:     arr.DVector(pn.Net.NumNodes()),
+		base:  base,
+		perm:  sparse.RCM(g),
+	}, nil
+}
+
+// NumNodes returns the network size.
+func (s *System) NumNodes() int { return s.PN.Net.NumNodes() }
+
+// Sites returns the deployed TEC tiles.
+func (s *System) Sites() []int { return s.Array.Tiles }
+
+// Matrix returns G - i*D as a fresh CSR matrix.
+func (s *System) Matrix(i float64) *sparse.CSR {
+	if i == 0 || s.Array.Count() == 0 {
+		return s.g
+	}
+	return s.g.AddScaledDiag(-i, s.d)
+}
+
+// Factor factors G - i*D (reusing the shared RCM ordering). It returns
+// thermal.ErrNotPD when i is at or beyond the runaway limit.
+func (s *System) Factor(i float64) (*thermal.Factorization, error) {
+	return thermal.Factor(s.Matrix(i), s.perm)
+}
+
+// RHS assembles p(i): ambient legs + silicon tile powers + the r*i^2/2
+// Joule sources of the deployed devices.
+func (s *System) RHS(i float64) []float64 {
+	rhs := make([]float64, len(s.base))
+	copy(rhs, s.base)
+	s.Array.JoulePower(rhs, i)
+	return rhs
+}
+
+// SolveAt solves the steady state at supply current i.
+func (s *System) SolveAt(i float64) ([]float64, error) {
+	if i < 0 {
+		return nil, fmt.Errorf("core: negative supply current %g", i)
+	}
+	f, err := s.Factor(i)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(s.RHS(i)), nil
+}
+
+// PeakAt solves at current i and returns the hottest silicon tile
+// temperature (kelvin) with its tile index and the full field.
+func (s *System) PeakAt(i float64) (peakK float64, tile int, theta []float64, err error) {
+	theta, err = s.SolveAt(i)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	peakK, tile = s.PN.PeakSilicon(theta)
+	return peakK, tile, theta, nil
+}
+
+// OverLimitTiles returns the silicon tiles whose temperature exceeds
+// limitK in the given field — the set T of the GreedyDeploy loop.
+func (s *System) OverLimitTiles(theta []float64, limitK float64) []int {
+	var out []int
+	for t, n := range s.PN.SilNode {
+		if theta[n] > limitK {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// TECPower evaluates the array's total electrical input power (Eq. 3) in
+// the field theta at current i.
+func (s *System) TECPower(theta []float64, i float64) float64 {
+	return s.Array.TotalInputPower(theta, i)
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tecopt/internal/mat"
+	"tecopt/internal/sparse"
+)
+
+// Numerical verification of the paper's stated lemmas and theorems on
+// real cooling systems (the formal proofs live in the authors'
+// technical report [16]; here each statement is checked computationally
+// on the assembled models).
+
+// denseOf converts the (small) system matrix at current i to dense form.
+func denseOf(s *System, i float64) *mat.Dense {
+	m := s.Matrix(i)
+	d := mat.NewDense(m.Rows(), m.Cols())
+	for r := 0; r < m.Rows(); r++ {
+		cols, vals := m.RowNNZ(r)
+		for k, c := range cols {
+			d.Set(r, c, vals[k])
+		}
+	}
+	return d
+}
+
+// tinySystem builds a deliberately small model (4x4 die, 5x5 coarse
+// layers) so dense O(n^3) theory checks stay fast: ~82 nodes.
+func tinySystem(t *testing.T, sites []int) *System {
+	t.Helper()
+	p := make([]float64, 16)
+	for i := range p {
+		p[i] = 0.15
+	}
+	p[5] = 1.2
+	sys, err := NewSystem(Config{
+		Cols: 4, Rows: 4, SpreaderCells: 5, SinkCells: 5,
+		TilePower: p,
+	}, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// Lemma 1: G is an irreducible positive definite Stieltjes matrix.
+func TestLemma1GStructure(t *testing.T) {
+	sys := tinySystem(t, []int{5})
+	g := denseOf(sys, 0)
+	if !mat.IsStieltjes(g, 1e-12) {
+		t.Error("G is not a Stieltjes matrix")
+	}
+	if !mat.IsIrreducible(g) {
+		t.Error("G is not irreducible")
+	}
+	if !mat.IsPositiveDefinite(g) {
+		t.Error("G is not positive definite")
+	}
+	dom, strict := mat.IsDiagonallyDominant(g)
+	if !dom || !strict {
+		t.Errorf("G diagonal dominance: dominant=%v strict=%v", dom, strict)
+	}
+}
+
+// Theorem 1: G - i*D is positive definite exactly on [0, lambda_m).
+func TestTheorem1PDCharacterization(t *testing.T) {
+	sys := tinySystem(t, []int{5, 6})
+	lambda, err := sys.RunawayLimit(RunawayOptions{RelTol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{0, 0.3, 0.7, 0.999} {
+		if !mat.IsPositiveDefinite(denseOf(sys, lambda*frac)) {
+			t.Errorf("G - iD not PD at %.3f lambda_m", frac)
+		}
+	}
+	for _, frac := range []float64{1.0001, 1.5, 3} {
+		if mat.IsPositiveDefinite(denseOf(sys, lambda*frac)) {
+			t.Errorf("G - iD PD at %.4f lambda_m", frac)
+		}
+	}
+}
+
+// Lemma 2: A = G - lambda_m*D is singular, while every minor A_kl
+// (remove row k, column l) is nonsingular.
+func TestLemma2SingularityStructure(t *testing.T) {
+	sys := tinySystem(t, []int{5})
+	lambda, err := sys.RunawayLimit(RunawayOptions{RelTol: 1e-13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := denseOf(sys, lambda)
+	n := a.Rows()
+
+	// Singularity of A: the smallest eigenvalue magnitude must be tiny
+	// relative to the matrix scale. Use the determinant sign change
+	// instead: det flips sign across lambda_m.
+	detAt := func(i float64) float64 {
+		lu, err := mat.NewLU(denseOf(sys, i))
+		if err != nil {
+			return 0
+		}
+		return lu.Det()
+	}
+	dBelow := detAt(lambda * (1 - 1e-6))
+	dAbove := detAt(lambda * (1 + 1e-6))
+	if !(dBelow > 0 && dAbove < 0) {
+		t.Errorf("det(G-iD) does not cross zero at lambda_m: %.3g -> %.3g", dBelow, dAbove)
+	}
+
+	// Minors: sample several (k, l) pairs including device rows.
+	rng := rand.New(rand.NewSource(11))
+	hot := sys.Array.Hot[0]
+	cold := sys.Array.Cold[0]
+	pairs := [][2]int{{hot, hot}, {cold, hot}, {0, 0}, {n - 1, hot}}
+	for p := 0; p < 6; p++ {
+		pairs = append(pairs, [2]int{rng.Intn(n), rng.Intn(n)})
+	}
+	for _, kl := range pairs {
+		minor := removeRowCol(a, kl[0], kl[1])
+		if _, err := mat.NewLU(minor); err != nil {
+			t.Errorf("minor A_%d%d singular, Lemma 2 violated", kl[0], kl[1])
+		}
+	}
+}
+
+func removeRowCol(a *mat.Dense, k, l int) *mat.Dense {
+	n := a.Rows()
+	out := mat.NewDense(n-1, n-1)
+	ri := 0
+	for i := 0; i < n; i++ {
+		if i == k {
+			continue
+		}
+		ci := 0
+		for j := 0; j < n; j++ {
+			if j == l {
+				continue
+			}
+			out.Set(ri, ci, a.At(i, j))
+			ci++
+		}
+		ri++
+	}
+	return out
+}
+
+// Lemma 3: (G - i*D)^{-1} has nonnegative entries for i in [0, lambda_m)
+// — inverse positivity survives the Peltier perturbation.
+func TestLemma3InversePositivityUnderCurrent(t *testing.T) {
+	sys := tinySystem(t, []int{5, 10})
+	lambda, err := sys.RunawayLimit(RunawayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{0, 0.5, 0.95} {
+		a := denseOf(sys, lambda*frac)
+		chol, err := mat.NewCholesky(a)
+		if err != nil {
+			t.Fatalf("not PD at %.2f lambda_m", frac)
+		}
+		h := chol.Inverse()
+		for i := 0; i < h.Rows(); i++ {
+			for j := 0; j < h.Cols(); j++ {
+				if h.At(i, j) < -1e-10 {
+					t.Fatalf("h[%d][%d] = %v < 0 at %.2f lambda_m", i, j, h.At(i, j), frac)
+				}
+			}
+		}
+	}
+}
+
+// Theorem 3: h_kl(i) is convex — verified via second finite differences
+// at interior currents for several (k, l) pairs.
+func TestTheorem3SecondDerivativeNonnegative(t *testing.T) {
+	sys := tinySystem(t, []int{5, 6})
+	lambda, err := sys.RunawayLimit(RunawayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := [][2]int{
+		{sys.PN.SilNode[5], sys.Array.Hot[0]},
+		{sys.PN.SilNode[0], sys.PN.SilNode[15]},
+		{sys.Array.Cold[0], sys.Array.Cold[1]},
+	}
+	h := lambda * 1e-4
+	for _, frac := range []float64{0.1, 0.5, 0.9} {
+		i := lambda * frac
+		for _, kl := range pairs {
+			f := func(x float64) float64 {
+				v, err := sys.Hkl(x, kl[0], kl[1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				return v
+			}
+			second := (f(i+h) - 2*f(i) + f(i-h)) / (h * h)
+			if second < -1e-6*(1+math.Abs(second)) {
+				t.Errorf("h''_%d%d(%.3f lambda) = %v < 0", kl[0], kl[1], frac, second)
+			}
+		}
+	}
+}
+
+// The identity H'(i) = H D H from the proof of Theorem 3, checked
+// against finite differences of full inverses.
+func TestHPrimeIdentity(t *testing.T) {
+	sys := tinySystem(t, []int{5})
+	lambda, err := sys.RunawayLimit(RunawayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0.4 * lambda
+	h := lambda * 1e-6
+
+	inv := func(x float64) *mat.Dense {
+		chol, err := mat.NewCholesky(denseOf(sys, x))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return chol.Inverse()
+	}
+	hMid := inv(i)
+	fd := inv(i + h).SubMat(inv(i - h)).Scale(1 / (2 * h))
+	// H D H with D as diagonal.
+	d := mat.Diagonal(sys.d)
+	hdh := hMid.Mul(d).Mul(hMid)
+	if !fd.Equal(hdh, 1e-4*(1+hdh.MaxAbs())) {
+		t.Fatalf("H' != HDH: max|fd-hdh| = %v", fd.SubMat(hdh).MaxAbs())
+	}
+}
+
+// Eq. (3) global identity: p_TEC = q_h - q_c for every device in a
+// solved field.
+func TestEq3PowerBalancePerDevice(t *testing.T) {
+	sys := tinySystem(t, []int{5, 6})
+	theta, err := sys.SolveAt(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range sys.Array.Tiles {
+		th, tc := theta[sys.Array.Hot[k]], theta[sys.Array.Cold[k]]
+		qh := sys.Array.Params.HotSideFlux(3, th, tc)
+		qc := sys.Array.Params.ColdSideFlux(3, th, tc)
+		p := sys.Array.Params.InputPower(3, th, tc)
+		if math.Abs(p-(qh-qc)) > 1e-12*(1+math.Abs(p)) {
+			t.Fatalf("device %d: p=%v, qh-qc=%v", k, p, qh-qc)
+		}
+	}
+}
+
+// Permuted-system equivalence: the RCM-ordered banded path must agree
+// with a direct dense solve of the original system.
+func TestBandedPathMatchesDense(t *testing.T) {
+	sys := tinySystem(t, []int{5})
+	i := 2.0
+	direct, err := sys.SolveAt(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chol, err := mat.NewCholesky(denseOf(sys, i))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := chol.Solve(sys.RHS(i))
+	for n := range direct {
+		if math.Abs(direct[n]-dense[n]) > 1e-7 {
+			t.Fatalf("node %d: banded %v vs dense %v", n, direct[n], dense[n])
+		}
+	}
+}
+
+// The CSR system matrix must keep the sparsity pattern of G for every
+// current (D only touches existing diagonal entries), so a single RCM
+// ordering is valid across the whole sweep — the assumption behind the
+// shared-permutation optimization.
+func TestPatternStableAcrossCurrents(t *testing.T) {
+	sys := tinySystem(t, []int{5, 6})
+	base := sys.Matrix(0)
+	probe := sys.Matrix(7)
+	if base.NNZ() != probe.NNZ() {
+		t.Fatalf("NNZ changed with current: %d vs %d", base.NNZ(), probe.NNZ())
+	}
+	for r := 0; r < base.Rows(); r++ {
+		c0, _ := base.RowNNZ(r)
+		c1, _ := probe.RowNNZ(r)
+		if len(c0) != len(c1) {
+			t.Fatalf("row %d pattern changed", r)
+		}
+		for k := range c0 {
+			if c0[k] != c1[k] {
+				t.Fatalf("row %d pattern changed at entry %d", r, k)
+			}
+		}
+	}
+	_ = sparse.Bandwidth(base)
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// twoHotspotConfig puts two hotspots of different intensity on the die,
+// the situation where per-zone currents genuinely beat a shared one.
+func twoHotspotConfig() Config {
+	cfg := smallConfig()
+	p := make([]float64, 64)
+	for i := range p {
+		p[i] = 0.08
+	}
+	p[18] = 0.8  // strong hotspot (row 2, col 2)
+	p[45] = 0.45 // weaker hotspot (row 5, col 5)
+	cfg.TilePower = p
+	return cfg
+}
+
+func TestNewZonedSystemValidation(t *testing.T) {
+	sys, err := NewSystem(twoHotspotConfig(), []int{18, 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewZonedSystem(sys, []int{0}); err == nil {
+		t.Error("short zone map accepted")
+	}
+	if _, err := NewZonedSystem(sys, []int{0, -1}); err == nil {
+		t.Error("negative zone accepted")
+	}
+	if _, err := NewZonedSystem(sys, []int{0, 2}); err == nil {
+		t.Error("empty zone accepted")
+	}
+	passive, _ := NewSystem(twoHotspotConfig(), nil)
+	if _, err := NewZonedSystem(passive, nil); err == nil {
+		t.Error("zoning a passive system accepted")
+	}
+}
+
+func TestZoneByColumns(t *testing.T) {
+	sys, err := NewSystem(twoHotspotConfig(), []int{18, 45, 19, 46})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zoneOf, err := ZoneByColumns(sys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zoneOf) != 4 {
+		t.Fatalf("zone map length %d", len(zoneOf))
+	}
+	// Tiles 18,19 (cols 2,3) must share a zone distinct from 45,46
+	// (cols 5,6). Array.Tiles order is the sites order given above.
+	z18, z45 := zoneOf[0], zoneOf[1]
+	if z18 == z45 {
+		t.Fatalf("columns not separated: %v", zoneOf)
+	}
+	// Requesting more zones than devices clamps.
+	zoneOf, err = ZoneByColumns(sys, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := 0
+	for _, z := range zoneOf {
+		if z > max {
+			max = z
+		}
+	}
+	if max > 3 {
+		t.Fatalf("zone index %d beyond device count", max)
+	}
+	if _, err := ZoneByColumns(sys, 0); err == nil {
+		t.Error("zero zones accepted")
+	}
+}
+
+func TestZonedMatchesSingleCurrentWhenK1(t *testing.T) {
+	sys, err := NewSystem(twoHotspotConfig(), []int{18, 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zs, err := NewZonedSystem(sys, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At any shared current the zoned model must equal the single-pin one.
+	for _, i := range []float64{0, 3, 7} {
+		a, err := sys.SolveAt(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := zs.SolveAtZoned([]float64{i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := range a {
+			if math.Abs(a[n]-b[n]) > 1e-8 {
+				t.Fatalf("i=%g node %d: %v vs %v", i, n, a[n], b[n])
+			}
+		}
+	}
+}
+
+func TestZonedSolveValidation(t *testing.T) {
+	sys, _ := NewSystem(twoHotspotConfig(), []int{18, 45})
+	zs, _ := NewZonedSystem(sys, []int{0, 1})
+	if _, err := zs.SolveAtZoned([]float64{1}); err == nil {
+		t.Error("wrong current vector length accepted")
+	}
+	if _, err := zs.SolveAtZoned([]float64{1, -1}); err == nil {
+		t.Error("negative current accepted")
+	}
+}
+
+func TestOptimizeZonedBeatsSinglePin(t *testing.T) {
+	// Two unequal hotspots: the strong one wants a higher current than
+	// the weak one, so two pins must do at least as well as one — and on
+	// this profile strictly better.
+	sys, err := NewSystem(twoHotspotConfig(), []int{18, 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := sys.OptimizeCurrent(CurrentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zs, err := NewZonedSystem(sys, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zoned, err := zs.OptimizeZoned(ZonedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zoned.PeakK > single.PeakK+1e-6 {
+		t.Fatalf("2 pins (%.4f K) worse than 1 pin (%.4f K)", zoned.PeakK, single.PeakK)
+	}
+	improvement := single.PeakK - zoned.PeakK
+	t.Logf("single %.3f K at %.2f A; zoned %.3f K at %v A (improvement %.3f K)",
+		single.PeakK, single.IOpt, zoned.PeakK, zoned.Currents, improvement)
+	if improvement < 0.01 {
+		t.Fatalf("no measurable multi-pin benefit on unequal hotspots (%.4f K)", improvement)
+	}
+	// The strong hotspot's zone should run a higher current.
+	if zoned.Currents[0] <= zoned.Currents[1] {
+		t.Fatalf("strong hotspot current %.2f <= weak %.2f", zoned.Currents[0], zoned.Currents[1])
+	}
+	if zoned.TECPowerW <= 0 || zoned.Sweeps <= 0 {
+		t.Fatalf("malformed result: %+v", zoned)
+	}
+}
+
+func TestOptimizeZonedStaysStable(t *testing.T) {
+	// Even with a generous coordinate bound the optimizer must not step
+	// into the runaway region (it treats PD failures as +Inf).
+	sys, err := NewSystem(twoHotspotConfig(), []int{18, 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zs, err := NewZonedSystem(sys, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := zs.OptimizeZoned(ZonedOptions{CoordinateMax: 1e4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := zs.SolveAtZoned(res.Currents); err != nil {
+		t.Fatalf("optimized currents not solvable: %v", err)
+	}
+}

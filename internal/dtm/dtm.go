@@ -1,0 +1,265 @@
+// Package dtm implements dynamic thermal management policies on top of
+// the transient package: runtime controllers that observe the peak
+// silicon temperature and set the TEC supply current while the workload
+// (per-tile power) varies over time.
+//
+// The paper's introduction motivates exactly this: "the active cooling
+// system, the thermal monitoring system, and the architecture-level
+// thermal management mechanisms can operate synergistically to achieve
+// enhanced performance under a safe operating temperature." The paper
+// itself only solves the static worst-case design problem; this package
+// is the forward-looking extension — given the statically chosen
+// deployment, compare runtime current policies (always-off, constant
+// worst-case, hysteresis bang-bang, proportional) on energy and
+// thermal-violation metrics.
+package dtm
+
+import (
+	"fmt"
+	"math"
+
+	"tecopt/internal/core"
+	"tecopt/internal/thermal"
+	"tecopt/internal/transient"
+)
+
+// Controller decides the TEC supply current from the observed peak
+// silicon temperature. Implementations may keep state (hysteresis).
+type Controller interface {
+	// Next returns the supply current (A) for the next control period,
+	// given the current time (s) and observed peak temperature (K).
+	Next(timeS, peakK float64) float64
+	// Name labels the policy in reports.
+	Name() string
+}
+
+// AlwaysOff never powers the TECs (the passive baseline).
+type AlwaysOff struct{}
+
+// Next returns 0.
+func (AlwaysOff) Next(_, _ float64) float64 { return 0 }
+
+// Name returns the policy label.
+func (AlwaysOff) Name() string { return "always-off" }
+
+// Constant drives the worst-case optimal current at all times (the
+// paper's static configuration running unconditionally).
+type Constant struct{ CurrentA float64 }
+
+// Next returns the constant current.
+func (c Constant) Next(_, _ float64) float64 { return c.CurrentA }
+
+// Name returns the policy label.
+func (c Constant) Name() string { return fmt.Sprintf("constant-%.2fA", c.CurrentA) }
+
+// BangBang switches the TECs fully on above OnAboveK and off below
+// OffBelowK (OnAboveK > OffBelowK gives hysteresis).
+type BangBang struct {
+	OnAboveK  float64
+	OffBelowK float64
+	CurrentA  float64
+	on        bool
+}
+
+// Next applies the hysteresis rule.
+func (b *BangBang) Next(_, peakK float64) float64 {
+	switch {
+	case peakK >= b.OnAboveK:
+		b.on = true
+	case peakK <= b.OffBelowK:
+		b.on = false
+	}
+	if b.on {
+		return b.CurrentA
+	}
+	return 0
+}
+
+// Name returns the policy label.
+func (b *BangBang) Name() string { return "bang-bang" }
+
+// Proportional ramps the current linearly with the margin violation:
+// i = Gain * (peak - SetpointK), clamped to [0, MaxA].
+type Proportional struct {
+	SetpointK float64
+	Gain      float64 // A per kelvin
+	MaxA      float64
+}
+
+// Next applies the proportional law.
+func (p Proportional) Next(_, peakK float64) float64 {
+	i := p.Gain * (peakK - p.SetpointK)
+	if i < 0 {
+		return 0
+	}
+	if i > p.MaxA {
+		return p.MaxA
+	}
+	return i
+}
+
+// Name returns the policy label.
+func (p Proportional) Name() string { return "proportional" }
+
+// PowerPhase is one segment of a time-varying workload.
+type PowerPhase struct {
+	// Duration in seconds.
+	Duration float64
+	// TilePower is the per-tile power during the phase (W).
+	TilePower []float64
+}
+
+// RunOptions configures a policy simulation.
+type RunOptions struct {
+	// Dt is the integration step (default 0.01 s).
+	Dt float64
+	// ControlEvery is the controller period in steps (default 10).
+	ControlEvery int
+	// CurrentQuantumA rounds commanded currents so factorizations can be
+	// cached (default 0.05 A).
+	CurrentQuantumA float64
+	// Theta0 is the initial field (ambient when nil).
+	Theta0 []float64
+	// SampleEvery records every n-th step (default = ControlEvery).
+	SampleEvery int
+}
+
+func (o RunOptions) withDefaults() RunOptions {
+	if o.Dt <= 0 {
+		o.Dt = 0.01
+	}
+	if o.ControlEvery <= 0 {
+		o.ControlEvery = 10
+	}
+	if o.CurrentQuantumA <= 0 {
+		o.CurrentQuantumA = 0.05
+	}
+	if o.SampleEvery <= 0 {
+		o.SampleEvery = o.ControlEvery
+	}
+	return o
+}
+
+// Sample is one recorded point of a policy run.
+type Sample struct {
+	TimeS    float64
+	PeakK    float64
+	CurrentA float64
+}
+
+// RunResult aggregates a policy simulation.
+type RunResult struct {
+	Policy string
+	// MaxPeakK is the highest peak temperature seen.
+	MaxPeakK float64
+	// TimeAboveLimitS accumulates time with peak > limit.
+	TimeAboveLimitS float64
+	// TECEnergyJ integrates the electrical input power.
+	TECEnergyJ float64
+	// Samples traces the run.
+	Samples []Sample
+}
+
+// Run simulates the controller against the workload phases on the given
+// deployed system, using backward Euler with a factorization cache over
+// the quantized currents.
+func Run(sys *core.System, phases []PowerPhase, ctrl Controller, limitK float64, opt RunOptions) (*RunResult, error) {
+	opt = opt.withDefaults()
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("dtm: no workload phases")
+	}
+	n := sys.NumNodes()
+	caps := transient.Capacitances(sys.PN)
+	cOverDt := make([]float64, n)
+	for i, c := range caps {
+		cOverDt[i] = c / opt.Dt
+	}
+
+	theta := make([]float64, n)
+	if opt.Theta0 != nil {
+		if len(opt.Theta0) != n {
+			return nil, fmt.Errorf("dtm: theta0 length %d, want %d", len(opt.Theta0), n)
+		}
+		copy(theta, opt.Theta0)
+	} else {
+		for i := range theta {
+			theta[i] = sys.Cfg.Geom.AmbientK
+		}
+	}
+
+	factCache := map[int64]*thermal.Factorization{}
+	factorFor := func(i float64) (*thermal.Factorization, error) {
+		key := int64(math.Round(i / opt.CurrentQuantumA))
+		if f, ok := factCache[key]; ok {
+			return f, nil
+		}
+		m := sys.Matrix(float64(key)*opt.CurrentQuantumA).AddScaledDiag(1, cOverDt)
+		f, err := thermal.Factor(m, nil)
+		if err != nil {
+			return nil, fmt.Errorf("dtm: implicit matrix not factorable at i=%g: %w", i, err)
+		}
+		factCache[key] = f
+		return f, nil
+	}
+	quantize := func(i float64) float64 {
+		if i < 0 {
+			i = 0
+		}
+		return math.Round(i/opt.CurrentQuantumA) * opt.CurrentQuantumA
+	}
+
+	res := &RunResult{Policy: ctrl.Name()}
+	now := 0.0
+	step := 0
+	peak, _ := sys.PN.PeakSilicon(theta)
+	current := quantize(ctrl.Next(now, peak))
+	res.Samples = append(res.Samples, Sample{TimeS: now, PeakK: peak, CurrentA: current})
+	res.MaxPeakK = peak
+
+	rhs := make([]float64, n)
+	for _, ph := range phases {
+		if ph.Duration <= 0 {
+			return nil, fmt.Errorf("dtm: nonpositive phase duration %g", ph.Duration)
+		}
+		base, err := sys.PN.PowerVector(ph.TilePower)
+		if err != nil {
+			return nil, err
+		}
+		amb := sys.PN.Net.BaseRHS()
+		for i := range base {
+			base[i] += amb[i]
+		}
+		steps := int(math.Ceil(ph.Duration / opt.Dt))
+		for s := 0; s < steps; s++ {
+			fact, err := factorFor(current)
+			if err != nil {
+				return nil, err
+			}
+			copy(rhs, base)
+			sys.Array.JoulePower(rhs, current)
+			for i := range rhs {
+				rhs[i] += cOverDt[i] * theta[i]
+			}
+			theta = fact.Solve(rhs)
+			now += opt.Dt
+			step++
+
+			peak, _ = sys.PN.PeakSilicon(theta)
+			if peak > res.MaxPeakK {
+				res.MaxPeakK = peak
+			}
+			if peak > limitK {
+				res.TimeAboveLimitS += opt.Dt
+			}
+			res.TECEnergyJ += sys.TECPower(theta, current) * opt.Dt
+
+			if step%opt.ControlEvery == 0 {
+				current = quantize(ctrl.Next(now, peak))
+			}
+			if step%opt.SampleEvery == 0 {
+				res.Samples = append(res.Samples, Sample{TimeS: now, PeakK: peak, CurrentA: current})
+			}
+		}
+	}
+	return res, nil
+}

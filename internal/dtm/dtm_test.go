@@ -1,0 +1,200 @@
+package dtm
+
+import (
+	"math"
+	"testing"
+
+	"tecopt/internal/core"
+	"tecopt/internal/material"
+	"tecopt/internal/tec"
+)
+
+// smallSystem is a fast 6x6 deployed system with a central hotspot.
+func smallSystem(t *testing.T) (*core.System, []float64, []float64) {
+	t.Helper()
+	busy := make([]float64, 36)
+	idle := make([]float64, 36)
+	for i := range busy {
+		busy[i] = 0.12
+		idle[i] = 0.03
+	}
+	busy[14] = 1.1
+	busy[15] = 0.8
+	idle[14] = 0.1
+	sys, err := core.NewSystem(core.Config{
+		Cols: 6, Rows: 6, SpreaderCells: 8, SinkCells: 8,
+		Device: tec.ChowdhuryDevice(), TilePower: busy,
+	}, []int{14, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, busy, idle
+}
+
+func TestControllersBasics(t *testing.T) {
+	if (AlwaysOff{}).Next(0, 400) != 0 {
+		t.Error("AlwaysOff returned current")
+	}
+	if (Constant{CurrentA: 5}).Next(0, 0) != 5 {
+		t.Error("Constant wrong")
+	}
+	p := Proportional{SetpointK: 350, Gain: 2, MaxA: 6}
+	if p.Next(0, 349) != 0 {
+		t.Error("Proportional below setpoint must be 0")
+	}
+	if got := p.Next(0, 351); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Proportional = %v, want 2", got)
+	}
+	if p.Next(0, 1000) != 6 {
+		t.Error("Proportional not clamped")
+	}
+	bb := &BangBang{OnAboveK: 360, OffBelowK: 355, CurrentA: 4}
+	if bb.Next(0, 350) != 0 {
+		t.Error("BangBang on too early")
+	}
+	if bb.Next(0, 361) != 4 {
+		t.Error("BangBang failed to switch on")
+	}
+	// Hysteresis: stays on between the thresholds.
+	if bb.Next(0, 357) != 4 {
+		t.Error("BangBang dropped out inside hysteresis band")
+	}
+	if bb.Next(0, 354) != 0 {
+		t.Error("BangBang failed to switch off")
+	}
+	for _, c := range []Controller{AlwaysOff{}, Constant{CurrentA: 1}, &BangBang{}, Proportional{}} {
+		if c.Name() == "" {
+			t.Error("controller without name")
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	sys, busy, _ := smallSystem(t)
+	if _, err := Run(sys, nil, AlwaysOff{}, 400, RunOptions{}); err == nil {
+		t.Error("no phases accepted")
+	}
+	if _, err := Run(sys, []PowerPhase{{Duration: -1, TilePower: busy}}, AlwaysOff{}, 400, RunOptions{}); err == nil {
+		t.Error("negative duration accepted")
+	}
+	if _, err := Run(sys, []PowerPhase{{Duration: 1, TilePower: []float64{1}}}, AlwaysOff{}, 400, RunOptions{}); err == nil {
+		t.Error("wrong power length accepted")
+	}
+	if _, err := Run(sys, []PowerPhase{{Duration: 1, TilePower: busy}}, AlwaysOff{}, 400, RunOptions{Theta0: []float64{1}}); err == nil {
+		t.Error("wrong theta0 length accepted")
+	}
+}
+
+func TestConstantCoolsBelowAlwaysOff(t *testing.T) {
+	sys, busy, _ := smallSystem(t)
+	phases := []PowerPhase{{Duration: 120, TilePower: busy}}
+	limit := material.CelsiusToKelvin(85)
+	opt := RunOptions{Dt: 0.05, ControlEvery: 10}
+
+	off, err := Run(sys, phases, AlwaysOff{}, limit, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := Run(sys, phases, Constant{CurrentA: 4}, limit, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.MaxPeakK >= off.MaxPeakK {
+		t.Fatalf("constant current did not cool: %.2f vs %.2f K", on.MaxPeakK, off.MaxPeakK)
+	}
+	if off.TECEnergyJ != 0 {
+		t.Fatalf("always-off consumed %.3f J", off.TECEnergyJ)
+	}
+	if on.TECEnergyJ <= 0 {
+		t.Fatal("constant policy consumed no energy")
+	}
+}
+
+func TestBangBangSavesEnergy(t *testing.T) {
+	// Alternating busy/idle workload: the bang-bang policy should cut
+	// TEC energy versus always-on while keeping the peak comparable.
+	sys, busy, idle := smallSystem(t)
+	phases := []PowerPhase{
+		{Duration: 60, TilePower: busy},
+		{Duration: 60, TilePower: idle},
+		{Duration: 60, TilePower: busy},
+		{Duration: 60, TilePower: idle},
+	}
+	// Pick thresholds around the steady busy peak with TEC on.
+	limit := material.CelsiusToKelvin(85)
+	opt := RunOptions{Dt: 0.05, ControlEvery: 5}
+
+	always, err := Run(sys, phases, Constant{CurrentA: 4}, limit, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := Run(sys, phases, &BangBang{
+		OnAboveK:  material.CelsiusToKelvin(70),
+		OffBelowK: material.CelsiusToKelvin(65),
+		CurrentA:  4,
+	}, limit, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bb.TECEnergyJ >= always.TECEnergyJ {
+		t.Fatalf("bang-bang energy %.2f J >= always-on %.2f J", bb.TECEnergyJ, always.TECEnergyJ)
+	}
+	// During idle the controller must actually switch off at some point.
+	sawOff := false
+	for _, s := range bb.Samples {
+		if s.CurrentA == 0 && s.TimeS > 60 {
+			sawOff = true
+			break
+		}
+	}
+	if !sawOff {
+		t.Fatal("bang-bang never switched off during idle")
+	}
+}
+
+func TestProportionalTracksSetpoint(t *testing.T) {
+	sys, busy, _ := smallSystem(t)
+	limit := material.CelsiusToKelvin(85)
+	// Run to near-steady state under proportional control.
+	setpoint := material.CelsiusToKelvin(60)
+	res, err := Run(sys, []PowerPhase{{Duration: 400, TilePower: busy}},
+		Proportional{SetpointK: setpoint, Gain: 1.5, MaxA: 8},
+		limit, RunOptions{Dt: 0.1, ControlEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Samples[len(res.Samples)-1]
+	// The controller holds the peak above the setpoint (it cannot
+	// overcool: i -> 0 below setpoint) but close to it given enough gain.
+	if last.PeakK < setpoint-0.5 {
+		t.Fatalf("peak %.2f K below setpoint %.2f K", last.PeakK, setpoint)
+	}
+	if last.PeakK > setpoint+8 {
+		t.Fatalf("proportional control ineffective: peak %.2f K vs setpoint %.2f K", last.PeakK, setpoint)
+	}
+	if last.CurrentA <= 0 {
+		t.Fatal("controller idle at steady state above setpoint")
+	}
+}
+
+func TestTimeAboveLimitAccounting(t *testing.T) {
+	sys, busy, _ := smallSystem(t)
+	// Impossible limit: every step counts.
+	res, err := Run(sys, []PowerPhase{{Duration: 10, TilePower: busy}}, AlwaysOff{},
+		material.CelsiusToKelvin(-100), RunOptions{Dt: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.TimeAboveLimitS-10) > 0.2 {
+		t.Fatalf("TimeAboveLimit = %.2f s, want ~10", res.TimeAboveLimitS)
+	}
+	// Unreachable limit: zero.
+	res, err = Run(sys, []PowerPhase{{Duration: 10, TilePower: busy}}, AlwaysOff{},
+		material.CelsiusToKelvin(1000), RunOptions{Dt: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimeAboveLimitS != 0 {
+		t.Fatalf("TimeAboveLimit = %v, want 0", res.TimeAboveLimitS)
+	}
+}

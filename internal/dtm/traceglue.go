@@ -1,0 +1,39 @@
+package dtm
+
+import (
+	"fmt"
+
+	"tecopt/internal/floorplan"
+	"tecopt/internal/power"
+)
+
+// PhasesFromTrace converts a per-unit power trace into a time-varying
+// workload: each trace sample becomes one phase of equal duration, its
+// unit powers spread over the floorplan's tiles. This closes the loop
+// between the paper's M5+Wattch-style traces and the DTM policy
+// simulation: record a trace, replay it against a controller.
+func PhasesFromTrace(tr *power.Trace, f *floorplan.Floorplan, g *floorplan.Grid, samplePeriodS float64) ([]PowerPhase, error) {
+	if samplePeriodS <= 0 {
+		return nil, fmt.Errorf("dtm: nonpositive sample period %g", samplePeriodS)
+	}
+	for _, u := range tr.Units {
+		if _, ok := f.Unit(u); !ok {
+			return nil, fmt.Errorf("dtm: trace unit %q not in floorplan %s", u, f.Name)
+		}
+	}
+	phases := make([]PowerPhase, 0, len(tr.Samples))
+	for s, row := range tr.Samples {
+		if len(row) != len(tr.Units) {
+			return nil, fmt.Errorf("dtm: trace sample %d has %d values, want %d", s, len(row), len(tr.Units))
+		}
+		unitPower := make(map[string]float64, len(tr.Units))
+		for u, v := range row {
+			unitPower[tr.Units[u]] = v
+		}
+		phases = append(phases, PowerPhase{
+			Duration:  samplePeriodS,
+			TilePower: g.PowerPerTile(f, unitPower),
+		})
+	}
+	return phases, nil
+}

@@ -1,0 +1,82 @@
+package dtm
+
+import (
+	"math"
+	"testing"
+
+	"tecopt/internal/floorplan"
+	"tecopt/internal/material"
+	"tecopt/internal/power"
+)
+
+func TestPhasesFromTrace(t *testing.T) {
+	f, g := floorplan.Alpha21364Grid()
+	tr := power.SynthesizeTrace(power.NewAlphaModel(), f, power.SyntheticSPECWorkloads())
+	phases, err := PhasesFromTrace(tr, f, g, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != len(tr.Samples) {
+		t.Fatalf("phases = %d, want %d", len(phases), len(tr.Samples))
+	}
+	for i, ph := range phases {
+		if ph.Duration != 30 {
+			t.Fatalf("phase %d duration %v", i, ph.Duration)
+		}
+		var tileSum, rowSum float64
+		for _, p := range ph.TilePower {
+			tileSum += p
+		}
+		for _, v := range tr.Samples[i] {
+			rowSum += v
+		}
+		if math.Abs(tileSum-rowSum) > 1e-9*(1+rowSum) {
+			t.Fatalf("phase %d power not conserved: tiles %.4f vs trace %.4f", i, tileSum, rowSum)
+		}
+	}
+}
+
+func TestPhasesFromTraceErrors(t *testing.T) {
+	f, g := floorplan.Alpha21364Grid()
+	tr := &power.Trace{Units: []string{"nosuch"}, Samples: [][]float64{{1}}}
+	if _, err := PhasesFromTrace(tr, f, g, 1); err == nil {
+		t.Error("unknown unit accepted")
+	}
+	tr2 := &power.Trace{Units: []string{"L2"}, Samples: [][]float64{{1, 2}}}
+	if _, err := PhasesFromTrace(tr2, f, g, 1); err == nil {
+		t.Error("ragged sample accepted")
+	}
+	tr3 := &power.Trace{Units: []string{"L2"}, Samples: [][]float64{{1}}}
+	if _, err := PhasesFromTrace(tr3, f, g, 0); err == nil {
+		t.Error("zero period accepted")
+	}
+}
+
+func TestTraceReplayEndToEnd(t *testing.T) {
+	// Full loop: synthesize a trace, replay it under a controller on a
+	// small system (downscaled trace so the small chip is sensible).
+	sys, _, _ := smallSystem(t)
+	tr := &power.Trace{
+		Units:   []string{"whole"},
+		Samples: [][]float64{{5}, {1.5}, {5}},
+	}
+	f := floorplan.New("small", 3e-3, 3e-3)
+	if err := f.AddUnit(floorplan.Unit{Name: "whole", Rect: floorplan.Rect{X: 0, Y: 0, W: 3e-3, H: 3e-3}}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := f.Tile(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases, err := PhasesFromTrace(tr, f, g, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sys, phases, Constant{CurrentA: 2}, material.CelsiusToKelvin(85), RunOptions{Dt: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxPeakK <= sys.Cfg.Geom.AmbientK {
+		t.Fatal("replay produced no heating")
+	}
+}

@@ -1,0 +1,327 @@
+// Package eigen provides symmetric eigenvalue solvers: Householder
+// tridiagonalization with implicit-shift QL for dense symmetric
+// matrices, plus power iteration and Lanczos for extremal eigenvalues of
+// large symmetric operators.
+//
+// In this repository the package serves as an independent cross-check of
+// the thermal-runaway limit: Theorem 1's
+//
+//	lambda_m = min { theta' G theta : theta' D theta = 1 }
+//
+// equals 1 / mu_max where mu_max is the largest eigenvalue of
+// L^{-1} D L^{-T} for the Cholesky factor G = L L' (a standard
+// symmetric reduction of the generalized pencil (G, D)). The paper
+// computes lambda_m by binary search over Cholesky positive-definiteness
+// probes; core.System.RunawayLimitEigen uses this package to confirm the
+// same limit spectrally.
+package eigen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"tecopt/internal/mat"
+)
+
+// ErrNotConverged is returned when an iterative eigenvalue routine fails
+// to meet its tolerance within the iteration budget.
+var ErrNotConverged = errors.New("eigen: iteration did not converge")
+
+// SymEig computes all eigenvalues (ascending) and, when wantVectors is
+// set, the corresponding orthonormal eigenvectors (as matrix columns) of
+// the symmetric matrix a. Only the lower triangle is read.
+func SymEig(a *mat.Dense, wantVectors bool) (values []float64, vectors *mat.Dense, err error) {
+	if !a.IsSquare() {
+		return nil, nil, fmt.Errorf("eigen: non-square %dx%d matrix", a.Rows(), a.Cols())
+	}
+	n := a.Rows()
+	if n == 0 {
+		return nil, nil, nil
+	}
+	d, e, q := householderTridiag(a, wantVectors)
+	if err := tql(d, e, q); err != nil {
+		return nil, nil, err
+	}
+	// Sort ascending (tql leaves them unsorted in general).
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && d[idx[j]] < d[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	values = make([]float64, n)
+	for i, k := range idx {
+		values[i] = d[k]
+	}
+	if wantVectors {
+		vectors = mat.NewDense(n, n)
+		for j, k := range idx {
+			for i := 0; i < n; i++ {
+				vectors.Set(i, j, q.At(i, k))
+			}
+		}
+	}
+	return values, vectors, nil
+}
+
+// householderTridiag reduces the symmetric matrix a to tridiagonal form,
+// returning the diagonal d, subdiagonal e (e[0] unused), and — when
+// wantQ — the accumulated orthogonal transform Q with A = Q T Q'.
+func householderTridiag(a *mat.Dense, wantQ bool) (d, e []float64, q *mat.Dense) {
+	n := a.Rows()
+	// Work on a copy; classic Numerical-Recipes-style tred2.
+	z := a.Clone()
+	mat.Symmetrize(z)
+	d = make([]float64, n)
+	e = make([]float64, n)
+
+	for i := n - 1; i >= 1; i-- {
+		l := i - 1
+		var h, scale float64
+		if l > 0 {
+			for k := 0; k <= l; k++ {
+				scale += math.Abs(z.At(i, k))
+			}
+			if scale == 0 {
+				e[i] = z.At(i, l)
+			} else {
+				for k := 0; k <= l; k++ {
+					z.Set(i, k, z.At(i, k)/scale)
+					h += z.At(i, k) * z.At(i, k)
+				}
+				f := z.At(i, l)
+				g := math.Sqrt(h)
+				if f > 0 {
+					g = -g
+				}
+				e[i] = scale * g
+				h -= f * g
+				z.Set(i, l, f-g)
+				f = 0
+				for j := 0; j <= l; j++ {
+					z.Set(j, i, z.At(i, j)/h)
+					g = 0
+					for k := 0; k <= j; k++ {
+						g += z.At(j, k) * z.At(i, k)
+					}
+					for k := j + 1; k <= l; k++ {
+						g += z.At(k, j) * z.At(i, k)
+					}
+					e[j] = g / h
+					f += e[j] * z.At(i, j)
+				}
+				hh := f / (h + h)
+				for j := 0; j <= l; j++ {
+					f = z.At(i, j)
+					g = e[j] - hh*f
+					e[j] = g
+					for k := 0; k <= j; k++ {
+						z.Set(j, k, z.At(j, k)-f*e[k]-g*z.At(i, k))
+					}
+				}
+			}
+		} else {
+			e[i] = z.At(i, l)
+		}
+		d[i] = h
+	}
+	d[0] = 0
+	e[0] = 0
+	// Accumulate transforms.
+	for i := 0; i < n; i++ {
+		l := i - 1
+		if d[i] != 0 {
+			for j := 0; j <= l; j++ {
+				var g float64
+				for k := 0; k <= l; k++ {
+					g += z.At(i, k) * z.At(k, j)
+				}
+				for k := 0; k <= l; k++ {
+					z.Set(k, j, z.At(k, j)-g*z.At(k, i))
+				}
+			}
+		}
+		d[i] = z.At(i, i)
+		z.Set(i, i, 1)
+		for j := 0; j <= l; j++ {
+			z.Set(j, i, 0)
+			z.Set(i, j, 0)
+		}
+	}
+	if wantQ {
+		q = z
+	}
+	return d, e, q
+}
+
+// tql runs implicit-shift QL on the tridiagonal (d, e), optionally
+// rotating the columns of q alongside (q may be nil).
+func tql(d, e []float64, q *mat.Dense) error {
+	n := len(d)
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+	for l := 0; l < n; l++ {
+		for iter := 0; ; iter++ {
+			if iter > 50 {
+				return ErrNotConverged
+			}
+			var m int
+			for m = l; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m]) <= 1e-16*dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			g = d[m] - d[l] + e[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					e[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+				if q != nil {
+					for k := 0; k < q.Rows(); k++ {
+						f := q.At(k, i+1)
+						q.Set(k, i+1, s*q.At(k, i)+c*f)
+						q.Set(k, i, c*q.At(k, i)-s*f)
+					}
+				}
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0
+		}
+	}
+	return nil
+}
+
+// Op is a symmetric linear operator y = A x.
+type Op func(x []float64) []float64
+
+// PowerIteration estimates the dominant (largest |lambda|) eigenpair of
+// the symmetric operator op of dimension n.
+func PowerIteration(op Op, n int, tol float64, maxIter int) (lambda float64, vec []float64, err error) {
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	if maxIter <= 0 {
+		maxIter = 5000
+	}
+	v := make([]float64, n)
+	// Deterministic, non-degenerate start.
+	for i := range v {
+		v[i] = 1 + float64(i%7)/7
+	}
+	normalize(v)
+	prev := math.Inf(1)
+	for it := 0; it < maxIter; it++ {
+		w := op(v)
+		lambda = mat.Dot(v, w)
+		nw := normalize(w)
+		if nw == 0 {
+			return 0, v, nil // operator annihilated the iterate: lambda ~ 0
+		}
+		v = w
+		if math.Abs(lambda-prev) <= tol*(1+math.Abs(lambda)) {
+			return lambda, v, nil
+		}
+		prev = lambda
+	}
+	return lambda, v, ErrNotConverged
+}
+
+// Lanczos estimates the extremal eigenvalues of the symmetric operator
+// op of dimension n using k Lanczos steps with full reorthogonalization
+// (robust for the modest k used here). It returns the Ritz values
+// (ascending).
+func Lanczos(op Op, n, k int) ([]float64, error) {
+	if k <= 0 || k > n {
+		k = n
+		if k > 200 {
+			k = 200
+		}
+	}
+	vs := make([][]float64, 0, k+1)
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1 + float64(i%5)/5
+	}
+	normalize(v)
+	vs = append(vs, v)
+	alpha := make([]float64, 0, k)
+	beta := make([]float64, 0, k)
+
+	for j := 0; j < k; j++ {
+		w := op(vs[j])
+		a := mat.Dot(vs[j], w)
+		alpha = append(alpha, a)
+		mat.Axpy(-a, vs[j], w)
+		if j > 0 {
+			mat.Axpy(-beta[j-1], vs[j-1], w)
+		}
+		// Full reorthogonalization.
+		for _, u := range vs {
+			mat.Axpy(-mat.Dot(u, w), u, w)
+		}
+		b := mat.Norm2(w)
+		if b < 1e-14 {
+			break
+		}
+		beta = append(beta, b)
+		mat.ScaleVec(1/b, w)
+		vs = append(vs, w)
+	}
+	// Eigenvalues of the tridiagonal Ritz matrix.
+	m := len(alpha)
+	d := make([]float64, m)
+	e := make([]float64, m)
+	copy(d, alpha)
+	for i := 1; i < m; i++ {
+		e[i] = beta[i-1]
+	}
+	if err := tql(d, e, nil); err != nil {
+		return nil, err
+	}
+	for i := 1; i < m; i++ {
+		for j := i; j > 0 && d[j] < d[j-1]; j-- {
+			d[j], d[j-1] = d[j-1], d[j]
+		}
+	}
+	return d, nil
+}
+
+func normalize(v []float64) float64 {
+	n := mat.Norm2(v)
+	if n == 0 {
+		return 0
+	}
+	mat.ScaleVec(1/n, v)
+	return n
+}

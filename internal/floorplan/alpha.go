@@ -1,0 +1,68 @@
+package floorplan
+
+// Alpha21364 returns the Alpha-21364-like floorplan of the paper's
+// Section VI.A: a 6 mm x 6 mm die (65 nm scaling of the EV7-class part)
+// whose functional units align exactly with the 12x12 grid of
+// 0.5 mm x 0.5 mm tiles, one tile per candidate TEC site.
+//
+// The layout follows the EV6/EV7 organization reproduced in Figure 7(a):
+// the L2 cache wraps the lower half and the sides of the core, the L1
+// caches sit mid-die, and the dense integer cluster (IntReg, IntExec, IQ,
+// LSQ) plus the FP multiplier/adder — the units the paper identifies as
+// consuming 28.1% of the power in 10.4% of the area — cluster near the
+// top. The 21364's on-chip router and memory controller occupy the top
+// corners band.
+func Alpha21364() *Floorplan {
+	const tile = 0.5e-3 // tile pitch (m)
+	f := New("alpha21364", 12*tile, 12*tile)
+	// Units specified in tile-grid coordinates (col, row, wTiles, hTiles),
+	// row 0 at the bottom of the die.
+	add := func(name string, col, row, w, h int) {
+		err := f.AddUnit(Unit{Name: name, Rect: Rect{
+			X: float64(col) * tile,
+			Y: float64(row) * tile,
+			W: float64(w) * tile,
+			H: float64(h) * tile,
+		}})
+		if err != nil {
+			panic(err) // the static layout below is tested to be exact
+		}
+	}
+
+	add("L2", 0, 0, 12, 4)       // lower cache band
+	add("L2_left", 0, 4, 2, 6)   // left cache wing
+	add("L2_right", 10, 4, 2, 6) // right cache wing
+	add("Icache", 2, 4, 4, 3)    // L1 instruction cache
+	add("Dcache", 6, 4, 4, 3)    // L1 data cache
+	add("FPAdd", 2, 7, 2, 1)     // floating-point adder (hot)
+	add("FPReg", 4, 7, 1, 1)     // floating-point register file
+	add("FPMul", 5, 7, 1, 1)     // floating-point multiplier (hot)
+	add("FPMap", 6, 7, 1, 1)     // floating-point mapper
+	add("IntMap", 7, 7, 1, 1)    // integer mapper
+	add("FPQ", 8, 7, 2, 1)       // floating-point issue queue
+	add("IntQ", 2, 8, 2, 1)      // integer issue queue (hot)
+	add("IntReg", 4, 8, 4, 1)    // integer register file (hottest unit)
+	add("LdStQ", 8, 8, 2, 2)     // load/store queue (hot)
+	add("ITB", 2, 9, 1, 1)       // instruction TLB
+	add("IntExec", 3, 9, 5, 1)   // integer execution cluster (hot)
+	add("Bpred", 0, 10, 2, 2)    // branch predictor (top-left)
+	add("Router", 2, 10, 4, 2)   // 21364 interprocessor router
+	add("MemCtrl", 6, 10, 4, 2)  // 21364 on-chip memory controller
+	add("DTB", 10, 10, 2, 2)     // data TLB (top-right)
+	return f
+}
+
+// Alpha21364Grid returns the floorplan together with its canonical 12x12
+// tiling.
+func Alpha21364Grid() (*Floorplan, *Grid) {
+	f := Alpha21364()
+	g, err := f.Tile(12, 12)
+	if err != nil {
+		panic(err)
+	}
+	return f, g
+}
+
+// AlphaHotUnits lists the high-power-density units the paper calls out:
+// together they consume 28.1% of total power in 10.4% of the die area.
+var AlphaHotUnits = []string{"IntReg", "IntExec", "IntQ", "LdStQ", "FPMul", "FPAdd"}

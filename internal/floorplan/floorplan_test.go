@@ -1,0 +1,206 @@
+package floorplan
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRectAreaOverlapContains(t *testing.T) {
+	r := Rect{X: 1, Y: 2, W: 3, H: 4}
+	if r.Area() != 12 {
+		t.Errorf("Area = %v", r.Area())
+	}
+	if !r.Contains(1, 2) {
+		t.Error("lower-left corner must be inside (closed low edge)")
+	}
+	if r.Contains(4, 2) {
+		t.Error("right edge must be outside (open high edge)")
+	}
+	s := Rect{X: 2, Y: 3, W: 10, H: 10}
+	if ov := r.Overlap(s); math.Abs(ov-2*3) > 1e-15 {
+		t.Errorf("Overlap = %v, want 6", ov)
+	}
+	if ov := r.Overlap(Rect{X: 100, Y: 100, W: 1, H: 1}); ov != 0 {
+		t.Errorf("disjoint Overlap = %v", ov)
+	}
+}
+
+func TestAddUnitValidation(t *testing.T) {
+	f := New("t", 1, 1)
+	if err := f.AddUnit(Unit{Name: "a", Rect: Rect{0, 0, 0.5, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddUnit(Unit{Name: "a", Rect: Rect{0.5, 0, 0.5, 1}}); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if err := f.AddUnit(Unit{Name: "b", Rect: Rect{0.9, 0, 0.5, 1}}); err == nil {
+		t.Error("unit outside die accepted")
+	}
+	if err := f.AddUnit(Unit{Name: "c", Rect: Rect{0, 0, 0, 1}}); err == nil {
+		t.Error("zero-width unit accepted")
+	}
+}
+
+func TestValidateCoverage(t *testing.T) {
+	f := New("t", 1, 1)
+	_ = f.AddUnit(Unit{Name: "a", Rect: Rect{0, 0, 0.5, 1}})
+	if err := f.Validate(1e-9); err == nil {
+		t.Error("half-covered die passed validation")
+	}
+	_ = f.AddUnit(Unit{Name: "b", Rect: Rect{0.5, 0, 0.5, 1}})
+	if err := f.Validate(1e-9); err != nil {
+		t.Errorf("full tiling failed validation: %v", err)
+	}
+}
+
+func TestValidateOverlapDetected(t *testing.T) {
+	f := New("t", 1, 1)
+	_ = f.AddUnit(Unit{Name: "a", Rect: Rect{0, 0, 0.75, 1}})
+	_ = f.AddUnit(Unit{Name: "b", Rect: Rect{0.25, 0, 0.75, 1}})
+	// Total area is 1.5 -> area check fires; shrink to make area pass but
+	// overlap remain would require a gap elsewhere, so just check error.
+	if err := f.Validate(1e-9); err == nil {
+		t.Error("overlapping floorplan passed validation")
+	}
+}
+
+func TestUnitLookup(t *testing.T) {
+	f := New("t", 1, 1)
+	_ = f.AddUnit(Unit{Name: "core", Rect: Rect{0, 0, 1, 1}})
+	u, ok := f.Unit("core")
+	if !ok || u.Name != "core" {
+		t.Fatal("Unit lookup failed")
+	}
+	if _, ok := f.Unit("nope"); ok {
+		t.Fatal("missing unit reported found")
+	}
+	names := f.UnitNames()
+	if len(names) != 1 || names[0] != "core" {
+		t.Fatalf("UnitNames = %v", names)
+	}
+}
+
+func TestTileIndexRoundTrip(t *testing.T) {
+	f := New("t", 1, 1)
+	_ = f.AddUnit(Unit{Name: "a", Rect: Rect{0, 0, 1, 1}})
+	g, err := f.Tile(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0; tt < g.NumTiles(); tt++ {
+		c, r := g.TileColRow(tt)
+		if g.TileIndex(c, r) != tt {
+			t.Fatalf("round trip failed for tile %d", tt)
+		}
+	}
+	if g.NumTiles() != 12 {
+		t.Fatalf("NumTiles = %d", g.NumTiles())
+	}
+	if math.Abs(g.TileArea()-(0.25/3)) > 1e-15 {
+		t.Fatalf("TileArea = %v", g.TileArea())
+	}
+}
+
+func TestTileOwnership(t *testing.T) {
+	f := New("t", 1, 1)
+	_ = f.AddUnit(Unit{Name: "left", Rect: Rect{0, 0, 0.5, 1}})
+	_ = f.AddUnit(Unit{Name: "right", Rect: Rect{0.5, 0, 0.5, 1}})
+	g, _ := f.Tile(4, 2)
+	leftTiles := g.TilesOfUnit(f, "left")
+	rightTiles := g.TilesOfUnit(f, "right")
+	if len(leftTiles) != 4 || len(rightTiles) != 4 {
+		t.Fatalf("tile counts: left=%v right=%v", leftTiles, rightTiles)
+	}
+	for _, tt := range leftTiles {
+		c, _ := g.TileColRow(tt)
+		if c > 1 {
+			t.Errorf("left unit owns right-half tile %d", tt)
+		}
+	}
+	if g.TilesOfUnit(f, "missing") != nil {
+		t.Error("missing unit returned tiles")
+	}
+}
+
+func TestPowerPerTile(t *testing.T) {
+	f := New("t", 1, 1)
+	_ = f.AddUnit(Unit{Name: "left", Rect: Rect{0, 0, 0.5, 1}})
+	_ = f.AddUnit(Unit{Name: "right", Rect: Rect{0.5, 0, 0.5, 1}})
+	g, _ := f.Tile(2, 2)
+	p := g.PowerPerTile(f, map[string]float64{"left": 4})
+	var sum float64
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-4) > 1e-12 {
+		t.Fatalf("power not conserved: sum = %v", sum)
+	}
+	// Left tiles get 2 W each, right tiles 0.
+	if p[g.TileIndex(0, 0)] != 2 || p[g.TileIndex(1, 0)] != 0 {
+		t.Fatalf("power distribution wrong: %v", p)
+	}
+}
+
+func TestDensityPerTile(t *testing.T) {
+	f := New("t", 1e-3, 1e-3)
+	_ = f.AddUnit(Unit{Name: "u", Rect: Rect{0, 0, 1e-3, 1e-3}})
+	g, _ := f.Tile(2, 2)
+	p := g.DensityPerTile(f, map[string]float64{"u": 1e4}) // 1 W/cm^2
+	want := 1e4 * g.TileArea()
+	for _, v := range p {
+		if math.Abs(v-want) > 1e-18 {
+			t.Fatalf("DensityPerTile = %v, want %v each", p, want)
+		}
+	}
+}
+
+func TestTileBadGrid(t *testing.T) {
+	f := New("t", 1, 1)
+	if _, err := f.Tile(0, 3); err == nil {
+		t.Error("zero cols accepted")
+	}
+}
+
+func TestAlpha21364Exact(t *testing.T) {
+	f := Alpha21364()
+	if err := f.Validate(1e-9); err != nil {
+		t.Fatalf("Alpha floorplan invalid: %v", err)
+	}
+	if math.Abs(f.DieW-6e-3) > 1e-12 || math.Abs(f.DieH-6e-3) > 1e-12 {
+		t.Fatalf("die = %g x %g, want 6mm x 6mm", f.DieW, f.DieH)
+	}
+	if len(f.Units) != 20 {
+		t.Fatalf("unit count = %d, want 20", len(f.Units))
+	}
+}
+
+func TestAlpha21364GridHotUnitStats(t *testing.T) {
+	f, g := Alpha21364Grid()
+	if g.NumTiles() != 144 {
+		t.Fatalf("tiles = %d, want 144 (12x12)", g.NumTiles())
+	}
+	// Every tile must be owned.
+	for tt, owner := range g.OwnerUnit {
+		if owner < 0 {
+			t.Fatalf("tile %d unowned", tt)
+		}
+	}
+	// The paper: hot units occupy ~10.4% of the area. Our grid-exact
+	// layout gives 18/144 = 12.5%; assert the intended range.
+	hot := 0
+	for _, name := range AlphaHotUnits {
+		n := len(g.TilesOfUnit(f, name))
+		if n == 0 {
+			t.Errorf("hot unit %s owns no tiles", name)
+		}
+		hot += n
+	}
+	frac := float64(hot) / 144
+	if frac < 0.08 || frac > 0.15 {
+		t.Fatalf("hot unit area fraction = %.3f, want ~0.10-0.13", frac)
+	}
+	// IntReg must be 4 tiles (1 mm^2) per the calibrated power model.
+	if n := len(g.TilesOfUnit(f, "IntReg")); n != 4 {
+		t.Fatalf("IntReg tiles = %d, want 4", n)
+	}
+}

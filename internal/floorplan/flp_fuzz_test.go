@@ -1,0 +1,48 @@
+package floorplan
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseFLP hardens the floorplan parser: it must either error or
+// produce a floorplan whose units all lie within the inferred die, and
+// whose serialization re-parses.
+func FuzzParseFLP(f *testing.F) {
+	f.Add("core\t0.5\t1.0\t0.0\t0.0\n")
+	f.Add("# comment\na 1 1 0 0\nb 1 1 1 0\n")
+	f.Add("")
+	f.Add("x 0 0 0 0\n")
+	f.Add("u -1 1 0 0\n")
+	f.Add("dup 1 1 0 0\ndup 1 1 0 0\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		fp, err := ParseFLP("fuzz", strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if len(fp.Units) == 0 {
+			t.Fatal("accepted floorplan without units")
+		}
+		const eps = 1e-9
+		for _, u := range fp.Units {
+			if u.W <= 0 || u.H <= 0 {
+				t.Fatalf("unit %q has nonpositive size", u.Name)
+			}
+			if u.X < -eps || u.Y < -eps || u.X+u.W > fp.DieW+eps || u.Y+u.H > fp.DieH+eps {
+				t.Fatalf("unit %q outside inferred die", u.Name)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteFLP(&buf, fp); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ParseFLP("fuzz2", &buf)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if len(back.Units) != len(fp.Units) {
+			t.Fatal("round trip changed unit count")
+		}
+	})
+}

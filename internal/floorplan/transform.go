@@ -1,0 +1,103 @@
+package floorplan
+
+import (
+	"fmt"
+)
+
+// Floorplan transforms: rotation, mirroring, scaling and unit renaming.
+// Standard EDA bookkeeping — useful when adapting published floorplans
+// (drawn in varying orientations) to the coordinate convention used
+// here (row 0 at the bottom), and exercised by the generator tests as
+// invariance checks (a rotated chip must optimize identically).
+
+// MirrorX returns the floorplan mirrored about the vertical axis
+// (left-right flip).
+func (f *Floorplan) MirrorX() *Floorplan {
+	out := New(f.Name+"-mx", f.DieW, f.DieH)
+	for _, u := range f.Units {
+		nu := Unit{Name: u.Name, Rect: Rect{
+			X: f.DieW - u.X - u.W,
+			Y: u.Y,
+			W: u.W, H: u.H,
+		}}
+		if err := out.AddUnit(nu); err != nil {
+			panic(err) // mirroring preserves validity by construction
+		}
+	}
+	return out
+}
+
+// MirrorY returns the floorplan mirrored about the horizontal axis
+// (top-bottom flip).
+func (f *Floorplan) MirrorY() *Floorplan {
+	out := New(f.Name+"-my", f.DieW, f.DieH)
+	for _, u := range f.Units {
+		nu := Unit{Name: u.Name, Rect: Rect{
+			X: u.X,
+			Y: f.DieH - u.Y - u.H,
+			W: u.W, H: u.H,
+		}}
+		if err := out.AddUnit(nu); err != nil {
+			panic(err)
+		}
+	}
+	return out
+}
+
+// Rotate90 returns the floorplan rotated 90 degrees counter-clockwise;
+// the die dimensions swap.
+func (f *Floorplan) Rotate90() *Floorplan {
+	out := New(f.Name+"-r90", f.DieH, f.DieW)
+	for _, u := range f.Units {
+		// CCW: (x, y) -> (-y, x); shift back into the first quadrant.
+		nu := Unit{Name: u.Name, Rect: Rect{
+			X: f.DieH - u.Y - u.H,
+			Y: u.X,
+			W: u.H, H: u.W,
+		}}
+		if err := out.AddUnit(nu); err != nil {
+			panic(err)
+		}
+	}
+	return out
+}
+
+// Scale returns the floorplan with all coordinates multiplied by s
+// (e.g. a technology shrink). s must be positive.
+func (f *Floorplan) Scale(s float64) (*Floorplan, error) {
+	if s <= 0 {
+		return nil, fmt.Errorf("floorplan: nonpositive scale %g", s)
+	}
+	out := New(f.Name+"-scaled", f.DieW*s, f.DieH*s)
+	for _, u := range f.Units {
+		nu := Unit{Name: u.Name, Rect: Rect{
+			X: u.X * s, Y: u.Y * s, W: u.W * s, H: u.H * s,
+		}}
+		if err := out.AddUnit(nu); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// RenameUnit returns a copy with one unit renamed; it fails if the old
+// name is absent or the new name collides.
+func (f *Floorplan) RenameUnit(oldName, newName string) (*Floorplan, error) {
+	if _, ok := f.Unit(oldName); !ok {
+		return nil, fmt.Errorf("floorplan: no unit %q", oldName)
+	}
+	if _, ok := f.Unit(newName); ok && oldName != newName {
+		return nil, fmt.Errorf("floorplan: unit %q already exists", newName)
+	}
+	out := New(f.Name, f.DieW, f.DieH)
+	for _, u := range f.Units {
+		nu := u
+		if u.Name == oldName {
+			nu.Name = newName
+		}
+		if err := out.AddUnit(nu); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,136 @@
+package floorplan
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMirrorXPreservesValidity(t *testing.T) {
+	f := Alpha21364()
+	m := f.MirrorX()
+	if err := m.Validate(1e-9); err != nil {
+		t.Fatalf("mirrored floorplan invalid: %v", err)
+	}
+	// Mirroring twice restores the original geometry.
+	back := m.MirrorX()
+	for i, u := range f.Units {
+		b := back.Units[i]
+		if math.Abs(b.X-u.X) > 1e-12 || math.Abs(b.Y-u.Y) > 1e-12 {
+			t.Fatalf("double mirror moved unit %s", u.Name)
+		}
+	}
+	// Left wing becomes right wing.
+	l2l, _ := m.Unit("L2_left")
+	if l2l.X < f.DieW/2 {
+		t.Fatalf("L2_left did not move right: x=%g", l2l.X)
+	}
+}
+
+func TestMirrorYPreservesValidity(t *testing.T) {
+	f := Alpha21364()
+	m := f.MirrorY()
+	if err := m.Validate(1e-9); err != nil {
+		t.Fatalf("mirrored floorplan invalid: %v", err)
+	}
+	// The bottom L2 band must move to the top.
+	l2, _ := m.Unit("L2")
+	if l2.Y < f.DieH/2 {
+		t.Fatalf("L2 band did not move up: y=%g", l2.Y)
+	}
+}
+
+func TestRotate90(t *testing.T) {
+	f := Alpha21364()
+	r := f.Rotate90()
+	if err := r.Validate(1e-9); err != nil {
+		t.Fatalf("rotated floorplan invalid: %v", err)
+	}
+	if r.DieW != f.DieH || r.DieH != f.DieW {
+		t.Fatalf("die dims not swapped: %g x %g", r.DieW, r.DieH)
+	}
+	// Area preserved per unit.
+	for _, u := range f.Units {
+		ru, ok := r.Unit(u.Name)
+		if !ok {
+			t.Fatalf("unit %s lost in rotation", u.Name)
+		}
+		if math.Abs(ru.Area()-u.Area()) > 1e-15 {
+			t.Fatalf("unit %s area changed", u.Name)
+		}
+	}
+	// Four rotations restore the original.
+	r4 := r.Rotate90().Rotate90().Rotate90()
+	for i, u := range f.Units {
+		b := r4.Units[i]
+		if math.Abs(b.X-u.X) > 1e-12 || math.Abs(b.Y-u.Y) > 1e-12 ||
+			math.Abs(b.W-u.W) > 1e-12 || math.Abs(b.H-u.H) > 1e-12 {
+			t.Fatalf("four rotations moved unit %s", u.Name)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	f := Alpha21364()
+	s, err := f.Scale(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(1e-9); err != nil {
+		t.Fatalf("scaled floorplan invalid: %v", err)
+	}
+	if math.Abs(s.DieW-3e-3) > 1e-12 {
+		t.Fatalf("die width %g, want 3 mm", s.DieW)
+	}
+	if math.Abs(s.TotalUnitArea()-0.25*f.TotalUnitArea()) > 1e-15 {
+		t.Fatal("area did not scale quadratically")
+	}
+	if _, err := f.Scale(0); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+}
+
+func TestRenameUnit(t *testing.T) {
+	f := Alpha21364()
+	r, err := f.RenameUnit("IntReg", "IREG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Unit("IntReg"); ok {
+		t.Fatal("old name survived")
+	}
+	if _, ok := r.Unit("IREG"); !ok {
+		t.Fatal("new name missing")
+	}
+	if _, err := f.RenameUnit("nosuch", "x"); err == nil {
+		t.Fatal("missing unit accepted")
+	}
+	if _, err := f.RenameUnit("IntReg", "L2"); err == nil {
+		t.Fatal("collision accepted")
+	}
+}
+
+// Invariance: the optimizer's result must be unchanged under mirroring
+// (physics has no preferred orientation). Checked at the tiling level:
+// mirrored power maps must produce mirrored temperature fields.
+func TestMirrorInvarianceOfTiling(t *testing.T) {
+	f := Alpha21364()
+	m := f.MirrorX()
+	g, err := f.Tile(12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm, err := m.Tile(12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	density := map[string]float64{"IntReg": 100, "L2": 10}
+	p := g.DensityPerTile(f, density)
+	pm := gm.DensityPerTile(m, density)
+	for r := 0; r < 12; r++ {
+		for c := 0; c < 12; c++ {
+			if math.Abs(p[g.TileIndex(c, r)]-pm[gm.TileIndex(11-c, r)]) > 1e-15 {
+				t.Fatalf("mirrored power map mismatch at (%d,%d)", c, r)
+			}
+		}
+	}
+}

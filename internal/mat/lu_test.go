@@ -1,0 +1,120 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLUSolve(t *testing.T) {
+	a := NewDenseFrom([][]float64{
+		{0, 2, 1}, // zero pivot forces a row swap
+		{1, 1, 1},
+		{2, 0, 3},
+	})
+	f, err := NewLU(a)
+	if err != nil {
+		t.Fatalf("NewLU: %v", err)
+	}
+	want := []float64{1, 2, -1}
+	got := f.Solve(a.MulVec(want))
+	if !EqualVec(got, want, 1e-12) {
+		t.Fatalf("Solve = %v, want %v", got, want)
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	f, err := NewLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Det(); math.Abs(got-(-2)) > 1e-12 {
+		t.Fatalf("Det = %v, want -2", got)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewDenseFrom([][]float64{{1, 2}, {2, 4}})
+	if _, err := NewLU(a); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestLUNonSquare(t *testing.T) {
+	if _, err := NewLU(NewDense(2, 3)); err == nil {
+		t.Fatal("expected error for non-square input")
+	}
+}
+
+func TestLUInverse(t *testing.T) {
+	a := NewDenseFrom([][]float64{{2, 1, 0}, {1, 3, 1}, {0, 1, 2}})
+	f, _ := NewLU(a)
+	inv := f.Inverse()
+	if got := a.Mul(inv); !got.Equal(Identity(3), 1e-12) {
+		t.Fatalf("A*A^-1 = %v, want I", got)
+	}
+}
+
+func TestLUSolveDense(t *testing.T) {
+	a := NewDenseFrom([][]float64{{2, 1}, {1, 3}})
+	x := NewDenseFrom([][]float64{{1, 0, 2}, {-1, 1, 0}})
+	b := a.Mul(x)
+	f, _ := NewLU(a)
+	got := f.SolveDense(b)
+	if !got.Equal(x, 1e-12) {
+		t.Fatalf("SolveDense = %v, want %v", got, x)
+	}
+}
+
+func TestLUSolveWrongLenPanics(t *testing.T) {
+	f, _ := NewLU(Identity(3))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong rhs length")
+		}
+	}()
+	f.Solve([]float64{1})
+}
+
+// Property: LU and Cholesky agree on random SPD systems.
+func TestLUCholeskyAgreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		m := randomDense(rng, n, n)
+		a := m.T().Mul(m)
+		for i := 0; i < n; i++ {
+			a.Add(i, i, 1)
+		}
+		b := randomVec(rng, n)
+		lu, err1 := NewLU(a)
+		ch, err2 := NewCholesky(a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return EqualVec(lu.Solve(b), ch.Solve(b), 1e-7*(1+NormInf(b)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: det(A) from LU matches the 2x2/3x3 closed forms.
+func TestLUDetClosedFormProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomDense(rng, 2, 2)
+		f2, err := NewLU(a)
+		if err != nil {
+			return true // singular random draws are fine to skip
+		}
+		want := a.At(0, 0)*a.At(1, 1) - a.At(0, 1)*a.At(1, 0)
+		return math.Abs(f2.Det()-want) <= 1e-10*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,162 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Stieltjes-matrix utilities.
+//
+// The paper's whole optimality theory (Section V) rests on G being an
+// irreducible positive definite Stieltjes matrix: real, symmetric, with
+// nonpositive off-diagonal entries (Definition 3, after Varga). These
+// helpers verify that structure and generate random instances for the
+// Conjecture-1 verification campaign.
+
+// IsStieltjes reports whether a is symmetric (within tol) with nonpositive
+// off-diagonal entries. Positive definiteness is checked separately.
+func IsStieltjes(a *Dense, tol float64) bool {
+	if !a.IsSymmetric(tol) {
+		return false
+	}
+	n := a.rows
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && a.data[i*n+j] > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsIrreducible reports whether the square matrix a is irreducible, i.e.
+// the directed graph with an edge i->j whenever a_ij != 0 is strongly
+// connected (Definition 1). For the symmetric matrices used here this is
+// plain graph connectivity, checked with a breadth-first search.
+func IsIrreducible(a *Dense) bool {
+	if !a.IsSquare() {
+		return false
+	}
+	n := a.rows
+	if n == 0 {
+		return true
+	}
+	seen := make([]bool, n)
+	queue := []int{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for v := 0; v < n; v++ {
+			if v != u && !seen[v] && (a.data[u*n+v] != 0 || a.data[v*n+u] != 0) {
+				seen[v] = true
+				count++
+				queue = append(queue, v)
+			}
+		}
+	}
+	return count == n
+}
+
+// IsDiagonallyDominant reports whether every row of a satisfies
+// |a_ii| >= sum_{j != i} |a_ij|, with strict inequality in at least one
+// row. A symmetric Stieltjes matrix with this property and an irreducible
+// sparsity pattern is positive definite — exactly the structure of the
+// thermal conductance matrix G (ground legs via convection make some rows
+// strictly dominant).
+func IsDiagonallyDominant(a *Dense) (dominant, strictSomewhere bool) {
+	if !a.IsSquare() {
+		return false, false
+	}
+	n := a.rows
+	strict := false
+	for i := 0; i < n; i++ {
+		var off float64
+		for j := 0; j < n; j++ {
+			if j != i {
+				off += math.Abs(a.data[i*n+j])
+			}
+		}
+		d := math.Abs(a.data[i*n+i])
+		if d < off-1e-12*(d+off) {
+			return false, false
+		}
+		if d > off+1e-12*(d+off) {
+			strict = true
+		}
+	}
+	return true, strict
+}
+
+// RandomStieltjes generates a random irreducible positive definite
+// Stieltjes matrix of order n using the given source. The construction
+// mirrors a thermal conductance network: a random connected graph with
+// positive edge weights produces a weighted Laplacian (symmetric,
+// nonpositive off-diagonals, singular), and random positive "ground legs"
+// added to the diagonal make it strictly diagonally dominant, hence
+// positive definite. density in (0,1] controls extra random edges beyond
+// the connecting spanning tree.
+func RandomStieltjes(rng *rand.Rand, n int, density float64) *Dense {
+	if n <= 0 {
+		panic("mat: RandomStieltjes order must be positive")
+	}
+	a := NewDense(n, n)
+	addEdge := func(i, j int, w float64) {
+		a.data[i*n+j] -= w
+		a.data[j*n+i] -= w
+		a.data[i*n+i] += w
+		a.data[j*n+j] += w
+	}
+	// Random spanning tree keeps the matrix irreducible.
+	for v := 1; v < n; v++ {
+		u := rng.Intn(v)
+		addEdge(u, v, 0.1+rng.Float64())
+	}
+	// Extra edges.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < density && a.data[i*n+j] == 0 {
+				addEdge(i, j, 0.1+rng.Float64())
+			}
+		}
+	}
+	// Ground legs: at least one strict row; make all rows strict for
+	// robust positive definiteness at every order.
+	for i := 0; i < n; i++ {
+		a.data[i*n+i] += 0.05 + rng.Float64()
+	}
+	return a
+}
+
+// DiagMul returns DIAG(d) * a * DIAG(e): element (i,j) becomes
+// d_i * a_ij * e_j. This is the DIAG(h_k) * H * DIAG(h_l) construction of
+// Conjecture 1.
+func DiagMul(d []float64, a *Dense, e []float64) *Dense {
+	if len(d) != a.rows || len(e) != a.cols {
+		panic("mat: DiagMul dimension mismatch")
+	}
+	out := a.Clone()
+	n := a.cols
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < n; j++ {
+			out.data[i*n+j] *= d[i] * e[j]
+		}
+	}
+	return out
+}
+
+// Symmetrize replaces a with (a + a')/2 in place and returns it. Useful to
+// clean up tiny asymmetries before a Cholesky-based PD test.
+func Symmetrize(a *Dense) *Dense {
+	n := a.rows
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := 0.5 * (a.data[i*n+j] + a.data[j*n+i])
+			a.data[i*n+j] = v
+			a.data[j*n+i] = v
+		}
+	}
+	return a
+}

@@ -1,0 +1,172 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIsStieltjes(t *testing.T) {
+	good := NewDenseFrom([][]float64{
+		{2, -1, 0},
+		{-1, 3, -1},
+		{0, -1, 2},
+	})
+	if !IsStieltjes(good, 1e-12) {
+		t.Error("Laplacian-like matrix not recognized as Stieltjes")
+	}
+	badOffDiag := NewDenseFrom([][]float64{{2, 1}, {1, 2}})
+	if IsStieltjes(badOffDiag, 1e-12) {
+		t.Error("positive off-diagonal accepted")
+	}
+	asym := NewDenseFrom([][]float64{{2, -1}, {-0.5, 2}})
+	if IsStieltjes(asym, 1e-12) {
+		t.Error("asymmetric matrix accepted")
+	}
+}
+
+func TestIsIrreducible(t *testing.T) {
+	connected := NewDenseFrom([][]float64{
+		{2, -1, 0},
+		{-1, 3, -1},
+		{0, -1, 2},
+	})
+	if !IsIrreducible(connected) {
+		t.Error("connected matrix reported reducible")
+	}
+	// Block-diagonal (direct sum) => reducible per Definition 1.
+	blockDiag := NewDenseFrom([][]float64{
+		{2, -1, 0, 0},
+		{-1, 2, 0, 0},
+		{0, 0, 3, -1},
+		{0, 0, -1, 3},
+	})
+	if IsIrreducible(blockDiag) {
+		t.Error("direct sum reported irreducible")
+	}
+	if !IsIrreducible(NewDense(0, 0)) {
+		t.Error("empty matrix should be trivially irreducible")
+	}
+	if IsIrreducible(NewDense(2, 3)) {
+		t.Error("non-square matrix should be rejected")
+	}
+}
+
+func TestIsDiagonallyDominant(t *testing.T) {
+	strict := NewDenseFrom([][]float64{
+		{3, -1},
+		{-1, 1.5},
+	})
+	dom, s := IsDiagonallyDominant(strict)
+	if !dom || !s {
+		t.Errorf("strict DD matrix: dominant=%v strict=%v", dom, s)
+	}
+	// Pure Laplacian: weakly dominant, no strict row.
+	lap := NewDenseFrom([][]float64{
+		{1, -1},
+		{-1, 1},
+	})
+	dom, s = IsDiagonallyDominant(lap)
+	if !dom || s {
+		t.Errorf("Laplacian: dominant=%v strict=%v, want true,false", dom, s)
+	}
+	not := NewDenseFrom([][]float64{
+		{1, -2},
+		{-2, 1},
+	})
+	if dom, _ = IsDiagonallyDominant(not); dom {
+		t.Error("non-dominant matrix accepted")
+	}
+}
+
+func TestDiagMul(t *testing.T) {
+	a := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	got := DiagMul([]float64{2, 3}, a, []float64{5, 7})
+	want := NewDenseFrom([][]float64{{10, 28}, {45, 84}})
+	if !got.Equal(want, 0) {
+		t.Fatalf("DiagMul = %v, want %v", got, want)
+	}
+	// Explicit check against full matrix products.
+	d := Diagonal([]float64{2, 3})
+	e := Diagonal([]float64{5, 7})
+	if !got.Equal(d.Mul(a).Mul(e), 1e-12) {
+		t.Fatal("DiagMul disagrees with DIAG(d)*A*DIAG(e)")
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	a := NewDenseFrom([][]float64{{1, 2}, {4, 3}})
+	Symmetrize(a)
+	if a.At(0, 1) != 3 || a.At(1, 0) != 3 {
+		t.Fatalf("Symmetrize = %v", a)
+	}
+}
+
+func TestRandomStieltjesDeterministic(t *testing.T) {
+	a := RandomStieltjes(rand.New(rand.NewSource(7)), 6, 0.4)
+	b := RandomStieltjes(rand.New(rand.NewSource(7)), 6, 0.4)
+	if !a.Equal(b, 0) {
+		t.Fatal("RandomStieltjes not deterministic for fixed seed")
+	}
+}
+
+func TestRandomStieltjesSizeOnePanicFree(t *testing.T) {
+	a := RandomStieltjes(rand.New(rand.NewSource(1)), 1, 0.5)
+	if !IsPositiveDefinite(a) {
+		t.Fatal("1x1 random Stieltjes not PD")
+	}
+}
+
+func TestRandomStieltjesZeroOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n=0")
+		}
+	}()
+	RandomStieltjes(rand.New(rand.NewSource(1)), 0, 0.5)
+}
+
+// Property (Lemma 3): a PD Stieltjes matrix is inverse-positive — its
+// inverse has only nonnegative entries. This underpins the physical
+// sanity of the thermal model (positive power cannot cool any node).
+func TestStieltjesInversePositiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		a := RandomStieltjes(rng, n, 0.3)
+		c, err := NewCholesky(a)
+		if err != nil {
+			return false
+		}
+		inv := c.Inverse()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if inv.At(i, j) < -1e-10 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the inverse of a symmetric matrix is symmetric (reciprocity of
+// thermal transfer coefficients, h_kl = h_lk).
+func TestInverseSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		a := RandomStieltjes(rng, n, 0.4)
+		c, err := NewCholesky(a)
+		if err != nil {
+			return false
+		}
+		return c.Inverse().IsSymmetric(1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,87 @@
+package optimize
+
+import (
+	"math"
+)
+
+// Convex feasibility machinery for the paper's Lemma 4 / Theorem 4
+// optimality check.
+//
+// Lemma 4: with eta convex and nonnegative on [0, lambda_m), theta_k(i) is
+// convex on [i_t, i_{t+1}] whenever the convex feasibility problem
+//
+//	r*eta(i) + r*eta'(i_t)*i < 0,  i in [i_t, i_{t+1}]            (12)
+//
+// is infeasible. The left-hand side is convex (convex + linear), so
+// infeasibility is decided by globally minimizing it over the interval and
+// checking the minimum against zero.
+
+// FeasibilityReport describes the outcome of a convex feasibility check.
+type FeasibilityReport struct {
+	Feasible bool    // a strictly negative point exists
+	MinValue float64 // minimum of the LHS over the interval
+	ArgMin   float64 // where the minimum is attained
+}
+
+// CheckConvexInfeasible decides whether the convex function lhs attains a
+// strictly negative value on [a, b]. It minimizes lhs with golden-section
+// (valid because a convex function is unimodal) and compares against
+// -slack, where slack guards the strict inequality numerically.
+func CheckConvexInfeasible(lhs Func, a, b, slack float64) (FeasibilityReport, error) {
+	if !(a <= b) {
+		return FeasibilityReport{}, ErrInvalidBracket
+	}
+	if slack < 0 {
+		slack = 0
+	}
+	if a == b {
+		v := lhs(a)
+		return FeasibilityReport{Feasible: v < -slack, MinValue: v, ArgMin: a}, nil
+	}
+	res, err := GoldenSection(lhs, a, b, 1e-12*(1+math.Abs(b)), 300)
+	if err != nil {
+		return FeasibilityReport{}, err
+	}
+	// Endpoints can beat the interior estimate for monotone functions.
+	minV, argMin := res.F, res.X
+	if v := lhs(a); v < minV {
+		minV, argMin = v, a
+	}
+	if v := lhs(b); v < minV {
+		minV, argMin = v, b
+	}
+	return FeasibilityReport{Feasible: minV < -slack, MinValue: minV, ArgMin: argMin}, nil
+}
+
+// ConvexityCheck runs the paper's Theorem-4 test: it partitions [0, hi)
+// into ranges subintervals 0 = i_0 < ... < i_m = hi and reports whether
+// problem (12) is infeasible on each of them, which certifies that
+// theta_k is convex on [0, hi).
+//
+// eta must be the (convex, nonnegative) network self-heating gain and
+// etaPrime its derivative; r is the TEC electrical resistance. Increasing
+// ranges tightens the lower bound eta'(i_t) <= eta'(i) at the cost of
+// more subproblems, the runtime/accuracy trade-off the paper discusses.
+func ConvexityCheck(eta, etaPrime Func, r, hi float64, ranges int) (certified bool, failures []FeasibilityReport) {
+	if ranges < 1 {
+		ranges = 1
+	}
+	// Stay strictly inside [0, hi): eta blows up at the runaway limit.
+	const margin = 1e-6
+	upper := hi * (1 - margin)
+	for t := 0; t < ranges; t++ {
+		it := upper * float64(t) / float64(ranges)
+		it1 := upper * float64(t+1) / float64(ranges)
+		slope := etaPrime(it)
+		lhs := func(i float64) float64 { return r*eta(i) + r*slope*i }
+		rep, err := CheckConvexInfeasible(lhs, it, it1, 0)
+		if err != nil {
+			failures = append(failures, FeasibilityReport{Feasible: true, MinValue: math.NaN(), ArgMin: it})
+			continue
+		}
+		if rep.Feasible {
+			failures = append(failures, rep)
+		}
+	}
+	return len(failures) == 0, failures
+}

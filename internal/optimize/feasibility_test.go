@@ -1,0 +1,97 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCheckConvexInfeasibleNegativeDip(t *testing.T) {
+	// (x-1)^2 - 0.5 dips below zero around x=1.
+	lhs := func(x float64) float64 { return (x-1)*(x-1) - 0.5 }
+	rep, err := CheckConvexInfeasible(lhs, 0, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Feasible {
+		t.Fatal("negative dip not detected")
+	}
+	if math.Abs(rep.ArgMin-1) > 1e-6 || math.Abs(rep.MinValue+0.5) > 1e-9 {
+		t.Fatalf("rep = %+v", rep)
+	}
+}
+
+func TestCheckConvexInfeasibleNonnegative(t *testing.T) {
+	lhs := func(x float64) float64 { return x * x }
+	rep, err := CheckConvexInfeasible(lhs, -1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Feasible {
+		t.Fatal("nonnegative function reported feasible")
+	}
+}
+
+func TestCheckConvexInfeasibleEndpointMinimum(t *testing.T) {
+	// Decreasing on [0,1]: minimum at b=1 where value is -0.25.
+	lhs := func(x float64) float64 { return 0.75 - x }
+	rep, err := CheckConvexInfeasible(lhs, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Feasible || math.Abs(rep.ArgMin-1) > 1e-9 {
+		t.Fatalf("rep = %+v, want feasible at x=1", rep)
+	}
+}
+
+func TestCheckConvexInfeasibleDegenerateInterval(t *testing.T) {
+	rep, err := CheckConvexInfeasible(func(x float64) float64 { return -1 }, 2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Feasible || rep.ArgMin != 2 {
+		t.Fatalf("rep = %+v", rep)
+	}
+}
+
+func TestCheckConvexInfeasibleBadBracket(t *testing.T) {
+	if _, err := CheckConvexInfeasible(math.Sin, 2, 1, 0); err == nil {
+		t.Fatal("expected bracket error")
+	}
+}
+
+func TestConvexityCheckCertifiesConvexCase(t *testing.T) {
+	// eta(i) = 1/(1-i) on [0,1): convex, positive, increasing — the
+	// canonical shape near the runaway limit. theta(i) = r i^2 eta/2 + ...
+	// Lemma 4's sufficient condition r*eta + r*eta'(it)*i < 0 can never
+	// hold (everything is nonnegative), so the check must certify.
+	eta := func(i float64) float64 { return 1 / (1 - i) }
+	etaPrime := func(i float64) float64 { return 1 / ((1 - i) * (1 - i)) }
+	ok, failures := ConvexityCheck(eta, etaPrime, 1e-3, 1, 4)
+	if !ok {
+		t.Fatalf("convexity not certified, failures: %+v", failures)
+	}
+}
+
+func TestConvexityCheckDetectsViolation(t *testing.T) {
+	// A contrived strongly negative "eta" makes (12) feasible, so the
+	// check must refuse to certify. (eta < 0 cannot arise physically —
+	// Lemma 3 guarantees eta >= 0 — but the checker must still flag it.)
+	eta := func(i float64) float64 { return -1.0 }
+	etaPrime := func(i float64) float64 { return 0 }
+	ok, failures := ConvexityCheck(eta, etaPrime, 1, 1, 2)
+	if ok {
+		t.Fatal("violation not detected")
+	}
+	if len(failures) == 0 {
+		t.Fatal("no failure reports returned")
+	}
+}
+
+func TestConvexityCheckRangesClamped(t *testing.T) {
+	eta := func(i float64) float64 { return 1 }
+	etaPrime := func(i float64) float64 { return 0 }
+	ok, _ := ConvexityCheck(eta, etaPrime, 1, 1, 0) // ranges < 1 clamps to 1
+	if !ok {
+		t.Fatal("constant positive eta must certify")
+	}
+}

@@ -1,0 +1,128 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateHCDeterministic(t *testing.T) {
+	a, err := GenerateHC("HC01", 1, DefaultHCSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateHC("HC01", 1, DefaultHCSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalPower != b.TotalPower || len(a.Floorplan.Units) != len(b.Floorplan.Units) {
+		t.Fatal("GenerateHC not deterministic")
+	}
+	for i := range a.TilePower {
+		if a.TilePower[i] != b.TilePower[i] {
+			t.Fatal("tile powers differ between runs")
+		}
+	}
+}
+
+func TestGenerateHCSuite(t *testing.T) {
+	chips, err := GenerateHCSuite(DefaultHCSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chips) != 10 {
+		t.Fatalf("suite size = %d, want 10", len(chips))
+	}
+	names := map[string]bool{}
+	for _, c := range chips {
+		if names[c.Name] {
+			t.Errorf("duplicate chip name %s", c.Name)
+		}
+		names[c.Name] = true
+	}
+	if !names["HC01"] || !names["HC10"] {
+		t.Error("expected names HC01..HC10")
+	}
+}
+
+func TestHCSpecInvariants(t *testing.T) {
+	spec := DefaultHCSpec()
+	chips, err := GenerateHCSuite(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range chips {
+		t.Run(c.Name, func(t *testing.T) {
+			// Floorplan tiles the die exactly.
+			if err := c.Floorplan.Validate(1e-9); err != nil {
+				t.Fatalf("floorplan invalid: %v", err)
+			}
+			// Unit sizes between 5 and 15 tiles (paper Section VI.B).
+			for _, u := range c.Floorplan.Units {
+				tiles := len(c.Grid.TilesOfUnit(c.Floorplan, u.Name))
+				if tiles < spec.MinUnitTiles || tiles > spec.MaxUnitTiles {
+					t.Errorf("unit %s has %d tiles, want %d..%d", u.Name, tiles, spec.MinUnitTiles, spec.MaxUnitTiles)
+				}
+			}
+			// Total power in [15, 25] W and conserved on tiles.
+			if c.TotalPower < spec.MinPower || c.TotalPower > spec.MaxPower {
+				t.Errorf("total power %.2f outside [%g, %g]", c.TotalPower, spec.MinPower, spec.MaxPower)
+			}
+			var sum float64
+			for _, p := range c.TilePower {
+				if p < 0 {
+					t.Error("negative tile power")
+				}
+				sum += p
+			}
+			if math.Abs(sum-c.TotalPower) > 1e-9*c.TotalPower {
+				t.Errorf("tile powers sum %.6f != total %.6f", sum, c.TotalPower)
+			}
+			// Two hot units with ~30% power in ~10% area.
+			if len(c.HotUnits) != 2 {
+				t.Fatalf("hot units = %v", c.HotUnits)
+			}
+			hotPower := c.UnitPower[c.HotUnits[0]] + c.UnitPower[c.HotUnits[1]]
+			if math.Abs(hotPower/c.TotalPower-spec.HotPowerFrac) > 1e-9 {
+				t.Errorf("hot power fraction = %.3f, want %.2f", hotPower/c.TotalPower, spec.HotPowerFrac)
+			}
+			hotTiles := len(c.Grid.TilesOfUnit(c.Floorplan, c.HotUnits[0])) +
+				len(c.Grid.TilesOfUnit(c.Floorplan, c.HotUnits[1]))
+			frac := float64(hotTiles) / float64(c.Grid.NumTiles())
+			if frac < 0.06 || frac > 0.16 {
+				t.Errorf("hot area fraction = %.3f, want ~0.10", frac)
+			}
+		})
+	}
+}
+
+func TestGenerateHCBadSpec(t *testing.T) {
+	spec := DefaultHCSpec()
+	spec.Cols = 0
+	if _, err := GenerateHC("x", 1, spec); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+// Property: generation succeeds and preserves its invariants for
+// arbitrary seeds, not only the canonical 1..10.
+func TestGenerateHCArbitrarySeedsProperty(t *testing.T) {
+	spec := DefaultHCSpec()
+	f := func(seed int64) bool {
+		c, err := GenerateHC("hc", seed, spec)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, p := range c.TilePower {
+			if p < 0 {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-c.TotalPower) < 1e-6 && c.Floorplan.Validate(1e-9) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,50 @@
+package power
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParsePtrace hardens the trace parser against malformed input: it
+// must either return an error or a structurally consistent trace, and a
+// successfully parsed trace must round-trip through WritePtrace.
+func FuzzParsePtrace(f *testing.F) {
+	f.Add("core l2\n1.0 2.0\n")
+	f.Add("# comment\nu\n0\n")
+	f.Add("a b c\n1 2 3\n4 5 6\n")
+	f.Add("")
+	f.Add("x\n-1\n")
+	f.Add("x y\n1\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		tr, err := ParsePtrace(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if len(tr.Units) == 0 || len(tr.Samples) == 0 {
+			t.Fatalf("accepted trace with no units/samples: %+v", tr)
+		}
+		for s, row := range tr.Samples {
+			if len(row) != len(tr.Units) {
+				t.Fatalf("sample %d width %d != %d units", s, len(row), len(tr.Units))
+			}
+			for _, v := range row {
+				if v < 0 {
+					t.Fatalf("negative power survived parsing: %v", v)
+				}
+			}
+		}
+		// Round trip.
+		var buf bytes.Buffer
+		if err := WritePtrace(&buf, tr); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ParsePtrace(&buf)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if len(back.Units) != len(tr.Units) || len(back.Samples) != len(tr.Samples) {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}

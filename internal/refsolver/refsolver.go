@@ -1,0 +1,462 @@
+// Package refsolver is an independent fine-grid finite-volume solver for
+// the chip package, standing in for HotSpot 4.1 as the validation
+// reference (Section VI: "we have first validated our thermal model
+// against HotSpot 4.1 ... the worst-case difference is less than
+// 1.5 C").
+//
+// Unlike the compact model of package thermal — coarse tiles, one node
+// per layer — this solver discretizes the package on a nonuniform tensor
+// grid: fine cells under the die, geometrically growing cells outside,
+// multiple sublayers per physical layer, and fully gridded spreader and
+// sink peripheries. Both models discretize the same steady-state heat
+// equation, so agreement between them plays the same role the paper's
+// HotSpot comparison plays.
+package refsolver
+
+import (
+	"fmt"
+
+	"tecopt/internal/material"
+	"tecopt/internal/sparse"
+)
+
+// Options controls the reference discretization.
+type Options struct {
+	// FinePitch is the cell size under the die (m). Default: half the
+	// compact tile pitch.
+	FinePitch float64
+	// Growth is the geometric expansion ratio of cell sizes outside the
+	// die region (default 1.7).
+	Growth float64
+	// SiliconLayers, TIMLayers, SpreaderLayers, SinkLayers set the
+	// z-subdivision of each physical layer (defaults 2, 1, 2, 2).
+	SiliconLayers, TIMLayers, SpreaderLayers, SinkLayers int
+	// CGTol is the conjugate-gradient tolerance (default 1e-10).
+	CGTol float64
+	// TEC optionally inserts thin-film TEC devices (see TECSpec).
+	TEC TECSpec
+}
+
+func (o Options) withDefaults(tilePitch float64) Options {
+	if o.FinePitch <= 0 {
+		o.FinePitch = tilePitch / 2
+	}
+	if o.Growth <= 1 {
+		o.Growth = 1.7
+	}
+	if o.SiliconLayers <= 0 {
+		o.SiliconLayers = 2
+	}
+	if o.TIMLayers <= 0 {
+		o.TIMLayers = 1
+	}
+	if o.SpreaderLayers <= 0 {
+		o.SpreaderLayers = 2
+	}
+	if o.SinkLayers <= 0 {
+		o.SinkLayers = 2
+	}
+	if o.CGTol <= 0 {
+		o.CGTol = 1e-10
+	}
+	return o
+}
+
+// Result reports the reference solution.
+type Result struct {
+	// TileTempsK is the silicon temperature averaged over each compact
+	// tile footprint (kelvin), directly comparable to the compact
+	// model's SiliconTemps.
+	TileTempsK []float64
+	// PeakK is the hottest tile temperature.
+	PeakK float64
+	// Nodes is the number of finite-volume cells solved.
+	Nodes int
+	// Iterations is the CG iteration count.
+	Iterations int
+}
+
+// axis builds symmetric cell edges covering [-domainHalf, domainHalf]
+// with uniform fine cells over [-fineHalf, fineHalf] and geometric
+// growth outside.
+func axis(fineHalf, domainHalf, finePitch, growth float64) []float64 {
+	// Fine region: an integral number of cells.
+	nFine := int(2*fineHalf/finePitch + 0.5)
+	if nFine < 1 {
+		nFine = 1
+	}
+	// Coarse region (one side).
+	var widths []float64
+	remaining := domainHalf - fineHalf
+	w := finePitch
+	for remaining > 1e-12 {
+		w *= growth
+		if w > remaining {
+			w = remaining
+		}
+		widths = append(widths, w)
+		remaining -= w
+	}
+	edges := make([]float64, 0, nFine+2*len(widths)+1)
+	// Left coarse (outermost first).
+	x := -domainHalf
+	edges = append(edges, x)
+	for i := len(widths) - 1; i >= 0; i-- {
+		x += widths[i]
+		edges = append(edges, x)
+	}
+	// Fine region.
+	for i := 1; i <= nFine; i++ {
+		edges = append(edges, -fineHalf+float64(i)*2*fineHalf/float64(nFine))
+	}
+	// Right coarse.
+	for _, wd := range widths {
+		x = edges[len(edges)-1] + wd
+		edges = append(edges, x)
+	}
+	// Snap the last edge exactly.
+	edges[len(edges)-1] = domainHalf
+	return edges
+}
+
+type zslab struct {
+	mat    material.Material
+	thick  float64 // sublayer thickness
+	halfW  float64 // lateral half-extent in x
+	halfH  float64 // lateral half-extent in y
+	convec bool    // outermost sink sublayer convects to ambient
+}
+
+// Solve computes the reference steady state for the package and per-tile
+// silicon powers defined on a cols x rows compact tiling of the die.
+func Solve(geom material.PackageGeometry, cols, rows int, tilePower []float64, opt Options) (*Result, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	if cols <= 0 || rows <= 0 || len(tilePower) != cols*rows {
+		return nil, fmt.Errorf("refsolver: bad tiling %dx%d with %d powers", cols, rows, len(tilePower))
+	}
+	tilePitchX := geom.DieWidth / float64(cols)
+	opt = opt.withDefaults(tilePitchX)
+
+	// Lateral grid shared by all layers (cells outside a layer's extent
+	// simply do not exist in that layer).
+	xs := axis(geom.DieWidth/2, geom.SinkSide/2, opt.FinePitch, opt.Growth)
+	ys := axis(geom.DieHeight/2, geom.SinkSide/2, opt.FinePitch, opt.Growth)
+	nx, ny := len(xs)-1, len(ys)-1
+
+	// z-stack, silicon first (power side), sink last (ambient side).
+	var slabs []zslab
+	addSlabs := func(m material.Material, total float64, n int, halfW, halfH float64, convecLast bool) {
+		for i := 0; i < n; i++ {
+			slabs = append(slabs, zslab{
+				mat: m, thick: total / float64(n), halfW: halfW, halfH: halfH,
+				convec: convecLast && i == n-1,
+			})
+		}
+	}
+	addSlabs(material.Silicon, geom.DieThickness, opt.SiliconLayers, geom.DieWidth/2, geom.DieHeight/2, false)
+	addSlabs(material.TIM, geom.TIMThickness, opt.TIMLayers, geom.DieWidth/2, geom.DieHeight/2, false)
+	addSlabs(material.Copper, geom.SpreaderThickness, opt.SpreaderLayers, geom.SpreaderSide/2, geom.SpreaderSide/2, false)
+	addSlabs(material.Copper, geom.SinkThickness, opt.SinkLayers, geom.SinkSide/2, geom.SinkSide/2, true)
+	nz := len(slabs)
+
+	// Geometry of the compact tiling in global coordinates (needed for
+	// both TEC-site carving and power injection).
+	dieX0, dieY0 := -geom.DieWidth/2, -geom.DieHeight/2
+	tilePitchY := geom.DieHeight / float64(rows)
+	tileRect := func(t int) (x0, y0, x1, y1 float64) {
+		x0 = dieX0 + float64(t%cols)*tilePitchX
+		y0 = dieY0 + float64(t/cols)*tilePitchY
+		return x0, y0, x0 + tilePitchX, y0 + tilePitchY
+	}
+	timZ0 := opt.SiliconLayers
+	timZ1 := opt.SiliconLayers + opt.TIMLayers
+	inTECSite := func(cx, cy float64) int {
+		for _, t := range opt.TEC.Sites {
+			x0, y0, x1, y1 := tileRect(t)
+			if cx >= x0 && cx < x1 && cy >= y0 && cy < y1 {
+				return t
+			}
+		}
+		return -1
+	}
+	if opt.TEC.enabled() {
+		for _, t := range opt.TEC.Sites {
+			if t < 0 || t >= cols*rows {
+				return nil, fmt.Errorf("refsolver: TEC site %d out of range %d", t, cols*rows)
+			}
+		}
+		if opt.TEC.Seebeck <= 0 || opt.TEC.Resistance <= 0 || opt.TEC.Kappa <= 0 ||
+			opt.TEC.ContactCold <= 0 || opt.TEC.ContactHot <= 0 || opt.TEC.Current < 0 {
+			return nil, fmt.Errorf("refsolver: invalid TEC spec %+v", opt.TEC)
+		}
+	}
+
+	// Node numbering: only cells whose center lies inside the slab
+	// extent exist; TIM cells under TEC sites are carved out and
+	// replaced by the device's two lumped nodes.
+	const absent = -1
+	id := make([]int, nz*ny*nx)
+	for i := range id {
+		id[i] = absent
+	}
+	cellIdx := func(z, y, x int) int { return (z*ny+y)*nx + x }
+	centers := func(edges []float64, i int) float64 { return 0.5 * (edges[i] + edges[i+1]) }
+	nodes := 0
+	for z, sl := range slabs {
+		isTIM := z >= timZ0 && z < timZ1
+		for y := 0; y < ny; y++ {
+			cy := centers(ys, y)
+			if cy < -sl.halfH || cy > sl.halfH {
+				continue
+			}
+			for x := 0; x < nx; x++ {
+				cx := centers(xs, x)
+				if cx < -sl.halfW || cx > sl.halfW {
+					continue
+				}
+				if isTIM && opt.TEC.enabled() && inTECSite(cx, cy) >= 0 {
+					continue // carved out for the device
+				}
+				id[cellIdx(z, y, x)] = nodes
+				nodes++
+			}
+		}
+	}
+	// Two lumped nodes per device, cold then hot.
+	coldNode := map[int]int{}
+	hotNode := map[int]int{}
+	for _, t := range opt.TEC.Sites {
+		coldNode[t] = nodes
+		hotNode[t] = nodes + 1
+		nodes += 2
+	}
+
+	b := sparse.NewBuilder(nodes, nodes)
+	rhs := make([]float64, nodes)
+	amb := geom.AmbientK
+	sinkArea := geom.SinkSide * geom.SinkSide
+
+	dx := func(i int) float64 { return xs[i+1] - xs[i] }
+	dy := func(i int) float64 { return ys[i+1] - ys[i] }
+
+	stamp := func(a, c int, g float64) {
+		b.AddSym(a, c, -g)
+		b.Add(a, a, g)
+		b.Add(c, c, g)
+	}
+
+	for z, sl := range slabs {
+		k := sl.mat.Conductivity
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				n0 := id[cellIdx(z, y, x)]
+				if n0 == absent {
+					continue
+				}
+				// Lateral x+.
+				if x+1 < nx {
+					if n1 := id[cellIdx(z, y, x+1)]; n1 != absent {
+						area := dy(y) * sl.thick
+						g := area / (dx(x)/(2*k) + dx(x+1)/(2*k))
+						stamp(n0, n1, g)
+					}
+				}
+				// Lateral y+.
+				if y+1 < ny {
+					if n1 := id[cellIdx(z, y+1, x)]; n1 != absent {
+						area := dx(x) * sl.thick
+						g := area / (dy(y)/(2*k) + dy(y+1)/(2*k))
+						stamp(n0, n1, g)
+					}
+				}
+				// Vertical z+.
+				if z+1 < nz {
+					if n1 := id[cellIdx(z+1, y, x)]; n1 != absent {
+						k1 := slabs[z+1].mat.Conductivity
+						area := dx(x) * dy(y)
+						g := area / (sl.thick/(2*k) + slabs[z+1].thick/(2*k1))
+						stamp(n0, n1, g)
+					}
+				}
+				// Convection.
+				if sl.convec {
+					area := dx(x) * dy(y)
+					g := area / (geom.ConvectionResistance * sinkArea)
+					b.Add(n0, n0, g)
+					rhs[n0] += g * amb
+				}
+			}
+		}
+	}
+
+	// TEC device stamping: cold node to the silicon bottom sublayer,
+	// hot node to the spreader top sublayer, contact conductances split
+	// by overlap area; Peltier conductors enter the diagonal as -i*D and
+	// the Joule heat as r*i^2/2 sources (Figure 4 on the fine grid).
+	if opt.TEC.enabled() {
+		i := opt.TEC.Current
+		alpha := opt.TEC.Seebeck
+		silZ := opt.SiliconLayers - 1
+		sprZ := timZ1
+		tileArea := tilePitchX * tilePitchY
+		for _, t := range opt.TEC.Sites {
+			x0, y0, x1, y1 := tileRect(t)
+			cold, hot := coldNode[t], hotNode[t]
+			couple := func(z int, dev int, contactG, kMat, subThick float64) error {
+				var total float64
+				for y := 0; y < ny; y++ {
+					oy := overlap1D(ys[y], ys[y+1], y0, y1)
+					if oy <= 0 {
+						continue
+					}
+					for x := 0; x < nx; x++ {
+						ox := overlap1D(xs[x], xs[x+1], x0, x1)
+						if ox <= 0 {
+							continue
+						}
+						n0 := id[cellIdx(z, y, x)]
+						if n0 == absent {
+							continue
+						}
+						aov := ox * oy
+						frac := aov / tileArea
+						halfCell := kMat * aov / (subThick / 2)
+						gc := contactG * frac
+						g := gc * halfCell / (gc + halfCell)
+						b.AddSym(n0, dev, -g)
+						b.Add(n0, n0, g)
+						b.Add(dev, dev, g)
+						total += aov
+					}
+				}
+				if total == 0 {
+					return fmt.Errorf("refsolver: TEC site %d has no cells at layer %d", t, z)
+				}
+				return nil
+			}
+			if err := couple(silZ, cold, opt.TEC.ContactCold, slabs[silZ].mat.Conductivity, slabs[silZ].thick); err != nil {
+				return nil, err
+			}
+			if err := couple(sprZ, hot, opt.TEC.ContactHot, slabs[sprZ].mat.Conductivity, slabs[sprZ].thick); err != nil {
+				return nil, err
+			}
+			// Device conduction.
+			b.AddSym(cold, hot, -opt.TEC.Kappa)
+			b.Add(cold, cold, opt.TEC.Kappa)
+			b.Add(hot, hot, opt.TEC.Kappa)
+			// Peltier diagonal: (G - i*D) with D = +alpha (hot), -alpha (cold).
+			b.Add(hot, hot, -i*alpha)
+			b.Add(cold, cold, +i*alpha)
+			// Joule sources.
+			rhs[cold] += 0.5 * opt.TEC.Resistance * i * i
+			rhs[hot] += 0.5 * opt.TEC.Resistance * i * i
+		}
+	}
+
+	// Inject tile powers volumetrically across the silicon sublayers by
+	// lateral overlap — the same lumped-layer heating convention the
+	// compact model (and HotSpot's block model) uses.
+	for t, pw := range tilePower {
+		if pw == 0 {
+			continue
+		}
+		if pw < 0 {
+			return nil, fmt.Errorf("refsolver: negative power at tile %d", t)
+		}
+		tx0 := dieX0 + float64(t%cols)*tilePitchX
+		ty0 := dieY0 + float64(t/cols)*tilePitchY
+		var cells []int
+		var weights []float64
+		var wSum float64
+		for z := 0; z < opt.SiliconLayers; z++ {
+			for y := 0; y < ny; y++ {
+				oy := overlap1D(ys[y], ys[y+1], ty0, ty0+tilePitchY)
+				if oy <= 0 {
+					continue
+				}
+				for x := 0; x < nx; x++ {
+					ox := overlap1D(xs[x], xs[x+1], tx0, tx0+tilePitchX)
+					if ox <= 0 {
+						continue
+					}
+					n0 := id[cellIdx(z, y, x)]
+					if n0 == absent {
+						continue
+					}
+					cells = append(cells, n0)
+					weights = append(weights, ox*oy)
+					wSum += ox * oy
+				}
+			}
+		}
+		if wSum == 0 {
+			return nil, fmt.Errorf("refsolver: tile %d has no silicon cells", t)
+		}
+		for c, n0 := range cells {
+			rhs[n0] += pw * weights[c] / wSum
+		}
+	}
+
+	a := b.Build()
+	pre := sparse.NewBestPreconditioner(a)
+	res, err := sparse.SolveCG(a, rhs, sparse.CGOptions{Tol: opt.CGTol, Precond: pre, MaxIter: 20 * nodes})
+	if err != nil {
+		return nil, fmt.Errorf("refsolver: CG failed: %w", err)
+	}
+
+	// Per-tile temperatures: overlap-weighted average over the silicon
+	// stack (all sublayers, mirroring the compact model's single lumped
+	// silicon node per tile).
+	out := &Result{
+		TileTempsK: make([]float64, cols*rows),
+		Nodes:      nodes,
+		Iterations: res.Iterations,
+	}
+	for t := range tilePower {
+		tx0 := dieX0 + float64(t%cols)*tilePitchX
+		ty0 := dieY0 + float64(t/cols)*tilePitchY
+		var acc, wSum float64
+		for z := 0; z < opt.SiliconLayers; z++ {
+			for y := 0; y < ny; y++ {
+				oy := overlap1D(ys[y], ys[y+1], ty0, ty0+tilePitchY)
+				if oy <= 0 {
+					continue
+				}
+				for x := 0; x < nx; x++ {
+					ox := overlap1D(xs[x], xs[x+1], tx0, tx0+tilePitchX)
+					if ox <= 0 {
+						continue
+					}
+					n0 := id[cellIdx(z, y, x)]
+					if n0 == absent {
+						continue
+					}
+					w := ox * oy
+					acc += w * res.X[n0]
+					wSum += w
+				}
+			}
+		}
+		out.TileTempsK[t] = acc / wSum
+		if out.TileTempsK[t] > out.PeakK {
+			out.PeakK = out.TileTempsK[t]
+		}
+	}
+	return out, nil
+}
+
+func overlap1D(a0, a1, b0, b1 float64) float64 {
+	lo, hi := a0, a1
+	if b0 > lo {
+		lo = b0
+	}
+	if b1 < hi {
+		hi = b1
+	}
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}

@@ -1,0 +1,33 @@
+package refsolver
+
+// TEC support for the reference solver.
+//
+// The compact model validates its passive behaviour against this solver;
+// to validate the *active* behaviour too, the same two-node TEC model
+// (Figure 4) is inserted into the fine grid: the TIM cells under each
+// TEC site are removed and replaced by one cold and one hot node, with
+// the contact conductances split over the fine silicon/spreader cells by
+// overlap area, the Peltier conductors entering the diagonal as -i*D,
+// and the Joule sources r*i^2/2 on both device nodes. The system stays
+// symmetric (D is diagonal), so the same preconditioned CG applies below
+// the model's runaway limit.
+
+// TECSpec describes the devices inserted into the reference model.
+type TECSpec struct {
+	// Sites lists the covered tiles (indices into the cols x rows
+	// tiling passed to Solve).
+	Sites []int
+	// Current is the shared supply current (A).
+	Current float64
+	// Seebeck, Resistance, Kappa, ContactCold, ContactHot mirror
+	// tec.DeviceParams; they are plain fields so the reference solver
+	// stays independent of the device package.
+	Seebeck     float64
+	Resistance  float64
+	Kappa       float64
+	ContactCold float64
+	ContactHot  float64
+}
+
+// enabled reports whether any devices are configured.
+func (s TECSpec) enabled() bool { return len(s.Sites) > 0 }

@@ -1,0 +1,113 @@
+package refsolver
+
+import (
+	"math"
+	"testing"
+
+	"tecopt/internal/core"
+	"tecopt/internal/floorplan"
+	"tecopt/internal/material"
+	"tecopt/internal/power"
+	"tecopt/internal/tec"
+)
+
+func specFor(dev tec.DeviceParams, sites []int, current float64) TECSpec {
+	return TECSpec{
+		Sites:       sites,
+		Current:     current,
+		Seebeck:     dev.Seebeck,
+		Resistance:  dev.Resistance,
+		Kappa:       dev.Kappa,
+		ContactCold: dev.ContactCold,
+		ContactHot:  dev.ContactHot,
+	}
+}
+
+func TestTECSpecValidation(t *testing.T) {
+	geom := material.DefaultPackage()
+	p := make([]float64, 144)
+	dev := tec.ChowdhuryDevice()
+	bad := specFor(dev, []int{999}, 1)
+	if _, err := Solve(geom, 12, 12, p, Options{TEC: bad}); err == nil {
+		t.Error("out-of-range site accepted")
+	}
+	bad = specFor(dev, []int{5}, 1)
+	bad.Seebeck = 0
+	if _, err := Solve(geom, 12, 12, p, Options{TEC: bad}); err == nil {
+		t.Error("invalid device accepted")
+	}
+	bad = specFor(dev, []int{5}, -1)
+	if _, err := Solve(geom, 12, 12, p, Options{TEC: bad}); err == nil {
+		t.Error("negative current accepted")
+	}
+}
+
+// Active validation: the compact model's TEC cooling must agree with the
+// fine-grid solver carrying the same devices — both the unpowered
+// (passive insertion) and powered cases.
+func TestActiveValidationAgainstCompact(t *testing.T) {
+	geom := material.DefaultPackage()
+	f, g := floorplan.Alpha21364Grid()
+	p := power.AlphaTilePowers(f, g)
+	sites := []int{100, 101, 102, 103, 112, 113, 114}
+	dev := tec.ChowdhuryDevice()
+
+	for _, current := range []float64{0, 6} {
+		sys, err := core.NewSystem(core.Config{TilePower: p, Device: dev}, sites)
+		if err != nil {
+			t.Fatal(err)
+		}
+		theta, err := sys.SolveAt(current)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compact := sys.PN.SiliconTemps(theta)
+
+		ref, err := Solve(geom, 12, 12, p, Options{
+			FinePitch: geom.DieWidth / 12, // matched granularity
+			TEC:       specFor(dev, sites, current),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst := 0.0
+		for i := range compact {
+			if d := math.Abs(compact[i] - ref.TileTempsK[i]); d > worst {
+				worst = d
+			}
+		}
+		t.Logf("i=%.1f A: worst tile difference %.3f C", current, worst)
+		if worst > 1.5 {
+			t.Errorf("i=%.1f A: active-model difference %.3f C exceeds 1.5 C", current, worst)
+		}
+	}
+}
+
+// The fine-grid model must show the same cooling swing direction and
+// comparable magnitude.
+func TestReferenceTECCools(t *testing.T) {
+	geom := material.DefaultPackage()
+	f, g := floorplan.Alpha21364Grid()
+	p := power.AlphaTilePowers(f, g)
+	sites := []int{100, 101, 102, 103}
+	dev := tec.ChowdhuryDevice()
+
+	off, err := Solve(geom, 12, 12, p, Options{
+		FinePitch: geom.DieWidth / 12,
+		TEC:       specFor(dev, sites, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := Solve(geom, 12, 12, p, Options{
+		FinePitch: geom.DieWidth / 12,
+		TEC:       specFor(dev, sites, 6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	swing := off.PeakK - on.PeakK
+	if swing < 1 || swing > 15 {
+		t.Fatalf("fine-grid cooling swing %.2f C implausible", swing)
+	}
+}

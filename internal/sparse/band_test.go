@@ -1,0 +1,148 @@
+package sparse
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBandCholeskySolvesGrid(t *testing.T) {
+	a := gridLaplacian(15, 10)
+	rng := rand.New(rand.NewSource(11))
+	want := make([]float64, a.Rows())
+	for i := range want {
+		want[i] = rng.NormFloat64()
+	}
+	b := a.MulVec(want)
+	c, err := NewBandCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c.Solve(b)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-8 {
+			t.Fatalf("Solve[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBandCholeskyIndefinite(t *testing.T) {
+	b := NewBuilder(2, 2)
+	b.AddSym(0, 1, 2)
+	b.Add(0, 0, 1)
+	b.Add(1, 1, 1)
+	if _, err := NewBandCholesky(b.Build()); !errors.Is(err, ErrNotPositiveDefiniteBand) {
+		t.Fatalf("err = %v, want not-PD", err)
+	}
+	if IsPositiveDefiniteBand(b.Build()) {
+		t.Error("indefinite matrix reported PD")
+	}
+	if !IsPositiveDefiniteBand(gridLaplacian(4, 4)) {
+		t.Error("SPD grid reported not PD")
+	}
+}
+
+func TestBandCholeskyNonSquare(t *testing.T) {
+	if _, err := NewBandCholesky(NewBuilder(2, 3).Build()); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}
+
+func TestBandCholeskyRhsLenPanics(t *testing.T) {
+	c, err := NewBandCholesky(gridLaplacian(3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Solve([]float64{1})
+}
+
+func TestBandCholeskyDiagonalMatrix(t *testing.T) {
+	b := NewBuilder(3, 3)
+	b.Add(0, 0, 2)
+	b.Add(1, 1, 4)
+	b.Add(2, 2, 8)
+	c, err := NewBandCholesky(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.BandwidthUsed() != 0 {
+		t.Fatalf("bandwidth = %d, want 0", c.BandwidthUsed())
+	}
+	got := c.Solve([]float64{2, 4, 8})
+	for i, v := range got {
+		if math.Abs(v-1) > 1e-15 {
+			t.Fatalf("x[%d] = %v, want 1", i, v)
+		}
+	}
+}
+
+// Property: BandCholesky agrees with CG on random SPD systems, with and
+// without RCM preordering.
+func TestBandCholeskyMatchesCGProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(25)
+		a := randomSPD(rng, n, 0.25)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		cg, err := SolveCG(a, b, CGOptions{Tol: 1e-13})
+		if err != nil {
+			return false
+		}
+		direct, err := NewBandCholesky(a)
+		if err != nil {
+			return false
+		}
+		x := direct.Solve(b)
+		for i := range x {
+			if math.Abs(x[i]-cg.X[i]) > 1e-6*(1+math.Abs(cg.X[i])) {
+				return false
+			}
+		}
+		// RCM-permuted variant.
+		perm := RCM(a)
+		ap := a.Permute(perm)
+		dp, err := NewBandCholesky(ap)
+		if err != nil {
+			return false
+		}
+		xp := PermuteVec(InvertPerm(perm), dp.Solve(PermuteVec(perm, b)))
+		for i := range xp {
+			if math.Abs(xp[i]-x[i]) > 1e-6*(1+math.Abs(x[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// RCM should shrink the band cost on scrambled grids.
+func TestBandCholeskyRCMShrinksBandwidth(t *testing.T) {
+	a := gridLaplacian(20, 20)
+	rng := rand.New(rand.NewSource(13))
+	scrambled := a.Permute(rng.Perm(a.Rows()))
+	perm := RCM(scrambled)
+	direct, err := NewBandCholesky(scrambled.Permute(perm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := NewBandCholesky(scrambled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.BandwidthUsed() >= naive.BandwidthUsed() {
+		t.Fatalf("RCM bandwidth %d >= naive %d", direct.BandwidthUsed(), naive.BandwidthUsed())
+	}
+}

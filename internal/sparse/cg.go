@@ -1,0 +1,167 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotConverged is returned when an iterative solve fails to reach the
+// requested tolerance within its iteration budget. Near the thermal
+// runaway limit lambda_m the system G - i*D becomes arbitrarily
+// ill-conditioned, so callers must handle this error rather than assume
+// convergence.
+var ErrNotConverged = errors.New("sparse: conjugate gradient did not converge")
+
+// ErrBreakdown is returned when CG encounters a non-positive curvature
+// direction, which signals that the operator is not positive definite
+// (e.g. the supply current exceeded lambda_m).
+var ErrBreakdown = errors.New("sparse: conjugate gradient breakdown (matrix not positive definite)")
+
+// Preconditioner applies z = M^{-1} r for a symmetric positive definite
+// approximation M of the system matrix.
+type Preconditioner interface {
+	Apply(z, r []float64)
+}
+
+// IdentityPreconditioner performs no preconditioning.
+type IdentityPreconditioner struct{}
+
+// Apply copies r into z.
+func (IdentityPreconditioner) Apply(z, r []float64) { copy(z, r) }
+
+// JacobiPreconditioner scales by the inverse diagonal of the matrix.
+type JacobiPreconditioner struct {
+	invDiag []float64
+}
+
+// NewJacobi builds a Jacobi preconditioner from the matrix diagonal.
+// Zero diagonal entries are treated as 1 to stay well-defined.
+func NewJacobi(a *CSR) *JacobiPreconditioner {
+	d := a.Diag()
+	inv := make([]float64, len(d))
+	for i, v := range d {
+		if v == 0 {
+			inv[i] = 1
+		} else {
+			inv[i] = 1 / v
+		}
+	}
+	return &JacobiPreconditioner{invDiag: inv}
+}
+
+// Apply computes z = D^{-1} r.
+func (p *JacobiPreconditioner) Apply(z, r []float64) {
+	for i, v := range r {
+		z[i] = v * p.invDiag[i]
+	}
+}
+
+// CGOptions configures a conjugate-gradient solve.
+type CGOptions struct {
+	// Tol is the relative residual tolerance ||r|| <= Tol * ||b||.
+	// Defaults to 1e-10.
+	Tol float64
+	// MaxIter caps the iteration count. Defaults to 10*n.
+	MaxIter int
+	// Precond supplies the preconditioner. Defaults to Jacobi.
+	Precond Preconditioner
+	// X0 is the starting guess (zero vector when nil).
+	X0 []float64
+}
+
+// CGResult reports solve statistics.
+type CGResult struct {
+	X          []float64
+	Iterations int
+	Residual   float64 // final relative residual
+}
+
+// SolveCG solves the symmetric positive definite system A x = b with the
+// preconditioned conjugate gradient method.
+func SolveCG(a *CSR, b []float64, opt CGOptions) (*CGResult, error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, fmt.Errorf("sparse: CG needs a square matrix, have %dx%d", n, a.Cols())
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("sparse: CG rhs length %d, want %d", len(b), n)
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-10
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 10 * n
+		if opt.MaxIter < 100 {
+			opt.MaxIter = 100
+		}
+	}
+	if opt.Precond == nil {
+		opt.Precond = NewJacobi(a)
+	}
+
+	x := make([]float64, n)
+	if opt.X0 != nil {
+		if len(opt.X0) != n {
+			return nil, fmt.Errorf("sparse: CG x0 length %d, want %d", len(opt.X0), n)
+		}
+		copy(x, opt.X0)
+	}
+
+	r := make([]float64, n)
+	a.MulVecTo(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	normB := norm2(b)
+	if normB == 0 {
+		return &CGResult{X: x, Iterations: 0, Residual: 0}, nil
+	}
+	if norm2(r)/normB <= opt.Tol {
+		return &CGResult{X: x, Iterations: 0, Residual: norm2(r) / normB}, nil
+	}
+
+	z := make([]float64, n)
+	opt.Precond.Apply(z, r)
+	p := make([]float64, n)
+	copy(p, z)
+	rz := dot(r, z)
+	ap := make([]float64, n)
+
+	for k := 1; k <= opt.MaxIter; k++ {
+		a.MulVecTo(ap, p)
+		pap := dot(p, ap)
+		if pap <= 0 || math.IsNaN(pap) {
+			return nil, ErrBreakdown
+		}
+		alpha := rz / pap
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		res := norm2(r) / normB
+		if res <= opt.Tol {
+			return &CGResult{X: x, Iterations: k, Residual: res}, nil
+		}
+		opt.Precond.Apply(z, r)
+		rzNew := dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return &CGResult{X: x, Iterations: opt.MaxIter, Residual: norm2(r) / normB}, ErrNotConverged
+}
+
+func dot(x, y []float64) float64 {
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+func norm2(x []float64) float64 {
+	return math.Sqrt(dot(x, x))
+}

@@ -1,0 +1,157 @@
+package sparse
+
+import (
+	"sort"
+)
+
+// RCM computes a reverse Cuthill-McKee ordering for the symmetric sparsity
+// pattern of a. The returned slice maps old index -> new index. Applying
+// it with Permute concentrates the nonzeros near the diagonal, which
+// improves cache behaviour of SpMV and the quality of IC(0).
+//
+// Disconnected components are ordered one after another, each started from
+// a pseudo-peripheral vertex found by repeated BFS.
+func RCM(a *CSR) []int {
+	n := a.Rows()
+	adj := adjacency(a)
+	deg := make([]int, n)
+	for i := range adj {
+		deg[i] = len(adj[i])
+	}
+
+	visited := make([]bool, n)
+	order := make([]int, 0, n)
+	for start := 0; start < n; start++ {
+		if visited[start] {
+			continue
+		}
+		root := pseudoPeripheral(adj, deg, visited, start)
+		// Cuthill-McKee BFS from root, neighbors by increasing degree.
+		queue := []int{root}
+		visited[root] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			order = append(order, u)
+			next := make([]int, 0, len(adj[u]))
+			for _, v := range adj[u] {
+				if !visited[v] {
+					visited[v] = true
+					next = append(next, v)
+				}
+			}
+			sort.Slice(next, func(x, y int) bool { return deg[next[x]] < deg[next[y]] })
+			queue = append(queue, next...)
+		}
+	}
+
+	// Reverse and invert into old->new form.
+	perm := make([]int, n)
+	for newIdx, oldIdx := range order {
+		perm[oldIdx] = n - 1 - newIdx
+	}
+	return perm
+}
+
+// adjacency extracts the symmetric adjacency lists (off-diagonal pattern).
+func adjacency(a *CSR) [][]int {
+	n := a.Rows()
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		cols, _ := a.RowNNZ(i)
+		for _, j := range cols {
+			if j != i {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+	return adj
+}
+
+// pseudoPeripheral finds a vertex of (locally) maximal eccentricity in the
+// component containing start, using the standard alternating-BFS heuristic.
+func pseudoPeripheral(adj [][]int, deg []int, visited []bool, start int) int {
+	root := start
+	lastEcc := -1
+	for {
+		levels, ecc := bfsLevels(adj, visited, root)
+		if ecc <= lastEcc {
+			return root
+		}
+		lastEcc = ecc
+		// Pick the minimum-degree vertex in the last level.
+		best, bestDeg := root, int(^uint(0)>>1)
+		for v, lv := range levels {
+			if lv == ecc && deg[v] < bestDeg {
+				best, bestDeg = v, deg[v]
+			}
+		}
+		if best == root {
+			return root
+		}
+		root = best
+	}
+}
+
+// bfsLevels returns the BFS level of each reachable unvisited vertex
+// (-1 for unreachable) and the eccentricity of root within the component.
+func bfsLevels(adj [][]int, visited []bool, root int) (map[int]int, int) {
+	levels := map[int]int{root: 0}
+	queue := []int{root}
+	ecc := 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if visited[v] {
+				continue
+			}
+			if _, ok := levels[v]; !ok {
+				levels[v] = levels[u] + 1
+				if levels[v] > ecc {
+					ecc = levels[v]
+				}
+				queue = append(queue, v)
+			}
+		}
+	}
+	return levels, ecc
+}
+
+// Bandwidth returns the maximum |i-j| over stored entries, a quick metric
+// for how effective an ordering is.
+func Bandwidth(a *CSR) int {
+	bw := 0
+	for i := 0; i < a.Rows(); i++ {
+		cols, _ := a.RowNNZ(i)
+		for _, j := range cols {
+			d := i - j
+			if d < 0 {
+				d = -d
+			}
+			if d > bw {
+				bw = d
+			}
+		}
+	}
+	return bw
+}
+
+// InvertPerm returns the inverse permutation: if perm[old] = new then
+// InvertPerm(perm)[new] = old.
+func InvertPerm(perm []int) []int {
+	inv := make([]int, len(perm))
+	for oldIdx, newIdx := range perm {
+		inv[newIdx] = oldIdx
+	}
+	return inv
+}
+
+// PermuteVec returns the vector x reordered so that out[perm[i]] = x[i].
+func PermuteVec(perm []int, x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, p := range perm {
+		out[p] = x[i]
+	}
+	return out
+}

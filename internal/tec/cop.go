@@ -1,0 +1,79 @@
+package tec
+
+import (
+	"math"
+)
+
+// Thermoelectric figures of merit and coefficient of performance, after
+// Rowe (CRC Handbook of Thermoelectrics, the paper's reference [17]).
+// The paper identifies the runaway current lambda_m with the operating
+// point where the cooler's COP reaches zero ("Peltier cooling is offset
+// by ohmic heating and heat conduction"); these helpers expose that
+// device-level view.
+
+// ZT returns the dimensionless thermoelectric figure of merit
+// Z*T = alpha^2 * T / (r * kappa) at absolute temperature t.
+// Thin-film superlattice devices reach ZT ~ 1-2 at room temperature.
+func (d DeviceParams) ZT(t float64) float64 {
+	return d.Seebeck * d.Seebeck * t / (d.Resistance * d.Kappa)
+}
+
+// COP returns the coefficient of performance q_c / p_in at the given
+// operating point. It is negative when the device heats its cold side
+// (q_c < 0) and undefined (returned as +Inf) at zero input power.
+func (d DeviceParams) COP(i, thetaHot, thetaCold float64) float64 {
+	p := d.InputPower(i, thetaHot, thetaCold)
+	if p == 0 {
+		return math.Inf(1)
+	}
+	return d.ColdSideFlux(i, thetaHot, thetaCold) / p
+}
+
+// MaxCoolingCurrent returns the current that maximizes the cold-side
+// flux q_c for fixed side temperatures: dq_c/di = alpha*theta_c - r*i = 0
+// gives i_q = alpha*theta_c / r (the textbook optimum).
+func (d DeviceParams) MaxCoolingCurrent(thetaCold float64) float64 {
+	return d.Seebeck * thetaCold / d.Resistance
+}
+
+// MaxDeltaT returns the largest hot-minus-cold temperature difference
+// the device can sustain with zero cold-side load:
+// dT_max = Z * theta_c^2 / 2, the classic result for theta_c held fixed.
+func (d DeviceParams) MaxDeltaT(thetaCold float64) float64 {
+	z := d.Seebeck * d.Seebeck / (d.Resistance * d.Kappa)
+	return 0.5 * z * thetaCold * thetaCold
+}
+
+// ZeroCOPCurrent returns the current at which q_c crosses zero (COP = 0)
+// for the given side temperatures — the device-level analogue of the
+// paper's thermal-runaway condition. It solves
+// alpha*i*theta_c - r*i^2/2 - kappa*dT = 0 for the larger root and
+// returns 0 if q_c never becomes positive (conduction dominates).
+func (d DeviceParams) ZeroCOPCurrent(thetaHot, thetaCold float64) float64 {
+	// -r/2 * i^2 + alpha*theta_c * i - kappa*(thetaHot-thetaCold) = 0.
+	a := -0.5 * d.Resistance
+	b := d.Seebeck * thetaCold
+	c := -d.Kappa * (thetaHot - thetaCold)
+	disc := b*b - 4*a*c
+	if disc < 0 {
+		return 0
+	}
+	// Larger root of the downward parabola.
+	return (-b - math.Sqrt(disc)) / (2 * a)
+}
+
+// ArrayCOP evaluates the aggregate COP of a deployed array in the solved
+// field theta at current i: total cold-side flux over total electrical
+// input power.
+func (a *Array) ArrayCOP(theta []float64, i float64) float64 {
+	var qc, p float64
+	for k := range a.Tiles {
+		th, tc := theta[a.Hot[k]], theta[a.Cold[k]]
+		qc += a.Params.ColdSideFlux(i, th, tc)
+		p += a.Params.InputPower(i, th, tc)
+	}
+	if p == 0 {
+		return math.Inf(1)
+	}
+	return qc / p
+}

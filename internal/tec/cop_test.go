@@ -1,0 +1,100 @@
+package tec
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZTPlausible(t *testing.T) {
+	d := ChowdhuryDevice()
+	zt := d.ZT(300)
+	// Superlattice thin films: ZT around 0.1-3 depending on geometry
+	// lumping; must at least be positive and not absurd.
+	if zt <= 0 || zt > 10 {
+		t.Fatalf("ZT(300K) = %v implausible", zt)
+	}
+	// ZT scales linearly with temperature.
+	if r := d.ZT(600) / zt; math.Abs(r-2) > 1e-12 {
+		t.Fatalf("ZT(600)/ZT(300) = %v, want 2", r)
+	}
+}
+
+func TestCOPSignsAndZero(t *testing.T) {
+	d := ChowdhuryDevice()
+	th, tc := 350.0, 345.0
+	// Moderate current: pumping heat, positive COP.
+	iGood := 0.3 * d.MaxCoolingCurrent(tc)
+	if cop := d.COP(iGood, th, tc); cop <= 0 {
+		t.Fatalf("COP(%.1fA) = %v, want > 0", iGood, cop)
+	}
+	// Zero current with dT > 0: q_c < 0 (back conduction), p = 0.
+	if cop := d.COP(0, th, tc); !math.IsInf(cop, 1) {
+		t.Fatalf("COP(0) = %v, want +Inf convention", cop)
+	}
+	// At the zero-COP current q_c vanishes.
+	iZero := d.ZeroCOPCurrent(th, tc)
+	if iZero <= 0 {
+		t.Fatalf("ZeroCOPCurrent = %v, want > 0", iZero)
+	}
+	if qc := d.ColdSideFlux(iZero, th, tc); math.Abs(qc) > 1e-9 {
+		t.Fatalf("q_c at zero-COP current = %v, want 0", qc)
+	}
+	// Beyond it the device heats its own cold side.
+	if qc := d.ColdSideFlux(iZero*1.1, th, tc); qc >= 0 {
+		t.Fatalf("q_c beyond zero-COP current = %v, want < 0", qc)
+	}
+}
+
+func TestZeroCOPCurrentNoPositiveRegion(t *testing.T) {
+	// Huge dT: conduction dominates at every current, q_c < 0 always.
+	d := ChowdhuryDevice()
+	if i := d.ZeroCOPCurrent(10000, 300); i != 0 {
+		t.Fatalf("ZeroCOPCurrent = %v, want 0 for conduction-dominated case", i)
+	}
+}
+
+func TestMaxCoolingCurrentIsOptimum(t *testing.T) {
+	d := ChowdhuryDevice()
+	th, tc := 350.0, 340.0
+	iq := d.MaxCoolingCurrent(tc)
+	qAt := d.ColdSideFlux(iq, th, tc)
+	for _, di := range []float64{-1, 1} {
+		if q := d.ColdSideFlux(iq+di, th, tc); q > qAt {
+			t.Fatalf("q_c(%.2f) = %v exceeds q_c at the textbook optimum %v", iq+di, q, qAt)
+		}
+	}
+}
+
+func TestMaxDeltaT(t *testing.T) {
+	d := ChowdhuryDevice()
+	tc := 300.0
+	dtMax := d.MaxDeltaT(tc)
+	if dtMax <= 0 {
+		t.Fatalf("MaxDeltaT = %v", dtMax)
+	}
+	// At dT = dT_max and i = i_q, q_c must be ~0 (definition).
+	iq := d.MaxCoolingCurrent(tc)
+	qc := d.ColdSideFlux(iq, tc+dtMax, tc)
+	if math.Abs(qc) > 1e-9*(1+math.Abs(qc)) {
+		t.Fatalf("q_c at (i_q, dT_max) = %v, want 0", qc)
+	}
+}
+
+func TestArrayCOP(t *testing.T) {
+	pn, arr := buildWithSites(t, []int{50, 60})
+	theta := make([]float64, pn.Net.NumNodes())
+	for i := range theta {
+		theta[i] = 350
+	}
+	theta[arr.Cold[0]] = 345
+	theta[arr.Cold[1]] = 346
+	i := 0.3 * arr.Params.MaxCoolingCurrent(345)
+	cop := arr.ArrayCOP(theta, i)
+	if cop <= 0 || math.IsInf(cop, 0) {
+		t.Fatalf("ArrayCOP = %v", cop)
+	}
+	// Zero current: infinite by convention.
+	if !math.IsInf(arr.ArrayCOP(theta, 0), 1) {
+		t.Fatal("ArrayCOP(0) not +Inf")
+	}
+}

@@ -1,0 +1,194 @@
+// Package tec models super-lattice thin-film thermoelectric cooler (TEC)
+// devices and their insertion into the compact thermal network
+// (Sections III and IV.B of the paper).
+//
+// A device is characterized by its Seebeck coefficient alpha (V/K),
+// electrical resistance r (ohm), thermal conductance kappa (W/K) and the
+// hot/cold contact conductances g_h, g_c (W/K). At supply current i the
+// device absorbs q_c = alpha*i*theta_c - r*i^2/2 - kappa*(theta_h -
+// theta_c) at the cold side and releases q_h = alpha*i*theta_h + r*i^2/2
+// - kappa*(theta_h - theta_c) at the hot side (Eqs. 1-2); its electrical
+// input power is p = r*i^2 + alpha*i*(theta_h - theta_c) (Eq. 3).
+//
+// In the network model of Figure 4 the Peltier terms become current-
+// dependent conductors to thermal ground — +alpha*i at the cold node,
+// -alpha*i at the hot node — which is exactly the diagonal matrix D of
+// Eq. (4-5); the Joule term becomes two r*i^2/2 heat sources.
+package tec
+
+import (
+	"fmt"
+
+	"tecopt/internal/material"
+	"tecopt/internal/thermal"
+)
+
+// DeviceParams describes one thin-film TEC device.
+type DeviceParams struct {
+	// Seebeck is the device Seebeck coefficient alpha in V/K (a material
+	// constant; see footnote 1 of the paper).
+	Seebeck float64
+	// Resistance is the electrical resistance r in ohm.
+	Resistance float64
+	// Kappa is the hot-to-cold thermal conductance in W/K.
+	Kappa float64
+	// ContactCold (g_c) and ContactHot (g_h) are the interface
+	// conductances between the device headers and the silicon/spreader
+	// sides, in W/K. The paper notes that g_h, lying between the hot
+	// side and the ambient, plays a central role in thermal runaway.
+	ContactCold, ContactHot float64
+}
+
+// Validate reports whether the parameters are physical.
+func (d DeviceParams) Validate() error {
+	switch {
+	case d.Seebeck <= 0:
+		return fmt.Errorf("tec: Seebeck coefficient must be positive, have %g", d.Seebeck)
+	case d.Resistance <= 0:
+		return fmt.Errorf("tec: resistance must be positive, have %g", d.Resistance)
+	case d.Kappa <= 0:
+		return fmt.Errorf("tec: kappa must be positive, have %g", d.Kappa)
+	case d.ContactCold <= 0 || d.ContactHot <= 0:
+		return fmt.Errorf("tec: contact conductances must be positive, have g_c=%g g_h=%g", d.ContactCold, d.ContactHot)
+	}
+	return nil
+}
+
+// ChowdhuryDevice returns parameters for a 0.5 mm x 0.5 mm super-lattice
+// thin-film TEC derived from Chowdhury et al. [1]: an 8 um
+// Bi2Te3/Sb2Te3 superlattice film (k = 1.2 W/mK) under metal headers,
+// with a device Seebeck coefficient of ~300 uV/K, a few-milliohm series
+// resistance, and header/interface contact resistivities around
+// 1e-6 K*m^2/W. With these values the device operates in the few-amp
+// regime (optimal currents around 3-9 A) and delivers on-demand cooling
+// swings of several kelvin, matching both Chowdhury's measurements and
+// the paper's Table I (I_opt 5.05-10.42 A).
+func ChowdhuryDevice() DeviceParams {
+	const (
+		side      = 0.5e-3 // lateral dimension (m), Section III.A
+		filmThick = 8e-6   // superlattice film thickness (m)
+		contactR  = 1.3e-6 // contact resistivity (K*m^2/W)
+	)
+	area := side * side
+	return DeviceParams{
+		Seebeck:     3.0e-4,
+		Resistance:  2.6e-3,
+		Kappa:       material.Superlattice.Conductivity * area / filmThick,
+		ContactCold: area / contactR,
+		ContactHot:  area / contactR,
+	}
+}
+
+// InputPower returns the electrical power drawn by one device at current
+// i with hot/cold side temperatures thetaHot/thetaCold (Eq. 3).
+func (d DeviceParams) InputPower(i, thetaHot, thetaCold float64) float64 {
+	return d.Resistance*i*i + d.Seebeck*i*(thetaHot-thetaCold)
+}
+
+// ColdSideFlux returns q_c per Eq. (1). Positive values mean the device
+// is absorbing heat from the cold side (net cooling).
+func (d DeviceParams) ColdSideFlux(i, thetaHot, thetaCold float64) float64 {
+	return d.Seebeck*i*thetaCold - 0.5*d.Resistance*i*i - d.Kappa*(thetaHot-thetaCold)
+}
+
+// HotSideFlux returns q_h per Eq. (2).
+func (d DeviceParams) HotSideFlux(i, thetaHot, thetaCold float64) float64 {
+	return d.Seebeck*i*thetaHot + 0.5*d.Resistance*i*i - d.Kappa*(thetaHot-thetaCold)
+}
+
+// Array is a set of TEC devices attached to a package network. Per the
+// paper's single-extra-pin configuration (Section III.B), all devices
+// share one supply current and are electrically in series, thermally in
+// parallel.
+type Array struct {
+	Params DeviceParams
+	// Tiles lists the covered silicon tiles in ascending order of
+	// attachment.
+	Tiles []int
+	// Cold and Hot are the per-device network node indices, parallel to
+	// Tiles.
+	Cold, Hot []int
+}
+
+// Attach wires one device per tile in sites into the package network.
+// The network must have been built with exactly these TEC sites reserved.
+func Attach(pn *thermal.PackageNetwork, params DeviceParams, sites []int) (*Array, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	arr := &Array{Params: params}
+	for _, t := range sites {
+		cold, hot, err := pn.AttachTEC(t, params.ContactCold, params.ContactHot, params.Kappa)
+		if err != nil {
+			return nil, err
+		}
+		arr.Tiles = append(arr.Tiles, t)
+		arr.Cold = append(arr.Cold, cold)
+		arr.Hot = append(arr.Hot, hot)
+	}
+	return arr, nil
+}
+
+// Count returns the number of attached devices.
+func (a *Array) Count() int { return len(a.Tiles) }
+
+// DVector builds the diagonal of the matrix D of Eq. (5) for a network
+// with n nodes: +alpha at every cold node, -alpha at every hot node,
+// zero elsewhere.
+//
+// Sign note: the paper's Eq. (5) text lists alpha_k = +alpha for
+// k in HOT; with the system written as (G - i*D) theta = p the Peltier
+// conductor +alpha*i at the cold node must *add* to the diagonal of
+// (G - i*D), i.e. D_kk = -alpha for k in CLD, and symmetrically the
+// -alpha*i conductor at the hot node requires D_kk = +alpha... Working
+// through Figure 4: cold node gains conductor +alpha*i to ground, so
+// G_kk picks up +alpha*i, equivalently (G - i*D)_kk with D_kk = -alpha.
+// Hot node gains -alpha*i, so D_kk = +alpha. That matches Eq. (5)'s
+// "+alpha if k in HOT, -alpha if k in CLD".
+func (a *Array) DVector(n int) []float64 {
+	d := make([]float64, n)
+	for k := range a.Tiles {
+		d[a.Hot[k]] += a.Params.Seebeck
+		d[a.Cold[k]] -= a.Params.Seebeck
+	}
+	return d
+}
+
+// JoulePower adds the r*i^2/2 Joule heat sources of every device to the
+// nodal power vector p (Eq. 4's definition of p_k for k in HOT u CLD).
+func (a *Array) JoulePower(p []float64, i float64) {
+	half := 0.5 * a.Params.Resistance * i * i
+	for k := range a.Tiles {
+		p[a.Hot[k]] += half
+		p[a.Cold[k]] += half
+	}
+}
+
+// TotalInputPower sums Eq. (3) over the devices for the solved
+// temperature field theta at current i.
+func (a *Array) TotalInputPower(theta []float64, i float64) float64 {
+	var s float64
+	for k := range a.Tiles {
+		s += a.Params.InputPower(i, theta[a.Hot[k]], theta[a.Cold[k]])
+	}
+	return s
+}
+
+// DeviceVoltage returns one device's terminal voltage at current i:
+// the ohmic drop r*i plus the Seebeck back-EMF alpha*(theta_h - theta_c).
+func (d DeviceParams) DeviceVoltage(i, thetaHot, thetaCold float64) float64 {
+	return d.Resistance*i + d.Seebeck*(thetaHot-thetaCold)
+}
+
+// StringVoltage returns the supply voltage the external source must
+// provide across the electrically-series device string (Section III.B:
+// one extra pin, devices in series) in the solved field theta at
+// current i. Note v * i recovers TotalInputPower, since each device's
+// p = (r*i + alpha*dT) * i.
+func (a *Array) StringVoltage(theta []float64, i float64) float64 {
+	var v float64
+	for k := range a.Tiles {
+		v += a.Params.DeviceVoltage(i, theta[a.Hot[k]], theta[a.Cold[k]])
+	}
+	return v
+}

@@ -1,0 +1,197 @@
+package tec
+
+import (
+	"math"
+	"testing"
+
+	"tecopt/internal/material"
+	"tecopt/internal/thermal"
+)
+
+func TestChowdhuryDeviceValid(t *testing.T) {
+	d := ChowdhuryDevice()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("reference device invalid: %v", err)
+	}
+	// Sanity ranges for a thin-film device.
+	if d.Seebeck < 1e-4 || d.Seebeck > 1e-3 {
+		t.Errorf("Seebeck %g outside thin-film range", d.Seebeck)
+	}
+	if d.Resistance < 1e-4 || d.Resistance > 0.1 {
+		t.Errorf("resistance %g outside milliohm range", d.Resistance)
+	}
+	if d.Kappa <= 0 || d.Kappa > 1 {
+		t.Errorf("kappa %g implausible", d.Kappa)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := ChowdhuryDevice()
+	mutations := []func(*DeviceParams){
+		func(d *DeviceParams) { d.Seebeck = 0 },
+		func(d *DeviceParams) { d.Resistance = -1 },
+		func(d *DeviceParams) { d.Kappa = 0 },
+		func(d *DeviceParams) { d.ContactCold = 0 },
+		func(d *DeviceParams) { d.ContactHot = -2 },
+	}
+	for i, m := range mutations {
+		d := base
+		m(&d)
+		if d.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestFluxEquations(t *testing.T) {
+	d := DeviceParams{Seebeck: 1e-3, Resistance: 0.01, Kappa: 0.05, ContactCold: 1, ContactHot: 1}
+	i, th, tc := 5.0, 350.0, 340.0
+	qc := d.ColdSideFlux(i, th, tc)
+	qh := d.HotSideFlux(i, th, tc)
+	// Eq. 1: 1e-3*5*340 - 0.5*0.01*25 - 0.05*10 = 1.7 - 0.125 - 0.5
+	if math.Abs(qc-1.075) > 1e-12 {
+		t.Errorf("qc = %v, want 1.075", qc)
+	}
+	// Eq. 2: 1e-3*5*350 + 0.125 - 0.5 = 1.375
+	if math.Abs(qh-1.375) > 1e-12 {
+		t.Errorf("qh = %v, want 1.375", qh)
+	}
+	// Eq. 3: input power equals qh - qc.
+	p := d.InputPower(i, th, tc)
+	if math.Abs(p-(qh-qc)) > 1e-12 {
+		t.Errorf("p = %v, qh-qc = %v", p, qh-qc)
+	}
+	// Zero current: pure conduction, no input power.
+	if d.InputPower(0, th, tc) != 0 {
+		t.Error("nonzero input power at i=0")
+	}
+	if qc0 := d.ColdSideFlux(0, th, tc); math.Abs(qc0+0.5) > 1e-12 {
+		t.Errorf("qc(0) = %v, want -0.5 (back conduction)", qc0)
+	}
+}
+
+func buildWithSites(t *testing.T, sites []int) (*thermal.PackageNetwork, *Array) {
+	t.Helper()
+	opts := thermal.DefaultBuildOptions()
+	opts.TECSites = map[int]bool{}
+	for _, s := range sites {
+		opts.TECSites[s] = true
+	}
+	pn, err := thermal.BuildPackage(material.DefaultPackage(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := Attach(pn, ChowdhuryDevice(), sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pn, arr
+}
+
+func TestAttach(t *testing.T) {
+	sites := []int{10, 20, 30}
+	pn, arr := buildWithSites(t, sites)
+	if arr.Count() != 3 {
+		t.Fatalf("Count = %d", arr.Count())
+	}
+	for k, tile := range arr.Tiles {
+		if pn.ColdNode[tile] != arr.Cold[k] || pn.HotNode[tile] != arr.Hot[k] {
+			t.Fatal("node bookkeeping mismatch")
+		}
+	}
+}
+
+func TestAttachInvalidDevice(t *testing.T) {
+	opts := thermal.DefaultBuildOptions()
+	opts.TECSites = map[int]bool{1: true}
+	pn, err := thermal.BuildPackage(material.DefaultPackage(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := ChowdhuryDevice()
+	bad.Seebeck = 0
+	if _, err := Attach(pn, bad, []int{1}); err == nil {
+		t.Fatal("invalid device accepted")
+	}
+	// Unreserved site must fail too.
+	if _, err := Attach(pn, ChowdhuryDevice(), []int{2}); err == nil {
+		t.Fatal("unreserved site accepted")
+	}
+}
+
+func TestDVectorSigns(t *testing.T) {
+	pn, arr := buildWithSites(t, []int{50})
+	d := arr.DVector(pn.Net.NumNodes())
+	alpha := arr.Params.Seebeck
+	if got := d[arr.Hot[0]]; got != +alpha {
+		t.Errorf("D at hot node = %v, want +%v (Eq. 5)", got, alpha)
+	}
+	if got := d[arr.Cold[0]]; got != -alpha {
+		t.Errorf("D at cold node = %v, want -%v (Eq. 5)", got, alpha)
+	}
+	var nz int
+	for _, v := range d {
+		if v != 0 {
+			nz++
+		}
+	}
+	if nz != 2 {
+		t.Errorf("D has %d nonzeros, want 2", nz)
+	}
+}
+
+func TestJoulePower(t *testing.T) {
+	pn, arr := buildWithSites(t, []int{50, 60})
+	p := make([]float64, pn.Net.NumNodes())
+	arr.JoulePower(p, 4)
+	half := 0.5 * arr.Params.Resistance * 16
+	var sum float64
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-4*half) > 1e-15 {
+		t.Fatalf("total joule = %v, want %v", sum, 4*half)
+	}
+	if p[arr.Hot[0]] != half || p[arr.Cold[1]] != half {
+		t.Fatal("joule not placed on device nodes")
+	}
+}
+
+func TestTotalInputPower(t *testing.T) {
+	pn, arr := buildWithSites(t, []int{50})
+	theta := make([]float64, pn.Net.NumNodes())
+	theta[arr.Hot[0]] = 330
+	theta[arr.Cold[0]] = 320
+	i := 3.0
+	want := arr.Params.Resistance*9 + arr.Params.Seebeck*3*10
+	if got := arr.TotalInputPower(theta, i); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("TotalInputPower = %v, want %v", got, want)
+	}
+}
+
+func TestStringVoltagePowerIdentity(t *testing.T) {
+	pn, arr := buildWithSites(t, []int{50, 60, 70})
+	theta := make([]float64, pn.Net.NumNodes())
+	for i := range theta {
+		theta[i] = 340
+	}
+	theta[arr.Hot[0]] = 345
+	theta[arr.Cold[0]] = 338
+	theta[arr.Hot[2]] = 347
+	theta[arr.Cold[2]] = 339
+	i := 5.0
+	v := arr.StringVoltage(theta, i)
+	p := arr.TotalInputPower(theta, i)
+	if math.Abs(v*i-p) > 1e-12*(1+math.Abs(p)) {
+		t.Fatalf("v*i = %v != total power %v", v*i, p)
+	}
+	if v <= 0 {
+		t.Fatalf("string voltage %v not positive at %v A", v, i)
+	}
+	// Per-device identity too.
+	dv := arr.Params.DeviceVoltage(i, 345, 338)
+	dp := arr.Params.InputPower(i, 345, 338)
+	if math.Abs(dv*i-dp) > 1e-12 {
+		t.Fatalf("device v*i = %v != p = %v", dv*i, dp)
+	}
+}

@@ -1,0 +1,184 @@
+// Package thermal builds and solves the compact thermal model of the
+// chip package (Section IV of the paper).
+//
+// By the electro-thermal duality, heat flow through the package is
+// modeled as current through a network of thermal conductances: each
+// layer (silicon die, TIM, heat spreader, heat sink) is dissected into
+// tiles, each tile becomes a network node, adjacent tiles are joined by
+// conductances, the fan/heat-sink convection becomes conductances from
+// the sink nodes to the ambient node, and the ambient is a fixed
+// "voltage" (temperature) source against the absolute-zero ground.
+// Dissipated power enters as current sources at the silicon nodes.
+//
+// The resulting steady-state equation is G*theta = p (Eq. 4 with i = 0),
+// where G is an irreducible positive definite Stieltjes matrix; the TEC
+// model of package tec extends it to (G - i*D)*theta = p.
+package thermal
+
+import (
+	"fmt"
+
+	"tecopt/internal/sparse"
+)
+
+// NodeKind labels the physical role of a network node.
+type NodeKind int
+
+// Node kinds, from the active silicon down the cooling path. The paper's
+// node sets SIL, HOT and CLD map to KindSilicon, KindTECHot and
+// KindTECCold.
+const (
+	KindSilicon NodeKind = iota
+	KindTIM
+	KindSpreader
+	KindSink
+	KindTECCold
+	KindTECHot
+)
+
+// String returns a short label for the node kind.
+func (k NodeKind) String() string {
+	switch k {
+	case KindSilicon:
+		return "SIL"
+	case KindTIM:
+		return "TIM"
+	case KindSpreader:
+		return "SPR"
+	case KindSink:
+		return "SNK"
+	case KindTECCold:
+		return "CLD"
+	case KindTECHot:
+		return "HOT"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// Node carries a network node's identity.
+type Node struct {
+	Kind NodeKind
+	// Tile is the silicon tile index this node sits over (or -1 for
+	// spreader/sink nodes, which have their own layer grids).
+	Tile int
+}
+
+// Network is a thermal conductance network under assembly. Conductances
+// are in W/K, temperatures in kelvin, powers in watts.
+type Network struct {
+	nodes   []Node
+	edges   []edge
+	grounds []ground
+}
+
+type edge struct {
+	i, j int
+	g    float64
+}
+
+type ground struct {
+	i       int
+	g       float64
+	sourceK float64 // temperature of the fixed node this leg connects to
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network { return &Network{} }
+
+// AddNode appends a node and returns its index.
+func (n *Network) AddNode(node Node) int {
+	n.nodes = append(n.nodes, node)
+	return len(n.nodes) - 1
+}
+
+// NumNodes returns the number of nodes.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// Node returns the node metadata for index i.
+func (n *Network) Node(i int) Node { return n.nodes[i] }
+
+// NodesOfKind returns the indices of all nodes of the given kind, in
+// insertion order.
+func (n *Network) NodesOfKind(k NodeKind) []int {
+	var out []int
+	for i, nd := range n.nodes {
+		if nd.Kind == k {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// AddConductance joins nodes i and j with a thermal conductance g (W/K).
+// Zero conductances are ignored; negative ones are rejected because a
+// passive network cannot contain them (the TEC's negative Peltier
+// "conductor" enters through the separate D matrix instead).
+func (n *Network) AddConductance(i, j int, g float64) {
+	if g == 0 {
+		return
+	}
+	if g < 0 {
+		panic(fmt.Sprintf("thermal: negative conductance %g between %d and %d", g, i, j))
+	}
+	if i == j || i < 0 || j < 0 || i >= len(n.nodes) || j >= len(n.nodes) {
+		panic(fmt.Sprintf("thermal: bad conductance endpoints (%d,%d) with %d nodes", i, j, len(n.nodes)))
+	}
+	n.edges = append(n.edges, edge{i, j, g})
+}
+
+// AddGround connects node i to a fixed-temperature node (typically the
+// ambient) through conductance g. The fixed node is eliminated from the
+// system: g lands on the diagonal of G and g*sourceK on the right-hand
+// side, exactly the constant-voltage-source treatment of Section IV.A.
+func (n *Network) AddGround(i int, g, sourceK float64) {
+	if g == 0 {
+		return
+	}
+	if g < 0 {
+		panic(fmt.Sprintf("thermal: negative ground conductance %g at node %d", g, i))
+	}
+	if i < 0 || i >= len(n.nodes) {
+		panic(fmt.Sprintf("thermal: ground at invalid node %d", i))
+	}
+	n.grounds = append(n.grounds, ground{i, g, sourceK})
+}
+
+// G assembles the conductance matrix: the weighted graph Laplacian of the
+// edges plus the ground-leg conductances on the diagonal. The result is
+// an irreducible positive definite Stieltjes matrix for any connected
+// network with at least one ground leg (Lemma 1).
+func (n *Network) G() *sparse.CSR {
+	b := sparse.NewBuilder(len(n.nodes), len(n.nodes))
+	for _, e := range n.edges {
+		b.AddSym(e.i, e.j, -e.g)
+		b.Add(e.i, e.i, e.g)
+		b.Add(e.j, e.j, e.g)
+	}
+	for _, gr := range n.grounds {
+		b.Add(gr.i, gr.i, gr.g)
+	}
+	return b.Build()
+}
+
+// BaseRHS returns the right-hand-side contribution of the eliminated
+// fixed-temperature nodes: rhs[i] = sum of g*sourceK over node i's ground
+// legs. Add per-node input powers on top to obtain the full p vector.
+func (n *Network) BaseRHS() []float64 {
+	rhs := make([]float64, len(n.nodes))
+	for _, gr := range n.grounds {
+		rhs[gr.i] += gr.g * gr.sourceK
+	}
+	return rhs
+}
+
+// TotalGroundConductance returns the summed conductance to fixed nodes,
+// useful for sanity checks (it must equal 1/Rconvec for the package
+// model).
+func (n *Network) TotalGroundConductance() float64 {
+	var s float64
+	for _, gr := range n.grounds {
+		s += gr.g
+	}
+	return s
+}

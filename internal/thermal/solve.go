@@ -1,0 +1,154 @@
+package thermal
+
+import (
+	"errors"
+	"fmt"
+
+	"tecopt/internal/mat"
+	"tecopt/internal/sparse"
+)
+
+// Solver method selection for steady-state solves.
+type Method int
+
+const (
+	// MethodAuto picks BandCholesky (direct, exact) — the right choice
+	// for the repeated factor-and-solve pattern of the optimizer.
+	MethodAuto Method = iota
+	// MethodBandCholesky forces the RCM + banded direct solver.
+	MethodBandCholesky
+	// MethodCG forces the preconditioned conjugate-gradient solver.
+	MethodCG
+	// MethodDenseCholesky forces a dense O(n^3) factorization — the
+	// paper's stated method, practical for small models and useful as a
+	// reference in solver-equivalence tests.
+	MethodDenseCholesky
+)
+
+// ErrNotPD reports that the system matrix is not positive definite, i.e.
+// the operating point is at or beyond the thermal-runaway limit.
+var ErrNotPD = errors.New("thermal: system matrix not positive definite (beyond runaway limit?)")
+
+// Factorization is a reusable direct factorization of a system matrix,
+// with the RCM permutation folded in.
+type Factorization struct {
+	chol *sparse.BandCholesky
+	perm []int // old -> new
+	inv  []int // new -> old
+}
+
+// Factor computes an RCM-ordered banded Cholesky factorization of the
+// symmetric positive definite matrix a. perm may be a precomputed RCM
+// permutation for a's pattern (pass nil to compute one here); reusing a
+// permutation across the many G - i*D factorizations of the optimizer
+// saves the ordering cost, since the pattern never changes with i.
+func Factor(a *sparse.CSR, perm []int) (*Factorization, error) {
+	if perm == nil {
+		perm = sparse.RCM(a)
+	}
+	ap := a.Permute(perm)
+	chol, err := sparse.NewBandCholesky(ap)
+	if err != nil {
+		return nil, ErrNotPD
+	}
+	return &Factorization{chol: chol, perm: perm, inv: sparse.InvertPerm(perm)}, nil
+}
+
+// Solve solves A x = b using the factorization.
+func (f *Factorization) Solve(b []float64) []float64 {
+	xp := f.chol.Solve(sparse.PermuteVec(f.perm, b))
+	return sparse.PermuteVec(f.inv, xp)
+}
+
+// SolveSteady solves G*theta = rhs with the selected method.
+func SolveSteady(g *sparse.CSR, rhs []float64, m Method) ([]float64, error) {
+	switch m {
+	case MethodAuto, MethodBandCholesky:
+		f, err := Factor(g, nil)
+		if err != nil {
+			return nil, err
+		}
+		return f.Solve(rhs), nil
+	case MethodCG:
+		res, err := sparse.SolveCG(g, rhs, sparse.CGOptions{
+			Tol:     1e-12,
+			Precond: sparse.NewBestPreconditioner(g),
+		})
+		if err != nil {
+			if errors.Is(err, sparse.ErrBreakdown) {
+				return nil, ErrNotPD
+			}
+			return nil, err
+		}
+		return res.X, nil
+	case MethodDenseCholesky:
+		n := g.Rows()
+		d := mat.NewDense(n, n)
+		for i := 0; i < n; i++ {
+			cols, vals := g.RowNNZ(i)
+			for k, j := range cols {
+				d.Set(i, j, vals[k])
+			}
+		}
+		chol, err := mat.NewCholesky(d)
+		if err != nil {
+			return nil, ErrNotPD
+		}
+		return chol.Solve(rhs), nil
+	default:
+		return nil, fmt.Errorf("thermal: unknown method %d", m)
+	}
+}
+
+// PowerVector assembles the full nodal power vector p from per-tile
+// silicon powers (W): p[SilNode[t]] = tilePower[t], everything else zero.
+// Joule terms for active TECs are added by the caller, which owns the
+// current level.
+func (pn *PackageNetwork) PowerVector(tilePower []float64) ([]float64, error) {
+	if len(tilePower) != pn.NumTiles() {
+		return nil, fmt.Errorf("thermal: tile power length %d, want %d", len(tilePower), pn.NumTiles())
+	}
+	p := make([]float64, pn.Net.NumNodes())
+	for t, pw := range tilePower {
+		if pw < 0 {
+			return nil, fmt.Errorf("thermal: negative power %g at tile %d", pw, t)
+		}
+		p[pn.SilNode[t]] = pw
+	}
+	return p, nil
+}
+
+// SiliconTemps extracts the silicon-tile temperatures (kelvin) from a
+// full nodal solution.
+func (pn *PackageNetwork) SiliconTemps(theta []float64) []float64 {
+	out := make([]float64, pn.NumTiles())
+	for t, n := range pn.SilNode {
+		out[t] = theta[n]
+	}
+	return out
+}
+
+// PeakSilicon returns the hottest silicon tile temperature and its index.
+func (pn *PackageNetwork) PeakSilicon(theta []float64) (maxK float64, tile int) {
+	maxK, tile = theta[pn.SilNode[0]], 0
+	for t, n := range pn.SilNode[1:] {
+		if theta[n] > maxK {
+			maxK, tile = theta[n], t+1
+		}
+	}
+	return maxK, tile
+}
+
+// SolvePassive is a convenience: solve the package with the given
+// per-tile powers and no TEC current (pure conduction + convection).
+func (pn *PackageNetwork) SolvePassive(tilePower []float64, m Method) ([]float64, error) {
+	p, err := pn.PowerVector(tilePower)
+	if err != nil {
+		return nil, err
+	}
+	rhs := pn.Net.BaseRHS()
+	for i, v := range p {
+		rhs[i] += v
+	}
+	return SolveSteady(pn.Net.G(), rhs, m)
+}

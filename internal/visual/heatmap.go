@@ -1,0 +1,179 @@
+// Package visual renders temperature fields and deployment maps as PNG
+// images (stdlib image/png only): per-tile heatmaps of the silicon layer
+// with optional TEC-site markers and unit boundaries, plus a temperature
+// color bar. Useful for inspecting optimization results beyond the
+// ASCII maps.
+package visual
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+
+	"tecopt/internal/floorplan"
+)
+
+// HeatmapOptions configures rendering.
+type HeatmapOptions struct {
+	// CellPx is the pixel size of one tile (default 24).
+	CellPx int
+	// MinK, MaxK fix the color scale; when both zero the data range is
+	// used.
+	MinK, MaxK float64
+	// TECSites marks tiles to outline as TEC devices.
+	TECSites []int
+	// Floorplan draws unit boundaries when non-nil (requires Grid's
+	// tiling to match the floorplan's die).
+	Floorplan *floorplan.Floorplan
+	// ColorBar appends a vertical scale strip on the right.
+	ColorBar bool
+}
+
+func (o HeatmapOptions) withDefaults() HeatmapOptions {
+	if o.CellPx <= 0 {
+		o.CellPx = 24
+	}
+	return o
+}
+
+// WriteHeatmap renders per-tile temperatures (kelvin, row-major with row
+// 0 at the bottom, matching floorplan.Grid) into a PNG.
+func WriteHeatmap(w io.Writer, g *floorplan.Grid, tileTempsK []float64, opt HeatmapOptions) error {
+	if len(tileTempsK) != g.NumTiles() {
+		return fmt.Errorf("visual: %d temperatures for %d tiles", len(tileTempsK), g.NumTiles())
+	}
+	opt = opt.withDefaults()
+	minK, maxK := opt.MinK, opt.MaxK
+	if minK == 0 && maxK == 0 {
+		minK, maxK = tileTempsK[0], tileTempsK[0]
+		for _, v := range tileTempsK {
+			if v < minK {
+				minK = v
+			}
+			if v > maxK {
+				maxK = v
+			}
+		}
+	}
+	if !(maxK > minK) {
+		maxK = minK + 1
+	}
+
+	cell := opt.CellPx
+	wPx := g.Cols * cell
+	hPx := g.Rows * cell
+	barW := 0
+	if opt.ColorBar {
+		barW = cell + cell/2
+	}
+	img := image.NewRGBA(image.Rect(0, 0, wPx+barW, hPx))
+
+	// Tiles.
+	tecSet := map[int]bool{}
+	for _, s := range opt.TECSites {
+		tecSet[s] = true
+	}
+	for t := 0; t < g.NumTiles(); t++ {
+		c, r := g.TileColRow(t)
+		x0 := c * cell
+		y0 := (g.Rows - 1 - r) * cell // row 0 at the bottom of the image
+		col := tempColor((tileTempsK[t] - minK) / (maxK - minK))
+		for y := y0; y < y0+cell; y++ {
+			for x := x0; x < x0+cell; x++ {
+				img.Set(x, y, col)
+			}
+		}
+		if tecSet[t] {
+			outlineRect(img, x0, y0, cell, cell, color.RGBA{0, 0, 0, 255}, 2)
+		}
+	}
+
+	// Unit boundaries.
+	if opt.Floorplan != nil {
+		drawUnitBoundaries(img, g, opt.Floorplan, cell)
+	}
+
+	// Color bar.
+	if opt.ColorBar {
+		for y := 0; y < hPx; y++ {
+			frac := 1 - float64(y)/float64(hPx-1)
+			col := tempColor(frac)
+			for x := wPx + cell/2; x < wPx+barW; x++ {
+				img.Set(x, y, col)
+			}
+		}
+	}
+	return png.Encode(w, img)
+}
+
+// tempColor maps [0,1] onto a blue->cyan->yellow->red ramp.
+func tempColor(frac float64) color.RGBA {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	// Piecewise-linear ramp through blue, cyan, yellow, red.
+	type stop struct {
+		at      float64
+		r, g, b float64
+	}
+	stops := []stop{
+		{0.00, 20, 50, 160},
+		{0.33, 0, 200, 220},
+		{0.66, 250, 220, 40},
+		{1.00, 210, 30, 20},
+	}
+	for i := 1; i < len(stops); i++ {
+		if frac <= stops[i].at {
+			lo, hi := stops[i-1], stops[i]
+			t := (frac - lo.at) / (hi.at - lo.at)
+			return color.RGBA{
+				R: uint8(lo.r + t*(hi.r-lo.r)),
+				G: uint8(lo.g + t*(hi.g-lo.g)),
+				B: uint8(lo.b + t*(hi.b-lo.b)),
+				A: 255,
+			}
+		}
+	}
+	return color.RGBA{210, 30, 20, 255}
+}
+
+func outlineRect(img *image.RGBA, x0, y0, w, h int, col color.RGBA, thick int) {
+	for d := 0; d < thick; d++ {
+		for x := x0; x < x0+w; x++ {
+			img.Set(x, y0+d, col)
+			img.Set(x, y0+h-1-d, col)
+		}
+		for y := y0; y < y0+h; y++ {
+			img.Set(x0+d, y, col)
+			img.Set(x0+w-1-d, y, col)
+		}
+	}
+}
+
+// drawUnitBoundaries draws a thin line wherever horizontally or
+// vertically adjacent tiles belong to different units.
+func drawUnitBoundaries(img *image.RGBA, g *floorplan.Grid, f *floorplan.Floorplan, cell int) {
+	line := color.RGBA{40, 40, 40, 255}
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			t := g.TileIndex(c, r)
+			x0 := c * cell
+			y0 := (g.Rows - 1 - r) * cell
+			if c+1 < g.Cols && g.OwnerUnit[t] != g.OwnerUnit[g.TileIndex(c+1, r)] {
+				for y := y0; y < y0+cell; y++ {
+					img.Set(x0+cell-1, y, line)
+				}
+			}
+			if r+1 < g.Rows && g.OwnerUnit[t] != g.OwnerUnit[g.TileIndex(c, r+1)] {
+				for x := x0; x < x0+cell; x++ {
+					img.Set(x, y0, line)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package visual
+
+import (
+	"bytes"
+	"image/png"
+	"testing"
+
+	"tecopt/internal/floorplan"
+)
+
+func testGrid(t *testing.T) (*floorplan.Floorplan, *floorplan.Grid) {
+	t.Helper()
+	f, g := floorplan.Alpha21364Grid()
+	return f, g
+}
+
+func TestWriteHeatmapDecodes(t *testing.T) {
+	f, g := testGrid(t)
+	temps := make([]float64, g.NumTiles())
+	for i := range temps {
+		temps[i] = 320 + float64(i%12)
+	}
+	var buf bytes.Buffer
+	err := WriteHeatmap(&buf, g, temps, HeatmapOptions{
+		TECSites:  []int{100, 101},
+		Floorplan: f,
+		ColorBar:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatalf("output is not valid PNG: %v", err)
+	}
+	b := img.Bounds()
+	// 12x12 tiles at default 24 px plus a color bar.
+	if b.Dx() != 12*24+36 || b.Dy() != 12*24 {
+		t.Fatalf("image size %dx%d", b.Dx(), b.Dy())
+	}
+}
+
+func TestWriteHeatmapLengthMismatch(t *testing.T) {
+	_, g := testGrid(t)
+	if err := WriteHeatmap(&bytes.Buffer{}, g, []float64{1}, HeatmapOptions{}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestWriteHeatmapConstantField(t *testing.T) {
+	// Constant temperatures: degenerate range must not divide by zero.
+	_, g := testGrid(t)
+	temps := make([]float64, g.NumTiles())
+	for i := range temps {
+		temps[i] = 300
+	}
+	var buf bytes.Buffer
+	if err := WriteHeatmap(&buf, g, temps, HeatmapOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := png.Decode(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteHeatmapFixedScale(t *testing.T) {
+	_, g := testGrid(t)
+	temps := make([]float64, g.NumTiles())
+	for i := range temps {
+		temps[i] = 330
+	}
+	var buf bytes.Buffer
+	err := WriteHeatmap(&buf, g, temps, HeatmapOptions{MinK: 318, MaxK: 365, CellPx: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != 12*8 {
+		t.Fatalf("CellPx not honored: %d", img.Bounds().Dx())
+	}
+}
+
+func TestTempColorEndpoints(t *testing.T) {
+	lo := tempColor(0)
+	hi := tempColor(1)
+	if lo.B <= lo.R {
+		t.Errorf("cold color not blue-ish: %+v", lo)
+	}
+	if hi.R <= hi.B {
+		t.Errorf("hot color not red-ish: %+v", hi)
+	}
+	// Clamping.
+	if tempColor(-5) != lo || tempColor(9) != hi {
+		t.Error("out-of-range fractions not clamped")
+	}
+}

@@ -1,0 +1,262 @@
+// Package tecopt is a library for designing and optimizing on-chip
+// active cooling systems built from thin-film thermoelectric coolers
+// (TECs), reproducing Long, Ogrenci Memik and Grayson, "Optimization of
+// an On-Chip Active Cooling System Based on Thin-Film Thermoelectric
+// Coolers" (DATE 2010).
+//
+// The library models a chip package (silicon die, TIM, heat spreader,
+// heat sink, convection) as a compact thermal network, inserts TEC
+// devices into the TIM layer, and solves the cooling-system
+// configuration problem: which tiles to cover with TECs and what shared
+// supply current to drive them with, so that the worst-case peak silicon
+// temperature stays below a limit.
+//
+// # Quick start
+//
+//	fp, grid, pwr := tecopt.AlphaChip()
+//	res, err := tecopt.GreedyDeploy(tecopt.Config{TilePower: pwr},
+//		tecopt.CelsiusToKelvin(85), tecopt.CurrentOptions{})
+//	if err != nil { ... }
+//	fmt.Println(res.Success, res.Sites, res.Current.IOpt)
+//	fmt.Print(tecopt.DeploymentMap(fp, grid, res.Sites))
+//
+// Key concepts:
+//
+//   - Config describes a chip: package geometry, die tiling, TEC device
+//     parameters and the worst-case per-tile power profile.
+//   - NewSystem assembles the (G - i*D) theta = p model for a fixed TEC
+//     deployment; System exposes steady-state solves, the thermal
+//     runaway limit lambda_m, transfer coefficients h_kl(i) and the
+//     convex current optimizer.
+//   - GreedyDeploy runs the paper's deployment algorithm (Figure 5);
+//     FullCover runs the paper's baseline for comparison.
+//   - Simulate (package transient, re-exported here) integrates the
+//     lumped-capacitance dynamics, including beyond-runaway behaviour.
+package tecopt
+
+import (
+	"math/rand"
+
+	"tecopt/internal/core"
+	"tecopt/internal/dtm"
+	"tecopt/internal/floorplan"
+	"tecopt/internal/material"
+	"tecopt/internal/power"
+	"tecopt/internal/refsolver"
+	"tecopt/internal/tec"
+	"tecopt/internal/transient"
+)
+
+// Re-exported model types. Aliases keep the internal packages private
+// while making every field usable by downstream code.
+type (
+	// Config describes a chip and its cooling hardware (see core.Config).
+	Config = core.Config
+	// System is an assembled package+TEC thermal model.
+	System = core.System
+	// DeployResult is the outcome of GreedyDeploy.
+	DeployResult = core.DeployResult
+	// DeployIteration traces one greedy pass.
+	DeployIteration = core.DeployIteration
+	// CurrentResult is an optimized operating point.
+	CurrentResult = core.CurrentResult
+	// CurrentOptions tunes the supply-current optimization.
+	CurrentOptions = core.CurrentOptions
+	// RunawayOptions tunes the lambda_m computation.
+	RunawayOptions = core.RunawayOptions
+	// ConjectureOptions sizes a Conjecture-1 verification campaign.
+	ConjectureOptions = core.ConjectureOptions
+	// ConjectureReport summarizes a Conjecture-1 campaign.
+	ConjectureReport = core.ConjectureReport
+
+	// DeviceParams describes one thin-film TEC device.
+	DeviceParams = tec.DeviceParams
+	// PackageGeometry describes the layered chip package.
+	PackageGeometry = material.PackageGeometry
+
+	// Floorplan is a set of functional units tiling a die.
+	Floorplan = floorplan.Floorplan
+	// Grid is a die dissection into TEC-sized tiles.
+	Grid = floorplan.Grid
+	// Unit is a named functional unit.
+	Unit = floorplan.Unit
+	// Rect is an axis-aligned rectangle in meters.
+	Rect = floorplan.Rect
+
+	// HCChip is a generated hypothetical benchmark chip.
+	HCChip = power.HCChip
+	// HCSpec parameterizes the hypothetical-chip generator.
+	HCSpec = power.HCSpec
+
+	// ZonedSystem is a system whose TECs are partitioned into current
+	// zones (the multi-pin extension beyond the paper's single pin).
+	ZonedSystem = core.ZonedSystem
+	// ZonedOptions tunes the multi-pin coordinate descent.
+	ZonedOptions = core.ZonedOptions
+	// ZonedResult is a multi-pin operating point.
+	ZonedResult = core.ZonedResult
+
+	// Phase is one segment of a transient current schedule.
+	Phase = transient.Phase
+	// TransientOptions configures a transient simulation.
+	TransientOptions = transient.Options
+	// Trace is a transient simulation result.
+	Trace = transient.Trace
+
+	// Controller is a runtime TEC current policy (DTM extension).
+	Controller = dtm.Controller
+	// PowerPhase is one segment of a time-varying workload.
+	PowerPhase = dtm.PowerPhase
+	// DTMOptions configures a policy simulation.
+	DTMOptions = dtm.RunOptions
+	// DTMResult aggregates a policy simulation.
+	DTMResult = dtm.RunResult
+)
+
+// Runtime TEC current policies for RunDTM.
+type (
+	// AlwaysOff never powers the TECs.
+	AlwaysOff = dtm.AlwaysOff
+	// ConstantCurrent drives a fixed current unconditionally.
+	ConstantCurrent = dtm.Constant
+	// BangBang is a hysteresis on/off controller.
+	BangBang = dtm.BangBang
+	// Proportional ramps current with the temperature margin.
+	Proportional = dtm.Proportional
+)
+
+// RunDTM simulates a runtime current policy against a time-varying
+// workload on a deployed system (the synergistic DTM vision of the
+// paper's introduction, built on the transient extension).
+func RunDTM(sys *System, phases []PowerPhase, ctrl Controller, limitK float64, opt DTMOptions) (*DTMResult, error) {
+	return dtm.Run(sys, phases, ctrl, limitK, opt)
+}
+
+// Current optimization methods.
+const (
+	CurrentGolden   = core.CurrentGolden
+	CurrentGradient = core.CurrentGradient
+	CurrentBrent    = core.CurrentBrent
+)
+
+// DefaultPackage returns the HotSpot-4.1-style package geometry used in
+// the paper's experiments (6 mm x 6 mm die).
+func DefaultPackage() PackageGeometry { return material.DefaultPackage() }
+
+// ChowdhuryDevice returns thin-film TEC parameters derived from
+// Chowdhury et al., Nature Nanotechnology 2009 (the paper's device).
+func ChowdhuryDevice() DeviceParams { return tec.ChowdhuryDevice() }
+
+// CelsiusToKelvin converts Celsius to kelvin.
+func CelsiusToKelvin(c float64) float64 { return material.CelsiusToKelvin(c) }
+
+// KelvinToCelsius converts kelvin to Celsius.
+func KelvinToCelsius(k float64) float64 { return material.KelvinToCelsius(k) }
+
+// AlphaChip returns the Alpha-21364-like study chip of Section VI.A: its
+// floorplan, the canonical 12x12 tiling and the calibrated worst-case
+// per-tile power vector (20.6 W total, IntReg at 282.4 W/cm^2).
+func AlphaChip() (*Floorplan, *Grid, []float64) {
+	f, g := floorplan.Alpha21364Grid()
+	return f, g, power.AlphaTilePowers(f, g)
+}
+
+// AlphaHotUnits lists the high-power-density units of the Alpha chip.
+func AlphaHotUnits() []string {
+	out := make([]string, len(floorplan.AlphaHotUnits))
+	copy(out, floorplan.AlphaHotUnits)
+	return out
+}
+
+// DefaultHCSpec returns the hypothetical-chip generator parameters used
+// for benchmarks HC01..HC10.
+func DefaultHCSpec() HCSpec { return power.DefaultHCSpec() }
+
+// HypotheticalChip generates one benchmark chip deterministically from a
+// seed (Section VI.B).
+func HypotheticalChip(name string, seed int64, spec HCSpec) (*HCChip, error) {
+	return power.GenerateHC(name, seed, spec)
+}
+
+// HypotheticalSuite generates the canonical ten benchmark chips
+// HC01..HC10.
+func HypotheticalSuite() ([]*HCChip, error) {
+	return power.GenerateHCSuite(power.DefaultHCSpec())
+}
+
+// NewSystem assembles a package+TEC model with the given TEC sites
+// (tile indices); pass nil for a passive chip.
+func NewSystem(cfg Config, sites []int) (*System, error) {
+	return core.NewSystem(cfg, sites)
+}
+
+// GreedyDeploy runs the paper's deployment algorithm (Figure 5) against
+// the maximum allowable silicon temperature limitK (kelvin).
+func GreedyDeploy(cfg Config, limitK float64, opt CurrentOptions) (*DeployResult, error) {
+	return core.GreedyDeploy(cfg, limitK, opt)
+}
+
+// FullCover runs the paper's baseline — a TEC on every tile with an
+// optimized shared current — returning the operating point and system.
+func FullCover(cfg Config, opt CurrentOptions) (*CurrentResult, *System, error) {
+	return core.FullCover(cfg, opt)
+}
+
+// BudgetedOptions tunes BudgetedDeploy.
+type BudgetedOptions = core.BudgetedOptions
+
+// BudgetedResult is the outcome of BudgetedDeploy.
+type BudgetedResult = core.BudgetedResult
+
+// BudgetedDeploy answers the dual of the paper's Problem 1: with at most
+// budget TEC devices, place them to minimize the peak temperature
+// (greedy by marginal gain with peak-plateau group moves).
+func BudgetedDeploy(cfg Config, budget int, opt BudgetedOptions) (*BudgetedResult, error) {
+	return core.BudgetedDeploy(cfg, budget, opt)
+}
+
+// NewZonedSystem wraps a system with an explicit device-to-zone map for
+// multi-pin current optimization.
+func NewZonedSystem(sys *System, zoneOf []int) (*ZonedSystem, error) {
+	return core.NewZonedSystem(sys, zoneOf)
+}
+
+// ZoneByColumns partitions a system's deployed TECs into k vertical die
+// stripes, a simple routable multi-pin assignment.
+func ZoneByColumns(sys *System, k int) ([]int, error) {
+	return core.ZoneByColumns(sys, k)
+}
+
+// Simulate integrates the lumped-capacitance transient dynamics of a
+// system through a piecewise-constant current schedule.
+func Simulate(sys *System, schedule []Phase, opt TransientOptions) (*Trace, error) {
+	return transient.Simulate(sys, schedule, opt)
+}
+
+// VerifyConjecture1 runs the randomized Conjecture-1 verification
+// campaign of Section V.C.2.
+func VerifyConjecture1(rng *rand.Rand, opt ConjectureOptions) ConjectureReport {
+	return core.VerifyConjecture1(rng, opt)
+}
+
+// DeploymentMap renders an ASCII map of the floorplan with the TEC-
+// covered tiles marked '#', in the style of Figure 7(b).
+func DeploymentMap(f *Floorplan, g *Grid, sites []int) string {
+	marked := make(map[int]bool, len(sites))
+	for _, s := range sites {
+		marked[s] = true
+	}
+	return floorplan.AsciiMap(f, g, marked)
+}
+
+// ReferenceOptions configures the independent fine-grid reference solver.
+type ReferenceOptions = refsolver.Options
+
+// ReferenceResult is the reference solver's output.
+type ReferenceResult = refsolver.Result
+
+// ReferenceSolve runs the fine-grid finite-volume reference solver (the
+// HotSpot-4.1 stand-in used for model validation).
+func ReferenceSolve(geom PackageGeometry, cols, rows int, tilePower []float64, opt ReferenceOptions) (*ReferenceResult, error) {
+	return refsolver.Solve(geom, cols, rows, tilePower, opt)
+}

@@ -1,0 +1,126 @@
+package tecopt
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestAlphaChipFacade(t *testing.T) {
+	f, g, p := AlphaChip()
+	if f == nil || g == nil || len(p) != 144 {
+		t.Fatal("AlphaChip returned incomplete data")
+	}
+	var total float64
+	for _, v := range p {
+		total += v
+	}
+	if math.Abs(total-20.6) > 0.2 {
+		t.Fatalf("Alpha total power %.2f W, want ~20.6", total)
+	}
+	if len(AlphaHotUnits()) == 0 {
+		t.Fatal("no hot units listed")
+	}
+	// Returned slice must be a copy.
+	hot := AlphaHotUnits()
+	hot[0] = "mutated"
+	if AlphaHotUnits()[0] == "mutated" {
+		t.Fatal("AlphaHotUnits aliases internal state")
+	}
+}
+
+func TestEndToEndGreedyFacade(t *testing.T) {
+	_, _, p := AlphaChip()
+	res, err := GreedyDeploy(Config{TilePower: p}, CelsiusToKelvin(85), CurrentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Fatalf("Alpha deployment failed: peak %.2f C", KelvinToCelsius(res.Current.PeakK))
+	}
+	if KelvinToCelsius(res.Current.PeakK) > 85 {
+		t.Fatal("success but over limit")
+	}
+	if res.Current.IOpt < 1 || res.Current.IOpt > 15 {
+		t.Fatalf("IOpt %.2f A outside plausible band", res.Current.IOpt)
+	}
+	// Deployment map renders with '#' markers.
+	f, g, _ := AlphaChip()
+	m := DeploymentMap(f, g, res.Sites)
+	gridPart := m[:strings.Index(m, "legend:")] // the legend also mentions '#'
+	if strings.Count(gridPart, "#") != len(res.Sites) {
+		t.Fatalf("map shows %d TECs, want %d", strings.Count(gridPart, "#"), len(res.Sites))
+	}
+}
+
+func TestHypotheticalSuiteFacade(t *testing.T) {
+	chips, err := HypotheticalSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chips) != 10 {
+		t.Fatalf("suite size %d", len(chips))
+	}
+	one, err := HypotheticalChip("X", 42, DefaultHCSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Name != "X" || len(one.TilePower) != 144 {
+		t.Fatal("HypotheticalChip malformed")
+	}
+}
+
+func TestTransientFacade(t *testing.T) {
+	sys, err := NewSystem(Config{
+		Cols: 6, Rows: 6, SpreaderCells: 8, SinkCells: 8,
+		TilePower: uniformPower(36, 0.2),
+	}, []int{14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Simulate(sys, []Phase{{Current: 2, Duration: 5}}, TransientOptions{Dt: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Samples) == 0 {
+		t.Fatal("no samples")
+	}
+}
+
+func TestConjectureFacade(t *testing.T) {
+	rep := VerifyConjecture1(rand.New(rand.NewSource(1)), ConjectureOptions{Matrices: 5, MaxOrder: 6})
+	if rep.Violations != 0 || rep.Matrices == 0 {
+		t.Fatalf("unexpected report %+v", rep)
+	}
+}
+
+func TestReferenceSolveFacade(t *testing.T) {
+	res, err := ReferenceSolve(DefaultPackage(), 4, 4, uniformPower(16, 1), ReferenceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TileTempsK) != 16 || res.PeakK <= CelsiusToKelvin(45) {
+		t.Fatalf("reference result malformed: %+v", res)
+	}
+}
+
+func TestDeviceAndGeometryDefaults(t *testing.T) {
+	if err := ChowdhuryDevice().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := DefaultPackage().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if CelsiusToKelvin(KelvinToCelsius(300)) != 300 {
+		t.Fatal("temperature conversion round trip failed")
+	}
+}
+
+func uniformPower(n int, w float64) []float64 {
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = w
+	}
+	return p
+}
