@@ -1,0 +1,33 @@
+# Development targets. CI (.github/workflows/ci.yml) runs the same
+# commands; keep the two in sync.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build test race vet lint fuzz-smoke check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/teclint ./...
+
+# Short fuzz runs over every parser fuzz target; catches regressions in
+# input handling without the cost of a long campaign.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParseFLP -fuzztime=$(FUZZTIME) -run='^$$' ./internal/floorplan
+	$(GO) test -fuzz=FuzzParsePtrace -fuzztime=$(FUZZTIME) -run='^$$' ./internal/power
+
+# The full gate, in the order CI runs it.
+check: build vet lint test race

@@ -1,0 +1,122 @@
+// Command teclint runs the repository's static-analysis suite
+// (internal/lint) over package directories and reports findings as
+//
+//	file:line: [rule] message
+//
+// sorted by file and line, exiting nonzero when any diagnostic is
+// produced. It is the lint gate invoked by `make lint` and CI:
+//
+//	go run ./cmd/teclint ./...
+//
+// Arguments are package patterns: "./..." walks every package under
+// the current module (skipping testdata), a plain directory path lints
+// just that package. With no arguments, "./..." is assumed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tecopt/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("teclint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	listRules := fs.Bool("rules", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := lint.All()
+	if *listRules {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "teclint:", err)
+		return 2
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "teclint:", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "teclint:", err)
+		return 2
+	}
+
+	dirs, err := resolvePatterns(patterns, cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "teclint:", err)
+		return 2
+	}
+	diags, err := lint.LintDirs(loader, dirs, analyzers, cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "teclint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "teclint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// resolvePatterns expands package patterns into package directories.
+// "dir/..." (including "./...") walks recursively; other arguments name
+// a single package directory.
+func resolvePatterns(patterns []string, cwd string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, p := range patterns {
+		if base, ok := strings.CutSuffix(p, "/..."); ok {
+			if base == "" || base == "." {
+				base = cwd
+			}
+			walked, err := lint.PackageDirs(absJoin(cwd, base))
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range walked {
+				add(d)
+			}
+			continue
+		}
+		add(absJoin(cwd, p))
+	}
+	return dirs, nil
+}
+
+func absJoin(cwd, p string) string {
+	if filepath.IsAbs(p) {
+		return filepath.Clean(p)
+	}
+	return filepath.Join(cwd, p)
+}

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tecopt/internal/lint"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// fixturePatterns are the analyzer fixture packages, expressed relative
+// to the module root. They deliberately seed violations, so linting them
+// exercises every rule and the output formatting at once.
+var fixturePatterns = []string{
+	"internal/lint/testdata/droppederr",
+	"internal/lint/testdata/floateq",
+	"internal/lint/testdata/maporder",
+	"internal/lint/testdata/testhelper",
+	"internal/lint/testdata/unitsanity",
+}
+
+// runAtRoot invokes the teclint driver from the module root and returns
+// (exit code, stdout, stderr).
+func runAtRoot(t *testing.T, args []string) (int, string, string) {
+	t.Helper()
+	chdir(t, moduleRoot(t))
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// chdir changes the working directory for the duration of the test.
+// (The tests here never call t.Parallel, so this is safe.)
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(old); err != nil {
+			t.Fatalf("restoring working directory: %v", err)
+		}
+	})
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := lint.FindModuleRoot(wd)
+	if err != nil {
+		t.Fatalf("module root not found from %s: %v", wd, err)
+	}
+	return root
+}
+
+// TestGoldenOutput pins the exact diagnostic stream produced for the
+// seeded fixture packages: the `file:line: [rule] message` format, the
+// sort order (file, then line), and the trailing finding count. Run
+// with -update to regenerate testdata/golden.txt after intentional
+// analyzer changes.
+func TestGoldenOutput(t *testing.T) {
+	goldenPath, err := filepath.Abs(filepath.Join("testdata", "golden.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := runAtRoot(t, fixturePatterns)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (fixtures seed violations); stderr:\n%s", code, stderr)
+	}
+	if want := "finding(s)"; !strings.Contains(stderr, want) {
+		t.Errorf("stderr %q does not report the finding count", stderr)
+	}
+
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(stdout), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden file (run `go test ./cmd/teclint -run TestGoldenOutput -update` to create): %v", err)
+	}
+	if stdout != string(golden) {
+		t.Errorf("output differs from golden file\n--- got ---\n%s--- want ---\n%s", stdout, golden)
+	}
+}
+
+// TestOutputDeterministic runs the driver twice over the same inputs and
+// demands byte-identical output: map iteration or goroutine scheduling
+// must never leak into the diagnostic stream.
+func TestOutputDeterministic(t *testing.T) {
+	_, first, _ := runAtRoot(t, fixturePatterns)
+	_, second, _ := runAtRoot(t, fixturePatterns)
+	if first != second {
+		t.Errorf("two runs differ\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+}
+
+// TestOutputSorted verifies the documented ordering contract directly:
+// findings are grouped by file and nondecreasing by line within a file.
+func TestOutputSorted(t *testing.T) {
+	_, stdout, _ := runAtRoot(t, fixturePatterns)
+	lines := strings.Split(strings.TrimRight(stdout, "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("expected multiple findings, got %d line(s)", len(lines))
+	}
+	type pos struct {
+		file string
+		line string
+	}
+	var prev pos
+	for i, ln := range lines {
+		parts := strings.SplitN(ln, ":", 3)
+		if len(parts) != 3 || !strings.Contains(parts[2], "[") {
+			t.Fatalf("line %d not in file:line: [rule] message form: %q", i+1, ln)
+		}
+		cur := pos{parts[0], parts[1]}
+		if i > 0 && cur.file == prev.file && len(cur.line) == len(prev.line) && cur.line < prev.line {
+			t.Errorf("line %d out of order: %q after %q", i+1, ln, lines[i-1])
+		}
+		prev = cur
+	}
+}
+
+// TestRepoLintsClean is the self-hosting gate: the production tree must
+// produce zero diagnostics under its own analyzers.
+func TestRepoLintsClean(t *testing.T) {
+	code, stdout, stderr := runAtRoot(t, []string{"./..."})
+	if code != 0 || stdout != "" {
+		t.Fatalf("repository is not lint-clean (exit %d):\n%s%s", code, stdout, stderr)
+	}
+}
+
+// TestRulesFlag checks the -rules listing names every registered analyzer.
+func TestRulesFlag(t *testing.T) {
+	code, stdout, _ := runAtRoot(t, []string{"-rules"})
+	if code != 0 {
+		t.Fatalf("-rules exit code = %d", code)
+	}
+	for _, rule := range []string{"droppederr", "floateq", "maporder", "testhelper", "unitsanity"} {
+		if !strings.Contains(stdout, rule) {
+			t.Errorf("-rules output missing %q:\n%s", rule, stdout)
+		}
+	}
+}

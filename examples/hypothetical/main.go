@@ -15,6 +15,8 @@ import (
 	"strconv"
 
 	"tecopt"
+
+	"tecopt/internal/num"
 )
 
 func main() {
@@ -41,7 +43,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if limit == 85 {
+		if num.ExactEqual(limit, 85) {
 			fmt.Printf("\npassive peak %.2f C\n", tecopt.KelvinToCelsius(res.NoTECPeakK))
 		}
 		if !res.Success {

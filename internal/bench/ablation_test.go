@@ -6,7 +6,19 @@ import (
 	"testing"
 )
 
+// skipIfRace skips the full-pipeline report tests under the race
+// detector. The whole package is single-goroutine, so -race adds no
+// coverage here, only a ~20x slowdown that pushes the full-size table
+// generation past the package test timeout.
+func skipIfRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("full-size report generation is too slow under -race; run without -race for coverage")
+	}
+}
+
 func TestRunOptimizerAblation(t *testing.T) {
+	skipIfRace(t)
 	rows, err := RunOptimizerAblation()
 	if err != nil {
 		t.Fatal(err)
@@ -29,6 +41,7 @@ func TestRunOptimizerAblation(t *testing.T) {
 }
 
 func TestRunSolverAblation(t *testing.T) {
+	skipIfRace(t)
 	rows, err := RunSolverAblation()
 	if err != nil {
 		t.Fatal(err)
@@ -46,6 +59,7 @@ func TestRunSolverAblation(t *testing.T) {
 }
 
 func TestRunConvexityAblation(t *testing.T) {
+	skipIfRace(t)
 	rows, err := RunConvexityAblation([]int{1, 4})
 	if err != nil {
 		t.Fatal(err)
@@ -62,6 +76,7 @@ func TestRunConvexityAblation(t *testing.T) {
 }
 
 func TestRunLambdaToleranceAblation(t *testing.T) {
+	skipIfRace(t)
 	rows, err := RunLambdaToleranceAblation([]float64{1e-3, 1e-8})
 	if err != nil {
 		t.Fatal(err)
@@ -78,6 +93,7 @@ func TestRunLambdaToleranceAblation(t *testing.T) {
 }
 
 func TestFormatAblations(t *testing.T) {
+	skipIfRace(t)
 	opt, err := RunOptimizerAblation()
 	if err != nil {
 		t.Fatal(err)

@@ -7,6 +7,7 @@ import (
 )
 
 func TestRunFigure6Shape(t *testing.T) {
+	skipIfRace(t)
 	res, err := RunFigure6(12)
 	if err != nil {
 		t.Fatal(err)
@@ -44,6 +45,7 @@ func TestRunFigure6Shape(t *testing.T) {
 }
 
 func TestRunFigure7Map(t *testing.T) {
+	skipIfRace(t)
 	res, err := RunFigure7()
 	if err != nil {
 		t.Fatal(err)
@@ -66,6 +68,7 @@ func TestRunFigure7Map(t *testing.T) {
 }
 
 func TestRunValidationBounds(t *testing.T) {
+	skipIfRace(t)
 	res, err := RunValidation()
 	if err != nil {
 		t.Fatal(err)

@@ -6,6 +6,7 @@ import (
 )
 
 func TestRunContactSensitivityMonotone(t *testing.T) {
+	skipIfRace(t)
 	rows, err := RunContactSensitivity([]float64{0.25, 1.0, 4.0})
 	if err != nil {
 		t.Fatal(err)
@@ -29,6 +30,7 @@ func TestRunContactSensitivityMonotone(t *testing.T) {
 }
 
 func TestRunDeploymentStrategies(t *testing.T) {
+	skipIfRace(t)
 	rows, err := RunDeploymentStrategies()
 	if err != nil {
 		t.Fatal(err)
@@ -54,6 +56,7 @@ func TestRunDeploymentStrategies(t *testing.T) {
 }
 
 func TestFormatSensitivity(t *testing.T) {
+	skipIfRace(t)
 	contact, err := RunContactSensitivity([]float64{1})
 	if err != nil {
 		t.Fatal(err)

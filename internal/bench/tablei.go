@@ -15,6 +15,7 @@ import (
 	"tecopt/internal/core"
 	"tecopt/internal/floorplan"
 	"tecopt/internal/material"
+	"tecopt/internal/num"
 	"tecopt/internal/power"
 )
 
@@ -58,10 +59,10 @@ type TableIOptions struct {
 }
 
 func (o TableIOptions) withDefaults() TableIOptions {
-	if o.BaseLimitC == 0 {
+	if num.IsZero(o.BaseLimitC) {
 		o.BaseLimitC = 85
 	}
-	if o.MaxLimitC == 0 {
+	if num.IsZero(o.MaxLimitC) {
 		o.MaxLimitC = 95
 	}
 	return o

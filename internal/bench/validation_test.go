@@ -7,6 +7,7 @@ import (
 )
 
 func TestRunWorkloadValidationAllWithinBound(t *testing.T) {
+	skipIfRace(t)
 	rows, err := RunWorkloadValidation()
 	if err != nil {
 		t.Fatal(err)
@@ -30,6 +31,7 @@ func TestRunWorkloadValidationAllWithinBound(t *testing.T) {
 }
 
 func TestRunResolutionAblationConverges(t *testing.T) {
+	skipIfRace(t)
 	rows, err := RunResolutionAblation([]int{10, 20, 30})
 	if err != nil {
 		t.Fatal(err)
@@ -57,6 +59,7 @@ func TestRunResolutionAblationConverges(t *testing.T) {
 }
 
 func TestFormatValidationStudies(t *testing.T) {
+	skipIfRace(t)
 	rows, err := RunWorkloadValidation()
 	if err != nil {
 		t.Fatal(err)

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"tecopt/internal/floorplan"
+	"tecopt/internal/num"
 	"tecopt/internal/power"
 )
 
@@ -88,7 +89,7 @@ func TestGeomFollowsDie(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if chip.Geom.DieWidth != chip.Floorplan.DieW || chip.Geom.DieHeight != chip.Floorplan.DieH {
+	if !num.ExactEqual(chip.Geom.DieWidth, chip.Floorplan.DieW) || !num.ExactEqual(chip.Geom.DieHeight, chip.Floorplan.DieH) {
 		t.Fatalf("geom die %gx%g != floorplan %gx%g",
 			chip.Geom.DieWidth, chip.Geom.DieHeight, chip.Floorplan.DieW, chip.Floorplan.DieH)
 	}

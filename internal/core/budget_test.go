@@ -2,6 +2,8 @@ package core
 
 import (
 	"testing"
+
+	"tecopt/internal/num"
 )
 
 func TestBudgetedDeployImprovesMonotonically(t *testing.T) {
@@ -21,7 +23,7 @@ func TestBudgetedDeployImprovesMonotonically(t *testing.T) {
 		t.Fatalf("sites %d vs placed %d", len(res.Sites), placed)
 	}
 	// Each round must strictly improve the peak.
-	passive, _ := NewSystem(cfg, nil)
+	passive := mustSystem(t, cfg, nil)
 	prev, _, _, err := passive.PeakAt(0)
 	if err != nil {
 		t.Fatal(err)
@@ -58,7 +60,7 @@ func TestBudgetedDeployStopsWhenNoGain(t *testing.T) {
 		t.Fatalf("greedy placed %d useless devices", len(res.Sites))
 	}
 	// The result still carries the passive operating point.
-	if res.Current == nil || res.Current.IOpt != 0 {
+	if res.Current == nil || !num.IsZero(res.Current.IOpt) {
 		t.Fatalf("expected passive fallback, got %+v", res.Current)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"tecopt/internal/mat"
+	"tecopt/internal/num"
 )
 
 func TestConditionNumberAgainstDense(t *testing.T) {
@@ -42,7 +43,7 @@ func powerDense(a *mat.Dense) float64 {
 		w := a.MulVec(v)
 		lambda = mat.Dot(v, w) / mat.Dot(v, v)
 		nw := mat.Norm2(w)
-		if nw == 0 {
+		if num.IsZero(nw) {
 			return 0
 		}
 		mat.ScaleVec(1/nw, w)

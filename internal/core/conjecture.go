@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"tecopt/internal/mat"
+	"tecopt/internal/num"
 )
 
 // Conjecture-1 verification (Section V.C.2).
@@ -163,7 +164,7 @@ func gridStieltjes(rng *rand.Rand, n, cols int) *mat.Dense {
 	// A degenerate single-column layout can leave vertex 0 isolated when
 	// n < cols; connect sequentially as a fallback.
 	for v := 1; v < n; v++ {
-		if a.At(v, v) == 0 {
+		if num.IsZero(a.At(v, v)) {
 			addEdge(v-1, v)
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"tecopt/internal/num"
 	"tecopt/internal/optimize"
 )
 
@@ -46,21 +47,21 @@ func (s *System) EtaZeta(i float64, tile int) (eta, etaPrime, zeta float64, err 
 		ind[s.Array.Cold[idx]] = 1
 	}
 	for l, on := range ind {
-		if on != 0 {
+		if !num.IsZero(on) {
 			eta += x[l]
 		}
 	}
 	// zeta: transfer from the current-independent RHS (tile powers and
 	// ambient legs).
 	for l, b := range s.base {
-		if b != 0 {
+		if !num.IsZero(b) {
 			zeta += x[l] * b
 		}
 	}
 	// eta' = x' D y with y = H 1_{HC}.
 	y := f.Solve(ind)
 	for l, dv := range s.d {
-		if dv != 0 {
+		if !num.IsZero(dv) {
 			etaPrime += x[l] * dv * y[l]
 		}
 	}

@@ -85,7 +85,7 @@ func TestEtaProperties(t *testing.T) {
 }
 
 func TestEtaZetaBadTile(t *testing.T) {
-	sys, _ := NewSystem(smallConfig(), []int{27})
+	sys := mustSystem(t, smallConfig(), []int{27})
 	if _, _, _, err := sys.EtaZeta(0, -1); err == nil {
 		t.Error("negative tile accepted")
 	}
@@ -109,7 +109,7 @@ func TestConvexityCertificate(t *testing.T) {
 		t.Fatal("convexity not certified for the physical system")
 	}
 	// No-TEC systems certify trivially.
-	passive, _ := NewSystem(smallConfig(), nil)
+	passive := mustSystem(t, smallConfig(), nil)
 	ok, err = passive.ConvexityCertificate(27, 1)
 	if err != nil || !ok {
 		t.Fatalf("passive certificate: ok=%v err=%v", ok, err)

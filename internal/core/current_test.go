@@ -5,15 +5,16 @@ import (
 	"testing"
 
 	"tecopt/internal/material"
+	"tecopt/internal/num"
 )
 
 func TestOptimizeCurrentNoTEC(t *testing.T) {
-	sys, _ := NewSystem(smallConfig(), nil)
+	sys := mustSystem(t, smallConfig(), nil)
 	res, err := sys.OptimizeCurrent(CurrentOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.IOpt != 0 {
+	if !num.IsZero(res.IOpt) {
 		t.Fatalf("IOpt = %v, want 0 without TECs", res.IOpt)
 	}
 	if !math.IsInf(res.LambdaM, 1) {
@@ -104,7 +105,7 @@ func TestOptimizeCurrentStaysBelowRunaway(t *testing.T) {
 }
 
 func TestOptimizeCurrentUnknownMethod(t *testing.T) {
-	sys, _ := NewSystem(smallConfig(), []int{27})
+	sys := mustSystem(t, smallConfig(), []int{27})
 	if _, err := sys.OptimizeCurrent(CurrentOptions{Method: CurrentMethod(99)}); err == nil {
 		t.Fatal("unknown method accepted")
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"tecopt/internal/material"
+	"tecopt/internal/num"
 )
 
 func TestGreedyDeployTrivialWhenCool(t *testing.T) {
@@ -16,7 +17,7 @@ func TestGreedyDeployTrivialWhenCool(t *testing.T) {
 	if !res.Success || len(res.Sites) != 0 {
 		t.Fatalf("cool chip should need no TECs: success=%v sites=%v", res.Success, res.Sites)
 	}
-	if res.Current.IOpt != 0 {
+	if !num.IsZero(res.Current.IOpt) {
 		t.Fatalf("IOpt = %v, want 0", res.Current.IOpt)
 	}
 }
@@ -24,7 +25,7 @@ func TestGreedyDeployTrivialWhenCool(t *testing.T) {
 func TestGreedyDeploySuccess(t *testing.T) {
 	cfg := smallConfig()
 	// Pick a limit between the passive peak and what the TECs achieve.
-	passive, _ := NewSystem(cfg, nil)
+	passive := mustSystem(t, cfg, nil)
 	peak0, _, _, _ := passive.PeakAt(0)
 	limit := peak0 - 2
 	res, err := GreedyDeploy(cfg, limit, CurrentOptions{})
@@ -40,7 +41,7 @@ func TestGreedyDeploySuccess(t *testing.T) {
 	if len(res.Sites) == 0 || len(res.Iterations) == 0 {
 		t.Fatal("no deployment recorded")
 	}
-	if res.NoTECPeakK != peak0 {
+	if !num.ExactEqual(res.NoTECPeakK, peak0) {
 		t.Fatalf("NoTECPeakK = %v, want %v", res.NoTECPeakK, peak0)
 	}
 	// Every deployed site must have been over-limit at some iteration:
@@ -145,7 +146,7 @@ func TestFullCoverWorseThanGreedy(t *testing.T) {
 	// The paper's central comparison: covering every tile reduces the
 	// achievable minimum peak temperature (cooling swing loss).
 	cfg := smallConfig()
-	passive, _ := NewSystem(cfg, nil)
+	passive := mustSystem(t, cfg, nil)
 	peak0, _, _, _ := passive.PeakAt(0)
 	res, err := GreedyDeploy(cfg, peak0-2, CurrentOptions{})
 	if err != nil {
@@ -170,7 +171,7 @@ func TestFullCoverWorseThanGreedy(t *testing.T) {
 
 func TestGreedyDeployDeterministic(t *testing.T) {
 	cfg := smallConfig()
-	passive, _ := NewSystem(cfg, nil)
+	passive := mustSystem(t, cfg, nil)
 	peak0, _, _, _ := passive.PeakAt(0)
 	a, err := GreedyDeploy(cfg, peak0-2, CurrentOptions{})
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 
+	"tecopt/internal/num"
 	"tecopt/internal/optimize"
 )
 
@@ -76,7 +77,7 @@ func (s *System) RunawayLimit(opt RunawayOptions) (float64, error) {
 		}
 	}
 	lo := hi / 2
-	if hi == 1.0 {
+	if num.ExactEqual(hi, 1.0) {
 		lo = 0
 	}
 	lambda, err := optimize.BinarySearchBoundary(pd, lo, hi, opt.RelTol, 200)
@@ -112,7 +113,7 @@ func (s *System) RunawayMode(lambda float64) ([]float64, error) {
 			mx = a
 		}
 	}
-	if mx == 0 {
+	if num.IsZero(mx) {
 		return x, nil
 	}
 	for k := range x {

@@ -7,7 +7,7 @@ import (
 )
 
 func TestRunawayLimitNoTEC(t *testing.T) {
-	sys, _ := NewSystem(smallConfig(), nil)
+	sys := mustSystem(t, smallConfig(), nil)
 	lambda, err := sys.RunawayLimit(RunawayOptions{})
 	if !errors.Is(err, ErrNoRunawayLimit) {
 		t.Fatalf("err = %v, want ErrNoRunawayLimit", err)
@@ -112,7 +112,7 @@ func TestRunawayMode(t *testing.T) {
 		t.Fatalf("mode not normalized: max |v| = %v", maxAbs)
 	}
 	// No-TEC systems have no mode.
-	passive, _ := NewSystem(smallConfig(), nil)
+	passive := mustSystem(t, smallConfig(), nil)
 	if _, err := passive.RunawayMode(math.Inf(1)); err == nil {
 		t.Error("RunawayMode accepted infinite lambda")
 	}

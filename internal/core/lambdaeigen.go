@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"tecopt/internal/eigen"
+	"tecopt/internal/num"
 	"tecopt/internal/sparse"
 )
 
@@ -28,7 +29,7 @@ func (s *System) RunawayLimitEigen() (float64, error) {
 	hasPositive := false
 	nnz := 0
 	for _, v := range s.d {
-		if v != 0 {
+		if !num.IsZero(v) {
 			nnz++
 		}
 		if v > 0 {

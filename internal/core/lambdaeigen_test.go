@@ -29,7 +29,7 @@ func TestRunawayLimitEigenMatchesBinarySearch(t *testing.T) {
 }
 
 func TestRunawayLimitEigenNoTEC(t *testing.T) {
-	sys, _ := NewSystem(smallConfig(), nil)
+	sys := mustSystem(t, smallConfig(), nil)
 	lam, err := sys.RunawayLimitEigen()
 	if !errors.Is(err, ErrNoRunawayLimit) {
 		t.Fatalf("err = %v, want ErrNoRunawayLimit", err)

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"tecopt/internal/material"
+	"tecopt/internal/num"
 )
 
 // Rectangular-die and non-square-grid coverage: nothing in the model
@@ -107,7 +108,7 @@ func TestRectangularEnergyConservation(t *testing.T) {
 	amb := sys.Cfg.Geom.AmbientK
 	var convected float64
 	for n, v := range sys.PN.Net.BaseRHS() {
-		if v != 0 {
+		if !num.IsZero(v) {
 			convected += (v / amb) * (theta[n] - amb)
 		}
 	}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"tecopt/internal/material"
+	"tecopt/internal/num"
 	"tecopt/internal/sparse"
 	"tecopt/internal/tec"
 	"tecopt/internal/thermal"
@@ -128,7 +129,7 @@ func (s *System) Sites() []int { return s.Array.Tiles }
 
 // Matrix returns G - i*D as a fresh CSR matrix.
 func (s *System) Matrix(i float64) *sparse.CSR {
-	if i == 0 || s.Array.Count() == 0 {
+	if num.IsZero(i) || s.Array.Count() == 0 {
 		return s.g
 	}
 	return s.g.AddScaledDiag(-i, s.d)

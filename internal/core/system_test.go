@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"tecopt/internal/material"
+	"tecopt/internal/num"
 	"tecopt/internal/tec"
 )
 
@@ -26,6 +27,17 @@ func smallConfig() Config {
 		Device:    tec.ChowdhuryDevice(),
 		TilePower: p,
 	}
+}
+
+// mustSystem builds a System from a known-good configuration, failing
+// the test immediately if construction reports an error.
+func mustSystem(t *testing.T, cfg Config, sites []int) *System {
+	t.Helper()
+	sys, err := NewSystem(cfg, sites)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return sys
 }
 
 func TestNewSystemValidation(t *testing.T) {
@@ -50,7 +62,7 @@ func TestNewSystemDefaults(t *testing.T) {
 	if sys.Cfg.Cols != 12 || sys.Cfg.Rows != 12 {
 		t.Errorf("default grid = %dx%d", sys.Cfg.Cols, sys.Cfg.Rows)
 	}
-	if sys.Cfg.Device.Seebeck == 0 {
+	if num.IsZero(sys.Cfg.Device.Seebeck) {
 		t.Error("default device not applied")
 	}
 }
@@ -77,14 +89,14 @@ func TestSolveAtZeroMatchesPassive(t *testing.T) {
 }
 
 func TestSolveAtNegativeCurrent(t *testing.T) {
-	sys, _ := NewSystem(smallConfig(), nil)
+	sys := mustSystem(t, smallConfig(), nil)
 	if _, err := sys.SolveAt(-1); err == nil {
 		t.Fatal("negative current accepted")
 	}
 }
 
 func TestOverLimitTiles(t *testing.T) {
-	sys, _ := NewSystem(smallConfig(), nil)
+	sys := mustSystem(t, smallConfig(), nil)
 	_, _, theta, err := sys.PeakAt(0)
 	if err != nil {
 		t.Fatal(err)
@@ -109,7 +121,7 @@ func TestOverLimitTiles(t *testing.T) {
 
 func TestTECCoolingReducesHotspot(t *testing.T) {
 	cfg := smallConfig()
-	passive, _ := NewSystem(cfg, nil)
+	passive := mustSystem(t, cfg, nil)
 	peak0, tile0, _, err := passive.PeakAt(0)
 	if err != nil {
 		t.Fatal(err)
@@ -204,7 +216,7 @@ func TestEnergyBalanceWithTEC(t *testing.T) {
 	amb := sys.Cfg.Geom.AmbientK
 	var convected float64
 	for n, v := range sys.PN.Net.BaseRHS() {
-		if v == 0 {
+		if num.IsZero(v) {
 			continue
 		}
 		gi := v / amb

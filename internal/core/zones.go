@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"tecopt/internal/num"
 	"tecopt/internal/optimize"
 	"tecopt/internal/sparse"
 )
@@ -112,7 +113,7 @@ func ZoneByColumns(sys *System, k int) ([]int, error) {
 func (zs *ZonedSystem) MatrixZoned(currents []float64) *sparse.CSR {
 	total := make([]float64, zs.NumNodes())
 	for z, i := range currents {
-		if i == 0 {
+		if num.IsZero(i) {
 			continue
 		}
 		for n, dv := range zs.dZone[z] {

@@ -33,7 +33,7 @@ func TestNewZonedSystemValidation(t *testing.T) {
 	if _, err := NewZonedSystem(sys, []int{0, 2}); err == nil {
 		t.Error("empty zone accepted")
 	}
-	passive, _ := NewSystem(twoHotspotConfig(), nil)
+	passive := mustSystem(t, twoHotspotConfig(), nil)
 	if _, err := NewZonedSystem(passive, nil); err == nil {
 		t.Error("zoning a passive system accepted")
 	}
@@ -104,7 +104,7 @@ func TestZonedMatchesSingleCurrentWhenK1(t *testing.T) {
 }
 
 func TestZonedSolveValidation(t *testing.T) {
-	sys, _ := NewSystem(twoHotspotConfig(), []int{18, 45})
+	sys := mustSystem(t, twoHotspotConfig(), []int{18, 45})
 	zs, _ := NewZonedSystem(sys, []int{0, 1})
 	if _, err := zs.SolveAtZoned([]float64{1}); err == nil {
 		t.Error("wrong current vector length accepted")

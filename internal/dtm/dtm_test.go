@@ -6,6 +6,7 @@ import (
 
 	"tecopt/internal/core"
 	"tecopt/internal/material"
+	"tecopt/internal/num"
 	"tecopt/internal/tec"
 )
 
@@ -32,34 +33,34 @@ func smallSystem(t *testing.T) (*core.System, []float64, []float64) {
 }
 
 func TestControllersBasics(t *testing.T) {
-	if (AlwaysOff{}).Next(0, 400) != 0 {
+	if !num.IsZero((AlwaysOff{}).Next(0, 400)) {
 		t.Error("AlwaysOff returned current")
 	}
-	if (Constant{CurrentA: 5}).Next(0, 0) != 5 {
+	if !num.ExactEqual((Constant{CurrentA: 5}).Next(0, 0), 5) {
 		t.Error("Constant wrong")
 	}
 	p := Proportional{SetpointK: 350, Gain: 2, MaxA: 6}
-	if p.Next(0, 349) != 0 {
+	if !num.IsZero(p.Next(0, 349)) {
 		t.Error("Proportional below setpoint must be 0")
 	}
 	if got := p.Next(0, 351); math.Abs(got-2) > 1e-12 {
 		t.Errorf("Proportional = %v, want 2", got)
 	}
-	if p.Next(0, 1000) != 6 {
+	if !num.ExactEqual(p.Next(0, 1000), 6) {
 		t.Error("Proportional not clamped")
 	}
 	bb := &BangBang{OnAboveK: 360, OffBelowK: 355, CurrentA: 4}
-	if bb.Next(0, 350) != 0 {
+	if !num.IsZero(bb.Next(0, 350)) {
 		t.Error("BangBang on too early")
 	}
-	if bb.Next(0, 361) != 4 {
+	if !num.ExactEqual(bb.Next(0, 361), 4) {
 		t.Error("BangBang failed to switch on")
 	}
 	// Hysteresis: stays on between the thresholds.
-	if bb.Next(0, 357) != 4 {
+	if !num.ExactEqual(bb.Next(0, 357), 4) {
 		t.Error("BangBang dropped out inside hysteresis band")
 	}
-	if bb.Next(0, 354) != 0 {
+	if !num.IsZero(bb.Next(0, 354)) {
 		t.Error("BangBang failed to switch off")
 	}
 	for _, c := range []Controller{AlwaysOff{}, Constant{CurrentA: 1}, &BangBang{}, Proportional{}} {
@@ -102,7 +103,7 @@ func TestConstantCoolsBelowAlwaysOff(t *testing.T) {
 	if on.MaxPeakK >= off.MaxPeakK {
 		t.Fatalf("constant current did not cool: %.2f vs %.2f K", on.MaxPeakK, off.MaxPeakK)
 	}
-	if off.TECEnergyJ != 0 {
+	if !num.IsZero(off.TECEnergyJ) {
 		t.Fatalf("always-off consumed %.3f J", off.TECEnergyJ)
 	}
 	if on.TECEnergyJ <= 0 {
@@ -142,7 +143,7 @@ func TestBangBangSavesEnergy(t *testing.T) {
 	// During idle the controller must actually switch off at some point.
 	sawOff := false
 	for _, s := range bb.Samples {
-		if s.CurrentA == 0 && s.TimeS > 60 {
+		if num.IsZero(s.CurrentA) && s.TimeS > 60 {
 			sawOff = true
 			break
 		}
@@ -194,7 +195,7 @@ func TestTimeAboveLimitAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.TimeAboveLimitS != 0 {
+	if !num.IsZero(res.TimeAboveLimitS) {
 		t.Fatalf("TimeAboveLimit = %v, want 0", res.TimeAboveLimitS)
 	}
 }

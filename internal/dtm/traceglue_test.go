@@ -6,6 +6,7 @@ import (
 
 	"tecopt/internal/floorplan"
 	"tecopt/internal/material"
+	"tecopt/internal/num"
 	"tecopt/internal/power"
 )
 
@@ -20,7 +21,7 @@ func TestPhasesFromTrace(t *testing.T) {
 		t.Fatalf("phases = %d, want %d", len(phases), len(tr.Samples))
 	}
 	for i, ph := range phases {
-		if ph.Duration != 30 {
+		if !num.ExactEqual(ph.Duration, 30) {
 			t.Fatalf("phase %d duration %v", i, ph.Duration)
 		}
 		var tileSum, rowSum float64

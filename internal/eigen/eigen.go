@@ -22,6 +22,7 @@ import (
 	"math"
 
 	"tecopt/internal/mat"
+	"tecopt/internal/num"
 )
 
 // ErrNotConverged is returned when an iterative eigenvalue routine fails
@@ -86,7 +87,7 @@ func householderTridiag(a *mat.Dense, wantQ bool) (d, e []float64, q *mat.Dense)
 			for k := 0; k <= l; k++ {
 				scale += math.Abs(z.At(i, k))
 			}
-			if scale == 0 {
+			if num.IsZero(scale) {
 				e[i] = z.At(i, l)
 			} else {
 				for k := 0; k <= l; k++ {
@@ -134,7 +135,7 @@ func householderTridiag(a *mat.Dense, wantQ bool) (d, e []float64, q *mat.Dense)
 	// Accumulate transforms.
 	for i := 0; i < n; i++ {
 		l := i - 1
-		if d[i] != 0 {
+		if !num.IsZero(d[i]) {
 			for j := 0; j <= l; j++ {
 				var g float64
 				for k := 0; k <= l; k++ {
@@ -191,7 +192,7 @@ func tql(d, e []float64, q *mat.Dense) error {
 				b := c * e[i]
 				r = math.Hypot(f, g)
 				e[i+1] = r
-				if r == 0 {
+				if num.IsZero(r) {
 					d[i+1] -= p
 					e[m] = 0
 					break
@@ -211,7 +212,7 @@ func tql(d, e []float64, q *mat.Dense) error {
 					}
 				}
 			}
-			if r == 0 && m-1 >= l {
+			if num.IsZero(r) && m-1 >= l {
 				continue
 			}
 			d[l] -= p
@@ -245,7 +246,7 @@ func PowerIteration(op Op, n int, tol float64, maxIter int) (lambda float64, vec
 		w := op(v)
 		lambda = mat.Dot(v, w)
 		nw := normalize(w)
-		if nw == 0 {
+		if num.IsZero(nw) {
 			return 0, v, nil // operator annihilated the iterate: lambda ~ 0
 		}
 		v = w
@@ -319,7 +320,7 @@ func Lanczos(op Op, n, k int) ([]float64, error) {
 
 func normalize(v []float64) float64 {
 	n := mat.Norm2(v)
-	if n == 0 {
+	if num.IsZero(n) {
 		return 0
 	}
 	mat.ScaleVec(1/n, v)

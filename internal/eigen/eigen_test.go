@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"tecopt/internal/mat"
+	"tecopt/internal/num"
 )
 
 func TestSymEigKnown2x2(t *testing.T) {
@@ -138,7 +139,7 @@ func TestPowerIterationDominant(t *testing.T) {
 func TestPowerIterationZeroOperator(t *testing.T) {
 	op := func(x []float64) []float64 { return make([]float64, len(x)) }
 	lambda, _, err := PowerIteration(op, 4, 1e-10, 0)
-	if err != nil || lambda != 0 {
+	if err != nil || !num.IsZero(lambda) {
 		t.Fatalf("lambda=%v err=%v, want 0,nil", lambda, err)
 	}
 }

@@ -3,11 +3,13 @@ package floorplan
 import (
 	"math"
 	"testing"
+
+	"tecopt/internal/num"
 )
 
 func TestRectAreaOverlapContains(t *testing.T) {
 	r := Rect{X: 1, Y: 2, W: 3, H: 4}
-	if r.Area() != 12 {
+	if !num.ExactEqual(r.Area(), 12) {
 		t.Errorf("Area = %v", r.Area())
 	}
 	if !r.Contains(1, 2) {
@@ -20,7 +22,7 @@ func TestRectAreaOverlapContains(t *testing.T) {
 	if ov := r.Overlap(s); math.Abs(ov-2*3) > 1e-15 {
 		t.Errorf("Overlap = %v, want 6", ov)
 	}
-	if ov := r.Overlap(Rect{X: 100, Y: 100, W: 1, H: 1}); ov != 0 {
+	if ov := r.Overlap(Rect{X: 100, Y: 100, W: 1, H: 1}); !num.IsZero(ov) {
 		t.Errorf("disjoint Overlap = %v", ov)
 	}
 }
@@ -136,7 +138,7 @@ func TestPowerPerTile(t *testing.T) {
 		t.Fatalf("power not conserved: sum = %v", sum)
 	}
 	// Left tiles get 2 W each, right tiles 0.
-	if p[g.TileIndex(0, 0)] != 2 || p[g.TileIndex(1, 0)] != 0 {
+	if !num.ExactEqual(p[g.TileIndex(0, 0)], 2) || !num.IsZero(p[g.TileIndex(1, 0)]) {
 		t.Fatalf("power distribution wrong: %v", p)
 	}
 }

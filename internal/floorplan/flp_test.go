@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"tecopt/internal/num"
 )
 
 func TestWriteParseRoundTrip(t *testing.T) {
@@ -44,7 +46,7 @@ io	0.5	1.0	0.5	0.0
 	if len(f.Units) != 2 {
 		t.Fatalf("units = %d, want 2", len(f.Units))
 	}
-	if f.DieW != 1.0 || f.DieH != 1.0 {
+	if !num.ExactEqual(f.DieW, 1.0) || !num.ExactEqual(f.DieH, 1.0) {
 		t.Fatalf("die inferred as %g x %g, want 1 x 1", f.DieW, f.DieH)
 	}
 }

@@ -3,6 +3,8 @@ package floorplan
 import (
 	"math"
 	"testing"
+
+	"tecopt/internal/num"
 )
 
 func TestMirrorXPreservesValidity(t *testing.T) {
@@ -45,7 +47,7 @@ func TestRotate90(t *testing.T) {
 	if err := r.Validate(1e-9); err != nil {
 		t.Fatalf("rotated floorplan invalid: %v", err)
 	}
-	if r.DieW != f.DieH || r.DieH != f.DieW {
+	if !num.ExactEqual(r.DieW, f.DieH) || !num.ExactEqual(r.DieH, f.DieW) {
 		t.Fatalf("die dims not swapped: %g x %g", r.DieW, r.DieH)
 	}
 	// Area preserved per unit.

@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DroppedErrAPIs lists name fragments of solver and factorization APIs
+// whose error results must never be discarded: a swallowed
+// ErrNotPositiveDefinite from a Cholesky factorization turns the
+// lambda_m runaway search (Section V.C.1) into silent garbage, and a
+// dropped CG non-convergence error corrupts every downstream
+// temperature. A callee matches when its name contains one of these
+// fragments (case-sensitive).
+var DroppedErrAPIs = []string{
+	"Cholesky",
+	"LU",
+	"Solve",
+	"LambdaM",
+	"CG",
+	"NewSystem",
+	"IC0",
+	"Factor",
+	"Parse",
+}
+
+// DroppedErr flags calls to matching APIs whose error result is
+// discarded — either the whole call used as a statement, or the error
+// assigned to the blank identifier.
+var DroppedErr = &Analyzer{
+	Name: "droppederr",
+	Doc:  "flags discarded errors from solver/factorization APIs (Cholesky, LU, Solve, LambdaM, CG, NewSystem, ...)",
+	Run:  runDroppedErr,
+}
+
+func runDroppedErr(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					checkDroppedCall(pass, call, nil)
+				}
+			case *ast.GoStmt:
+				checkDroppedCall(pass, st.Call, nil)
+			case *ast.DeferStmt:
+				checkDroppedCall(pass, st.Call, nil)
+			case *ast.AssignStmt:
+				if len(st.Rhs) != 1 {
+					return true
+				}
+				call, ok := st.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkDroppedCall(pass, call, st.Lhs)
+			}
+			return true
+		})
+	}
+}
+
+// checkDroppedCall reports the call if it returns an error that the
+// surrounding statement throws away. lhs is nil for statement-position
+// calls (every result dropped); otherwise the error result is dropped
+// when its left-hand side is the blank identifier.
+func checkDroppedCall(pass *Pass, call *ast.CallExpr, lhs []ast.Expr) {
+	name := calleeName(call)
+	if name == "" || !matchesDroppedErrAPI(name) {
+		return
+	}
+	sig, ok := calleeSignature(pass, call)
+	if !ok {
+		return
+	}
+	errIdx := errorResultIndex(sig)
+	if errIdx < 0 {
+		return
+	}
+	if lhs == nil {
+		pass.Reportf(call.Pos(), "error returned by %s is discarded; handle it or assign it explicitly", name)
+		return
+	}
+	if errIdx >= len(lhs) {
+		return
+	}
+	if id, ok := lhs[errIdx].(*ast.Ident); ok && id.Name == "_" {
+		pass.Reportf(lhs[errIdx].Pos(), "error returned by %s is assigned to _; handle it or add a teclint:ignore droppederr directive explaining why failure is impossible", name)
+	}
+}
+
+func matchesDroppedErrAPI(name string) bool {
+	for _, frag := range DroppedErrAPIs {
+		if strings.Contains(name, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+func calleeSignature(pass *Pass, call *ast.CallExpr) (*types.Signature, bool) {
+	t := pass.TypeOf(call.Fun)
+	if t == nil {
+		return nil, false
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+// errorResultIndex returns the index of the last result whose type is
+// error, or -1 if the signature returns no error.
+func errorResultIndex(sig *types.Signature) int {
+	res := sig.Results()
+	for i := res.Len() - 1; i >= 0; i-- {
+		if isErrorType(res.At(i).Type()) {
+			return i
+		}
+	}
+	return -1
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "error" && obj.Pkg() == nil
+}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatEqAllowlist names tolerance-helper functions inside which direct
+// float ==/!= is permitted: a helper like almostEqual may legitimately
+// shortcut `a == b` before the relative-error test so that exact values
+// and infinities compare equal. Extend this set rather than sprinkling
+// ignore directives when adding a new tolerance helper.
+var FloatEqAllowlist = map[string]bool{
+	// internal/num, the canonical helpers.
+	"IsZero":      true,
+	"ExactEqual":  true,
+	"AlmostEqual": true,
+	"EqualWithin": true,
+	// Conventional spellings of local tolerance helpers.
+	"almostEqual": true,
+	"approxEqual": true,
+	"withinTol":   true,
+	"near":        true,
+	"ApproxEqual": true,
+	"WithinTol":   true,
+}
+
+// FloatEq flags == and != between floating-point operands. Direct float
+// equality silently breaks the numerics this repo depends on (greedy
+// tile selection, lambda_m bracketing, convexity checks): two
+// mathematically equal temperatures rarely compare equal after
+// different summation orders. Allowed escapes: the x != x NaN idiom,
+// comparisons where both operands are compile-time constants, bodies of
+// FloatEqAllowlist tolerance helpers, and explicit
+// "teclint:ignore floateq <reason>" directives for intentional
+// bit-exact comparisons.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flags ==/!= between floating-point operands outside approved tolerance helpers",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if fn, ok := n.(*ast.FuncDecl); ok && FloatEqAllowlist[fn.Name.Name] {
+				return false // tolerance helper: skip its body entirely
+			}
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !pass.IsFloat(be.X) || !pass.IsFloat(be.Y) {
+				return true
+			}
+			// x != x / x == x is the standard NaN probe; exact by design.
+			if sameIdent(be.X, be.Y) {
+				return true
+			}
+			// Both sides compile-time constants: evaluated exactly.
+			if pass.Info.Types[be.X].Value != nil && pass.Info.Types[be.Y].Value != nil {
+				return true
+			}
+			pass.Reportf(be.OpPos, "floating-point %s comparison; use a tolerance helper (e.g. math.Abs(a-b) <= tol) or add a teclint:ignore floateq directive stating bit-exact intent", be.Op)
+			return true
+		})
+	}
+}
+
+func sameIdent(x, y ast.Expr) bool {
+	xi, ok1 := x.(*ast.Ident)
+	yi, ok2 := y.(*ast.Ident)
+	return ok1 && ok2 && xi.Name == yi.Name
+}

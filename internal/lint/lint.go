@@ -1,0 +1,169 @@
+// Package lint is a self-contained static-analysis framework for this
+// repository, built only on the standard library (go/ast, go/parser,
+// go/types). It exists because the reproduction hangs on numerically
+// delicate code — Cholesky positive-definiteness tests deciding the
+// runaway limit lambda_m, convexity checks over h_kl(i), and greedy
+// deployment driven by floating-point temperature comparisons — where
+// bugs do not crash but quietly corrupt Table I / Figure 6 outputs.
+//
+// The framework deliberately mirrors the shape of golang.org/x/tools
+// analysis passes (Analyzer, Pass, Diagnostic) without importing them,
+// so the repository keeps its zero-dependency go.mod.
+//
+// Suppressing a finding: add a comment containing
+//
+//	teclint:ignore <rule> <reason>
+//
+// on the flagged line (or the line directly above it). The rule name is
+// mandatory; a finding is only suppressed by a directive naming its
+// rule, so a suppression never hides diagnostics from other analyzers.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer is one static-analysis rule. Run inspects a single package
+// unit and reports findings through the Pass.
+type Analyzer struct {
+	// Name is the short rule identifier printed as "[name]" in findings
+	// and matched by teclint:ignore directives.
+	Name string
+	// Doc is a one-paragraph description of what the rule flags and why.
+	Doc string
+	// Run inspects pass.Files and calls pass.Report for each finding.
+	Run func(pass *Pass)
+}
+
+// Pass carries one type-checked package unit through an analyzer.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos under the current analyzer's rule.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     position,
+		Rule:    p.analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// IsFloat reports whether e has floating-point type (possibly via a
+// named type whose underlying type is float32/float64).
+func (p *Pass) IsFloat(e ast.Expr) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// Diagnostic is one finding: a position, the rule that fired, and a
+// human-readable message.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String formats the finding in the canonical "file:line: [rule] msg"
+// shape that cmd/teclint prints and the golden tests pin down.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Rule, d.Message)
+}
+
+// Run applies each analyzer to the unit and returns the surviving
+// findings: suppressed diagnostics (teclint:ignore directives) are
+// filtered out, and the rest are sorted by file, line, column, rule so
+// output is deterministic across runs.
+func Run(unit *Unit, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:     unit.Fset,
+			Files:    unit.Files,
+			Pkg:      unit.Pkg,
+			Info:     unit.Info,
+			analyzer: a,
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+	diags = filterSuppressed(unit, diags)
+	SortDiagnostics(diags)
+	return diags
+}
+
+// filterSuppressed drops diagnostics whose line (or the line directly
+// above) carries a "teclint:ignore <rule>" comment naming their rule.
+func filterSuppressed(unit *Unit, diags []Diagnostic) []Diagnostic {
+	// Map file -> set of lines suppressed per rule.
+	suppressed := make(map[string]map[int]map[string]bool)
+	for _, f := range unit.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rule, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				pos := unit.Fset.Position(c.Pos())
+				byLine := suppressed[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					suppressed[pos.Filename] = byLine
+				}
+				// The directive covers its own line and the next one,
+				// so it works both trailing and standalone-above.
+				for _, ln := range []int{pos.Line, pos.Line + 1} {
+					if byLine[ln] == nil {
+						byLine[ln] = make(map[string]bool)
+					}
+					byLine[ln][rule] = true
+				}
+			}
+		}
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if rules := suppressed[d.Pos.Filename][d.Pos.Line]; rules != nil && rules[d.Rule] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// parseIgnore extracts the rule name from a "teclint:ignore <rule> ..."
+// comment, reporting ok=false for comments without the directive.
+func parseIgnore(comment string) (rule string, ok bool) {
+	text := strings.TrimPrefix(comment, "//")
+	text = strings.TrimPrefix(text, "/*")
+	text = strings.TrimSpace(text)
+	const directive = "teclint:ignore"
+	idx := strings.Index(text, directive)
+	if idx < 0 {
+		return "", false
+	}
+	rest := strings.TrimSpace(text[idx+len(directive):])
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", false
+	}
+	return fields[0], true
+}

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// fixtureLoader builds a loader rooted at the enclosing module so
+// fixtures under testdata/ type-check with the same machinery teclint
+// uses.
+func fixtureLoader(t *testing.T) *Loader {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("finding module root: %v", err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("creating loader: %v", err)
+	}
+	return loader
+}
+
+// wantedFindings scans fixture sources for "// want <rule>" markers and
+// returns the expected "file:line" keys.
+func wantedFindings(t *testing.T, dir, rule string) map[string]bool {
+	t.Helper()
+	want := make(map[string]bool)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("opening fixture: %v", err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			if strings.Contains(sc.Text(), "// want "+rule) {
+				want[fmt.Sprintf("%s:%d", path, line)] = true
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatalf("scanning fixture: %v", err)
+		}
+		f.Close()
+	}
+	return want
+}
+
+// runFixture runs one analyzer over its fixture package and checks the
+// findings match the // want markers exactly.
+func runFixture(t *testing.T, a *Analyzer) {
+	t.Helper()
+	loader := fixtureLoader(t)
+	dir, err := filepath.Abs(filepath.Join("testdata", a.Name))
+	if err != nil {
+		t.Fatalf("resolving fixture dir: %v", err)
+	}
+	units, err := loader.Load(dir)
+	if err != nil {
+		t.Fatalf("loading fixture package: %v", err)
+	}
+	if len(units) == 0 {
+		t.Fatalf("no packages loaded from %s", dir)
+	}
+	got := make(map[string]bool)
+	for _, unit := range units {
+		for _, d := range Run(unit, []*Analyzer{a}) {
+			key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+			if got[key] {
+				t.Errorf("duplicate finding at %s", key)
+			}
+			got[key] = true
+		}
+	}
+	want := wantedFindings(t, dir, a.Name)
+	if len(want) == 0 {
+		t.Fatalf("fixture for %s has no // want markers; it would not prove the rule fires", a.Name)
+	}
+	for key := range want {
+		if !got[key] {
+			t.Errorf("%s: expected finding at %s, got none", a.Name, key)
+		}
+	}
+	for key := range got {
+		if !want[key] {
+			t.Errorf("%s: unexpected finding at %s", a.Name, key)
+		}
+	}
+}
+
+func TestFloatEqFixture(t *testing.T)    { runFixture(t, FloatEq) }
+func TestDroppedErrFixture(t *testing.T) { runFixture(t, DroppedErr) }
+func TestMapOrderFixture(t *testing.T)   { runFixture(t, MapOrder) }
+func TestTestHelperFixture(t *testing.T) { runFixture(t, TestHelper) }
+func TestUnitSanityFixture(t *testing.T) { runFixture(t, UnitSanity) }
+
+// TestAllAnalyzersRegistered pins the suite composition: adding an
+// analyzer without registering it in All() would silently drop it from
+// teclint and CI.
+func TestAllAnalyzersRegistered(t *testing.T) {
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name)
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %s has no Run", a.Name)
+		}
+	}
+	sort.Strings(names)
+	want := []string{"droppederr", "floateq", "maporder", "testhelper", "unitsanity"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("registered analyzers = %v, want %v", names, want)
+	}
+}
+
+func TestParseIgnoreDirective(t *testing.T) {
+	cases := []struct {
+		comment string
+		rule    string
+		ok      bool
+	}{
+		{"//teclint:ignore floateq bit-exact sentinel", "floateq", true},
+		{"// teclint:ignore maporder reason", "maporder", true},
+		{"/* teclint:ignore droppederr reason */", "droppederr", true},
+		{"// regular comment", "", false},
+		{"//teclint:ignore", "", false}, // rule name is mandatory
+	}
+	for _, c := range cases {
+		rule, ok := parseIgnore(c.comment)
+		if rule != c.rule || ok != c.ok {
+			t.Errorf("parseIgnore(%q) = %q,%v want %q,%v", c.comment, rule, ok, c.rule, c.ok)
+		}
+	}
+}
+
+// TestDiagnosticString pins the output format golden-tested end-to-end
+// in cmd/teclint.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Rule: "floateq", Message: "msg"}
+	d.Pos.Filename = "internal/core/greedy.go"
+	d.Pos.Line = 42
+	if got, want := d.String(), "internal/core/greedy.go:42: [floateq] msg"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

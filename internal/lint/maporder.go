@@ -1,0 +1,283 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `range` over a map whose body accumulates into a
+// floating-point variable or appends to a slice declared outside the
+// loop. Go's map iteration order is randomized per run; feeding it into
+// float accumulation makes the rounding order — and hence the low bits
+// of every reproduced Table I / Figure 6 number — nondeterministic, and
+// appending builds result slices in random order. Fix by iterating
+// sorted keys, or suppress with "teclint:ignore maporder <reason>" when
+// order provably cannot matter (e.g. max/min reductions or integer
+// counts).
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flags range-over-map loops that accumulate floats or append results in nondeterministic order",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, file := range pass.Files {
+		// Collect function bodies up front so each map-range can find
+		// its innermost enclosing body by position; the sorted-keys
+		// idiom (append inside the loop, sort.X afterwards) needs the
+		// surrounding function to be recognized as deterministic.
+		var bodies []*ast.BlockStmt
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					bodies = append(bodies, fn.Body)
+				}
+			case *ast.FuncLit:
+				bodies = append(bodies, fn.Body)
+			}
+			return true
+		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if kind := mapOrderHazard(pass, rs, innermostBody(bodies, rs)); kind != "" {
+				pass.Reportf(rs.For, "range over map with %s in the loop body is order-dependent; iterate sorted keys for deterministic output", kind)
+			}
+			return true
+		})
+	}
+}
+
+// innermostBody returns the smallest function body enclosing n.
+func innermostBody(bodies []*ast.BlockStmt, n ast.Node) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	for _, b := range bodies {
+		if b.Pos() <= n.Pos() && n.End() <= b.End() {
+			if best == nil || (best.End()-best.Pos()) > (b.End()-b.Pos()) {
+				best = b
+			}
+		}
+	}
+	return best
+}
+
+// mapOrderHazard scans the loop body for order-sensitive effects on
+// variables declared outside the range statement, returning a short
+// description of the first hazard found ("" if none). enclosing is the
+// surrounding function body, used to whitelist appends whose target
+// slice is later sorted.
+func mapOrderHazard(pass *Pass, rs *ast.RangeStmt, enclosing *ast.BlockStmt) string {
+	hazard := ""
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if hazard != "" {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			for _, lhs := range as.Lhs {
+				if pass.IsFloat(lhs) && declaredOutside(pass, lhs, rs) && !keyedByLoopVar(pass, lhs, rs) {
+					hazard = "floating-point accumulation"
+					return false
+				}
+			}
+		case token.ASSIGN:
+			// x = append(x, ...) onto an outer slice — unless x is
+			// later sorted in the enclosing function (the canonical
+			// deterministic sorted-keys idiom).
+			for i, rhs := range as.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) {
+					continue
+				}
+				if i < len(as.Lhs) && declaredOutside(pass, as.Lhs[i], rs) && !sortedLater(pass, as.Lhs[i], rs, enclosing) {
+					hazard = "append to an outer slice"
+					return false
+				}
+			}
+			// Plain x = x + v float accumulation.
+			for i, rhs := range as.Rhs {
+				be, ok := rhs.(*ast.BinaryExpr)
+				if !ok || i >= len(as.Lhs) {
+					continue
+				}
+				switch be.Op {
+				case token.ADD, token.SUB, token.MUL, token.QUO:
+					lhs := as.Lhs[i]
+					if pass.IsFloat(lhs) && declaredOutside(pass, lhs, rs) && mentionsExpr(be, lhs) && !keyedByLoopVar(pass, lhs, rs) {
+						hazard = "floating-point accumulation"
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return hazard
+}
+
+// declaredOutside reports whether the variable behind expr was declared
+// outside the range statement rs. Non-identifier lvalues (index and
+// field expressions rooted at outer objects) count as outside.
+func declaredOutside(pass *Pass, expr ast.Expr, rs *ast.RangeStmt) bool {
+	id := rootIdent(expr)
+	if id == nil {
+		return false
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		obj = pass.Info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+}
+
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := pass.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// keyedByLoopVar reports whether lhs is an element expression whose
+// index mentions the loop's key or value variable — e.g.
+// out[k] += v inside `for k, v := range m`. Each iteration then writes
+// a distinct slot, so iteration order cannot change the result.
+func keyedByLoopVar(pass *Pass, lhs ast.Expr, rs *ast.RangeStmt) bool {
+	ix, ok := lhs.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	loopObjs := make(map[types.Object]bool)
+	for _, v := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := v.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				loopObjs[obj] = true
+			}
+			if obj := pass.Info.Uses[id]; obj != nil {
+				loopObjs[obj] = true
+			}
+		}
+	}
+	if len(loopObjs) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(ix.Index, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil && loopObjs[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// sortedLater reports whether the slice behind lhs is passed to a
+// sorting call (sort.*, slices.Sort*) somewhere after the range loop in
+// the enclosing function body, making the append order immaterial.
+func sortedLater(pass *Pass, lhs ast.Expr, rs *ast.RangeStmt, enclosing *ast.BlockStmt) bool {
+	root := rootIdent(lhs)
+	if root == nil || enclosing == nil {
+		return false
+	}
+	obj := pass.Info.Uses[root]
+	if obj == nil {
+		obj = pass.Info.Defs[root]
+	}
+	found := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || !isSortCall(call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			id := rootIdent(arg)
+			if id == nil {
+				continue
+			}
+			if o := pass.Info.Uses[id]; o != nil && o == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSortCall recognizes sort-package calls and anything whose callee
+// name contains "Sort" (slices.Sort, sort.Slice, custom SortTiles...).
+func isSortCall(call *ast.CallExpr) bool {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return strings.Contains(fn.Name, "Sort") || strings.Contains(fn.Name, "sort")
+	case *ast.SelectorExpr:
+		if x, ok := fn.X.(*ast.Ident); ok && (x.Name == "sort" || x.Name == "slices") {
+			return true
+		}
+		return strings.Contains(fn.Sel.Name, "Sort")
+	}
+	return false
+}
+
+// mentionsExpr reports whether tree contains an identifier with the
+// same root name as lhs (the self-reference in x = x + v).
+func mentionsExpr(tree ast.Expr, lhs ast.Expr) bool {
+	root := rootIdent(lhs)
+	if root == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(tree, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == root.Name {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,67 @@
+// Package droppederrtest seeds violations and clean code for the
+// droppederr analyzer fixture tests.
+package droppederrtest
+
+import "errors"
+
+var errNotPD = errors.New("not positive definite")
+
+type chol struct{}
+
+func newCholesky(spd bool) (*chol, error) {
+	if !spd {
+		return nil, errNotPD
+	}
+	return &chol{}, nil
+}
+
+func (c *chol) Solve(b []float64) ([]float64, error) { return b, nil }
+
+func solveCG() error { return nil }
+
+func computeLambdaM() (float64, error) { return 1.5, nil }
+
+func unrelatedHelper() {}
+
+func noErrorSolver() float64 { return 0 } // name doesn't match the API set
+
+func badStatementCall() {
+	solveCG() // want droppederr
+}
+
+func badBlankFactor() {
+	_, _ = newCholesky(true) // want droppederr
+}
+
+func badBlankSolve(c *chol, b []float64) []float64 {
+	x, _ := c.Solve(b) // want droppederr
+	return x
+}
+
+func badDefer() {
+	defer solveCG() // want droppederr
+}
+
+func badGo() {
+	go solveCG() // want droppederr
+}
+
+func goodHandled(b []float64) ([]float64, error) {
+	if err := solveCG(); err != nil {
+		return nil, err
+	}
+	c, err := newCholesky(true)
+	if err != nil {
+		return nil, err
+	}
+	return c.Solve(b)
+}
+
+func goodUnrelated() {
+	unrelatedHelper() // non-matching callee: clean
+	_ = noErrorSolver()
+}
+
+func suppressed() {
+	_, _ = computeLambdaM() //teclint:ignore droppederr fixture demonstrates suppression
+}

@@ -1,0 +1,60 @@
+// Package floateqtest seeds violations and clean code for the floateq
+// analyzer fixture tests. Lines carrying a violation end with a
+// want-rule marker; every other line must stay silent.
+package floateqtest
+
+import "math"
+
+const tol = 1e-9
+
+// almostEqual is on the FloatEqAllowlist: the exact shortcut before the
+// tolerance test is permitted inside it.
+func almostEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func badEq(a, b float64) bool {
+	return a == b // want floateq
+}
+
+func badNeq(a, b float32) bool {
+	return a != b // want floateq
+}
+
+func badZeroCompare(x float64) bool {
+	return x == 0 // want floateq
+}
+
+func badNamedFloat() bool {
+	type kelvin float64
+	var a, b kelvin
+	return a == b // want floateq
+}
+
+func nanProbe(x float64) bool {
+	return x != x // NaN idiom: exact by design, clean
+}
+
+func constantFold() bool {
+	return 0.1+0.2 == 0.3 // both operands compile-time constants: clean
+}
+
+func intCompare(a, b int) bool {
+	return a == b // integers: clean
+}
+
+func viaHelper(a, b float64) bool {
+	return almostEqual(a, b)
+}
+
+func suppressed(a, b float64) bool {
+	return a == b //teclint:ignore floateq fixture demonstrates bit-exact suppression
+}
+
+func suppressedAbove(a, b float64) bool {
+	//teclint:ignore floateq directive on the line above also suppresses
+	return a == b
+}

@@ -1,0 +1,102 @@
+// Package mapordertest seeds violations and clean code for the
+// maporder analyzer fixture tests.
+package mapordertest
+
+import "sort"
+
+func badFloatSum(m map[int]float64) float64 {
+	var total float64
+	for _, v := range m { // want maporder
+		total += v
+	}
+	return total
+}
+
+func badPlainAssignSum(m map[int]float64) float64 {
+	s := 0.0
+	for _, v := range m { // want maporder
+		s = s + v
+	}
+	return s
+}
+
+func badAppendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want maporder
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func badSubAccumulate(m map[int]float64, z float64) float64 {
+	for _, v := range m { // want maporder
+		z -= v
+	}
+	return z
+}
+
+func goodSortedKeys(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m { // append later sorted: deterministic, clean
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var total float64
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+func goodIntCount(m map[string]int) int {
+	n := 0
+	for range m {
+		n++ // integer count: order-independent, clean
+	}
+	return n
+}
+
+func goodLocalAccumulator(m map[int][]float64) {
+	for _, vs := range m {
+		var rowSum float64 // declared inside the loop: clean
+		for _, v := range vs {
+			rowSum += v
+		}
+		_ = rowSum
+	}
+}
+
+func goodSliceRange(xs []float64) float64 {
+	var s float64
+	for _, v := range xs { // slice iteration is ordered: clean
+		s += v
+	}
+	return s
+}
+
+func goodKeyedWrite(m map[string]float64, scale map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] += v * scale[k] // distinct slot per key: order-independent, clean
+	}
+	return out
+}
+
+func goodMaxReduction(m map[int]float64) float64 {
+	best := 0.0
+	for _, v := range m {
+		if v > best {
+			best = v // conditional overwrite, not accumulation: clean
+		}
+	}
+	return best
+}
+
+func suppressedSum(m map[int]float64) float64 {
+	var s float64
+	//teclint:ignore maporder fixture demonstrates suppression on the line above
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

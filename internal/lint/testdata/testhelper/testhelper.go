@@ -1,0 +1,71 @@
+// Package testhelpertest seeds violations and clean code for the
+// testhelper analyzer fixture tests. The file is deliberately a
+// non-_test file so the fixture loads as an ordinary package; importing
+// "testing" outside a test file is legal Go.
+package testhelpertest
+
+import "testing"
+
+type fixture struct{ n int }
+
+func badHelper(t *testing.T, got, want int) { // want testhelper
+	if got != want {
+		t.Fatalf("got %d want %d", got, want)
+	}
+}
+
+func badTBHelper(tb testing.TB, cond bool) { // want testhelper
+	if !cond {
+		tb.Error("condition failed")
+	}
+}
+
+func badBenchHelper(b *testing.B, n int) { // want testhelper
+	if n <= 0 {
+		b.Fatal("bad n")
+	}
+}
+
+func goodHelper(t *testing.T, got, want int) {
+	t.Helper()
+	if got != want {
+		t.Fatalf("got %d want %d", got, want)
+	}
+}
+
+func goodTBHelper(tb testing.TB, cond bool) {
+	tb.Helper()
+	if !cond {
+		tb.Error("condition failed")
+	}
+}
+
+func goodFixtureBuilder(t *testing.T) *fixture {
+	// Never reports a failure itself: not required to call Helper.
+	return &fixture{n: 1}
+}
+
+func goodSubtestRunner(t *testing.T) {
+	// Failures happen inside the subtest closure, which owns its own
+	// *testing.T; the runner is not a helper.
+	t.Run("sub", func(t *testing.T) {
+		t.Fatal("inner failure belongs to the subtest")
+	})
+}
+
+func TestLooksLikeATest(t *testing.T) {
+	t.Fatal("Test functions are exempt")
+}
+
+func BenchmarkLooksLikeABench(b *testing.B) {
+	b.Fatal("Benchmark functions are exempt")
+}
+
+func FuzzLooksLikeAFuzz(f *testing.F) {
+	f.Fatal("Fuzz functions are exempt")
+}
+
+//teclint:ignore testhelper fixture demonstrates suppression
+func suppressedHelper(t *testing.T) {
+	t.Fatal("suppressed")
+}

@@ -1,0 +1,50 @@
+// Package unitsanitytest seeds violations and clean code for the
+// unitsanity analyzer fixture tests.
+package unitsanitytest
+
+func celsiusToKelvin(c float64) float64 { return c + 273.15 }
+
+type config struct {
+	AmbientK  float64
+	LimitK    float64
+	DeltaTolK float64 // kelvin-denominated difference: exempt
+	StepK     float64 // exempt
+	Name      string
+}
+
+func deploy(limitK float64) float64 { return limitK }
+
+func overLimit(tempsK []float64, limitK float64) int {
+	n := 0
+	for _, t := range tempsK {
+		if t > limitK {
+			n++
+		}
+	}
+	return n
+}
+
+func bad() {
+	deploy(85)               // want unitsanity
+	_ = deploy(45.0)         // want unitsanity
+	_ = overLimit(nil, 100)  // want unitsanity
+	_ = config{AmbientK: 45} // want unitsanity
+	_ = config{LimitK: 85.0} // want unitsanity
+	deploy(-10)              // want unitsanity
+}
+
+func good() {
+	deploy(celsiusToKelvin(85)) // converted: clean
+	deploy(358.15)              // already kelvin-range: clean
+	_ = config{AmbientK: 318.15}
+	_ = config{DeltaTolK: 10} // difference in kelvin: clean
+	_ = config{StepK: 25}     // difference in kelvin: clean
+	const limitC = 85.0
+	deploy(limitC + 273.15) // arithmetic states intent: clean
+	_ = config{Name: "hc01"}
+	deploy(300)
+}
+
+func suppressed() {
+	deploy(85) //teclint:ignore unitsanity fixture demonstrates suppression
+}

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// TestHelper flags test helper functions — named functions taking a
+// *testing.T, *testing.B, or testing.TB parameter that call a failing
+// method (Error, Fatal, Skip, ...) on it — which never call
+// t.Helper(). Without t.Helper(), failures are reported at the line
+// inside the helper instead of at the call site, which makes
+// table-driven numeric test failures (the bulk of this repo's suite)
+// needlessly hard to localize.
+var TestHelper = &Analyzer{
+	Name: "testhelper",
+	Doc:  "flags test helpers taking *testing.T that don't call t.Helper()",
+	Run:  runTestHelper,
+}
+
+// failingMethods are the *testing.T methods whose report location
+// t.Helper() redirects.
+var failingMethods = map[string]bool{
+	"Error": true, "Errorf": true,
+	"Fatal": true, "Fatalf": true,
+	"Fail": true, "FailNow": true,
+	"Skip": true, "Skipf": true, "SkipNow": true,
+	"Log": true, "Logf": true,
+}
+
+func runTestHelper(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			name := fn.Name.Name
+			if strings.HasPrefix(name, "Test") || strings.HasPrefix(name, "Benchmark") || strings.HasPrefix(name, "Fuzz") || name == "TestMain" {
+				continue
+			}
+			param := testingParam(pass, fn)
+			if param == "" {
+				continue
+			}
+			callsFailing, callsHelper := scanHelperBody(fn.Body, param)
+			if callsFailing && !callsHelper {
+				pass.Reportf(fn.Name.Pos(), "test helper %s calls %s.Error/Fatal/Skip but not %s.Helper(); add %s.Helper() as the first statement", name, param, param, param)
+			}
+		}
+	}
+}
+
+// testingParam returns the name of the first parameter whose type is
+// *testing.T, *testing.B, *testing.F, or testing.TB ("" if none).
+func testingParam(pass *Pass, fn *ast.FuncDecl) string {
+	if fn.Type.Params == nil {
+		return ""
+	}
+	for _, field := range fn.Type.Params.List {
+		t := pass.TypeOf(field.Type)
+		if t == nil || !isTestingType(t) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return name.Name
+			}
+		}
+	}
+	return ""
+}
+
+func isTestingType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "testing" {
+		return false
+	}
+	switch obj.Name() {
+	case "T", "B", "F", "TB":
+		return true
+	}
+	return false
+}
+
+// scanHelperBody reports whether the body calls a failing method on the
+// named testing parameter, and whether it calls <param>.Helper().
+func scanHelperBody(body *ast.BlockStmt, param string) (callsFailing, callsHelper bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		recv, ok := sel.X.(*ast.Ident)
+		if !ok || recv.Name != param {
+			return true
+		}
+		switch {
+		case sel.Sel.Name == "Helper":
+			callsHelper = true
+		case failingMethods[sel.Sel.Name]:
+			callsFailing = true
+		case sel.Sel.Name == "Run":
+			// Subtests get their own *testing.T; what happens inside
+			// t.Run does not make the enclosing function a helper.
+			return false
+		}
+		return true
+	})
+	return callsFailing, callsHelper
+}

@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"strings"
+)
+
+// Celsius-looking range: on-chip temperature limits and ambients live
+// in roughly 20–150 °C; the same quantities in kelvin are near 300–400.
+// A raw literal below the bound passed into a kelvin-typed slot is
+// almost certainly a forgotten CelsiusToKelvin conversion, which shifts
+// every limit by 273.15 K and silently deactivates the optimizer's
+// constraint (nothing crashes; Table I just reproduces wrong).
+const (
+	celsiusLikeMin = 15
+	celsiusLikeMax = 200
+)
+
+// UnitSanity flags raw numeric literals that look like Celsius passed
+// where kelvin is expected: call arguments bound to parameters whose
+// names end in "K" and composite-literal fields ending in "K"
+// (AmbientK, limitK, PeakK, ...). Kelvin-denominated *differences*
+// (delta/tolerance/step parameters) are exempt, since a 10 K delta is
+// legitimate. Fix with material.CelsiusToKelvin(...) or suppress with
+// "teclint:ignore unitsanity <reason>".
+var UnitSanity = &Analyzer{
+	Name: "unitsanity",
+	Doc:  "flags raw Celsius-looking literals passed to kelvin parameters/fields; use CelsiusToKelvin",
+	Run:  runUnitSanity,
+}
+
+func runUnitSanity(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				checkCallKelvinArgs(pass, e)
+			case *ast.CompositeLit:
+				checkCompositeKelvinFields(pass, e)
+			}
+			return true
+		})
+	}
+}
+
+func checkCallKelvinArgs(pass *Pass, call *ast.CallExpr) {
+	sig, ok := calleeSignature(pass, call)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		idx := i
+		if sig.Variadic() && idx >= params.Len()-1 {
+			idx = params.Len() - 1
+		}
+		if idx >= params.Len() {
+			break
+		}
+		pname := params.At(idx).Name()
+		if !kelvinName(pname) {
+			continue
+		}
+		if v, ok := celsiusLikeLiteral(pass, arg); ok {
+			pass.Reportf(arg.Pos(), "raw literal %g passed to kelvin parameter %q looks like Celsius; wrap it in CelsiusToKelvin", v, pname)
+		}
+	}
+}
+
+func checkCompositeKelvinFields(pass *Pass, lit *ast.CompositeLit) {
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || !kelvinName(key.Name) {
+			continue
+		}
+		if v, ok := celsiusLikeLiteral(pass, kv.Value); ok {
+			pass.Reportf(kv.Value.Pos(), "raw literal %g assigned to kelvin field %q looks like Celsius; wrap it in CelsiusToKelvin", v, key.Name)
+		}
+	}
+}
+
+// kelvinName reports whether a parameter or field name denotes an
+// absolute kelvin temperature: it ends in "K" (limitK, AmbientK) and is
+// not a kelvin-denominated difference (delta, tolerance, step, span).
+func kelvinName(name string) bool {
+	if len(name) < 2 || !strings.HasSuffix(name, "K") {
+		return false
+	}
+	lower := strings.ToLower(name)
+	for _, diff := range []string{"delta", "tol", "step", "diff", "span", "drop", "rise", "eps"} {
+		if strings.Contains(lower, diff) {
+			return false
+		}
+	}
+	return true
+}
+
+// celsiusLikeLiteral reports the value of expr when it is a plain
+// numeric literal (possibly negated or parenthesized) in the
+// Celsius-looking range. Named constants and arithmetic expressions are
+// deliberately not matched: `limit` or `273.15 + 85` states intent.
+func celsiusLikeLiteral(pass *Pass, expr ast.Expr) (float64, bool) {
+	switch e := expr.(type) {
+	case *ast.ParenExpr:
+		return celsiusLikeLiteral(pass, e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB {
+			// Negative Celsius is plausible, but negative kelvin is
+			// impossible — flag any negative literal in a kelvin slot.
+			if v, ok := literalValue(pass, e.X); ok {
+				return -v, true
+			}
+		}
+		return 0, false
+	case *ast.BasicLit:
+		v, ok := literalValue(pass, e)
+		if !ok || v < celsiusLikeMin || v > celsiusLikeMax {
+			return 0, false
+		}
+		return v, true
+	}
+	return 0, false
+}
+
+func literalValue(pass *Pass, expr ast.Expr) (float64, bool) {
+	lit, ok := expr.(*ast.BasicLit)
+	if !ok || (lit.Kind != token.INT && lit.Kind != token.FLOAT) {
+		return 0, false
+	}
+	tv := pass.Info.Types[lit]
+	if tv.Value == nil {
+		return 0, false
+	}
+	f := constant.ToFloat(tv.Value)
+	if f.Kind() != constant.Float {
+		return 0, false
+	}
+	v, _ := constant.Float64Val(f)
+	return v, true
+}

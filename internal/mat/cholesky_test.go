@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"tecopt/internal/num"
 )
 
 func spd3() *Dense {
@@ -15,6 +17,17 @@ func spd3() *Dense {
 		{2, 5, 1},
 		{0, 1, 3},
 	})
+}
+
+// mustCholesky factors a known-SPD matrix, failing the test if the
+// factorization unexpectedly reports an error.
+func mustCholesky(t *testing.T, a *Dense) *Cholesky {
+	t.Helper()
+	c, err := NewCholesky(a)
+	if err != nil {
+		t.Fatalf("NewCholesky: %v", err)
+	}
+	return c
 }
 
 func TestCholeskyReconstruction(t *testing.T) {
@@ -31,7 +44,7 @@ func TestCholeskyReconstruction(t *testing.T) {
 	// Upper triangle of L must be zero.
 	for i := 0; i < 3; i++ {
 		for j := i + 1; j < 3; j++ {
-			if l.At(i, j) != 0 {
+			if !num.IsZero(l.At(i, j)) {
 				t.Errorf("L(%d,%d) = %v, want 0", i, j, l.At(i, j))
 			}
 		}
@@ -54,7 +67,7 @@ func TestCholeskySolve(t *testing.T) {
 
 func TestCholeskySolveInPlace(t *testing.T) {
 	a := spd3()
-	c, _ := NewCholesky(a)
+	c := mustCholesky(t, a)
 	want := []float64{0.5, 2, -1}
 	b := a.MulVec(want)
 	dst := make([]float64, 3)
@@ -94,7 +107,7 @@ func TestCholeskyNonSquare(t *testing.T) {
 
 func TestCholeskyInverse(t *testing.T) {
 	a := spd3()
-	c, _ := NewCholesky(a)
+	c := mustCholesky(t, a)
 	inv := c.Inverse()
 	if got := a.Mul(inv); !got.Equal(Identity(3), 1e-12) {
 		t.Fatalf("A * A^-1 = %v, want I", got)
@@ -103,7 +116,7 @@ func TestCholeskyInverse(t *testing.T) {
 
 func TestCholeskyDet(t *testing.T) {
 	a := spd3()
-	c, _ := NewCholesky(a)
+	c := mustCholesky(t, a)
 	// det = 4*(15-1) - 2*(6-0) = 56 - 12 = 44
 	if got := c.Det(); math.Abs(got-44) > 1e-9 {
 		t.Fatalf("Det = %v, want 44", got)
@@ -114,7 +127,7 @@ func TestCholeskyDet(t *testing.T) {
 }
 
 func TestCholeskySolveWrongLenPanics(t *testing.T) {
-	c, _ := NewCholesky(spd3())
+	c := mustCholesky(t, spd3())
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic for wrong rhs length")

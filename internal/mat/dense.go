@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"tecopt/internal/num"
 )
 
 // Dense is a row-major dense matrix.
@@ -187,7 +189,7 @@ func (m *Dense) Mul(b *Dense) *Dense {
 		mi := m.data[i*m.cols : (i+1)*m.cols]
 		oi := out.data[i*b.cols : (i+1)*b.cols]
 		for k, mik := range mi {
-			if mik == 0 {
+			if num.IsZero(mik) {
 				continue
 			}
 			bk := b.data[k*b.cols : (k+1)*b.cols]

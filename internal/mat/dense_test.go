@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"tecopt/internal/num"
 )
 
 func TestNewDenseZeroed(t *testing.T) {
@@ -14,7 +16,7 @@ func TestNewDenseZeroed(t *testing.T) {
 	}
 	for i := 0; i < 3; i++ {
 		for j := 0; j < 4; j++ {
-			if m.At(i, j) != 0 {
+			if !num.IsZero(m.At(i, j)) {
 				t.Errorf("At(%d,%d) = %v, want 0", i, j, m.At(i, j))
 			}
 		}
@@ -32,7 +34,7 @@ func TestNewDenseNegativePanics(t *testing.T) {
 
 func TestNewDenseFrom(t *testing.T) {
 	m := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
-	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+	if !num.ExactEqual(m.At(0, 1), 2) || !num.ExactEqual(m.At(1, 0), 3) {
 		t.Fatalf("unexpected contents: %v", m)
 	}
 }
@@ -50,7 +52,7 @@ func TestSetAtAdd(t *testing.T) {
 	m := NewDense(2, 2)
 	m.Set(0, 1, 5)
 	m.Add(0, 1, 2)
-	if got := m.At(0, 1); got != 7 {
+	if got := m.At(0, 1); !num.ExactEqual(got, 7) {
 		t.Fatalf("At(0,1) = %v, want 7", got)
 	}
 }
@@ -73,7 +75,7 @@ func TestIdentity(t *testing.T) {
 			if i == j {
 				want = 1
 			}
-			if id.At(i, j) != want {
+			if !num.ExactEqual(id.At(i, j), want) {
 				t.Errorf("I(%d,%d) = %v, want %v", i, j, id.At(i, j), want)
 			}
 		}
@@ -82,7 +84,7 @@ func TestIdentity(t *testing.T) {
 
 func TestDiagonal(t *testing.T) {
 	d := Diagonal([]float64{1, -2, 3})
-	if d.At(1, 1) != -2 || d.At(0, 1) != 0 {
+	if !num.ExactEqual(d.At(1, 1), -2) || !num.IsZero(d.At(0, 1)) {
 		t.Fatalf("unexpected diagonal matrix: %v", d)
 	}
 }
@@ -100,12 +102,12 @@ func TestRowColClone(t *testing.T) {
 	// Mutating copies must not affect the original.
 	row[0] = 99
 	col[0] = 99
-	if m.At(1, 0) != 4 || m.At(0, 2) != 3 {
+	if !num.ExactEqual(m.At(1, 0), 4) || !num.ExactEqual(m.At(0, 2), 3) {
 		t.Error("Row/Col returned aliases, want copies")
 	}
 	c := m.Clone()
 	c.Set(0, 0, -1)
-	if m.At(0, 0) != 1 {
+	if !num.ExactEqual(m.At(0, 0), 1) {
 		t.Error("Clone returned alias")
 	}
 }
@@ -124,7 +126,7 @@ func TestMulRectangular(t *testing.T) {
 	a := NewDenseFrom([][]float64{{1, 0, 2}})     // 1x3
 	b := NewDenseFrom([][]float64{{1}, {2}, {3}}) // 3x1
 	got := a.Mul(b)
-	if got.Rows() != 1 || got.Cols() != 1 || got.At(0, 0) != 7 {
+	if got.Rows() != 1 || got.Cols() != 1 || !num.ExactEqual(got.At(0, 0), 7) {
 		t.Fatalf("got %v", got)
 	}
 }
@@ -140,7 +142,7 @@ func TestMulVec(t *testing.T) {
 func TestTranspose(t *testing.T) {
 	a := NewDenseFrom([][]float64{{1, 2, 3}, {4, 5, 6}})
 	at := a.T()
-	if at.Rows() != 3 || at.Cols() != 2 || at.At(2, 0) != 3 || at.At(0, 1) != 4 {
+	if at.Rows() != 3 || at.Cols() != 2 || !num.ExactEqual(at.At(2, 0), 3) || !num.ExactEqual(at.At(0, 1), 4) {
 		t.Fatalf("transpose wrong: %v", at)
 	}
 }
@@ -148,16 +150,16 @@ func TestTranspose(t *testing.T) {
 func TestAddSubAxpyScale(t *testing.T) {
 	a := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
 	b := NewDenseFrom([][]float64{{10, 20}, {30, 40}})
-	if got := a.AddMat(b).At(1, 1); got != 44 {
+	if got := a.AddMat(b).At(1, 1); !num.ExactEqual(got, 44) {
 		t.Errorf("AddMat = %v, want 44", got)
 	}
-	if got := b.SubMat(a).At(0, 0); got != 9 {
+	if got := b.SubMat(a).At(0, 0); !num.ExactEqual(got, 9) {
 		t.Errorf("SubMat = %v, want 9", got)
 	}
-	if got := a.AxpyMat(-2, b).At(0, 1); got != -38 {
+	if got := a.AxpyMat(-2, b).At(0, 1); !num.ExactEqual(got, -38) {
 		t.Errorf("AxpyMat = %v, want -38", got)
 	}
-	if got := a.Clone().Scale(3).At(1, 0); got != 9 {
+	if got := a.Clone().Scale(3).At(1, 0); !num.ExactEqual(got, 9) {
 		t.Errorf("Scale = %v, want 9", got)
 	}
 }
@@ -166,7 +168,7 @@ func TestQuadratic(t *testing.T) {
 	a := NewDenseFrom([][]float64{{2, 1}, {1, 3}})
 	x := []float64{1, 2}
 	// x'Ax = 2 + 2 + 2 + 12 = 18
-	if got := a.Quadratic(x, x); got != 18 {
+	if got := a.Quadratic(x, x); !num.ExactEqual(got, 18) {
 		t.Fatalf("Quadratic = %v, want 18", got)
 	}
 }
@@ -187,7 +189,7 @@ func TestIsSymmetric(t *testing.T) {
 
 func TestMaxAbs(t *testing.T) {
 	a := NewDenseFrom([][]float64{{-7, 2}, {3, 5}})
-	if got := a.MaxAbs(); got != 7 {
+	if got := a.MaxAbs(); !num.ExactEqual(got, 7) {
 		t.Fatalf("MaxAbs = %v, want 7", got)
 	}
 }

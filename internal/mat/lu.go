@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"tecopt/internal/num"
 )
 
 // ErrSingular is returned when a factorization encounters an (effectively)
@@ -43,7 +45,7 @@ func NewLU(a *Dense) (*LU, error) {
 				max, p = a, i
 			}
 		}
-		if max == 0 {
+		if num.IsZero(max) {
 			return nil, ErrSingular
 		}
 		if p != k {
@@ -59,7 +61,7 @@ func NewLU(a *Dense) (*LU, error) {
 		for i := k + 1; i < n; i++ {
 			m := lu.data[i*n+k] / pivVal
 			lu.data[i*n+k] = m
-			if m == 0 {
+			if num.IsZero(m) {
 				continue
 			}
 			rowI := lu.data[i*n+k+1 : (i+1)*n]

@@ -49,9 +49,20 @@ func TestLUNonSquare(t *testing.T) {
 	}
 }
 
+// mustLU factors a known-nonsingular matrix, failing the test if the
+// factorization unexpectedly reports an error.
+func mustLU(t *testing.T, a *Dense) *LU {
+	t.Helper()
+	f, err := NewLU(a)
+	if err != nil {
+		t.Fatalf("NewLU: %v", err)
+	}
+	return f
+}
+
 func TestLUInverse(t *testing.T) {
 	a := NewDenseFrom([][]float64{{2, 1, 0}, {1, 3, 1}, {0, 1, 2}})
-	f, _ := NewLU(a)
+	f := mustLU(t, a)
 	inv := f.Inverse()
 	if got := a.Mul(inv); !got.Equal(Identity(3), 1e-12) {
 		t.Fatalf("A*A^-1 = %v, want I", got)
@@ -62,7 +73,7 @@ func TestLUSolveDense(t *testing.T) {
 	a := NewDenseFrom([][]float64{{2, 1}, {1, 3}})
 	x := NewDenseFrom([][]float64{{1, 0, 2}, {-1, 1, 0}})
 	b := a.Mul(x)
-	f, _ := NewLU(a)
+	f := mustLU(t, a)
 	got := f.SolveDense(b)
 	if !got.Equal(x, 1e-12) {
 		t.Fatalf("SolveDense = %v, want %v", got, x)
@@ -70,7 +81,7 @@ func TestLUSolveDense(t *testing.T) {
 }
 
 func TestLUSolveWrongLenPanics(t *testing.T) {
-	f, _ := NewLU(Identity(3))
+	f := mustLU(t, Identity(3))
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic for wrong rhs length")

@@ -3,6 +3,8 @@ package mat
 import (
 	"math"
 	"math/rand"
+
+	"tecopt/internal/num"
 )
 
 // Stieltjes-matrix utilities.
@@ -50,7 +52,7 @@ func IsIrreducible(a *Dense) bool {
 		u := queue[0]
 		queue = queue[1:]
 		for v := 0; v < n; v++ {
-			if v != u && !seen[v] && (a.data[u*n+v] != 0 || a.data[v*n+u] != 0) {
+			if v != u && !seen[v] && (!num.IsZero(a.data[u*n+v]) || !num.IsZero(a.data[v*n+u])) {
 				seen[v] = true
 				count++
 				queue = append(queue, v)
@@ -117,7 +119,7 @@ func RandomStieltjes(rng *rand.Rand, n int, density float64) *Dense {
 	// Extra edges.
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			if rng.Float64() < density && a.data[i*n+j] == 0 {
+			if rng.Float64() < density && num.IsZero(a.data[i*n+j]) {
 				addEdge(i, j, 0.1+rng.Float64())
 			}
 		}

@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"tecopt/internal/num"
 )
 
 func TestIsStieltjes(t *testing.T) {
@@ -97,7 +99,7 @@ func TestDiagMul(t *testing.T) {
 func TestSymmetrize(t *testing.T) {
 	a := NewDenseFrom([][]float64{{1, 2}, {4, 3}})
 	Symmetrize(a)
-	if a.At(0, 1) != 3 || a.At(1, 0) != 3 {
+	if !num.ExactEqual(a.At(0, 1), 3) || !num.ExactEqual(a.At(1, 0), 3) {
 		t.Fatalf("Symmetrize = %v", a)
 	}
 }

@@ -3,6 +3,8 @@ package mat
 import (
 	"fmt"
 	"math"
+
+	"tecopt/internal/num"
 )
 
 // Vector helpers. Thermal solvers pass temperature and power profiles as
@@ -28,7 +30,7 @@ func Norm2(x []float64) float64 {
 	var scale, ssq float64
 	ssq = 1
 	for _, v := range x {
-		if v == 0 {
+		if num.IsZero(v) {
 			continue
 		}
 		a := math.Abs(v)

@@ -3,10 +3,12 @@ package mat
 import (
 	"math"
 	"testing"
+
+	"tecopt/internal/num"
 )
 
 func TestDot(t *testing.T) {
-	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); !num.ExactEqual(got, 32) {
 		t.Fatalf("Dot = %v, want 32", got)
 	}
 }
@@ -24,7 +26,7 @@ func TestNorm2(t *testing.T) {
 	if got := Norm2([]float64{3, 4}); math.Abs(got-5) > 1e-15 {
 		t.Fatalf("Norm2 = %v, want 5", got)
 	}
-	if got := Norm2(nil); got != 0 {
+	if got := Norm2(nil); !num.IsZero(got) {
 		t.Fatalf("Norm2(nil) = %v, want 0", got)
 	}
 	// Overflow-resistant accumulation.
@@ -35,7 +37,7 @@ func TestNorm2(t *testing.T) {
 }
 
 func TestNormInf(t *testing.T) {
-	if got := NormInf([]float64{-9, 2, 5}); got != 9 {
+	if got := NormInf([]float64{-9, 2, 5}); !num.ExactEqual(got, 9) {
 		t.Fatalf("NormInf = %v, want 9", got)
 	}
 }
@@ -43,11 +45,11 @@ func TestNormInf(t *testing.T) {
 func TestMaxMin(t *testing.T) {
 	v := []float64{3, -1, 7, 7, 2}
 	mx, i := Max(v)
-	if mx != 7 || i != 2 {
+	if !num.ExactEqual(mx, 7) || i != 2 {
 		t.Errorf("Max = (%v,%d), want (7,2)", mx, i)
 	}
 	mn, j := Min(v)
-	if mn != -1 || j != 1 {
+	if !num.ExactEqual(mn, -1) || j != 1 {
 		t.Errorf("Min = (%v,%d), want (-1,1)", mn, j)
 	}
 }
@@ -62,7 +64,7 @@ func TestMaxEmptyPanics(t *testing.T) {
 }
 
 func TestSumAxpyScaleFill(t *testing.T) {
-	if got := Sum([]float64{1, 2, 3.5}); got != 6.5 {
+	if got := Sum([]float64{1, 2, 3.5}); !num.ExactEqual(got, 6.5) {
 		t.Errorf("Sum = %v", got)
 	}
 	y := []float64{1, 1}
@@ -84,7 +86,7 @@ func TestCloneVecIndependent(t *testing.T) {
 	x := []float64{1, 2}
 	y := CloneVec(x)
 	y[0] = 9
-	if x[0] != 1 {
+	if !num.ExactEqual(x[0], 1) {
 		t.Fatal("CloneVec aliased input")
 	}
 }

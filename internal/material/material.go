@@ -8,6 +8,8 @@
 // paper). All quantities are SI: meters, watts, kelvins.
 package material
 
+import "tecopt/internal/num"
+
 // Material groups the bulk properties needed for steady-state (k) and
 // transient (C) thermal analysis.
 type Material struct {
@@ -120,12 +122,12 @@ func SlabConductance(m Material, a, t float64) float64 {
 func SeriesConductance(gs ...float64) float64 {
 	var r float64
 	for _, g := range gs {
-		if g == 0 {
+		if num.IsZero(g) {
 			return 0
 		}
 		r += 1 / g
 	}
-	if r == 0 {
+	if num.IsZero(r) {
 		return 0
 	}
 	return 1 / r

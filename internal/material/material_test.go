@@ -3,6 +3,8 @@ package material
 import (
 	"math"
 	"testing"
+
+	"tecopt/internal/num"
 )
 
 func TestDefaultPackageValid(t *testing.T) {
@@ -39,7 +41,7 @@ func TestValidateRejections(t *testing.T) {
 }
 
 func TestTemperatureConversions(t *testing.T) {
-	if got := CelsiusToKelvin(45); got != 318.15 {
+	if got := CelsiusToKelvin(45); !num.AlmostEqual(got, 318.15, 1e-12) {
 		t.Errorf("CelsiusToKelvin(45) = %v", got)
 	}
 	if got := KelvinToCelsius(318.15); math.Abs(got-45) > 1e-12 {
@@ -74,16 +76,16 @@ func TestSeriesConductance(t *testing.T) {
 		t.Errorf("SeriesConductance(2,2) = %v, want 1", got)
 	}
 	// A zero conductance breaks the path entirely.
-	if got := SeriesConductance(2, 0); got != 0 {
+	if got := SeriesConductance(2, 0); !num.IsZero(got) {
 		t.Errorf("SeriesConductance(2,0) = %v, want 0", got)
 	}
-	if got := SeriesConductance(); got != 0 {
+	if got := SeriesConductance(); !num.IsZero(got) {
 		t.Errorf("SeriesConductance() = %v, want 0", got)
 	}
 }
 
 func TestParallelConductance(t *testing.T) {
-	if got := ParallelConductance(1, 2, 3); got != 6 {
+	if got := ParallelConductance(1, 2, 3); !num.ExactEqual(got, 6) {
 		t.Errorf("ParallelConductance = %v, want 6", got)
 	}
 }

@@ -1,0 +1,59 @@
+// Package num provides the repository's approved floating-point
+// comparison helpers. The teclint floateq analyzer forbids raw ==/!=
+// between floats everywhere else; code states its intent by choosing
+// one of these helpers instead:
+//
+//   - IsZero / ExactEqual for deliberate bit-exact comparisons
+//     (sparsity sentinels, Brent-method progress checks, determinism
+//     assertions),
+//   - AlmostEqual / EqualWithin for numerical comparisons where two
+//     mathematically equal values may differ by rounding.
+//
+// The helper names are registered in lint.FloatEqAllowlist, so their
+// bodies are the only places a raw float comparison is permitted.
+package num
+
+import "math"
+
+// IsZero reports whether v is exactly +0 or -0. Use it for bit-exact
+// zero sentinels: structural zeros in sparse matrices, "option not set"
+// defaults, division guards against literal zero. It is intentionally
+// NOT a small-magnitude test; use AlmostEqual(v, 0, tol) to test
+// nearness to zero.
+func IsZero(v float64) bool { return v == 0 }
+
+// ExactEqual reports whether a and b are bit-for-bit the same value
+// (with +0 == -0, and NaN never equal, following IEEE-754 ==). Use it
+// where exactness is the point: tie-breaking, caching, asserting that
+// two code paths computed the identical float.
+func ExactEqual(a, b float64) bool { return a == b }
+
+// AlmostEqual reports whether a and b differ by at most tol in absolute
+// value. Infinities of the same sign compare equal; NaN compares equal
+// to nothing. tol must be non-negative.
+func AlmostEqual(a, b, tol float64) bool {
+	if tol < 0 {
+		panic("num: negative tolerance")
+	}
+	if a == b {
+		return true // handles equal infinities and exact hits
+	}
+	return math.Abs(a-b) <= tol
+}
+
+// EqualWithin reports whether a and b agree to within rel relative
+// error, falling back to absolute comparison near zero: the test is
+// |a-b| <= rel * max(|a|, |b|, 1).
+func EqualWithin(a, b, rel float64) bool {
+	if rel < 0 {
+		panic("num: negative tolerance")
+	}
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return math.Abs(a-b) <= rel*scale
+}

@@ -1,0 +1,66 @@
+package num
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIsZero(t *testing.T) {
+	if !IsZero(0) || !IsZero(math.Copysign(0, -1)) {
+		t.Error("IsZero must accept both signed zeros")
+	}
+	if IsZero(1e-300) || IsZero(-1e-300) {
+		t.Error("IsZero must be bit-exact, not a nearness test")
+	}
+	if IsZero(math.NaN()) {
+		t.Error("IsZero(NaN) must be false")
+	}
+}
+
+func TestExactEqual(t *testing.T) {
+	if !ExactEqual(1.5, 1.5) {
+		t.Error("identical values must compare equal")
+	}
+	if ExactEqual(1.5, math.Nextafter(1.5, 2)) {
+		t.Error("ExactEqual must not tolerate even one differing ulp")
+	}
+	if ExactEqual(math.NaN(), math.NaN()) {
+		t.Error("NaN must not equal NaN")
+	}
+	if !ExactEqual(math.Inf(1), math.Inf(1)) {
+		t.Error("equal infinities must compare equal")
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	if !AlmostEqual(1.0, 1.0+1e-12, 1e-9) {
+		t.Error("values within tol must compare equal")
+	}
+	if AlmostEqual(1.0, 1.1, 1e-9) {
+		t.Error("values beyond tol must differ")
+	}
+	if !AlmostEqual(math.Inf(1), math.Inf(1), 1e-9) {
+		t.Error("equal infinities must compare equal")
+	}
+	if AlmostEqual(math.NaN(), math.NaN(), 1e-9) {
+		t.Error("NaN compares equal to nothing")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative tolerance must panic")
+		}
+	}()
+	AlmostEqual(1, 1, -1)
+}
+
+func TestEqualWithin(t *testing.T) {
+	if !EqualWithin(1e12, 1e12*(1+1e-12), 1e-9) {
+		t.Error("relative comparison must scale with magnitude")
+	}
+	if EqualWithin(1.0, 2.0, 1e-9) {
+		t.Error("distinct values must differ")
+	}
+	if !EqualWithin(0, 1e-12, 1e-9) {
+		t.Error("near zero the test must fall back to absolute tolerance")
+	}
+}

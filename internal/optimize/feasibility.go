@@ -2,6 +2,8 @@ package optimize
 
 import (
 	"math"
+
+	"tecopt/internal/num"
 )
 
 // Convex feasibility machinery for the paper's Lemma 4 / Theorem 4
@@ -34,7 +36,7 @@ func CheckConvexInfeasible(lhs Func, a, b, slack float64) (FeasibilityReport, er
 	if slack < 0 {
 		slack = 0
 	}
-	if a == b {
+	if num.ExactEqual(a, b) {
 		v := lhs(a)
 		return FeasibilityReport{Feasible: v < -slack, MinValue: v, ArgMin: a}, nil
 	}

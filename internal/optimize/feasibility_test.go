@@ -3,6 +3,8 @@ package optimize
 import (
 	"math"
 	"testing"
+
+	"tecopt/internal/num"
 )
 
 func TestCheckConvexInfeasibleNegativeDip(t *testing.T) {
@@ -48,7 +50,7 @@ func TestCheckConvexInfeasibleDegenerateInterval(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !rep.Feasible || rep.ArgMin != 2 {
+	if !rep.Feasible || !num.ExactEqual(rep.ArgMin, 2) {
 		t.Fatalf("rep = %+v", rep)
 	}
 }

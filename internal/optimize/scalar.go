@@ -12,6 +12,8 @@ package optimize
 import (
 	"errors"
 	"math"
+
+	"tecopt/internal/num"
 )
 
 // ErrMaxIterations is returned when an iterative routine exhausts its
@@ -150,10 +152,10 @@ func Brent(f Func, a, b, tol float64, maxIter int) (Result, error) {
 			} else {
 				b = u
 			}
-			if fu <= fw || w == x {
+			if fu <= fw || num.ExactEqual(w, x) {
 				v, w = w, u
 				fv, fw = fw, fu
-			} else if fu <= fv || v == x || v == w {
+			} else if fu <= fv || num.ExactEqual(v, x) || num.ExactEqual(v, w) {
 				v, fv = u, fu
 			}
 		}
@@ -216,7 +218,7 @@ func GradientDescent(f Func, opt GradientDescentOptions) (Result, error) {
 			h := opt.GradEps
 			// One-sided differences at the interval boundaries.
 			lo, hi := clamp(x-h), clamp(x+h)
-			if hi == lo {
+			if num.ExactEqual(hi, lo) {
 				return 0
 			}
 			return (f(hi) - f(lo)) / (hi - lo)
@@ -228,7 +230,7 @@ func GradientDescent(f Func, opt GradientDescentOptions) (Result, error) {
 	const armijo = 1e-4
 	for it := 1; it <= opt.MaxIter; it++ {
 		g := grad(x)
-		if g == 0 {
+		if num.IsZero(g) {
 			return Result{X: x, F: fx, Iterations: it, Converged: true}, nil
 		}
 		step := opt.Step0
@@ -237,7 +239,7 @@ func GradientDescent(f Func, opt GradientDescentOptions) (Result, error) {
 		for ls := 0; ls < 60; ls++ {
 			xNew = clamp(x - step*g)
 			fNew = f(xNew)
-			if fNew <= fx-armijo*math.Abs(g*(xNew-x)) && xNew != x {
+			if fNew <= fx-armijo*math.Abs(g*(xNew-x)) && !num.ExactEqual(xNew, x) {
 				accepted = true
 				break
 			}
@@ -251,7 +253,7 @@ func GradientDescent(f Func, opt GradientDescentOptions) (Result, error) {
 				step *= 0.5
 				xTry := clamp(x - step*g)
 				fTry := f(xTry)
-				if fTry >= fNew || xTry == x {
+				if fTry >= fNew || num.ExactEqual(xTry, x) {
 					break
 				}
 				xNew, fNew = xTry, fTry
@@ -282,10 +284,10 @@ func Bisect(f Func, a, b, tol float64, maxIter int) (Result, error) {
 		maxIter = 200
 	}
 	fa, fb := f(a), f(b)
-	if fa == 0 {
+	if num.IsZero(fa) {
 		return Result{X: a, F: 0, Converged: true}, nil
 	}
-	if fb == 0 {
+	if num.IsZero(fb) {
 		return Result{X: b, F: 0, Converged: true}, nil
 	}
 	if math.Signbit(fa) == math.Signbit(fb) {
@@ -295,7 +297,7 @@ func Bisect(f Func, a, b, tol float64, maxIter int) (Result, error) {
 	for it = 1; it <= maxIter && b-a > tol; it++ {
 		m := 0.5 * (a + b)
 		fm := f(m)
-		if fm == 0 {
+		if num.IsZero(fm) {
 			return Result{X: m, F: 0, Iterations: it, Converged: true}, nil
 		}
 		if math.Signbit(fm) == math.Signbit(fa) {

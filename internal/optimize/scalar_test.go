@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"tecopt/internal/num"
 )
 
 func TestGoldenSectionQuadratic(t *testing.T) {
@@ -132,7 +134,7 @@ func TestBisect(t *testing.T) {
 
 func TestBisectEndpointRoot(t *testing.T) {
 	res, err := Bisect(func(x float64) float64 { return x }, 0, 1, 1e-12, 0)
-	if err != nil || res.X != 0 {
+	if err != nil || !num.IsZero(res.X) {
 		t.Fatalf("res=%+v err=%v", res, err)
 	}
 }
@@ -156,7 +158,7 @@ func TestBinarySearchBoundary(t *testing.T) {
 
 func TestBinarySearchBoundaryWholeRangeTrue(t *testing.T) {
 	got, err := BinarySearchBoundary(func(x float64) bool { return true }, 0, 5, 1e-12, 0)
-	if err != nil || got != 5 {
+	if err != nil || !num.ExactEqual(got, 5) {
 		t.Fatalf("got %v err %v, want 5", got, err)
 	}
 }

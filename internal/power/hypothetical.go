@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"tecopt/internal/floorplan"
+	"tecopt/internal/num"
 )
 
 // Hypothetical-chip generator (paper Section VI.B).
@@ -145,7 +146,7 @@ func GenerateHC(name string, seed int64, spec HCSpec) (*HCChip, error) {
 				d = -d
 			}
 			// Random tie-breaking keeps hot-spot locations varied.
-			if d < bestDiff || (d == bestDiff && rng.Intn(2) == 0) {
+			if d < bestDiff || (num.ExactEqual(d, bestDiff) && rng.Intn(2) == 0) {
 				bestI, bestJ, bestDiff = i, j, d
 			}
 		}

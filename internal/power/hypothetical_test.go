@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"tecopt/internal/num"
 )
 
 func TestGenerateHCDeterministic(t *testing.T) {
@@ -15,11 +17,11 @@ func TestGenerateHCDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.TotalPower != b.TotalPower || len(a.Floorplan.Units) != len(b.Floorplan.Units) {
+	if !num.ExactEqual(a.TotalPower, b.TotalPower) || len(a.Floorplan.Units) != len(b.Floorplan.Units) {
 		t.Fatal("GenerateHC not deterministic")
 	}
 	for i := range a.TilePower {
-		if a.TilePower[i] != b.TilePower[i] {
+		if !num.ExactEqual(a.TilePower[i], b.TilePower[i]) {
 			t.Fatal("tile powers differ between runs")
 		}
 	}

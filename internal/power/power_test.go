@@ -5,23 +5,24 @@ import (
 	"testing"
 
 	"tecopt/internal/floorplan"
+	"tecopt/internal/num"
 )
 
 func TestUnitParamsDensityClamps(t *testing.T) {
 	u := UnitParams{IdleDensity: 10, DynamicDensity: 90}
-	if got := u.Density(0); got != 10 {
+	if got := u.Density(0); !num.ExactEqual(got, 10) {
 		t.Errorf("Density(0) = %v", got)
 	}
-	if got := u.Density(1); got != 100 {
+	if got := u.Density(1); !num.ExactEqual(got, 100) {
 		t.Errorf("Density(1) = %v", got)
 	}
-	if got := u.Density(-1); got != 10 {
+	if got := u.Density(-1); !num.ExactEqual(got, 10) {
 		t.Errorf("Density(-1) = %v, want clamp to idle", got)
 	}
-	if got := u.Density(2); got != 100 {
+	if got := u.Density(2); !num.ExactEqual(got, 100) {
 		t.Errorf("Density(2) = %v, want clamp to max", got)
 	}
-	if got := u.Density(0.5); got != 55 {
+	if got := u.Density(0.5); !num.ExactEqual(got, 55) {
 		t.Errorf("Density(0.5) = %v", got)
 	}
 }
@@ -32,7 +33,7 @@ func TestEnvelope(t *testing.T) {
 		{Name: "b", Activity: map[string]float64{"x": 0.7, "z": 0.2}},
 	}
 	env := Envelope(ws)
-	if env["x"] != 0.7 || env["y"] != 0.9 || env["z"] != 0.2 {
+	if !num.ExactEqual(env["x"], 0.7) || !num.ExactEqual(env["y"], 0.9) || !num.ExactEqual(env["z"], 0.2) {
 		t.Fatalf("Envelope = %v", env)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"tecopt/internal/floorplan"
+	"tecopt/internal/num"
 )
 
 func TestPtraceRoundTrip(t *testing.T) {
@@ -28,7 +29,7 @@ func TestPtraceRoundTrip(t *testing.T) {
 	if len(back.Units) != 2 || back.Units[0] != "core" {
 		t.Fatalf("units = %v", back.Units)
 	}
-	if len(back.Samples) != 2 || back.Samples[1][1] != 0.5 {
+	if len(back.Samples) != 2 || !num.ExactEqual(back.Samples[1][1], 0.5) {
 		t.Fatalf("samples = %v", back.Samples)
 	}
 }
@@ -72,7 +73,7 @@ func TestWorstCaseAndMean(t *testing.T) {
 		t.Fatalf("worst = %v", worst)
 	}
 	mean := tr.MeanPower()
-	if mean["a"] != 2 || mean["b"] != 3 {
+	if !num.ExactEqual(mean["a"], 2) || !num.ExactEqual(mean["b"], 3) {
 		t.Fatalf("mean = %v", mean)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"tecopt/internal/material"
+	"tecopt/internal/num"
 	"tecopt/internal/sparse"
 )
 
@@ -331,7 +332,7 @@ func Solve(geom material.PackageGeometry, cols, rows int, tilePower []float64, o
 						total += aov
 					}
 				}
-				if total == 0 {
+				if num.IsZero(total) {
 					return fmt.Errorf("refsolver: TEC site %d has no cells at layer %d", t, z)
 				}
 				return nil
@@ -359,7 +360,7 @@ func Solve(geom material.PackageGeometry, cols, rows int, tilePower []float64, o
 	// lateral overlap — the same lumped-layer heating convention the
 	// compact model (and HotSpot's block model) uses.
 	for t, pw := range tilePower {
-		if pw == 0 {
+		if num.IsZero(pw) {
 			continue
 		}
 		if pw < 0 {
@@ -391,7 +392,7 @@ func Solve(geom material.PackageGeometry, cols, rows int, tilePower []float64, o
 				}
 			}
 		}
-		if wSum == 0 {
+		if num.IsZero(wSum) {
 			return nil, fmt.Errorf("refsolver: tile %d has no silicon cells", t)
 		}
 		for c, n0 := range cells {

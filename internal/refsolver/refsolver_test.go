@@ -6,6 +6,7 @@ import (
 
 	"tecopt/internal/floorplan"
 	"tecopt/internal/material"
+	"tecopt/internal/num"
 	"tecopt/internal/power"
 	"tecopt/internal/thermal"
 )
@@ -83,7 +84,7 @@ func TestSolveHotspotSymmetryAndLocality(t *testing.T) {
 	if res.TileTempsK[4] <= res.TileTempsK[0] {
 		t.Fatal("heated center not hottest")
 	}
-	if res.PeakK != res.TileTempsK[4] {
+	if !num.ExactEqual(res.PeakK, res.TileTempsK[4]) {
 		t.Fatal("PeakK inconsistent")
 	}
 }
@@ -202,7 +203,7 @@ func TestFinerGridConverges(t *testing.T) {
 func TestAxisProperties(t *testing.T) {
 	edges := axis(3e-3, 30e-3, 0.5e-3, 1.7)
 	// Must start and end exactly at the domain boundary.
-	if edges[0] != -30e-3 || edges[len(edges)-1] != 30e-3 {
+	if !num.ExactEqual(edges[0], -30e-3) || !num.ExactEqual(edges[len(edges)-1], 30e-3) {
 		t.Fatalf("axis endpoints: %v .. %v", edges[0], edges[len(edges)-1])
 	}
 	// Strictly increasing.

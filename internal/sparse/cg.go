@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"tecopt/internal/num"
 )
 
 // ErrNotConverged is returned when an iterative solve fails to reach the
@@ -41,7 +43,7 @@ func NewJacobi(a *CSR) *JacobiPreconditioner {
 	d := a.Diag()
 	inv := make([]float64, len(d))
 	for i, v := range d {
-		if v == 0 {
+		if num.IsZero(v) {
 			inv[i] = 1
 		} else {
 			inv[i] = 1 / v
@@ -114,7 +116,7 @@ func SolveCG(a *CSR, b []float64, opt CGOptions) (*CGResult, error) {
 		r[i] = b[i] - r[i]
 	}
 	normB := norm2(b)
-	if normB == 0 {
+	if num.IsZero(normB) {
 		return &CGResult{X: x, Iterations: 0, Residual: 0}, nil
 	}
 	if norm2(r)/normB <= opt.Tol {

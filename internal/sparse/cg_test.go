@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"tecopt/internal/num"
 )
 
 func residual(a *CSR, x, b []float64) float64 {
@@ -42,7 +44,7 @@ func TestCGZeroRHS(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, v := range res.X {
-		if v != 0 {
+		if !num.IsZero(v) {
 			t.Fatal("nonzero solution for zero rhs")
 		}
 	}

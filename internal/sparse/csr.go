@@ -14,6 +14,8 @@ package sparse
 import (
 	"fmt"
 	"sort"
+
+	"tecopt/internal/num"
 )
 
 // Coord is a single (row, col, value) assembly entry.
@@ -43,7 +45,7 @@ func (b *Builder) Add(i, j int, v float64) {
 	if i < 0 || i >= b.rows || j < 0 || j >= b.cols {
 		panic(fmt.Sprintf("sparse: index (%d,%d) out of range %dx%d", i, j, b.rows, b.cols))
 	}
-	if v == 0 {
+	if num.IsZero(v) {
 		return
 	}
 	b.entries = append(b.entries, Coord{i, j, v})
@@ -82,7 +84,7 @@ func (b *Builder) Build() *CSR {
 			s += es[k].Val
 			k++
 		}
-		if s != 0 {
+		if !num.IsZero(s) {
 			colIdx = append(colIdx, c)
 			vals = append(vals, s)
 			rowPtr[r+1]++
@@ -212,7 +214,7 @@ func (m *CSR) AddScaledDiag(s float64, d []float64) *CSR {
 		}
 	}
 	for i, v := range d {
-		if v != 0 {
+		if !num.IsZero(v) {
 			b.Add(i, i, s*v)
 		}
 	}

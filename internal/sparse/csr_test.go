@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"tecopt/internal/num"
 )
 
 func TestBuilderDuplicatesSummed(t *testing.T) {
@@ -13,13 +15,13 @@ func TestBuilderDuplicatesSummed(t *testing.T) {
 	b.Add(0, 1, 3)
 	b.Add(1, 1, -1)
 	m := b.Build()
-	if got := m.At(0, 1); got != 5 {
+	if got := m.At(0, 1); !num.ExactEqual(got, 5) {
 		t.Fatalf("At(0,1) = %v, want 5", got)
 	}
-	if got := m.At(1, 1); got != -1 {
+	if got := m.At(1, 1); !num.ExactEqual(got, -1) {
 		t.Fatalf("At(1,1) = %v, want -1", got)
 	}
-	if got := m.At(0, 0); got != 0 {
+	if got := m.At(0, 0); !num.IsZero(got) {
 		t.Fatalf("At(0,0) = %v, want 0", got)
 	}
 	if m.NNZ() != 2 {
@@ -60,10 +62,10 @@ func TestAddSym(t *testing.T) {
 	b.AddSym(0, 2, -4)
 	b.AddSym(1, 1, 7)
 	m := b.Build()
-	if m.At(0, 2) != -4 || m.At(2, 0) != -4 {
+	if !num.ExactEqual(m.At(0, 2), -4) || !num.ExactEqual(m.At(2, 0), -4) {
 		t.Error("AddSym did not mirror off-diagonal")
 	}
-	if m.At(1, 1) != 7 {
+	if !num.ExactEqual(m.At(1, 1), 7) {
 		t.Error("AddSym double-counted the diagonal")
 	}
 }
@@ -79,7 +81,7 @@ func TestMulVec(t *testing.T) {
 	got := m.MulVec([]float64{1, 2, 3})
 	want := []float64{5, 6, 13}
 	for i := range want {
-		if got[i] != want[i] {
+		if !num.ExactEqual(got[i], want[i]) {
 			t.Fatalf("MulVec = %v, want %v", got, want)
 		}
 	}
@@ -93,7 +95,7 @@ func TestDiag(t *testing.T) {
 	d := b.Build().Diag()
 	want := []float64{1, 0, 9}
 	for i := range want {
-		if d[i] != want[i] {
+		if !num.ExactEqual(d[i], want[i]) {
 			t.Fatalf("Diag = %v, want %v", d, want)
 		}
 	}
@@ -136,13 +138,13 @@ func TestAddScaledDiag(t *testing.T) {
 	b.Add(0, 1, -0.5)
 	a := b.Build()
 	out := a.AddScaledDiag(-2, []float64{3, 0})
-	if got := out.At(0, 0); got != -5 {
+	if got := out.At(0, 0); !num.ExactEqual(got, -5) {
 		t.Fatalf("At(0,0) = %v, want -5", got)
 	}
-	if got := out.At(1, 1); got != 1 {
+	if got := out.At(1, 1); !num.ExactEqual(got, 1) {
 		t.Fatalf("At(1,1) = %v, want 1", got)
 	}
-	if got := out.At(0, 1); got != -0.5 {
+	if got := out.At(0, 1); !num.ExactEqual(got, -0.5) {
 		t.Fatalf("off-diagonal changed: %v", got)
 	}
 }

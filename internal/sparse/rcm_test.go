@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"tecopt/internal/num"
 )
 
 func TestRCMReducesBandwidthOnGrid(t *testing.T) {
@@ -75,7 +77,7 @@ func TestPermuteVec(t *testing.T) {
 	got := PermuteVec(perm, x)
 	want := []float64{20, 30, 10}
 	for i := range want {
-		if got[i] != want[i] {
+		if !num.ExactEqual(got[i], want[i]) {
 			t.Fatalf("PermuteVec = %v, want %v", got, want)
 		}
 	}

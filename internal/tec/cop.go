@@ -2,6 +2,8 @@ package tec
 
 import (
 	"math"
+
+	"tecopt/internal/num"
 )
 
 // Thermoelectric figures of merit and coefficient of performance, after
@@ -23,7 +25,7 @@ func (d DeviceParams) ZT(t float64) float64 {
 // (q_c < 0) and undefined (returned as +Inf) at zero input power.
 func (d DeviceParams) COP(i, thetaHot, thetaCold float64) float64 {
 	p := d.InputPower(i, thetaHot, thetaCold)
-	if p == 0 {
+	if num.IsZero(p) {
 		return math.Inf(1)
 	}
 	return d.ColdSideFlux(i, thetaHot, thetaCold) / p
@@ -72,7 +74,7 @@ func (a *Array) ArrayCOP(theta []float64, i float64) float64 {
 		qc += a.Params.ColdSideFlux(i, th, tc)
 		p += a.Params.InputPower(i, th, tc)
 	}
-	if p == 0 {
+	if num.IsZero(p) {
 		return math.Inf(1)
 	}
 	return qc / p

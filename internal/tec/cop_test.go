@@ -3,6 +3,8 @@ package tec
 import (
 	"math"
 	"testing"
+
+	"tecopt/internal/num"
 )
 
 func TestZTPlausible(t *testing.T) {
@@ -48,7 +50,7 @@ func TestCOPSignsAndZero(t *testing.T) {
 func TestZeroCOPCurrentNoPositiveRegion(t *testing.T) {
 	// Huge dT: conduction dominates at every current, q_c < 0 always.
 	d := ChowdhuryDevice()
-	if i := d.ZeroCOPCurrent(10000, 300); i != 0 {
+	if i := d.ZeroCOPCurrent(10000, 300); !num.IsZero(i) {
 		t.Fatalf("ZeroCOPCurrent = %v, want 0 for conduction-dominated case", i)
 	}
 }

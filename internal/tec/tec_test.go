@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"tecopt/internal/material"
+	"tecopt/internal/num"
 	"tecopt/internal/thermal"
 )
 
@@ -62,7 +63,7 @@ func TestFluxEquations(t *testing.T) {
 		t.Errorf("p = %v, qh-qc = %v", p, qh-qc)
 	}
 	// Zero current: pure conduction, no input power.
-	if d.InputPower(0, th, tc) != 0 {
+	if !num.IsZero(d.InputPower(0, th, tc)) {
 		t.Error("nonzero input power at i=0")
 	}
 	if qc0 := d.ColdSideFlux(0, th, tc); math.Abs(qc0+0.5) > 1e-12 {
@@ -123,15 +124,15 @@ func TestDVectorSigns(t *testing.T) {
 	pn, arr := buildWithSites(t, []int{50})
 	d := arr.DVector(pn.Net.NumNodes())
 	alpha := arr.Params.Seebeck
-	if got := d[arr.Hot[0]]; got != +alpha {
+	if got := d[arr.Hot[0]]; !num.ExactEqual(got, +alpha) {
 		t.Errorf("D at hot node = %v, want +%v (Eq. 5)", got, alpha)
 	}
-	if got := d[arr.Cold[0]]; got != -alpha {
+	if got := d[arr.Cold[0]]; !num.ExactEqual(got, -alpha) {
 		t.Errorf("D at cold node = %v, want -%v (Eq. 5)", got, alpha)
 	}
 	var nz int
 	for _, v := range d {
-		if v != 0 {
+		if !num.IsZero(v) {
 			nz++
 		}
 	}
@@ -152,7 +153,7 @@ func TestJoulePower(t *testing.T) {
 	if math.Abs(sum-4*half) > 1e-15 {
 		t.Fatalf("total joule = %v, want %v", sum, 4*half)
 	}
-	if p[arr.Hot[0]] != half || p[arr.Cold[1]] != half {
+	if !num.ExactEqual(p[arr.Hot[0]], half) || !num.ExactEqual(p[arr.Cold[1]], half) {
 		t.Fatal("joule not placed on device nodes")
 	}
 }

@@ -18,6 +18,7 @@ package thermal
 import (
 	"fmt"
 
+	"tecopt/internal/num"
 	"tecopt/internal/sparse"
 )
 
@@ -115,7 +116,7 @@ func (n *Network) NodesOfKind(k NodeKind) []int {
 // passive network cannot contain them (the TEC's negative Peltier
 // "conductor" enters through the separate D matrix instead).
 func (n *Network) AddConductance(i, j int, g float64) {
-	if g == 0 {
+	if num.IsZero(g) {
 		return
 	}
 	if g < 0 {
@@ -132,7 +133,7 @@ func (n *Network) AddConductance(i, j int, g float64) {
 // system: g lands on the diagonal of G and g*sourceK on the right-hand
 // side, exactly the constant-voltage-source treatment of Section IV.A.
 func (n *Network) AddGround(i int, g, sourceK float64) {
-	if g == 0 {
+	if num.IsZero(g) {
 		return
 	}
 	if g < 0 {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"tecopt/internal/mat"
+	"tecopt/internal/num"
 	"tecopt/internal/sparse"
 )
 
@@ -44,11 +45,11 @@ func TestNetworkBaseRHS(t *testing.T) {
 	rhs := n.BaseRHS()
 	want := []float64{0, 0, 300}
 	for i := range want {
-		if rhs[i] != want[i] {
+		if !num.ExactEqual(rhs[i], want[i]) {
 			t.Fatalf("BaseRHS = %v, want %v", rhs, want)
 		}
 	}
-	if g := n.TotalGroundConductance(); g != 1 {
+	if g := n.TotalGroundConductance(); !num.ExactEqual(g, 1) {
 		t.Fatalf("TotalGroundConductance = %v", g)
 	}
 }

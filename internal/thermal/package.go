@@ -5,6 +5,7 @@ import (
 
 	"tecopt/internal/floorplan"
 	"tecopt/internal/material"
+	"tecopt/internal/num"
 )
 
 // BuildOptions configures the package discretization.
@@ -96,7 +97,7 @@ func BuildPackage(geom material.PackageGeometry, opts BuildOptions) (*PackageNet
 	if opts.SinkCells <= 0 {
 		opts.SinkCells = 20
 	}
-	if geom.DieWidth != geom.DieHeight && opts.Cols != opts.Rows {
+	if !num.ExactEqual(geom.DieWidth, geom.DieHeight) && opts.Cols != opts.Rows {
 		// Non-square dies are fine; the layer grids stay square.
 		_ = geom
 	}
@@ -303,7 +304,7 @@ func (pn *PackageNetwork) AttachTEC(t int, gc, gh, kappa float64) (cold, hot int
 }
 
 func seriesG(a, b float64) float64 {
-	if a == 0 || b == 0 {
+	if num.IsZero(a) || num.IsZero(b) {
 		return 0
 	}
 	return a * b / (a + b)

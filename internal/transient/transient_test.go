@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"tecopt/internal/core"
+	"tecopt/internal/num"
 	"tecopt/internal/tec"
 	"tecopt/internal/thermal"
 )
@@ -186,7 +187,7 @@ func TestSettleTimeAndSeries(t *testing.T) {
 	}
 	// Empty trace edge case.
 	empty := &Trace{}
-	if empty.SettleTime(1) != 0 {
+	if !num.IsZero(empty.SettleTime(1)) {
 		t.Fatal("empty trace settle time not 0")
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"io"
 
 	"tecopt/internal/floorplan"
+	"tecopt/internal/num"
 )
 
 // HeatmapOptions configures rendering.
@@ -46,7 +47,7 @@ func WriteHeatmap(w io.Writer, g *floorplan.Grid, tileTempsK []float64, opt Heat
 	}
 	opt = opt.withDefaults()
 	minK, maxK := opt.MinK, opt.MaxK
-	if minK == 0 && maxK == 0 {
+	if num.IsZero(minK) && num.IsZero(maxK) {
 		minK, maxK = tileTempsK[0], tileTempsK[0]
 		for _, v := range tileTempsK {
 			if v < minK {

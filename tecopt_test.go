@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
+
+	"tecopt/internal/num"
 )
 
 func TestAlphaChipFacade(t *testing.T) {
@@ -112,7 +114,7 @@ func TestDeviceAndGeometryDefaults(t *testing.T) {
 	if err := DefaultPackage().Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if CelsiusToKelvin(KelvinToCelsius(300)) != 300 {
+	if !num.AlmostEqual(CelsiusToKelvin(KelvinToCelsius(300)), 300, 1e-9) {
 		t.Fatal("temperature conversion round trip failed")
 	}
 }
