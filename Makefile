@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet lint fuzz-smoke check
+.PHONY: all build test race race-engine vet lint fuzz-smoke check
 
 all: check
 
@@ -16,6 +16,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Focused race gate for the parallel solve engine and its core call
+# sites: the concurrency-heavy packages, without the full-suite cost.
+race-engine:
+	$(GO) test -race ./internal/engine/... ./internal/core/...
 
 vet:
 	$(GO) vet ./...

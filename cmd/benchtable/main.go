@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchtable [-chip all|alpha|hc] [-limit 85]
+//	benchtable [-chip all|alpha|hc] [-limit 85] [-parallel N]
 package main
 
 import (
@@ -21,9 +21,10 @@ import (
 func main() {
 	chip := flag.String("chip", "all", "which rows: all, alpha, or hc")
 	limit := flag.Float64("limit", 85, "base allowable temperature (C)")
+	parallel := flag.Int("parallel", 1, "chips evaluated concurrently (0 = all cores, 1 = serial)")
 	flag.Parse()
 
-	opt := bench.TableIOptions{BaseLimitC: *limit}
+	opt := bench.TableIOptions{BaseLimitC: *limit, Parallel: *parallel}
 	start := time.Now()
 	var rows []*bench.TableIRow
 	var err error

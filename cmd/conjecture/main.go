@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	conjecture [-matrices 1000] [-maxorder 20] [-pairs 0] [-seed 1]
+//	conjecture [-matrices 1000] [-maxorder 20] [-pairs 0] [-seed 1] [-parallel N]
 //
 // -pairs 0 checks every (k, l) pair per matrix.
 package main
@@ -28,6 +28,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "PRNG seed")
 	density := flag.Float64("density", 0.3, "extra-edge probability of the generator")
 	family := flag.String("family", "random", "matrix ensemble: random, grid, path or tree")
+	parallel := flag.Int("parallel", 1, "trial workers (0 = all cores, 1 = serial); report is identical either way")
 	flag.Parse()
 
 	var fam core.MatrixFamily
@@ -48,7 +49,7 @@ func main() {
 	start := time.Now()
 	rep := core.VerifyConjecture1(rand.New(rand.NewSource(*seed)), core.ConjectureOptions{
 		Matrices: *matrices, MaxOrder: *maxOrder, PairsPerMatrix: *pairs, Density: *density,
-		Family: fam,
+		Family: fam, Parallel: *parallel,
 	})
 	fmt.Printf("conjecture-1 campaign: %d matrices, %d pairs checked in %v\n",
 		rep.Matrices, rep.PairsChecked, time.Since(start).Round(time.Millisecond))

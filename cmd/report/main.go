@@ -4,12 +4,15 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"tecopt/internal/bench"
 )
 
 func main() {
+	parallel := flag.Int("parallel", 1, "Figure-6 points solved concurrently (0 = all cores, 1 = serial)")
+	flag.Parse()
 	val, err := bench.RunValidation()
 	if err != nil {
 		panic(err)
@@ -17,7 +20,7 @@ func main() {
 	fmt.Printf("validation: matched worst %.3f C | fine worst %.3f C mean bias %.3f C | ref nodes %d\n\n",
 		val.WorstDiffC, val.FineWorstDiffC, val.FineMeanBiasC, val.ReferenceNodes)
 
-	f6, err := bench.RunFigure6(12)
+	f6, err := bench.RunFigure6Opts(bench.Figure6Options{Points: 12, Parallel: *parallel})
 	if err != nil {
 		panic(err)
 	}

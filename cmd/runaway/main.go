@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	runaway [-points 16] [-transient]
+//	runaway [-points 16] [-parallel N] [-transient]
 package main
 
 import (
@@ -23,11 +23,12 @@ import (
 
 func main() {
 	points := flag.Int("points", 16, "number of current samples")
+	parallel := flag.Int("parallel", 1, "current-grid points solved concurrently (0 = all cores, 1 = serial)")
 	doTransient := flag.Bool("transient", false, "also simulate a beyond-limit transient trajectory")
 	csvPath := flag.String("csv", "", "write the sweep as CSV (current_A,hkl_KperW,peak_C) to this path")
 	flag.Parse()
 
-	res, err := bench.RunFigure6(*points)
+	res, err := bench.RunFigure6Opts(bench.Figure6Options{Points: *points, Parallel: *parallel})
 	if err != nil {
 		fatal(err)
 	}

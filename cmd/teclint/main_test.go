@@ -19,6 +19,7 @@ var update = flag.Bool("update", false, "rewrite golden files with current outpu
 var fixturePatterns = []string{
 	"internal/lint/testdata/droppederr",
 	"internal/lint/testdata/floateq",
+	"internal/lint/testdata/lockcopy",
 	"internal/lint/testdata/maporder",
 	"internal/lint/testdata/testhelper",
 	"internal/lint/testdata/unitsanity",
@@ -151,7 +152,7 @@ func TestRulesFlag(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("-rules exit code = %d", code)
 	}
-	for _, rule := range []string{"droppederr", "floateq", "maporder", "testhelper", "unitsanity"} {
+	for _, rule := range []string{"droppederr", "floateq", "lockcopy", "maporder", "testhelper", "unitsanity"} {
 		if !strings.Contains(stdout, rule) {
 			t.Errorf("-rules output missing %q:\n%s", rule, stdout)
 		}

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Benchmarks for the engine-parallelized evaluation paths. Each has a
+// serial sub-benchmark (Parallel: 1) and a parallel one (Parallel: 0 =
+// GOMAXPROCS); comparing the two on a multicore host measures the
+// worker-pool speedup. Full Table I is minutes of work per iteration —
+// run it with -benchtime=1x:
+//
+//	go test ./internal/bench -bench BenchmarkEngine_TableI -benchtime=1x
+func BenchmarkEngine_TableI(b *testing.B) {
+	for _, bm := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bm.name, func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				if _, err := RunTableI(TableIOptions{Parallel: bm.workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEngine_Figure6(b *testing.B) {
+	for _, workers := range []int{1, 0} {
+		name := "serial"
+		if workers == 0 {
+			name = "parallel"
+		}
+		b.Run(fmt.Sprintf("%s/points=24", name), func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				if _, err := RunFigure6Opts(Figure6Options{Points: 24, Parallel: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,11 +1,13 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strings"
 
 	"tecopt/internal/core"
+	"tecopt/internal/engine"
 	"tecopt/internal/floorplan"
 	"tecopt/internal/material"
 	"tecopt/internal/power"
@@ -30,11 +32,32 @@ type Figure6Result struct {
 	PeakC []float64
 }
 
-// RunFigure6 builds the Alpha system with its greedy deployment and
+// Figure6Options configures the runaway-curve sweep.
+type Figure6Options struct {
+	// Points is the number of current samples (default 16, minimum 4).
+	Points int
+	// Parallel is the number of sample points solved concurrently: <= 0
+	// uses GOMAXPROCS, 1 is the pure-serial fallback. Samples land in
+	// index-addressed slices, so the curve is identical at every worker
+	// count.
+	Parallel int
+}
+
+// RunFigure6 sweeps the runaway curve serially with the given number of
+// points. It is the legacy entry point kept for cmd/report; new callers
+// should use RunFigure6Opts.
+func RunFigure6(points int) (*Figure6Result, error) {
+	return RunFigure6Opts(Figure6Options{Points: points})
+}
+
+// RunFigure6Opts builds the Alpha system with its greedy deployment and
 // sweeps h_kl(i) from 0 toward lambda_m. k is the silicon node of the
 // hottest tile and l the hot node of the first deployed device,
-// the pairing whose divergence dominates the runaway.
-func RunFigure6(points int) (*Figure6Result, error) {
+// the pairing whose divergence dominates the runaway. Only a loss of
+// positive definiteness (thermal runaway) reads as +Inf; any other
+// solver error aborts the sweep.
+func RunFigure6Opts(opt Figure6Options) (*Figure6Result, error) {
+	points := opt.Points
 	if points < 4 {
 		points = 16
 	}
@@ -50,25 +73,40 @@ func RunFigure6(points int) (*Figure6Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Figure6Result{LambdaM: lambda}
+	res := &Figure6Result{
+		LambdaM:  lambda,
+		Currents: make([]float64, points),
+		Hkl:      make([]float64, points),
+		PeakC:    make([]float64, points),
+	}
 	k := sys.PN.SilNode[dep.Current.PeakTile]
 	l := sys.Array.Hot[0]
-	for n := 0; n < points; n++ {
+	err = engine.Pool{Workers: opt.Parallel}.Map(points, func(n int) error {
 		// Denser sampling near the limit, where the curve shoots up.
 		frac := 1 - math.Pow(1-float64(n)/float64(points-1), 2)
 		i := lambda * frac * (1 - 1e-6)
-		res.Currents = append(res.Currents, i)
+		res.Currents[n] = i
 		h, err := sys.Hkl(i, k, l)
-		if err != nil {
+		switch {
+		case errors.Is(err, thermal.ErrNotPD):
 			h = math.Inf(1)
+		case err != nil:
+			return fmt.Errorf("bench: figure 6 at i=%g A: %w", i, err)
 		}
-		res.Hkl = append(res.Hkl, h)
+		res.Hkl[n] = h
 		peak, _, _, err := sys.PeakAt(i)
-		if err != nil {
-			res.PeakC = append(res.PeakC, math.Inf(1))
-			continue
+		switch {
+		case errors.Is(err, thermal.ErrNotPD):
+			res.PeakC[n] = math.Inf(1)
+		case err != nil:
+			return fmt.Errorf("bench: figure 6 peak at i=%g A: %w", i, err)
+		default:
+			res.PeakC[n] = material.KelvinToCelsius(peak)
 		}
-		res.PeakC = append(res.PeakC, material.KelvinToCelsius(peak))
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -44,6 +44,21 @@ func TestRunFigure6Shape(t *testing.T) {
 	}
 }
 
+func TestRunFigure6ParallelDeterminism(t *testing.T) {
+	skipIfRace(t)
+	serial, err := RunFigure6Opts(Figure6Options{Points: 12, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunFigure6Opts(Figure6Options{Points: 12, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatFigure6(serial) != FormatFigure6(parallel) {
+		t.Error("parallel Figure 6 sweep differs from serial")
+	}
+}
+
 func TestRunFigure7Map(t *testing.T) {
 	skipIfRace(t)
 	res, err := RunFigure7()

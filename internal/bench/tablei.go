@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"tecopt/internal/core"
+	"tecopt/internal/engine"
 	"tecopt/internal/floorplan"
 	"tecopt/internal/material"
 	"tecopt/internal/num"
@@ -56,6 +57,12 @@ type TableIOptions struct {
 	MaxLimitC float64
 	// Current tunes the inner convex current optimization.
 	Current core.CurrentOptions
+	// Parallel is the number of chips evaluated concurrently: <= 0 uses
+	// GOMAXPROCS, 1 is the pure-serial fallback. Chips are independent
+	// and rows are collected by chip index, so the table is identical at
+	// every worker count (Runtime excepted, and FormatTableI does not
+	// print it).
+	Parallel int
 }
 
 func (o TableIOptions) withDefaults() TableIOptions {
@@ -111,27 +118,33 @@ func RunTableIRow(name string, tilePower []float64, opt TableIOptions) (*TableIR
 }
 
 // RunTableI reproduces the full Table I: the Alpha-21364-like chip plus
-// the ten hypothetical chips.
+// the ten hypothetical chips. Chips run on an engine pool sized by
+// opt.Parallel; on failure the error of the lowest-index chip is
+// returned, exactly as the serial loop would report it.
 func RunTableI(opt TableIOptions) ([]*TableIRow, error) {
-	rows := make([]*TableIRow, 0, 11)
-
 	f, g := floorplan.Alpha21364Grid()
-	alpha, err := RunTableIRow("Alpha", power.AlphaTilePowers(f, g), opt)
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, alpha)
-
 	chips, err := power.GenerateHCSuite(power.DefaultHCSpec())
 	if err != nil {
 		return nil, err
 	}
+	names := []string{"Alpha"}
+	powers := [][]float64{power.AlphaTilePowers(f, g)}
 	for _, c := range chips {
-		row, err := RunTableIRow(c.Name, c.TilePower, opt)
+		names = append(names, c.Name)
+		powers = append(powers, c.TilePower)
+	}
+
+	rows := make([]*TableIRow, len(names))
+	err = engine.Pool{Workers: opt.Parallel}.Map(len(names), func(i int) error {
+		row, err := RunTableIRow(names[i], powers[i], opt)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

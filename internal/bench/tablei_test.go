@@ -93,4 +93,14 @@ func TestRunTableIFull(t *testing.T) {
 		t.Error("formatted table missing average row")
 	}
 	t.Logf("\n%s", table)
+
+	// Determinism: the parallel run must render byte-identically to the
+	// serial run above (FormatTableI prints no wall-clock fields).
+	par, err := RunTableI(TableIOptions{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parTable := FormatTableI(par); parTable != table {
+		t.Errorf("parallel Table I differs from serial:\nserial:\n%s\nparallel:\n%s", table, parTable)
+	}
 }

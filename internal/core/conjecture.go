@@ -3,6 +3,7 @@ package core
 import (
 	"math/rand"
 
+	"tecopt/internal/engine"
 	"tecopt/internal/mat"
 	"tecopt/internal/num"
 )
@@ -62,6 +63,11 @@ type ConjectureOptions struct {
 	Density float64
 	// Family selects the matrix ensemble (default FamilyRandom).
 	Family MatrixFamily
+	// Parallel is the campaign's worker count: <= 0 uses GOMAXPROCS, 1
+	// is the pure-serial fallback. Every matrix is seeded independently
+	// from the caller's source before any worker starts, so the report
+	// is identical at every worker count.
+	Parallel int
 }
 
 func (o ConjectureOptions) withDefaults() ConjectureOptions {
@@ -78,46 +84,74 @@ func (o ConjectureOptions) withDefaults() ConjectureOptions {
 }
 
 // VerifyConjecture1 runs the randomized campaign with the given source.
+// The caller's rng is consumed serially up front to draw one seed per
+// matrix; each trial then runs on its own deterministic sub-stream.
+// This makes the trials independent — opt.Parallel fans them out over
+// an engine pool with a report that is bit-identical to the serial run
+// (merge order is matrix-index order, never completion order).
 func VerifyConjecture1(rng *rand.Rand, opt ConjectureOptions) ConjectureReport {
 	opt = opt.withDefaults()
+	seeds := make([]int64, opt.Matrices)
+	for m := range seeds {
+		seeds[m] = rng.Int63()
+	}
+	trials := make([]ConjectureReport, opt.Matrices)
+	// conjectureTrial never fails, so Map cannot return an error.
+	_ = engine.Pool{Workers: opt.Parallel}.Map(opt.Matrices, func(m int) error {
+		trials[m] = conjectureTrial(seeds[m], opt)
+		return nil
+	})
 	rep := ConjectureReport{}
-	for m := 0; m < opt.Matrices; m++ {
-		n := 2 + rng.Intn(opt.MaxOrder-1)
-		s := drawStieltjes(rng, n, opt)
-		chol, err := mat.NewCholesky(s)
-		if err != nil {
-			continue // numerically degenerate draw; not a counterexample
+	for _, tr := range trials {
+		rep.Matrices += tr.Matrices
+		rep.PairsChecked += tr.PairsChecked
+		rep.Violations += tr.Violations
+		if rep.FirstViolation == nil {
+			rep.FirstViolation = tr.FirstViolation
 		}
-		h := chol.Inverse()
-		rep.Matrices++
+	}
+	return rep
+}
 
-		check := func(k, l int) {
-			rep.PairsChecked++
-			hk, hl := h.Row(k), h.Row(l)
-			m := mat.DiagMul(hk, h, hl)
-			// DIAG(h_k) H DIAG(h_l) is generally nonsymmetric for k != l;
-			// positive definiteness of a nonsymmetric real matrix means
-			// x'Mx > 0 for all x != 0, equivalently its symmetric part is
-			// positive definite.
-			mat.Symmetrize(m)
-			if !mat.IsPositiveDefinite(m) {
-				rep.Violations++
-				if rep.FirstViolation == nil {
-					rep.FirstViolation = &ConjectureCase{S: s, K: k, L: l}
-				}
+// conjectureTrial tests one matrix drawn from its own PRNG stream.
+func conjectureTrial(seed int64, opt ConjectureOptions) ConjectureReport {
+	rng := rand.New(rand.NewSource(seed))
+	rep := ConjectureReport{}
+	n := 2 + rng.Intn(opt.MaxOrder-1)
+	s := drawStieltjes(rng, n, opt)
+	chol, err := mat.NewCholesky(s)
+	if err != nil {
+		return rep // numerically degenerate draw; not a counterexample
+	}
+	h := chol.Inverse()
+	rep.Matrices++
+
+	check := func(k, l int) {
+		rep.PairsChecked++
+		hk, hl := h.Row(k), h.Row(l)
+		m := mat.DiagMul(hk, h, hl)
+		// DIAG(h_k) H DIAG(h_l) is generally nonsymmetric for k != l;
+		// positive definiteness of a nonsymmetric real matrix means
+		// x'Mx > 0 for all x != 0, equivalently its symmetric part is
+		// positive definite.
+		mat.Symmetrize(m)
+		if !mat.IsPositiveDefinite(m) {
+			rep.Violations++
+			if rep.FirstViolation == nil {
+				rep.FirstViolation = &ConjectureCase{S: s, K: k, L: l}
 			}
 		}
+	}
 
-		if opt.PairsPerMatrix <= 0 {
-			for k := 0; k < n; k++ {
-				for l := 0; l < n; l++ {
-					check(k, l)
-				}
+	if opt.PairsPerMatrix <= 0 {
+		for k := 0; k < n; k++ {
+			for l := 0; l < n; l++ {
+				check(k, l)
 			}
-		} else {
-			for p := 0; p < opt.PairsPerMatrix; p++ {
-				check(rng.Intn(n), rng.Intn(n))
-			}
+		}
+	} else {
+		for p := 0; p < opt.PairsPerMatrix; p++ {
+			check(rng.Intn(n), rng.Intn(n))
 		}
 	}
 	return rep

@@ -178,6 +178,24 @@ func TestConjecture1StructuredFamilies(t *testing.T) {
 	}
 }
 
+func TestConjectureParallelMatchesSerial(t *testing.T) {
+	// Same seed, different worker counts: the report must be identical
+	// (per-matrix sub-streams are drawn serially before workers start,
+	// and merging is by matrix index, never completion order).
+	run := func(workers int) ConjectureReport {
+		rng := rand.New(rand.NewSource(99))
+		return VerifyConjecture1(rng, ConjectureOptions{
+			Matrices: 40, MaxOrder: 12, PairsPerMatrix: 6, Parallel: workers,
+		})
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 4, 0} {
+		if par := run(workers); par != serial {
+			t.Errorf("workers=%d: report %+v != serial %+v", workers, par, serial)
+		}
+	}
+}
+
 func TestConjecture1AllPairsSmall(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	rep := VerifyConjecture1(rng, ConjectureOptions{Matrices: 10, MaxOrder: 6})

@@ -69,6 +69,35 @@ type CurrentResult struct {
 	Evaluations int
 }
 
+// maxBracketCurrentA caps the ascending-objective bracket expansion of
+// OptimizeCurrent when lambda_m is unreachable. No physical device
+// survives a mega-ampere, so failing to bracket by then means the model
+// is broken, not that the search should silently truncate.
+const maxBracketCurrentA = 1e6
+
+// ErrBracketExhausted reports that OptimizeCurrent's bracket expansion
+// hit its current cap without ever seeing the objective rise back above
+// its i = 0 value, so no valid search interval exists. A physically
+// meaningful model cannot do this — Joule heating (r i^2) eventually
+// dominates — so it signals a broken device parameterization (for
+// example a zero-resistance TEC) rather than an optimizer failure.
+var ErrBracketExhausted = errors.New("core: current bracket expansion found no ascending objective")
+
+// expandBracket doubles hi from start until objective(hi) >= f0, giving
+// golden section an interval whose minimum is interior. It fails with
+// ErrBracketExhausted instead of returning a truncated range when the
+// objective is still descending at the max current.
+func expandBracket(objective func(float64) float64, f0, start, max float64) (float64, error) {
+	hi := start
+	for objective(hi) < f0 {
+		if hi >= max {
+			return 0, fmt.Errorf("%w: objective still below its i=0 value %g at %g A", ErrBracketExhausted, f0, hi)
+		}
+		hi *= 2
+	}
+	return hi, nil
+}
+
 // OptimizeCurrent solves Problem 2 for the system's deployment. With no
 // TECs deployed it degenerates to the passive solve at i = 0.
 func (s *System) OptimizeCurrent(opt CurrentOptions) (*CurrentResult, error) {
@@ -85,7 +114,7 @@ func (s *System) OptimizeCurrent(opt CurrentOptions) (*CurrentResult, error) {
 	}
 
 	lambda, err := s.RunawayLimit(opt.Runaway)
-	if err != nil && !errors.Is(err, ErrNoRunawayLimit) {
+	if err != nil {
 		return nil, err
 	}
 
@@ -102,13 +131,14 @@ func (s *System) OptimizeCurrent(opt CurrentOptions) (*CurrentResult, error) {
 
 	// Upper search bound: inside the runaway limit, or found by bracket
 	// expansion when lambda_m is unreachable (the convex objective must
-	// eventually increase with i as Joule heating dominates).
+	// eventually increase with i as Joule heating dominates). The
+	// factorizations paid for here are cached, so the optimizer's later
+	// endpoint evaluations at 0 and hi reuse them.
 	var hi float64
 	if math.IsInf(lambda, 1) {
-		hi = 1.0
-		f0 := objective(0)
-		for objective(hi) < f0 && hi < 1e6 {
-			hi *= 2
+		hi, err = expandBracket(objective, objective(0), 1.0, maxBracketCurrentA)
+		if err != nil {
+			return nil, err
 		}
 	} else {
 		hi = lambda * (1 - opt.SafetyMargin)

@@ -1,12 +1,52 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"testing"
 
 	"tecopt/internal/material"
 	"tecopt/internal/num"
 )
+
+func TestExpandBracketFindsAscent(t *testing.T) {
+	// Convex parabola with its minimum at 3: expansion from 1 must stop
+	// at the first doubled point whose value is back above f(0).
+	f := func(i float64) float64 { return (i - 3) * (i - 3) }
+	hi, err := expandBracket(f, f(0), 1, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f(hi) < f(0) {
+		t.Fatalf("bracket top %g still below f(0)", hi)
+	}
+	if !num.ExactEqual(hi, 8) {
+		t.Fatalf("hi = %g, want 8 (1 -> 2 -> 4 -> 8)", hi)
+	}
+	// A constant objective is trivially bracketed at the start point.
+	hi, err = expandBracket(func(float64) float64 { return 1 }, 1, 1, 1e6)
+	if err != nil || !num.ExactEqual(hi, 1) {
+		t.Fatalf("constant objective: hi = %g, err = %v", hi, err)
+	}
+}
+
+func TestExpandBracketErrorsWhenExhausted(t *testing.T) {
+	// Regression: a monotonically decreasing objective used to make the
+	// expansion exit silently at 1e6 A, truncating the search range as
+	// if it were a valid bracket. It must now fail loudly.
+	calls := 0
+	f := func(i float64) float64 { calls++; return -i }
+	_, err := expandBracket(f, 0, 1, 1e6)
+	if err == nil {
+		t.Fatal("exhausted bracket expansion returned no error")
+	}
+	if !errors.Is(err, ErrBracketExhausted) {
+		t.Fatalf("err = %v, want ErrBracketExhausted", err)
+	}
+	if calls > 64 {
+		t.Fatalf("%d objective calls to cover [1, 1e6] by doubling", calls)
+	}
+}
 
 func TestOptimizeCurrentNoTEC(t *testing.T) {
 	sys := mustSystem(t, smallConfig(), nil)

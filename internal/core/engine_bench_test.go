@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"tecopt/internal/engine"
+)
+
+// BenchmarkEngine_FactorCache measures what the factorization cache
+// buys on a repeated operating point: "miss" pays the full banded
+// Cholesky on every iteration, "hit" reuses one cached factorization.
+// This speedup is per-thread and shows up even on a single core.
+func BenchmarkEngine_FactorCache(b *testing.B) {
+	sys, err := NewSystem(smallConfig(), []int{27, 28, 35, 36})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("miss", func(b *testing.B) {
+		for n := 0; n < b.N; n++ {
+			ResetFactorCache()
+			if _, err := sys.Factor(2.5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		ResetFactorCache()
+		if _, err := sys.Factor(2.5); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			if _, err := sys.Factor(2.5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEngine_HklSweep measures the worker pool on the Figure-6
+// inner loop: one h_kl evaluation per current-grid point. On a
+// multicore host the parallel sub-benchmark should approach
+// serial/GOMAXPROCS.
+func BenchmarkEngine_HklSweep(b *testing.B) {
+	sys, err := NewSystem(smallConfig(), []int{27, 28})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lambda, err := sys.RunawayLimit(RunawayOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	currents := make([]float64, 32)
+	for i := range currents {
+		currents[i] = lambda * float64(i) / float64(len(currents))
+	}
+	k := sys.PN.SilNode[27]
+	for _, bm := range []struct {
+		name string
+		pool engine.Pool
+	}{{"serial", engine.Serial}, {"parallel", engine.Pool{}}} {
+		b.Run(bm.name, func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				ResetFactorCache() // measure solves, not cache hits
+				if _, err := sys.HklSweepParallel(k, k, currents, bm.pool); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"tecopt/internal/num"
+)
+
+// Tests for the engine integration: the shared factorization cache
+// behind System.Factor and the safety of concurrent solves on one
+// System (run under -race in CI via `make race-engine`).
+
+func TestFactorCacheReusesSameCurrent(t *testing.T) {
+	ResetFactorCache()
+	sys := mustSystem(t, smallConfig(), []int{27, 28})
+	f1, err := sys.Factor(2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := sys.Factor(2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != f2 {
+		t.Fatal("repeated Factor at one current rebuilt the factorization")
+	}
+	hits, _ := FactorCacheStats()
+	if hits == 0 {
+		t.Fatal("no cache hit recorded for a repeated Factor")
+	}
+}
+
+func TestFactorCacheKeysOnGeneration(t *testing.T) {
+	// Two systems with identical configuration are different
+	// generations: their factorizations must never alias, even at the
+	// same current (the greedy loop depends on this).
+	ResetFactorCache()
+	a := mustSystem(t, smallConfig(), []int{27})
+	b := mustSystem(t, smallConfig(), []int{27})
+	fa, err := a.Factor(1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := b.Factor(1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa == fb {
+		t.Fatal("factorizations of distinct systems aliased in the cache")
+	}
+}
+
+func TestFactorCachedSolveBitIdentical(t *testing.T) {
+	// A cached factorization must reproduce the uncached solution
+	// bit-for-bit — caching may never perturb Table I numbers.
+	ResetFactorCache()
+	sys := mustSystem(t, smallConfig(), []int{27, 28, 35, 36})
+	first, err := sys.SolveAt(3.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := sys.SolveAt(3.25) // factorization now cached
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if !num.ExactEqual(first[i], second[i]) {
+			t.Fatalf("node %d: cached solve %v != fresh solve %v", i, second[i], first[i])
+		}
+	}
+}
+
+func TestConcurrentFactorAndSolveOnSharedSystem(t *testing.T) {
+	// Many goroutines factor and solve the same System at overlapping
+	// currents. Under -race this is the core concurrency-safety test;
+	// in any mode it checks that every goroutine sees the exact serial
+	// solution.
+	ResetFactorCache()
+	sys := mustSystem(t, smallConfig(), []int{27, 28})
+	currents := []float64{0, 0.5, 1, 1.5, 2, 2.5, 3, 3.5}
+	want := make([][]float64, len(currents))
+	for idx, i := range currents {
+		theta, err := sys.SolveAt(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[idx] = theta
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 5; rep++ {
+				idx := (g + rep) % len(currents)
+				theta, err := sys.SolveAt(currents[idx])
+				if err != nil {
+					t.Errorf("solve at %g: %v", currents[idx], err)
+					return
+				}
+				for n := range theta {
+					if !num.ExactEqual(theta[n], want[idx][n]) {
+						t.Errorf("current %g node %d: concurrent %v != serial %v",
+							currents[idx], n, theta[n], want[idx][n])
+						return
+					}
+				}
+				if _, _, _, err := sys.PeakAt(currents[idx]); err != nil {
+					t.Errorf("peak at %g: %v", currents[idx], err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestConcurrentRunawayProbesShareCache(t *testing.T) {
+	// Concurrent binary searches on the same system must agree and not
+	// race; beyond-limit probes exercise the cached-failure path.
+	sys := mustSystem(t, smallConfig(), []int{27, 28, 35, 36})
+	ref, err := sys.RunawayLimit(RunawayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lam, err := sys.RunawayLimit(RunawayOptions{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !num.ExactEqual(lam, ref) || math.IsInf(lam, 1) {
+				t.Errorf("concurrent lambda_m %v != %v", lam, ref)
+			}
+		}()
+	}
+	wg.Wait()
+}

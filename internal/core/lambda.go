@@ -2,10 +2,13 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"math"
 
+	"tecopt/internal/engine"
 	"tecopt/internal/num"
 	"tecopt/internal/optimize"
+	"tecopt/internal/thermal"
 )
 
 // Thermal-runaway analysis (Section V.C.1).
@@ -19,10 +22,29 @@ import (
 // tests, which is exactly what RunawayLimit does (using the banded
 // factorization for O(n*bw^2) probes).
 
-// ErrNoRunawayLimit indicates D has no positive diagonal entry, so
-// G - i*D stays positive definite for every i >= 0 (no finite lambda_m);
-// this happens only for systems without TEC devices.
+// ErrNoRunawayLimit indicates an operation that needs a finite lambda_m
+// (such as RunawayMode) was asked about a system that has none because D
+// has no positive diagonal entry — G - i*D stays positive definite for
+// every i >= 0. This happens only for systems without TEC devices.
+//
+// Note the contract: RunawayLimit and RunawayLimitEigen do NOT return
+// this error. "No runaway limit" is a legitimate answer for them —
+// lambda_m = +Inf — not a failure, so they report (+Inf, nil) and
+// callers that care can ask HasRunawayLimit. Only operations that are
+// meaningless without a finite limit return the sentinel.
 var ErrNoRunawayLimit = errors.New("core: system has no runaway limit (no TEC devices)")
+
+// HasRunawayLimit reports whether the system can run away at all: true
+// iff D has a positive diagonal entry, i.e. at least one TEC device is
+// deployed, so G - i*D eventually loses positive definiteness.
+func (s *System) HasRunawayLimit() bool {
+	for _, v := range s.d {
+		if v > 0 {
+			return true
+		}
+	}
+	return false
+}
 
 // RunawayOptions tunes the lambda_m search.
 type RunawayOptions struct {
@@ -44,20 +66,16 @@ func (o RunawayOptions) withDefaults() RunawayOptions {
 	return o
 }
 
-// RunawayLimit computes lambda_m for the system. It returns
-// ErrNoRunawayLimit when no TEC is deployed, and +Inf (no error) when the
-// limit exceeds BracketMax.
+// RunawayLimit computes lambda_m for the system. A system that cannot
+// run away — no TEC deployed (see HasRunawayLimit), or a limit beyond
+// BracketMax — reports lambda_m = +Inf with a nil error; an error is
+// returned only for genuine failures (G not positive definite at i = 0,
+// or a broken binary search). The returned value is meaningful exactly
+// when the error is nil.
 func (s *System) RunawayLimit(opt RunawayOptions) (float64, error) {
 	opt = opt.withDefaults()
-	hasPositive := false
-	for _, v := range s.d {
-		if v > 0 {
-			hasPositive = true
-			break
-		}
-	}
-	if !hasPositive {
-		return math.Inf(1), ErrNoRunawayLimit
+	if !s.HasRunawayLimit() {
+		return math.Inf(1), nil
 	}
 
 	pd := func(i float64) bool {
@@ -126,6 +144,9 @@ func (s *System) RunawayMode(lambda float64) ([]float64, error) {
 // the temperature of node k per watt injected at node l (the quantity of
 // Figure 6). The factorization is reused across l via one solve with e_l.
 func (s *System) Hkl(i float64, k, l int) (float64, error) {
+	if n := s.NumNodes(); k < 0 || k >= n || l < 0 || l >= n {
+		return 0, fmt.Errorf("core: Hkl nodes (%d, %d) out of range %d", k, l, n)
+	}
 	f, err := s.Factor(i)
 	if err != nil {
 		return 0, err
@@ -137,16 +158,63 @@ func (s *System) Hkl(i float64, k, l int) (float64, error) {
 }
 
 // HklSweep evaluates h_kl over a set of currents, for regenerating
-// Figure 6. Currents at or beyond lambda_m yield +Inf entries.
-func (s *System) HklSweep(k, l int, currents []float64) []float64 {
+// Figure 6. Currents at or beyond lambda_m yield +Inf entries — the
+// divergence of Theorem 2, detected by the factorization losing
+// positive definiteness (thermal.ErrNotPD). Any other failure is a
+// genuine numerical or model error, not runaway, and is returned
+// instead of being folded into the curve.
+func (s *System) HklSweep(k, l int, currents []float64) ([]float64, error) {
+	return s.HklSweepParallel(k, l, currents, engine.Serial)
+}
+
+// HklSweepParallel is HklSweep with the sweep points evaluated by the
+// given worker pool. Each current is an independent factor-and-solve,
+// and the result slice is index-addressed, so the output is identical
+// to the serial sweep at every worker count.
+func (s *System) HklSweepParallel(k, l int, currents []float64, pool engine.Pool) ([]float64, error) {
 	out := make([]float64, len(currents))
-	for idx, i := range currents {
-		v, err := s.Hkl(i, k, l)
+	err := pool.Map(len(currents), func(idx int) error {
+		v, err := s.Hkl(currents[idx], k, l)
 		if err != nil {
-			out[idx] = math.Inf(1)
-			continue
+			if errors.Is(err, thermal.ErrNotPD) {
+				out[idx] = math.Inf(1) // at/beyond lambda_m: true runaway
+				return nil
+			}
+			return fmt.Errorf("core: h_kl sweep at i=%g: %w", currents[idx], err)
 		}
 		out[idx] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out
+	return out, nil
+}
+
+// HColumns solves for the requested columns of H(i) = (G - i*D)^{-1}:
+// column l is the full nodal response to one watt injected at node l
+// (h_kl for all k at once). The matrix is factored once and the unit
+// solves run on the given worker pool; results are ordered as cols.
+func (s *System) HColumns(i float64, cols []int, pool engine.Pool) ([][]float64, error) {
+	n := s.NumNodes()
+	for _, l := range cols {
+		if l < 0 || l >= n {
+			return nil, fmt.Errorf("core: HColumns node %d out of range %d", l, n)
+		}
+	}
+	f, err := s.Factor(i)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float64, len(cols))
+	err = pool.Map(len(cols), func(idx int) error {
+		e := make([]float64, n)
+		e[cols[idx]] = 1
+		out[idx] = f.Solve(e)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }

@@ -1,19 +1,37 @@
 package core
 
 import (
-	"errors"
 	"math"
 	"testing"
+
+	"tecopt/internal/engine"
+	"tecopt/internal/num"
 )
 
 func TestRunawayLimitNoTEC(t *testing.T) {
+	// Contract: "no runaway limit" is an answer (lambda_m = +Inf), not
+	// an error. The old API returned a meaningful value alongside
+	// ErrNoRunawayLimit, forcing every caller to remember errors.Is.
 	sys := mustSystem(t, smallConfig(), nil)
+	if sys.HasRunawayLimit() {
+		t.Fatal("passive system claims a runaway limit")
+	}
 	lambda, err := sys.RunawayLimit(RunawayOptions{})
-	if !errors.Is(err, ErrNoRunawayLimit) {
-		t.Fatalf("err = %v, want ErrNoRunawayLimit", err)
+	if err != nil {
+		t.Fatalf("err = %v, want nil (no-TEC is not a failure)", err)
 	}
 	if !math.IsInf(lambda, 1) {
 		t.Fatalf("lambda = %v, want +Inf", lambda)
+	}
+}
+
+func TestHasRunawayLimitWithTECs(t *testing.T) {
+	sys, err := NewSystem(smallConfig(), []int{27})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.HasRunawayLimit() {
+		t.Fatal("deployed system reports no runaway limit")
 	}
 }
 
@@ -168,7 +186,10 @@ func TestHklSweepInfinityBeyondLimit(t *testing.T) {
 		t.Fatal(err)
 	}
 	k := sys.PN.SilNode[27]
-	vals := sys.HklSweep(k, k, []float64{0, lambda / 2, lambda * (1 - 1e-9), lambda * 1.1})
+	vals, err := sys.HklSweep(k, k, []float64{0, lambda / 2, lambda * (1 - 1e-9), lambda * 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.IsInf(vals[0], 1) || math.IsInf(vals[1], 1) {
 		t.Fatal("finite currents produced infinite h_kk")
 	}
@@ -179,5 +200,77 @@ func TestHklSweepInfinityBeyondLimit(t *testing.T) {
 	// useful cooling region) but must blow up approaching lambda_m.
 	if !(vals[2] > 100*vals[0]) {
 		t.Fatalf("h_kk near lambda_m (%v) does not diverge past h_kk(0)=%v", vals[2], vals[0])
+	}
+}
+
+func TestHklSweepPropagatesModelErrors(t *testing.T) {
+	// Regression: the sweep used to fold EVERY error into +Inf, so a
+	// genuine model error (here: a node index out of range) was
+	// indistinguishable from thermal runaway. Only not-PD currents may
+	// read as +Inf; everything else must surface.
+	sys, err := NewSystem(smallConfig(), []int{27})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.HklSweep(sys.NumNodes()+5, 0, []float64{0, 1}); err == nil {
+		t.Fatal("out-of-range node k was silently reported as +Inf")
+	}
+	if _, err := sys.Hkl(1, 0, -1); err == nil {
+		t.Fatal("Hkl accepted a negative node index")
+	}
+}
+
+func TestHklSweepParallelMatchesSerial(t *testing.T) {
+	sys, err := NewSystem(smallConfig(), []int{27, 28})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda, err := sys.RunawayLimit(RunawayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	currents := make([]float64, 24)
+	for i := range currents {
+		currents[i] = lambda * float64(i) / float64(len(currents)) * 1.05
+	}
+	k := sys.PN.SilNode[27]
+	serial, err := sys.HklSweep(k, k, currents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := sys.HklSweepParallel(k, k, currents, engine.Pool{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if !num.ExactEqual(serial[i], parallel[i]) && !(math.IsInf(serial[i], 1) && math.IsInf(parallel[i], 1)) {
+			t.Fatalf("point %d: serial %v != parallel %v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestHColumnsMatchHkl(t *testing.T) {
+	sys, err := NewSystem(smallConfig(), []int{27})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := []int{sys.PN.SilNode[27], sys.Array.Hot[0], sys.Array.Cold[0]}
+	h, err := sys.HColumns(2.0, cols, engine.Pool{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx, l := range cols {
+		for _, k := range []int{0, sys.PN.SilNode[5], sys.NumNodes() - 1} {
+			want, err := sys.Hkl(2.0, k, l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !num.ExactEqual(h[idx][k], want) {
+				t.Fatalf("H[%d][%d] = %v, want h_kl = %v", idx, k, h[idx][k], want)
+			}
+		}
+	}
+	if _, err := sys.HColumns(2.0, []int{-1}, engine.Serial); err == nil {
+		t.Fatal("HColumns accepted an out-of-range column")
 	}
 }

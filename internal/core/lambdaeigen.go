@@ -23,21 +23,18 @@ import (
 // an independent algorithm from the paper's binary search; the tests
 // require the two to agree to high precision.
 
-// RunawayLimitEigen computes lambda_m spectrally. It returns
-// ErrNoRunawayLimit when D has no positive entry (no TEC deployed).
+// RunawayLimitEigen computes lambda_m spectrally. Like RunawayLimit, a
+// system with no positive D entry (no TEC deployed) has no finite limit
+// and reports (+Inf, nil); errors are reserved for genuine failures.
 func (s *System) RunawayLimitEigen() (float64, error) {
-	hasPositive := false
 	nnz := 0
 	for _, v := range s.d {
 		if !num.IsZero(v) {
 			nnz++
 		}
-		if v > 0 {
-			hasPositive = true
-		}
 	}
-	if !hasPositive {
-		return math.Inf(1), ErrNoRunawayLimit
+	if !s.HasRunawayLimit() {
+		return math.Inf(1), nil
 	}
 
 	// Factor G (permuted) once.

@@ -13,6 +13,7 @@ package core
 import (
 	"fmt"
 
+	"tecopt/internal/engine"
 	"tecopt/internal/material"
 	"tecopt/internal/num"
 	"tecopt/internal/sparse"
@@ -67,7 +68,25 @@ type System struct {
 	d    []float64
 	base []float64 // ambient legs + silicon tile powers (current-free RHS)
 	perm []int     // RCM ordering of g's pattern, shared by every G - i*D
+	gen  uint64    // factorization-cache generation (unique per System)
 }
+
+// factorCache is the process-wide LRU of banded Cholesky factorizations,
+// keyed by (system generation, current). Every System takes a fresh
+// generation at construction, so a deployment change (a new System in
+// the greedy loop) can never alias a cached factor; stale generations
+// simply age out of the LRU. Safe for concurrent use — the engine pool
+// workers of the parallel sweeps share it.
+var factorCache = engine.NewFactorCache(engine.DefaultCacheCapacity)
+
+// FactorCacheStats reports the cumulative hit/miss counters of the
+// shared factorization cache (diagnostics and benchmarks).
+func FactorCacheStats() (hits, misses uint64) { return factorCache.Stats() }
+
+// ResetFactorCache empties the shared factorization cache and zeroes
+// its counters. Tests and long-lived servers use it to establish a
+// known cache state; correctness never depends on it.
+func ResetFactorCache() { factorCache.Reset() }
 
 // NewSystem builds the package network with the given TEC sites reserved,
 // attaches one device per site, and assembles G, D and the base RHS.
@@ -118,6 +137,7 @@ func NewSystem(cfg Config, sites []int) (*System, error) {
 		d:     arr.DVector(pn.Net.NumNodes()),
 		base:  base,
 		perm:  sparse.RCM(g),
+		gen:   engine.NextGeneration(),
 	}, nil
 }
 
@@ -136,9 +156,15 @@ func (s *System) Matrix(i float64) *sparse.CSR {
 }
 
 // Factor factors G - i*D (reusing the shared RCM ordering). It returns
-// thermal.ErrNotPD when i is at or beyond the runaway limit.
+// thermal.ErrNotPD when i is at or beyond the runaway limit. Repeated
+// calls at the same current hit the process-wide factorization cache —
+// golden-section endpoint re-evaluation, the Hkl-then-PeakAt pairs of
+// the Figure 6 sweep and greedy re-solves all reuse one factorization.
+// Factor is safe for concurrent use by the engine pool workers.
 func (s *System) Factor(i float64) (*thermal.Factorization, error) {
-	return thermal.Factor(s.Matrix(i), s.perm)
+	return factorCache.Do(engine.Key{Gen: s.gen, Current: i}, func() (*thermal.Factorization, error) {
+		return thermal.Factor(s.Matrix(i), s.perm)
+	})
 }
 
 // RHS assembles p(i): ambient legs + silicon tile powers + the r*i^2/2

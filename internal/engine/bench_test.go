@@ -1,0 +1,61 @@
+package engine
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"tecopt/internal/thermal"
+)
+
+// BenchmarkEngine_Map measures pool dispatch overhead against the bare
+// serial loop on trivially cheap work items — the floor any real
+// speedup has to clear.
+func BenchmarkEngine_Map(b *testing.B) {
+	const n = 256
+	var sink atomic.Int64
+	work := func(i int) error {
+		sink.Add(int64(i))
+		return nil
+	}
+	for _, bm := range []struct {
+		name string
+		pool Pool
+	}{{"serial", Serial}, {"parallel", Pool{}}} {
+		b.Run(bm.name, func(b *testing.B) {
+			for k := 0; k < b.N; k++ {
+				if err := bm.pool.Map(n, work); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngine_CacheDo compares a cache hit against rebuilding the
+// factorization on every call.
+func BenchmarkEngine_CacheDo(b *testing.B) {
+	build := func() (*thermal.Factorization, error) {
+		return thermal.Factor(tinySPD(64, 0.1), nil)
+	}
+	b.Run("miss", func(b *testing.B) {
+		c := NewFactorCache(4)
+		for n := 0; n < b.N; n++ {
+			c.Reset()
+			if _, err := c.Do(Key{Gen: 1, Current: 1}, build); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		c := NewFactorCache(4)
+		if _, err := c.Do(Key{Gen: 1, Current: 1}, build); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			if _, err := c.Do(Key{Gen: 1, Current: 1}, build); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

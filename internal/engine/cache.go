@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"tecopt/internal/thermal"
+)
+
+// Key identifies one cached factorization: the generation of the system
+// that owns the matrix pattern and values, and the supply current i of
+// G - i*D. Currents compare bit-exactly — the optimizer re-evaluates
+// the very same float64 (golden-section endpoints, the final PeakAt of
+// OptimizeCurrent, the Hkl-then-PeakAt pairs of the Figure 6 sweep), so
+// exact matching is both correct and sufficient; nearby-but-different
+// currents are different operating points and must not alias.
+type Key struct {
+	Gen     uint64
+	Current float64
+}
+
+// FactorCache is a bounded, concurrency-safe LRU cache of banded
+// Cholesky factorizations. A failed factorization (not positive
+// definite, i.e. at or beyond the runaway limit) is cached too: the
+// matrix for a given key is deterministic, so the binary search's
+// repeated probes of an infeasible current need not refactor to refail.
+//
+// Concurrent requests for the same key are deduplicated: one goroutine
+// builds, the rest block on the entry's sync.Once and share the result.
+// FactorCache must not be copied after first use.
+type FactorCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used; elements hold *entry
+	items map[Key]*list.Element
+
+	hits, misses uint64
+}
+
+// entry is one cache slot. val and err are written exactly once, inside
+// once; readers always go through once.Do so the happens-before edge is
+// the Once itself, not the cache lock.
+type entry struct {
+	key  Key
+	once sync.Once
+	val  *thermal.Factorization
+	err  error
+}
+
+// DefaultCacheCapacity bounds the process-wide factorization cache. A
+// 12x12-tile default package factors to a few hundred kilobytes, so 32
+// entries keep the working set of one optimization (endpoints, the
+// current golden-section bracket, the sweep grid) resident for a few
+// megabytes.
+const DefaultCacheCapacity = 32
+
+// NewFactorCache creates a cache holding at most capacity
+// factorizations (capacity <= 0 selects DefaultCacheCapacity).
+func NewFactorCache(capacity int) *FactorCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &FactorCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[Key]*list.Element, capacity),
+	}
+}
+
+// Do returns the factorization for k, building it with build on the
+// first request. The build runs outside the cache lock, so a slow
+// factorization never blocks hits on other keys; concurrent callers of
+// the same key share one build.
+func (c *FactorCache) Do(k Key, build func() (*thermal.Factorization, error)) (*thermal.Factorization, error) {
+	c.mu.Lock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		e := el.Value.(*entry)
+		c.mu.Unlock()
+		e.once.Do(func() { e.val, e.err = build() }) // waits if mid-build
+		return e.val, e.err
+	}
+	e := &entry{key: k}
+	el := c.ll.PushFront(e)
+	c.items[k] = el
+	c.misses++
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry).key)
+	}
+	c.mu.Unlock()
+
+	e.once.Do(func() { e.val, e.err = build() })
+	return e.val, e.err
+}
+
+// Len reports the number of resident entries.
+func (c *FactorCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats reports cumulative hit and miss counts.
+func (c *FactorCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Reset drops every entry and zeroes the counters (test hook).
+func (c *FactorCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[Key]*list.Element, c.cap)
+	c.hits, c.misses = 0, 0
+}

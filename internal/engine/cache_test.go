@@ -1,0 +1,186 @@
+package engine
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"tecopt/internal/sparse"
+	"tecopt/internal/thermal"
+)
+
+// tinySPD builds a small tridiagonal SPD matrix (a 1-D conduction
+// chain with ground legs) for factorization tests.
+func tinySPD(n int, diagBoost float64) *sparse.CSR {
+	b := sparse.NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 2+diagBoost)
+		if i+1 < n {
+			b.Add(i, i+1, -1)
+			b.Add(i+1, i, -1)
+		}
+	}
+	return b.Build()
+}
+
+func factorTiny(t *testing.T, diagBoost float64) func() (*thermal.Factorization, error) {
+	t.Helper()
+	return func() (*thermal.Factorization, error) {
+		return thermal.Factor(tinySPD(8, diagBoost), nil)
+	}
+}
+
+func TestCacheHitReturnsSameFactorization(t *testing.T) {
+	c := NewFactorCache(4)
+	k := Key{Gen: 1, Current: 2.5}
+	f1, err := c.Do(k, factorTiny(t, 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := c.Do(k, func() (*thermal.Factorization, error) {
+		t.Fatal("second Do rebuilt a cached key")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != f2 {
+		t.Fatal("cache returned a different factorization for the same key")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits %d misses, want 1/1", hits, misses)
+	}
+}
+
+func TestCacheKeysAreExact(t *testing.T) {
+	c := NewFactorCache(8)
+	var builds atomic.Int64
+	build := func() (*thermal.Factorization, error) {
+		builds.Add(1)
+		return thermal.Factor(tinySPD(8, 0.1), nil)
+	}
+	// Different generation, same current: distinct entries.
+	if _, err := c.Do(Key{Gen: 1, Current: 1}, build); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Do(Key{Gen: 2, Current: 1}, build); err != nil {
+		t.Fatal(err)
+	}
+	// Same generation, nearby-but-different current: distinct entry.
+	if _, err := c.Do(Key{Gen: 1, Current: 1 + 1e-15}, build); err != nil {
+		t.Fatal(err)
+	}
+	if got := builds.Load(); got != 3 {
+		t.Fatalf("%d builds, want 3 (no key aliasing)", got)
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	c := NewFactorCache(2)
+	var builds atomic.Int64
+	build := func() (*thermal.Factorization, error) {
+		builds.Add(1)
+		return thermal.Factor(tinySPD(8, 0.1), nil)
+	}
+	a, b, d := Key{Gen: 1, Current: 1}, Key{Gen: 1, Current: 2}, Key{Gen: 1, Current: 3}
+	c.Do(a, build)
+	c.Do(b, build)
+	c.Do(a, build) // refresh a: b is now least recently used
+	c.Do(d, build) // evicts b
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	c.Do(a, build) // still resident
+	c.Do(b, build) // evicted: rebuild
+	if got := builds.Load(); got != 4 {
+		t.Fatalf("%d builds, want 4 (a, b, d, then b again)", got)
+	}
+}
+
+func TestCacheCachesFailures(t *testing.T) {
+	c := NewFactorCache(4)
+	var builds atomic.Int64
+	notPD := func() (*thermal.Factorization, error) {
+		builds.Add(1)
+		// Indefinite: the chain Laplacian with a large negative shift.
+		return thermal.Factor(tinySPD(8, -10), nil)
+	}
+	k := Key{Gen: 7, Current: math.Pi}
+	if _, err := c.Do(k, notPD); err == nil {
+		t.Fatal("expected a not-PD error")
+	}
+	if _, err := c.Do(k, notPD); err == nil {
+		t.Fatal("expected the cached not-PD error")
+	}
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("%d builds, want 1 (failures are cached too)", got)
+	}
+}
+
+func TestCacheConcurrentSameKeyBuildsOnce(t *testing.T) {
+	c := NewFactorCache(4)
+	var builds atomic.Int64
+	k := Key{Gen: 3, Current: 6.5}
+	const goroutines = 16
+	results := make([]*thermal.Factorization, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			f, err := c.Do(k, func() (*thermal.Factorization, error) {
+				builds.Add(1)
+				return thermal.Factor(tinySPD(64, 0.1), nil)
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[g] = f
+		}(g)
+	}
+	wg.Wait()
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("%d builds for one key under contention, want 1", got)
+	}
+	for g := 1; g < goroutines; g++ {
+		if results[g] != results[0] {
+			t.Fatal("goroutines saw different factorizations for one key")
+		}
+	}
+}
+
+func TestCacheConcurrentMixedKeys(t *testing.T) {
+	// Hammer the cache with more keys than capacity from many
+	// goroutines; under -race this is the cache's core safety test.
+	c := NewFactorCache(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				k := Key{Gen: uint64(i % 10), Current: float64(i % 7)}
+				f, err := c.Do(k, func() (*thermal.Factorization, error) {
+					return thermal.Factor(tinySPD(8, 0.1), nil)
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Solves on a shared factorization must be safe.
+				x := f.Solve([]float64{1, 0, 0, 0, 0, 0, 0, 1})
+				if len(x) != 8 {
+					t.Errorf("solve length %d", len(x))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 4 {
+		t.Fatalf("cache grew to %d entries, cap is 4", c.Len())
+	}
+}

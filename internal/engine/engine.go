@@ -1,0 +1,117 @@
+// Package engine is the parallel solve-execution layer of the
+// reproduction: a bounded worker pool for embarrassingly parallel index
+// spaces (Table I chips, Conjecture-1 trials, current-grid sweeps,
+// H-column solves) plus an LRU cache of banded-Cholesky factorizations
+// keyed by (system generation, supply current), so that repeated
+// Factor(i) calls at the same operating point — golden-section endpoint
+// re-evaluation, h_kl sweeps followed by peak solves, greedy-deploy
+// re-solves — reuse one factorization instead of rebuilding G - i*D
+// from scratch.
+//
+// Everything is stdlib-only (sync, sync/atomic, container/list). The
+// pool guarantees deterministic results: work items are identified by
+// index, callers write into index-addressed slices, and the error
+// reported for a failed run is always the one at the lowest index, so
+// output is byte-identical to the serial loop at any worker count.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded worker pool. The zero value runs with
+// runtime.GOMAXPROCS(0) workers; Workers == 1 is the pure-serial
+// fallback (a plain loop on the calling goroutine, no goroutines
+// spawned).
+type Pool struct {
+	// Workers caps concurrency. <= 0 means GOMAXPROCS; 1 runs serially.
+	Workers int
+}
+
+// Serial is the explicit serial-execution pool.
+var Serial = Pool{Workers: 1}
+
+// workers resolves the effective worker count.
+func (p Pool) workers() int {
+	if p.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p.Workers
+}
+
+// Map runs fn(i) for every i in [0, n), with at most p.Workers calls in
+// flight at once. fn must write its result into caller-owned storage at
+// index i; Map itself imposes no ordering on completion, which is why
+// results must be index-addressed.
+//
+// Error contract: if any fn returns a non-nil error, Map returns the
+// error with the lowest index, matching what the serial loop would have
+// reported first. Workers stop claiming new indices once an error is
+// observed, but indices below the failing one are always evaluated, so
+// the winning error is deterministic.
+func (p Pool) Map(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := p.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Indices are claimed in ascending order, so every index below a
+	// failed one has been evaluated: the first non-nil error here is
+	// exactly the serial loop's first error.
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// generation is the process-wide system-generation counter; see
+// NextGeneration.
+var generation atomic.Uint64
+
+// NextGeneration returns a fresh, process-unique generation number.
+// Every assembled core.System takes one at construction, and the
+// factorization cache keys on it: a deployment change means a new
+// System, hence a new generation, hence no stale cache hits — the old
+// generation's entries simply age out of the LRU.
+func NextGeneration() uint64 {
+	return generation.Add(1)
+}

@@ -7,6 +7,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		DroppedErr,
 		FloatEq,
+		LockCopy,
 		MapOrder,
 		TestHelper,
 		UnitSanity,

@@ -102,6 +102,7 @@ func runFixture(t *testing.T, a *Analyzer) {
 
 func TestFloatEqFixture(t *testing.T)    { runFixture(t, FloatEq) }
 func TestDroppedErrFixture(t *testing.T) { runFixture(t, DroppedErr) }
+func TestLockCopyFixture(t *testing.T)   { runFixture(t, LockCopy) }
 func TestMapOrderFixture(t *testing.T)   { runFixture(t, MapOrder) }
 func TestTestHelperFixture(t *testing.T) { runFixture(t, TestHelper) }
 func TestUnitSanityFixture(t *testing.T) { runFixture(t, UnitSanity) }
@@ -121,7 +122,7 @@ func TestAllAnalyzersRegistered(t *testing.T) {
 		}
 	}
 	sort.Strings(names)
-	want := []string{"droppederr", "floateq", "maporder", "testhelper", "unitsanity"}
+	want := []string{"droppederr", "floateq", "lockcopy", "maporder", "testhelper", "unitsanity"}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Fatalf("registered analyzers = %v, want %v", names, want)
 	}

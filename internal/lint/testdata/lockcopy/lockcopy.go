@@ -1,0 +1,96 @@
+// Package lockcopytest seeds violations and clean code for the
+// lockcopy analyzer fixture tests.
+package lockcopytest
+
+import "sync"
+
+// Guarded mimics the engine's FactorCache: a mutex guarding state.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// wrapper embeds the lock one struct level down.
+type wrapper struct {
+	g     Guarded
+	label string
+}
+
+func consume(Guarded) {}
+
+func badDerefAssign(g *Guarded) {
+	snapshot := *g // want lockcopy
+	_ = snapshot
+}
+
+func badIdentAssign(w wrapper) {
+	w2 := w // want lockcopy
+	_ = w2
+}
+
+func badFieldAssign(w *wrapper) {
+	g := w.g // want lockcopy
+	_ = g
+}
+
+func badElementAssign(gs []Guarded) {
+	first := gs[0] // want lockcopy
+	_ = first
+}
+
+func badCallArg(g *Guarded) {
+	consume(*g) // want lockcopy
+}
+
+func badReturn(g *Guarded) Guarded {
+	return *g // want lockcopy
+}
+
+func badRangeValue(gs []Guarded) int {
+	total := 0
+	for _, g := range gs { // want lockcopy
+		total += g.n
+	}
+	return total
+}
+
+func badWaitGroupCopy(wg *sync.WaitGroup) {
+	local := *wg // want lockcopy
+	_ = local
+}
+
+// goodFreshLiteral creates a new value: nothing live is copied.
+func goodFreshLiteral() *Guarded {
+	g := Guarded{n: 1}
+	return &g
+}
+
+// goodPointerFlow shares the value instead of copying it.
+func goodPointerFlow(g *Guarded) *Guarded {
+	alias := g
+	return alias
+}
+
+// goodRangeIndex iterates without copying elements.
+func goodRangeIndex(gs []Guarded) int {
+	total := 0
+	for i := range gs {
+		total += gs[i].n
+	}
+	return total
+}
+
+// goodPlainStruct has no lock anywhere: copying is fine.
+func goodPlainStruct() {
+	type point struct{ x, y float64 }
+	p := point{1, 2}
+	q := p
+	_ = q
+}
+
+// goodSuppressed demonstrates the escape hatch for copies made before
+// the value is ever shared.
+func goodSuppressed(g *Guarded) {
+	c := *g // teclint:ignore lockcopy copied before first use in this fixture
+	_ = c
+}
