@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race race-engine vet lint fuzz-smoke check
+.PHONY: all build test race race-engine vet lint fuzz-smoke obs-overhead check
 
 all: check
 
@@ -33,6 +33,11 @@ lint:
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParseFLP -fuzztime=$(FUZZTIME) -run='^$$' ./internal/floorplan
 	$(GO) test -fuzz=FuzzParsePtrace -fuzztime=$(FUZZTIME) -run='^$$' ./internal/power
+
+# Observability overhead gate: runs the Table I workload with the obs
+# registry off and on, and fails if instrumentation costs more than 5%.
+obs-overhead:
+	OBS_OVERHEAD=1 $(GO) test -count=1 -run TestObsOverheadOnTableI -v ./internal/bench
 
 # The full gate, in the order CI runs it.
 check: build vet lint test race

@@ -15,19 +15,34 @@ import (
 
 	"tecopt/internal/bench"
 	"tecopt/internal/floorplan"
+	"tecopt/internal/obs"
 	"tecopt/internal/power"
 )
+
+// closeObs flushes the observability session, reporting (but not
+// failing on) write errors.
+func closeObs(s *obs.Session) {
+	if err := s.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtable:", err)
+	}
+}
 
 func main() {
 	chip := flag.String("chip", "all", "which rows: all, alpha, or hc")
 	limit := flag.Float64("limit", 85, "base allowable temperature (C)")
 	parallel := flag.Int("parallel", 1, "chips evaluated concurrently (0 = all cores, 1 = serial)")
+	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+	session, err := obsFlags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtable:", err)
+		os.Exit(1)
+	}
+	defer closeObs(session)
 
 	opt := bench.TableIOptions{BaseLimitC: *limit, Parallel: *parallel}
 	start := time.Now()
 	var rows []*bench.TableIRow
-	var err error
 	switch *chip {
 	case "all":
 		rows, err = bench.RunTableI(opt)
@@ -54,6 +69,7 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchtable:", err)
+		closeObs(session)
 		os.Exit(1)
 	}
 	fmt.Print(bench.FormatTableI(rows))

@@ -19,7 +19,16 @@ import (
 	"time"
 
 	"tecopt/internal/core"
+	"tecopt/internal/obs"
 )
+
+// closeObs flushes the observability session, reporting (but not
+// failing on) write errors.
+func closeObs(s *obs.Session) {
+	if err := s.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "conjecture:", err)
+	}
+}
 
 func main() {
 	matrices := flag.Int("matrices", 1000, "number of random Stieltjes matrices")
@@ -29,7 +38,14 @@ func main() {
 	density := flag.Float64("density", 0.3, "extra-edge probability of the generator")
 	family := flag.String("family", "random", "matrix ensemble: random, grid, path or tree")
 	parallel := flag.Int("parallel", 1, "trial workers (0 = all cores, 1 = serial); report is identical either way")
+	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+	session, err := obsFlags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "conjecture:", err)
+		os.Exit(1)
+	}
+	defer closeObs(session)
 
 	var fam core.MatrixFamily
 	switch *family {
@@ -43,6 +59,7 @@ func main() {
 		fam = core.FamilyTree
 	default:
 		fmt.Fprintf(os.Stderr, "conjecture: unknown family %q\n", *family)
+		closeObs(session)
 		os.Exit(2)
 	}
 
@@ -62,5 +79,6 @@ func main() {
 		fmt.Printf("first counterexample: k=%d l=%d S=\n%v\n",
 			rep.FirstViolation.K, rep.FirstViolation.L, rep.FirstViolation.S)
 	}
+	closeObs(session)
 	os.Exit(1)
 }

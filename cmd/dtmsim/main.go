@@ -21,8 +21,22 @@ import (
 	"tecopt/internal/core"
 	"tecopt/internal/dtm"
 	"tecopt/internal/material"
+	"tecopt/internal/obs"
 	"tecopt/internal/power"
 )
+
+// obsSession is the tool-wide observability session; fatal flushes it
+// before exiting.
+var obsSession *obs.Session
+
+// closeObs flushes the observability session, reporting (but not
+// failing on) write errors.
+func closeObs() {
+	if err := obsSession.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "dtmsim:", err)
+	}
+	obsSession = nil
+}
 
 func main() {
 	chip := flag.String("chip", "alpha", "benchmark chip: alpha, hc01..hc10, or hc:<seed>")
@@ -34,7 +48,14 @@ func main() {
 	flpPath := flag.String("flp", "", "custom floorplan (.flp); replays -ptrace as the workload")
 	ptracePath := flag.String("ptrace", "", "power trace for -flp")
 	periodS := flag.Float64("period", 30, "seconds per trace sample when replaying a .ptrace")
+	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+	var err error
+	obsSession, err = obsFlags.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer closeObs()
 
 	loaded, err := chipload.Load(chipload.Spec{Name: *chip, FLP: *flpPath, Ptrace: *ptracePath})
 	if err != nil {
@@ -111,5 +132,6 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "dtmsim:", err)
+	closeObs()
 	os.Exit(1)
 }

@@ -6,13 +6,28 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"tecopt/internal/bench"
+	"tecopt/internal/obs"
 )
 
 func main() {
 	parallel := flag.Int("parallel", 1, "Figure-6 points solved concurrently (0 = all cores, 1 = serial)")
+	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+	session, err := obsFlags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+	// A deferred Close runs on the panic paths below too, so -metrics-out
+	// still captures whatever ran before a failure.
+	defer func() {
+		if err := session.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+		}
+	}()
 	val, err := bench.RunValidation()
 	if err != nil {
 		panic(err)

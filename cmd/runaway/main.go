@@ -17,16 +17,28 @@ import (
 	"tecopt/internal/core"
 	"tecopt/internal/floorplan"
 	"tecopt/internal/material"
+	"tecopt/internal/obs"
 	"tecopt/internal/power"
 	"tecopt/internal/transient"
 )
+
+// obsSession is the tool-wide observability session; fatal flushes it
+// before exiting.
+var obsSession *obs.Session
 
 func main() {
 	points := flag.Int("points", 16, "number of current samples")
 	parallel := flag.Int("parallel", 1, "current-grid points solved concurrently (0 = all cores, 1 = serial)")
 	doTransient := flag.Bool("transient", false, "also simulate a beyond-limit transient trajectory")
 	csvPath := flag.String("csv", "", "write the sweep as CSV (current_A,hkl_KperW,peak_C) to this path")
+	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+	var err error
+	obsSession, err = obsFlags.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer closeObs()
 
 	res, err := bench.RunFigure6Opts(bench.Figure6Options{Points: *points, Parallel: *parallel})
 	if err != nil {
@@ -76,5 +88,15 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "runaway:", err)
+	closeObs()
 	os.Exit(1)
+}
+
+// closeObs flushes the observability session, reporting (but not
+// failing on) write errors.
+func closeObs() {
+	if err := obsSession.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "runaway:", err)
+	}
+	obsSession = nil
 }

@@ -18,8 +18,22 @@ import (
 	"tecopt/internal/chipload"
 	"tecopt/internal/core"
 	"tecopt/internal/material"
+	"tecopt/internal/obs"
 	"tecopt/internal/visual"
 )
+
+// obsSession is the tool-wide observability session; fatal flushes it
+// before exiting.
+var obsSession *obs.Session
+
+// closeObs flushes the observability session, reporting (but not
+// failing on) write errors.
+func closeObs() {
+	if err := obsSession.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "thermalsim:", err)
+	}
+	obsSession = nil
+}
 
 func main() {
 	chip := flag.String("chip", "alpha", "benchmark chip: alpha, hc01..hc10, or hc:<seed>")
@@ -29,7 +43,14 @@ func main() {
 	pngPath := flag.String("png", "", "write a heatmap PNG of the silicon layer to this path")
 	flpPath := flag.String("flp", "", "custom floorplan file (HotSpot .flp format)")
 	ptracePath := flag.String("ptrace", "", "power trace for the custom floorplan (.ptrace)")
+	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+	var err error
+	obsSession, err = obsFlags.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer closeObs()
 
 	loaded, err := chipload.Load(chipload.Spec{Name: *chip, FLP: *flpPath, Ptrace: *ptracePath})
 	if err != nil {
@@ -110,5 +131,6 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "thermalsim:", err)
+	closeObs()
 	os.Exit(1)
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"tecopt/internal/obs"
 	"tecopt/internal/optimize"
 )
 
@@ -88,12 +89,17 @@ var ErrBracketExhausted = errors.New("core: current bracket expansion found no a
 // ErrBracketExhausted instead of returning a truncated range when the
 // objective is still descending at the max current.
 func expandBracket(objective func(float64) float64, f0, start, max float64) (float64, error) {
+	r := obs.Enabled()
 	hi := start
 	for objective(hi) < f0 {
 		if hi >= max {
 			return 0, fmt.Errorf("%w: objective still below its i=0 value %g at %g A", ErrBracketExhausted, f0, hi)
 		}
 		hi *= 2
+		if r != nil {
+			r.Counter("core.optimize_current.bracket_expansions").Inc()
+			r.Event("core.optimize_current.bracket_hi", hi)
+		}
 	}
 	return hi, nil
 }
@@ -102,11 +108,23 @@ func expandBracket(objective func(float64) float64, f0, start, max float64) (flo
 // TECs deployed it degenerates to the passive solve at i = 0.
 func (s *System) OptimizeCurrent(opt CurrentOptions) (*CurrentResult, error) {
 	opt = opt.withDefaults()
+	r := obs.Enabled()
+	evals := 0
+	if r != nil {
+		sp := r.StartSpan("core.optimize_current")
+		defer sp.End()
+		defer func() {
+			r.Counter("core.optimize_current.runs").Inc()
+			r.Counter("core.optimize_current.evaluations").Add(uint64(evals))
+			r.Gauge("core.optimize_current.last_evaluations").Set(int64(evals))
+		}()
+	}
 	if s.Array.Count() == 0 {
 		peak, tile, theta, err := s.PeakAt(0)
 		if err != nil {
 			return nil, err
 		}
+		evals = 1
 		return &CurrentResult{
 			IOpt: 0, PeakK: peak, PeakTile: tile, Theta: theta,
 			LambdaM: math.Inf(1), Evaluations: 1,
@@ -118,7 +136,6 @@ func (s *System) OptimizeCurrent(opt CurrentOptions) (*CurrentResult, error) {
 		return nil, err
 	}
 
-	evals := 0
 	objective := func(i float64) float64 {
 		evals++
 		peak, _, _, err := s.PeakAt(i)
@@ -186,6 +203,10 @@ func (s *System) OptimizeCurrent(opt CurrentOptions) (*CurrentResult, error) {
 	evals += 2
 	if peak0 <= peak {
 		iOpt, peak, tile, theta = 0, peak0, tile0, theta0
+	}
+	if r != nil {
+		r.FloatGauge("core.optimize_current.last_iopt").Set(iOpt)
+		r.FloatGauge("core.optimize_current.last_peak_k").Set(peak)
 	}
 	return &CurrentResult{
 		IOpt:        iOpt,

@@ -7,6 +7,7 @@ import (
 
 	"tecopt/internal/engine"
 	"tecopt/internal/num"
+	"tecopt/internal/obs"
 	"tecopt/internal/optimize"
 	"tecopt/internal/thermal"
 )
@@ -78,7 +79,21 @@ func (s *System) RunawayLimit(opt RunawayOptions) (float64, error) {
 		return math.Inf(1), nil
 	}
 
+	r := obs.Enabled()
+	var probes int64
+	if r != nil {
+		sp := r.StartSpan("core.runaway_limit")
+		defer sp.End()
+		defer func() {
+			// The probe count is the search's iteration count: geometric
+			// bracketing plus the binary-search PD tests.
+			r.Counter("core.runaway.searches").Inc()
+			r.Counter("core.runaway.probes").Add(uint64(probes))
+			r.Gauge("core.runaway.last_probes").Set(probes)
+		}()
+	}
 	pd := func(i float64) bool {
+		probes++
 		_, err := s.Factor(i)
 		return err == nil
 	}
@@ -90,6 +105,7 @@ func (s *System) RunawayLimit(opt RunawayOptions) (float64, error) {
 	hi := 1.0
 	for pd(hi) {
 		hi *= 2
+		r.Event("core.runaway.bracket_hi", hi)
 		if hi > opt.BracketMax {
 			return math.Inf(1), nil
 		}
@@ -98,9 +114,13 @@ func (s *System) RunawayLimit(opt RunawayOptions) (float64, error) {
 	if num.ExactEqual(hi, 1.0) {
 		lo = 0
 	}
+	r.Event("core.runaway.bracket_lo", lo)
 	lambda, err := optimize.BinarySearchBoundary(pd, lo, hi, opt.RelTol, 200)
 	if err != nil {
 		return 0, err
+	}
+	if r != nil {
+		r.FloatGauge("core.runaway.lambda_m").Set(lambda)
 	}
 	return lambda, nil
 }
@@ -147,6 +167,10 @@ func (s *System) Hkl(i float64, k, l int) (float64, error) {
 	if n := s.NumNodes(); k < 0 || k >= n || l < 0 || l >= n {
 		return 0, fmt.Errorf("core: Hkl nodes (%d, %d) out of range %d", k, l, n)
 	}
+	if r := obs.Enabled(); r != nil {
+		r.Counter("core.hkl.evals").Inc()
+		defer r.ObserveSince("core.hkl.eval_ns", r.Now())
+	}
 	f, err := s.Factor(i)
 	if err != nil {
 		return 0, err
@@ -172,8 +196,18 @@ func (s *System) HklSweep(k, l int, currents []float64) ([]float64, error) {
 // and the result slice is index-addressed, so the output is identical
 // to the serial sweep at every worker count.
 func (s *System) HklSweepParallel(k, l int, currents []float64, pool engine.Pool) ([]float64, error) {
+	r := obs.Enabled()
+	if r != nil {
+		sp := r.StartSpan("core.hkl_sweep")
+		defer sp.End()
+		r.Counter("core.hkl_sweep.sweeps").Inc()
+		r.Counter("core.hkl_sweep.points").Add(uint64(len(currents)))
+	}
 	out := make([]float64, len(currents))
 	err := pool.Map(len(currents), func(idx int) error {
+		if r != nil {
+			defer r.ObserveSince("core.hkl_sweep.point_ns", r.Now())
+		}
 		v, err := s.Hkl(currents[idx], k, l)
 		if err != nil {
 			if errors.Is(err, thermal.ErrNotPD) {

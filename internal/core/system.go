@@ -16,6 +16,7 @@ import (
 	"tecopt/internal/engine"
 	"tecopt/internal/material"
 	"tecopt/internal/num"
+	"tecopt/internal/obs"
 	"tecopt/internal/sparse"
 	"tecopt/internal/tec"
 	"tecopt/internal/thermal"
@@ -79,9 +80,17 @@ type System struct {
 // workers of the parallel sweeps share it.
 var factorCache = engine.NewFactorCache(engine.DefaultCacheCapacity)
 
-// FactorCacheStats reports the cumulative hit/miss counters of the
-// shared factorization cache (diagnostics and benchmarks).
-func FactorCacheStats() (hits, misses uint64) { return factorCache.Stats() }
+// FactorCacheStats reports the cumulative hit/miss/eviction counters
+// and resident entry count of the shared factorization cache
+// (diagnostics and benchmarks).
+func FactorCacheStats() engine.CacheStats { return factorCache.Stats() }
+
+// The shared cache publishes its counters into every obs snapshot, so
+// a metrics dump at exit reflects the cache even for phases that ran
+// before observability was enabled.
+func init() {
+	obs.RegisterSnapshotHook(func(r *obs.Registry) { factorCache.PublishStats(r) })
+}
 
 // ResetFactorCache empties the shared factorization cache and zeroes
 // its counters. Tests and long-lived servers use it to establish a

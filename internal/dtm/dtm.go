@@ -19,6 +19,8 @@ import (
 	"math"
 
 	"tecopt/internal/core"
+	"tecopt/internal/num"
+	"tecopt/internal/obs"
 	"tecopt/internal/thermal"
 	"tecopt/internal/transient"
 )
@@ -168,6 +170,12 @@ func Run(sys *core.System, phases []PowerPhase, ctrl Controller, limitK float64,
 	if len(phases) == 0 {
 		return nil, fmt.Errorf("dtm: no workload phases")
 	}
+	r := obs.Enabled()
+	if r != nil {
+		sp := r.StartSpan("dtm.run")
+		defer sp.End()
+		r.Counter("dtm.runs").Inc()
+	}
 	n := sys.NumNodes()
 	caps := transient.Capacitances(sys.PN)
 	cOverDt := make([]float64, n)
@@ -231,6 +239,7 @@ func Run(sys *core.System, phases []PowerPhase, ctrl Controller, limitK float64,
 		}
 		steps := int(math.Ceil(ph.Duration / opt.Dt))
 		for s := 0; s < steps; s++ {
+			stepStart := r.Now()
 			fact, err := factorFor(current)
 			if err != nil {
 				return nil, err
@@ -241,6 +250,10 @@ func Run(sys *core.System, phases []PowerPhase, ctrl Controller, limitK float64,
 				rhs[i] += cOverDt[i] * theta[i]
 			}
 			theta = fact.Solve(rhs)
+			if r != nil {
+				r.Counter("dtm.steps").Inc()
+				r.ObserveSince("dtm.step_ns", stepStart)
+			}
 			now += opt.Dt
 			step++
 
@@ -254,7 +267,16 @@ func Run(sys *core.System, phases []PowerPhase, ctrl Controller, limitK float64,
 			res.TECEnergyJ += sys.TECPower(theta, current) * opt.Dt
 
 			if step%opt.ControlEvery == 0 {
-				current = quantize(ctrl.Next(now, peak))
+				next := quantize(ctrl.Next(now, peak))
+				if r != nil {
+					r.Counter("dtm.control_decisions").Inc()
+					if !num.ExactEqual(next, current) {
+						r.Counter("dtm.current_changes").Inc()
+						r.Event("dtm.current", next)
+					}
+					r.FloatGauge("dtm.last_current_a").Set(next)
+				}
+				current = next
 			}
 			if step%opt.SampleEvery == 0 {
 				res.Samples = append(res.Samples, Sample{TimeS: now, PeakK: peak, CurrentA: current})

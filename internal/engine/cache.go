@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"sync"
 
+	"tecopt/internal/obs"
 	"tecopt/internal/thermal"
 )
 
@@ -34,7 +35,16 @@ type FactorCache struct {
 	ll    *list.List // front = most recently used; elements hold *entry
 	items map[Key]*list.Element
 
-	hits, misses uint64
+	hits, misses, evictions uint64
+}
+
+// CacheStats is a consistent view of the cache counters, taken under
+// the cache lock so hits/misses/evictions belong to one instant.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Len       int    `json:"len"`
 }
 
 // entry is one cache slot. val and err are written exactly once, inside
@@ -70,14 +80,20 @@ func NewFactorCache(capacity int) *FactorCache {
 // Do returns the factorization for k, building it with build on the
 // first request. The build runs outside the cache lock, so a slow
 // factorization never blocks hits on other keys; concurrent callers of
-// the same key share one build.
+// the same key share one build. When observability is enabled the
+// cache reports hits/misses/evictions and the build latency under
+// "engine.factor_cache.*".
 func (c *FactorCache) Do(k Key, build func() (*thermal.Factorization, error)) (*thermal.Factorization, error) {
+	r := obs.Enabled()
 	c.mu.Lock()
 	if el, ok := c.items[k]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
 		e := el.Value.(*entry)
 		c.mu.Unlock()
+		if r != nil {
+			r.Counter("engine.factor_cache.hits").Inc()
+		}
 		e.once.Do(func() { e.val, e.err = build() }) // waits if mid-build
 		return e.val, e.err
 	}
@@ -85,13 +101,28 @@ func (c *FactorCache) Do(k Key, build func() (*thermal.Factorization, error)) (*
 	el := c.ll.PushFront(e)
 	c.items[k] = el
 	c.misses++
+	var evicted uint64
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*entry).key)
+		c.evictions++
+		evicted++
 	}
+	resident := c.ll.Len()
 	c.mu.Unlock()
 
+	if r != nil {
+		r.Counter("engine.factor_cache.misses").Inc()
+		if evicted > 0 {
+			r.Counter("engine.factor_cache.evictions").Add(evicted)
+		}
+		r.Gauge("engine.factor_cache.len").Set(int64(resident))
+		start := r.Now()
+		e.once.Do(func() { e.val, e.err = build() })
+		r.Histogram("engine.factor_cache.build_ns").Observe(clampNS(r.Now() - start))
+		return e.val, e.err
+	}
 	e.once.Do(func() { e.val, e.err = build() })
 	return e.val, e.err
 }
@@ -103,11 +134,22 @@ func (c *FactorCache) Len() int {
 	return c.ll.Len()
 }
 
-// Stats reports cumulative hit and miss counts.
-func (c *FactorCache) Stats() (hits, misses uint64) {
+// Stats reports the cumulative hit/miss/eviction counters and the
+// resident entry count. Safe to call concurrently with Do.
+func (c *FactorCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Len: c.ll.Len()}
+}
+
+// ResetStats zeroes the counters while keeping every resident entry —
+// the benchmark hook for measuring one phase of a longer run. Safe to
+// call concurrently with Do; in-flight operations are attributed to
+// whichever side of the reset their counter increment lands on.
+func (c *FactorCache) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits, c.misses, c.evictions = 0, 0, 0
 }
 
 // Reset drops every entry and zeroes the counters (test hook).
@@ -116,5 +158,30 @@ func (c *FactorCache) Reset() {
 	defer c.mu.Unlock()
 	c.ll.Init()
 	c.items = make(map[Key]*list.Element, c.cap)
-	c.hits, c.misses = 0, 0
+	c.hits, c.misses, c.evictions = 0, 0, 0
+}
+
+// PublishStats copies the current counters into registry r as
+// "engine.factor_cache.{hits,misses,evictions,len}" so a snapshot
+// taken at exit reflects the cache even if parts of the run executed
+// before observability was enabled. Callers register it as a snapshot
+// hook: obs.RegisterSnapshotHook(cache.PublishStats).
+func (c *FactorCache) PublishStats(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	st := c.Stats()
+	// Counters are monotonic: top them up to the locked-in totals
+	// rather than double-adding.
+	topUp(r.Counter("engine.factor_cache.hits"), st.Hits)
+	topUp(r.Counter("engine.factor_cache.misses"), st.Misses)
+	topUp(r.Counter("engine.factor_cache.evictions"), st.Evictions)
+	r.Gauge("engine.factor_cache.len").Set(int64(st.Len))
+}
+
+// topUp raises counter c to at least total.
+func topUp(c *obs.Counter, total uint64) {
+	if cur := c.Value(); total > cur {
+		c.Add(total - cur)
+	}
 }

@@ -48,9 +48,9 @@ func TestCacheHitReturnsSameFactorization(t *testing.T) {
 	if f1 != f2 {
 		t.Fatal("cache returned a different factorization for the same key")
 	}
-	hits, misses := c.Stats()
-	if hits != 1 || misses != 1 {
-		t.Fatalf("stats = %d hits %d misses, want 1/1", hits, misses)
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %d hits %d misses, want 1/1", st.Hits, st.Misses)
 	}
 }
 
@@ -149,6 +149,106 @@ func TestCacheConcurrentSameKeyBuildsOnce(t *testing.T) {
 		if results[g] != results[0] {
 			t.Fatal("goroutines saw different factorizations for one key")
 		}
+	}
+}
+
+func TestCacheEvictionCount(t *testing.T) {
+	c := NewFactorCache(2)
+	build := factorBoost(0.1)
+	for i := 0; i < 5; i++ {
+		if _, err := c.Do(Key{Gen: 1, Current: float64(i)}, build); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 5 || st.Evictions != 3 || st.Len != 2 {
+		t.Fatalf("stats = %+v, want 5 misses, 3 evictions, len 2", st)
+	}
+}
+
+func TestCacheResetStatsKeepsEntries(t *testing.T) {
+	c := NewFactorCache(4)
+	build := factorBoost(0.1)
+	k := Key{Gen: 9, Current: 1.5}
+	if _, err := c.Do(k, build); err != nil {
+		t.Fatal(err)
+	}
+	c.ResetStats()
+	st := c.Stats()
+	if st.Hits != 0 || st.Misses != 0 || st.Evictions != 0 {
+		t.Fatalf("counters after ResetStats = %+v, want zeros", st)
+	}
+	if st.Len != 1 {
+		t.Fatalf("ResetStats dropped entries: len = %d, want 1", st.Len)
+	}
+	// The entry must still hit without rebuilding.
+	if _, err := c.Do(k, func() (*thermal.Factorization, error) {
+		t.Fatal("ResetStats invalidated a resident entry")
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits != 1 {
+		t.Fatalf("hits after post-reset access = %d, want 1", st.Hits)
+	}
+}
+
+// TestCacheStatsRaceWithConcurrentDo exercises Stats and ResetStats
+// while Do traffic is in flight — the -race gate for the stats API the
+// obs snapshot reads (see ISSUE satellite: safe Stats/ResetStats under
+// concurrent Factor calls).
+func TestCacheStatsRaceWithConcurrentDo(t *testing.T) {
+	c := NewFactorCache(4)
+	var workers sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		workers.Add(1)
+		go func(g int) {
+			defer workers.Done()
+			for i := 0; i < 60; i++ {
+				k := Key{Gen: uint64((g + i) % 5), Current: float64(i % 9)}
+				if _, err := c.Do(k, factorBoost(0.1)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := c.Stats()
+			if st.Len > 4 {
+				t.Errorf("resident entries %d exceed capacity", st.Len)
+				return
+			}
+			if i%10 == 0 {
+				c.ResetStats()
+			}
+		}
+	}()
+	workers.Wait()
+	close(stop)
+	<-readerDone
+	// Final coherence: counters are non-decreasing between reads.
+	a := c.Stats()
+	b := c.Stats()
+	if b.Hits < a.Hits || b.Misses < a.Misses || b.Evictions < a.Evictions {
+		t.Fatalf("counters went backwards: %+v then %+v", a, b)
+	}
+}
+
+// factorBoost returns a build function for a small SPD chain with the
+// given diagonal boost.
+func factorBoost(diagBoost float64) func() (*thermal.Factorization, error) {
+	return func() (*thermal.Factorization, error) {
+		return thermal.Factor(tinySPD(8, diagBoost), nil)
 	}
 }
 

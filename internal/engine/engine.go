@@ -19,6 +19,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"tecopt/internal/obs"
 )
 
 // Pool is a bounded worker pool. The zero value runs with
@@ -54,6 +56,26 @@ func (p Pool) workers() int {
 func (p Pool) Map(n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	if r := obs.Enabled(); r != nil {
+		// Wrap fn so every task reports its queue wait (Map entry to
+		// task start) and run time, and the queue-depth gauge tracks
+		// unclaimed work. The wrapper is installed only when a registry
+		// exists: the disabled path costs one atomic load + nil check.
+		sp := r.StartSpan("engine.pool.map")
+		defer sp.End()
+		r.Counter("engine.pool.maps").Inc()
+		r.Counter("engine.pool.tasks").Add(uint64(n))
+		mapStart := r.Now()
+		inner := fn
+		fn = func(i int) error {
+			start := r.Now()
+			r.Gauge("engine.pool.queue_depth").Set(int64(n - 1 - i))
+			r.Histogram("engine.pool.wait_ns").Observe(clampNS(start - mapStart))
+			err := inner(i)
+			r.Histogram("engine.pool.task_ns").Observe(clampNS(r.Now() - start))
+			return err
+		}
 	}
 	w := p.workers()
 	if w > n {
@@ -101,6 +123,16 @@ func (p Pool) Map(n int, fn func(i int) error) error {
 		}
 	}
 	return nil
+}
+
+// clampNS converts a clock difference to a histogram value, flooring
+// negative diffs (possible only with a misbehaving injected clock) at
+// zero.
+func clampNS(d int64) uint64 {
+	if d < 0 {
+		return 0
+	}
+	return uint64(d)
 }
 
 // generation is the process-wide system-generation counter; see

@@ -9,6 +9,7 @@ func All() []*Analyzer {
 		FloatEq,
 		LockCopy,
 		MapOrder,
+		ObsClock,
 		TestHelper,
 		UnitSanity,
 	}

@@ -104,6 +104,7 @@ func TestFloatEqFixture(t *testing.T)    { runFixture(t, FloatEq) }
 func TestDroppedErrFixture(t *testing.T) { runFixture(t, DroppedErr) }
 func TestLockCopyFixture(t *testing.T)   { runFixture(t, LockCopy) }
 func TestMapOrderFixture(t *testing.T)   { runFixture(t, MapOrder) }
+func TestObsClockFixture(t *testing.T)   { runFixture(t, ObsClock) }
 func TestTestHelperFixture(t *testing.T) { runFixture(t, TestHelper) }
 func TestUnitSanityFixture(t *testing.T) { runFixture(t, UnitSanity) }
 
@@ -122,7 +123,7 @@ func TestAllAnalyzersRegistered(t *testing.T) {
 		}
 	}
 	sort.Strings(names)
-	want := []string{"droppederr", "floateq", "lockcopy", "maporder", "testhelper", "unitsanity"}
+	want := []string{"droppederr", "floateq", "lockcopy", "maporder", "obsclock", "testhelper", "unitsanity"}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Fatalf("registered analyzers = %v, want %v", names, want)
 	}

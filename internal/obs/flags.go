@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+)
+
+// Flags is the uniform observability flag bundle shared by every cmd
+// tool (benchtable, conjecture, runaway, report, dtmsim, thermalsim):
+//
+//	-metrics            print a text metric snapshot to stderr on exit
+//	-metrics-out FILE   write the JSON snapshot (the machine-readable
+//	                    run report) to FILE on exit
+//	-trace FILE         record trace spans/events and write them as
+//	                    JSON lines to FILE on exit
+//	-pprof ADDR         serve /metrics and /debug/pprof on ADDR while
+//	                    the tool runs
+//
+// With none of the flags set, Start installs nothing and the process
+// runs the pre-obs disabled path (stdout byte-identical to a build
+// without observability).
+type Flags struct {
+	Metrics    bool
+	MetricsOut string
+	Trace      string
+	Pprof      string
+}
+
+// BindFlags registers the bundle on fs (use flag.CommandLine in main).
+func BindFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.BoolVar(&f.Metrics, "metrics", false, "print a metric snapshot to stderr when the run completes")
+	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write the JSON metric snapshot (run report) to this file")
+	fs.StringVar(&f.Trace, "trace", "", "record trace spans and write them as JSON lines to this file")
+	fs.StringVar(&f.Pprof, "pprof", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
+	return f
+}
+
+// enabled reports whether any observability flag was set.
+func (f *Flags) enabled() bool {
+	return f.Metrics || f.MetricsOut != "" || f.Trace != "" || f.Pprof != ""
+}
+
+// Session is one activated observability run: the installed registry
+// plus the outputs owed at Close. A nil *Session (from Start with no
+// flags set) is valid and Close is a no-op on it.
+type Session struct {
+	Reg    *Registry
+	flags  Flags
+	server *http.Server
+	errs   chan error // server outcome, buffered
+	stderr io.Writer
+}
+
+// Start activates the requested observability: it installs a global
+// registry on the wall clock, enables tracing if -trace was given, and
+// starts the debug server if -pprof was given. It returns nil (fully
+// disabled, zero overhead) when no flag was set.
+func (f *Flags) Start() (*Session, error) {
+	if !f.enabled() {
+		return nil, nil
+	}
+	reg := New(nil)
+	if f.Trace != "" {
+		reg.EnableTrace(0)
+	}
+	s := &Session{Reg: reg, flags: *f, stderr: os.Stderr}
+	if f.Pprof != "" {
+		ln, err := net.Listen("tcp", f.Pprof)
+		if err != nil {
+			return nil, fmt.Errorf("obs: -pprof listen on %s: %w", f.Pprof, err)
+		}
+		s.server = &http.Server{Handler: DebugMux(reg)}
+		s.errs = make(chan error, 1)
+		go func() { s.errs <- s.server.Serve(ln) }()
+		fmt.Fprintf(s.stderr, "obs: serving /metrics and /debug/pprof on http://%s\n", ln.Addr())
+	}
+	SetGlobal(reg)
+	return s, nil
+}
+
+// Close uninstalls the registry and writes everything the flags asked
+// for: the stderr text snapshot (-metrics), the JSON run report
+// (-metrics-out), the trace file (-trace), and a graceful shutdown of
+// the debug server. Safe on a nil Session.
+func (s *Session) Close() error {
+	if s == nil {
+		return nil
+	}
+	SetGlobal(nil)
+	var errs []error
+	snap := s.Reg.Snapshot()
+	if s.flags.Metrics {
+		if _, err := io.WriteString(s.stderr, snap.Text()); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if s.flags.MetricsOut != "" {
+		b, err := snap.JSON()
+		if err == nil {
+			err = os.WriteFile(s.flags.MetricsOut, b, 0o644)
+		}
+		if err != nil {
+			errs = append(errs, fmt.Errorf("obs: writing -metrics-out: %w", err))
+		}
+	}
+	if s.flags.Trace != "" {
+		if err := s.writeTraceFile(); err != nil {
+			errs = append(errs, fmt.Errorf("obs: writing -trace: %w", err))
+		}
+	}
+	if s.server != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		if err := s.server.Shutdown(ctx); err != nil {
+			errs = append(errs, err)
+		}
+		cancel()
+		if err := <-s.errs; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func (s *Session) writeTraceFile() error {
+	out, err := os.Create(s.flags.Trace)
+	if err != nil {
+		return err
+	}
+	if err := s.Reg.WriteTrace(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}

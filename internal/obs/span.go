@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Span is a lightweight trace span: a named interval on the registry
+// clock. Spans are value types — starting and ending one allocates
+// nothing when tracing is off, and ending always feeds the
+// "span.<name>_ns" histogram so timings appear in metric snapshots even
+// without a trace file. The zero Span (from StartSpan on a nil
+// registry) is a no-op.
+type Span struct {
+	r     *Registry
+	name  string
+	start int64
+}
+
+// StartSpan opens a span. Close it with End.
+func (r *Registry) StartSpan(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{r: r, name: name, start: r.clock.Now()}
+}
+
+// End closes the span, recording its duration in the span histogram and
+// (when tracing is enabled) appending a trace event.
+func (s Span) End() {
+	if s.r == nil {
+		return
+	}
+	end := s.r.clock.Now()
+	dur := end - s.start
+	if dur < 0 {
+		dur = 0
+	}
+	s.r.Histogram("span." + s.name + "_ns").Observe(uint64(dur))
+	s.r.traceAppend(TraceEvent{Kind: "span", Name: s.name, StartNS: s.start, DurNS: dur})
+}
+
+// Event records a named point value into the trace stream (when
+// tracing is enabled): bracket endpoints of the runaway search,
+// controller current decisions, cache evictions. Events are cheap but
+// not free — callers should guard with Enabled() like any other site.
+func (r *Registry) Event(name string, value float64) {
+	if r == nil {
+		return
+	}
+	r.traceAppend(TraceEvent{Kind: "event", Name: name, StartNS: r.clock.Now(), Value: value})
+}
+
+// TraceEvent is one record of the trace stream, serialized as a JSON
+// line by WriteTrace.
+type TraceEvent struct {
+	Kind    string  `json:"kind"` // "span" or "event"
+	Name    string  `json:"name"`
+	StartNS int64   `json:"start_ns"`
+	DurNS   int64   `json:"dur_ns,omitempty"`
+	Value   float64 `json:"value,omitempty"`
+}
+
+// defaultTraceCap bounds the in-memory trace buffer. A Table I run
+// emits a few thousand spans; one million events (~56 MB) leaves room
+// for long transient simulations while still bounding a runaway loop.
+const defaultTraceCap = 1 << 20
+
+// traceBuffer is a bounded, mutex-guarded event log. Past capacity it
+// counts drops instead of growing.
+type traceBuffer struct {
+	mu      sync.Mutex
+	events  []TraceEvent
+	cap     int
+	dropped uint64
+}
+
+// EnableTrace turns on trace recording with the given event capacity
+// (<= 0 selects the default). Without this call spans still feed their
+// histograms but no per-event stream is kept.
+func (r *Registry) EnableTrace(capacity int) {
+	if r == nil {
+		return
+	}
+	if capacity <= 0 {
+		capacity = defaultTraceCap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.trace == nil {
+		r.trace = &traceBuffer{cap: capacity}
+	}
+}
+
+// tracer returns the trace buffer under the registry read lock.
+func (r *Registry) tracer() *traceBuffer {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.trace
+}
+
+func (r *Registry) traceAppend(ev TraceEvent) {
+	tb := r.tracer()
+	if tb == nil {
+		return
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	if len(tb.events) >= tb.cap {
+		tb.dropped++
+		return
+	}
+	tb.events = append(tb.events, ev)
+}
+
+// WriteTrace serializes the recorded trace as JSON lines (one TraceEvent
+// per line) followed by a final line reporting drops, if any. It is a
+// no-op on a nil registry or when tracing was never enabled.
+func (r *Registry) WriteTrace(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	tb := r.tracer()
+	if tb == nil {
+		return nil
+	}
+	tb.mu.Lock()
+	events := make([]TraceEvent, len(tb.events))
+	copy(events, tb.events)
+	dropped := tb.dropped
+	tb.mu.Unlock()
+
+	enc := json.NewEncoder(w)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	if dropped > 0 {
+		return enc.Encode(struct {
+			Kind    string `json:"kind"`
+			Dropped uint64 `json:"dropped"`
+		}{Kind: "dropped", Dropped: dropped})
+	}
+	return nil
+}

@@ -3,6 +3,8 @@ package sparse
 import (
 	"fmt"
 	"math"
+
+	"tecopt/internal/obs"
 )
 
 // BandCholesky is an exact Cholesky factorization of a symmetric positive
@@ -22,8 +24,29 @@ type BandCholesky struct {
 
 // NewBandCholesky factors the symmetric matrix a (only the lower triangle
 // is read). It returns mat-level ErrBreakdown semantics via
-// ErrNotPositiveDefiniteBand when a pivot is non-positive.
+// ErrNotPositiveDefiniteBand when a pivot is non-positive. When
+// observability is enabled the factorization time and outcome are
+// reported under "sparse.band.*" (a failed attempt is a legitimate
+// outcome: the runaway search probes currents beyond lambda_m).
 func NewBandCholesky(a *CSR) (*BandCholesky, error) {
+	r := obs.Enabled()
+	if r == nil {
+		return newBandCholesky(a)
+	}
+	start := r.Now()
+	c, err := newBandCholesky(a)
+	r.Counter("sparse.band.factors").Inc()
+	r.Histogram("sparse.band.factor_ns").Observe(clampNS(r.Now() - start))
+	if err != nil {
+		r.Counter("sparse.band.factor_failures").Inc()
+	} else {
+		r.Gauge("sparse.band.bandwidth").Set(int64(c.bw))
+	}
+	return c, err
+}
+
+// newBandCholesky is the uninstrumented factorization.
+func newBandCholesky(a *CSR) (*BandCholesky, error) {
 	n := a.Rows()
 	if a.Cols() != n {
 		return nil, fmt.Errorf("sparse: BandCholesky needs a square matrix, have %dx%d", n, a.Cols())
@@ -97,6 +120,13 @@ func (c *BandCholesky) BandwidthUsed() int { return c.bw }
 func (c *BandCholesky) Solve(b []float64) []float64 {
 	if len(b) != c.n {
 		panic(fmt.Sprintf("sparse: BandCholesky.Solve rhs length %d, want %d", len(b), c.n))
+	}
+	if r := obs.Enabled(); r != nil {
+		start := r.Now()
+		defer func() {
+			r.Counter("sparse.band.solves").Inc()
+			r.Histogram("sparse.band.solve_ns").Observe(clampNS(r.Now() - start))
+		}()
 	}
 	n, bw, w := c.n, c.bw, c.bw+1
 	x := make([]float64, n)

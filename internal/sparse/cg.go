@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"tecopt/internal/num"
+	"tecopt/internal/obs"
 )
 
 // ErrNotConverged is returned when an iterative solve fails to reach the
@@ -80,8 +81,35 @@ type CGResult struct {
 }
 
 // SolveCG solves the symmetric positive definite system A x = b with the
-// preconditioned conjugate gradient method.
+// preconditioned conjugate gradient method. The result always carries
+// the iteration count and final relative residual (even on
+// ErrNotConverged); when observability is enabled they are also
+// reported under "sparse.cg.*".
 func SolveCG(a *CSR, b []float64, opt CGOptions) (*CGResult, error) {
+	r := obs.Enabled()
+	if r == nil {
+		return solveCG(a, b, opt)
+	}
+	start := r.Now()
+	res, err := solveCG(a, b, opt)
+	r.Counter("sparse.cg.solves").Inc()
+	r.Histogram("sparse.cg.solve_ns").Observe(clampNS(r.Now() - start))
+	if res != nil {
+		r.Histogram("sparse.cg.iterations").Observe(uint64(res.Iterations))
+		r.Gauge("sparse.cg.last_iterations").Set(int64(res.Iterations))
+		r.FloatGauge("sparse.cg.last_residual").Set(res.Residual)
+	}
+	switch {
+	case errors.Is(err, ErrNotConverged):
+		r.Counter("sparse.cg.not_converged").Inc()
+	case errors.Is(err, ErrBreakdown):
+		r.Counter("sparse.cg.breakdowns").Inc()
+	}
+	return res, err
+}
+
+// solveCG is the uninstrumented CG implementation.
+func solveCG(a *CSR, b []float64, opt CGOptions) (*CGResult, error) {
 	n := a.Rows()
 	if a.Cols() != n {
 		return nil, fmt.Errorf("sparse: CG needs a square matrix, have %dx%d", n, a.Cols())
@@ -154,6 +182,16 @@ func SolveCG(a *CSR, b []float64, opt CGOptions) (*CGResult, error) {
 		}
 	}
 	return &CGResult{X: x, Iterations: opt.MaxIter, Residual: norm2(r) / normB}, ErrNotConverged
+}
+
+// clampNS converts a clock difference to a histogram value, flooring
+// negative diffs (possible only with a misbehaving injected clock) at
+// zero.
+func clampNS(d int64) uint64 {
+	if d < 0 {
+		return 0
+	}
+	return uint64(d)
 }
 
 func dot(x, y []float64) float64 {

@@ -154,6 +154,45 @@ func TestIC0Breakdown(t *testing.T) {
 	}
 }
 
+// TestCGIterationCountRegression pins the exact iteration counts CG
+// needs on a reference 2D grid Laplacian under each preconditioner.
+// The solve is serial and float arithmetic is deterministic, so the
+// counts are stable; a change here means the CG kernel or a
+// preconditioner changed numerically and Table/Figure runs that use
+// MethodCG may have shifted too.
+func TestCGIterationCountRegression(t *testing.T) {
+	a := gridLaplacian(24, 24)
+	b := make([]float64, a.Rows())
+	for i := range b {
+		b[i] = 1 + float64(i%7)/7
+	}
+	ic, err := NewIC0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		p    Preconditioner
+		want int
+	}{
+		{"identity", IdentityPreconditioner{}, 107},
+		{"jacobi", NewJacobi(a), 106},
+		{"ic0", ic, 40},
+	}
+	for _, tc := range cases {
+		res, err := SolveCG(a, b, CGOptions{Tol: 1e-10, Precond: tc.p})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.Iterations != tc.want {
+			t.Errorf("%s: %d iterations, want %d", tc.name, res.Iterations, tc.want)
+		}
+		if res.Residual > 1e-10 {
+			t.Errorf("%s: final residual %g above tolerance", tc.name, res.Residual)
+		}
+	}
+}
+
 // gridLaplacian builds the 5-point Laplacian of an nx x ny grid with a
 // small positive shift (Dirichlet-like legs), mimicking a thermal layer.
 func gridLaplacian(nx, ny int) *CSR {

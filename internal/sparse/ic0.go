@@ -2,6 +2,8 @@ package sparse
 
 import (
 	"math"
+
+	"tecopt/internal/obs"
 )
 
 // IC0 is a zero-fill incomplete Cholesky preconditioner: A ~ L L' with L
@@ -18,8 +20,26 @@ type IC0 struct {
 
 // NewIC0 computes the incomplete factorization. It returns
 // ErrBreakdown if a pivot becomes non-positive, which can happen for
-// matrices that are not (sufficiently) diagonally dominant.
+// matrices that are not (sufficiently) diagonally dominant. Setup time
+// and outcome are reported under "sparse.ic0.*" when observability is
+// enabled.
 func NewIC0(a *CSR) (*IC0, error) {
+	r := obs.Enabled()
+	if r == nil {
+		return newIC0(a)
+	}
+	start := r.Now()
+	p, err := newIC0(a)
+	r.Counter("sparse.ic0.setups").Inc()
+	r.Histogram("sparse.ic0.setup_ns").Observe(clampNS(r.Now() - start))
+	if err != nil {
+		r.Counter("sparse.ic0.setup_failures").Inc()
+	}
+	return p, err
+}
+
+// newIC0 is the uninstrumented incomplete factorization.
+func newIC0(a *CSR) (*IC0, error) {
 	n := a.Rows()
 	if a.Cols() != n {
 		panic("sparse: IC0 needs a square matrix")

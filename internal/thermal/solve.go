@@ -60,27 +60,51 @@ func (f *Factorization) Solve(b []float64) []float64 {
 	return sparse.PermuteVec(f.inv, xp)
 }
 
+// SolveStats reports per-solve statistics of the iterative path. For
+// the direct methods it is the zero value (Iterative == false).
+type SolveStats struct {
+	// Iterative is true when the solve used CG; the remaining fields
+	// are meaningful only then.
+	Iterative bool
+	// CGIterations is the iteration count the CG solve performed.
+	CGIterations int
+	// CGResidual is the final relative residual ||r|| / ||b||.
+	CGResidual float64
+}
+
 // SolveSteady solves G*theta = rhs with the selected method.
 func SolveSteady(g *sparse.CSR, rhs []float64, m Method) ([]float64, error) {
+	theta, _, err := SolveSteadyStats(g, rhs, m)
+	return theta, err
+}
+
+// SolveSteadyStats solves G*theta = rhs with the selected method and
+// returns the solve statistics — for MethodCG, the iteration count and
+// final residual that SolveSteady would otherwise discard.
+func SolveSteadyStats(g *sparse.CSR, rhs []float64, m Method) ([]float64, SolveStats, error) {
+	var st SolveStats
 	switch m {
 	case MethodAuto, MethodBandCholesky:
 		f, err := Factor(g, nil)
 		if err != nil {
-			return nil, err
+			return nil, st, err
 		}
-		return f.Solve(rhs), nil
+		return f.Solve(rhs), st, nil
 	case MethodCG:
 		res, err := sparse.SolveCG(g, rhs, sparse.CGOptions{
 			Tol:     1e-12,
 			Precond: sparse.NewBestPreconditioner(g),
 		})
+		if res != nil {
+			st = SolveStats{Iterative: true, CGIterations: res.Iterations, CGResidual: res.Residual}
+		}
 		if err != nil {
 			if errors.Is(err, sparse.ErrBreakdown) {
-				return nil, ErrNotPD
+				return nil, st, ErrNotPD
 			}
-			return nil, err
+			return nil, st, err
 		}
-		return res.X, nil
+		return res.X, st, nil
 	case MethodDenseCholesky:
 		n := g.Rows()
 		d := mat.NewDense(n, n)
@@ -92,11 +116,11 @@ func SolveSteady(g *sparse.CSR, rhs []float64, m Method) ([]float64, error) {
 		}
 		chol, err := mat.NewCholesky(d)
 		if err != nil {
-			return nil, ErrNotPD
+			return nil, st, ErrNotPD
 		}
-		return chol.Solve(rhs), nil
+		return chol.Solve(rhs), st, nil
 	default:
-		return nil, fmt.Errorf("thermal: unknown method %d", m)
+		return nil, st, fmt.Errorf("thermal: unknown method %d", m)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 
 	"tecopt/internal/core"
 	"tecopt/internal/material"
+	"tecopt/internal/obs"
 	"tecopt/internal/thermal"
 )
 
@@ -118,6 +119,13 @@ func Simulate(sys *core.System, schedule []Phase, opt Options) (*Trace, error) {
 	if len(schedule) == 0 {
 		return nil, ErrBadSchedule
 	}
+	r := obs.Enabled()
+	if r != nil {
+		sp := r.StartSpan("transient.simulate")
+		defer sp.End()
+		r.Counter("transient.simulations").Inc()
+		r.Counter("transient.phases").Add(uint64(len(schedule)))
+	}
 	n := sys.NumNodes()
 	caps := Capacitances(sys.PN)
 
@@ -153,7 +161,11 @@ func Simulate(sys *core.System, schedule []Phase, opt Options) (*Trace, error) {
 		}
 		// System matrix for this phase: (G - iD) + C/dt on the diagonal.
 		m := sys.Matrix(ph.Current).AddScaledDiag(1, cOverDt)
+		factStart := r.Now()
 		fact, err := thermal.Factor(m, nil)
+		if r != nil {
+			r.ObserveSince("transient.phase_factor_ns", factStart)
+		}
 		if err != nil {
 			// C/dt should dominate for reasonable dt; a failure means dt
 			// is far too large for this current.
@@ -163,10 +175,15 @@ func Simulate(sys *core.System, schedule []Phase, opt Options) (*Trace, error) {
 		steps := int(math.Ceil(ph.Duration / opt.Dt))
 		rhs := make([]float64, n)
 		for s := 0; s < steps; s++ {
+			stepStart := r.Now()
 			for i := range rhs {
 				rhs[i] = rhsConst[i] + cOverDt[i]*theta[i]
 			}
 			theta = fact.Solve(rhs)
+			if r != nil {
+				r.Counter("transient.steps").Inc()
+				r.ObserveSince("transient.step_ns", stepStart)
+			}
 			now += opt.Dt
 			step++
 			if step%opt.SampleEvery == 0 {
