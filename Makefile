@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race race-engine vet lint fuzz-smoke obs-overhead check
+.PHONY: all build test race race-engine chaos vet lint fuzz-smoke obs-overhead check
 
 all: check
 
@@ -21,6 +21,14 @@ race:
 # sites: the concurrency-heavy packages, without the full-suite cost.
 race-engine:
 	$(GO) test -race ./internal/engine/... ./internal/core/...
+
+# Chaos gate: the seeded fault-injection suite (injected panics, NaNs,
+# cancellations, and forced non-convergence against the real pipeline)
+# plus the packages that implement the recovery paths, under the race
+# detector. -count=1 because the injector is process-global state the
+# test cache cannot see.
+chaos:
+	$(GO) test -race -count=1 ./internal/faults/... ./internal/engine/... ./internal/thermal/...
 
 vet:
 	$(GO) vet ./...
@@ -40,4 +48,4 @@ obs-overhead:
 	OBS_OVERHEAD=1 $(GO) test -count=1 -run TestObsOverheadOnTableI -v ./internal/bench
 
 # The full gate, in the order CI runs it.
-check: build vet lint test race
+check: build vet lint test race chaos

@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	benchtable [-chip all|alpha|hc] [-limit 85] [-parallel N]
+//	benchtable [-chip all|alpha|hc] [-limit 85] [-parallel N] [-timeout 2m]
+//
+// Exit status follows the tecerr taxonomy (0 ok, 2 invalid input,
+// 5 cancelled/timeout, ...). On timeout the rows completed so far are
+// still printed before exiting.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"tecopt/internal/floorplan"
 	"tecopt/internal/obs"
 	"tecopt/internal/power"
+	"tecopt/internal/tecerr"
 )
 
 // closeObs flushes the observability session, reporting (but not
@@ -39,8 +44,10 @@ func main() {
 		os.Exit(1)
 	}
 	defer closeObs(session)
+	ctx, cancel := obsFlags.Context()
+	defer cancel()
 
-	opt := bench.TableIOptions{BaseLimitC: *limit, Parallel: *parallel}
+	opt := bench.TableIOptions{BaseLimitC: *limit, Parallel: *parallel, Ctx: ctx}
 	start := time.Now()
 	var rows []*bench.TableIRow
 	switch *chip {
@@ -68,9 +75,21 @@ func main() {
 		err = fmt.Errorf("unknown -chip %q", *chip)
 	}
 	if err != nil {
+		// Flush whatever rows completed before the failure — a timed-out
+		// table run still paid for them.
+		var done []*bench.TableIRow
+		for _, r := range rows {
+			if r != nil {
+				done = append(done, r)
+			}
+		}
+		if len(done) > 0 {
+			fmt.Printf("(partial: %d of %d rows before error)\n", len(done), len(rows))
+			fmt.Print(bench.FormatTableI(done))
+		}
 		fmt.Fprintln(os.Stderr, "benchtable:", err)
 		closeObs(session)
-		os.Exit(1)
+		os.Exit(tecerr.ExitCode(err))
 	}
 	fmt.Print(bench.FormatTableI(rows))
 	fmt.Printf("\nmax cooling swing %.1f C | avg swing loss %.1f C | failures at %.0f C: %v | total %v\n",

@@ -20,6 +20,7 @@ import (
 
 	"tecopt/internal/core"
 	"tecopt/internal/obs"
+	"tecopt/internal/tecerr"
 )
 
 // closeObs flushes the observability session, reporting (but not
@@ -63,11 +64,22 @@ func main() {
 		os.Exit(2)
 	}
 
+	ctx, cancel := obsFlags.Context()
+	defer cancel()
 	start := time.Now()
-	rep := core.VerifyConjecture1(rand.New(rand.NewSource(*seed)), core.ConjectureOptions{
+	rep, err := core.VerifyConjecture1Ctx(ctx, rand.New(rand.NewSource(*seed)), core.ConjectureOptions{
 		Matrices: *matrices, MaxOrder: *maxOrder, PairsPerMatrix: *pairs, Density: *density,
 		Family: fam, Parallel: *parallel,
 	})
+	if err != nil {
+		// Flush the partial campaign before exiting: the completed trials
+		// are still evidence.
+		fmt.Printf("conjecture-1 campaign (PARTIAL): %d matrices, %d pairs checked, %d violations before error\n",
+			rep.Matrices, rep.PairsChecked, rep.Violations)
+		fmt.Fprintln(os.Stderr, "conjecture:", err)
+		closeObs(session)
+		os.Exit(tecerr.ExitCode(err))
+	}
 	fmt.Printf("conjecture-1 campaign: %d matrices, %d pairs checked in %v\n",
 		rep.Matrices, rep.PairsChecked, time.Since(start).Round(time.Millisecond))
 	if rep.Violations == 0 {

@@ -23,6 +23,7 @@ import (
 	"tecopt/internal/material"
 	"tecopt/internal/obs"
 	"tecopt/internal/power"
+	"tecopt/internal/tecerr"
 )
 
 // obsSession is the tool-wide observability session; fatal flushes it
@@ -56,13 +57,18 @@ func main() {
 		fatal(err)
 	}
 	defer closeObs()
+	ctx, cancel := obsFlags.Context()
+	defer cancel()
 
 	loaded, err := chipload.Load(chipload.Spec{Name: *chip, FLP: *flpPath, Ptrace: *ptracePath})
 	if err != nil {
 		fatal(err)
 	}
 	cfg := core.Config{Geom: loaded.Geom, Cols: loaded.Grid.Cols, Rows: loaded.Grid.Rows, TilePower: loaded.TilePower}
-	dep, err := core.GreedyDeploy(cfg, material.CelsiusToKelvin(*limitC), core.CurrentOptions{})
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+	dep, err := core.GreedyDeploy(cfg, material.CelsiusToKelvin(*limitC), core.CurrentOptions{Ctx: ctx})
 	if err != nil {
 		fatal(err)
 	}
@@ -121,8 +127,13 @@ func main() {
 			continue
 		}
 		res, err := dtm.Run(dep.System, phases, controllers[name], limit,
-			dtm.RunOptions{Dt: 0.05, ControlEvery: 10})
+			dtm.RunOptions{Dt: 0.05, ControlEvery: 10, Ctx: ctx})
 		if err != nil {
+			if res != nil {
+				// Flush the partial policy run before exiting.
+				fmt.Printf("%-18s %12.2f %16.1f %14.1f (partial)\n",
+					res.Policy, material.KelvinToCelsius(res.MaxPeakK), res.TimeAboveLimitS, res.TECEnergyJ)
+			}
 			fatal(err)
 		}
 		fmt.Printf("%-18s %12.2f %16.1f %14.1f\n",
@@ -130,8 +141,9 @@ func main() {
 	}
 }
 
+// fatal reports the error and exits with its tecerr taxonomy status.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "dtmsim:", err)
 	closeObs()
-	os.Exit(1)
+	os.Exit(tecerr.ExitCode(err))
 }

@@ -21,6 +21,7 @@ import (
 	"tecopt/internal/chipload"
 	"tecopt/internal/floorplan"
 	"tecopt/internal/power"
+	"tecopt/internal/tecerr"
 )
 
 func main() {
@@ -78,7 +79,8 @@ func main() {
 		flpPath, len(loaded.Floorplan.Units), ptPath, len(tr.Samples))
 }
 
+// fatal reports the error and exits with its tecerr taxonomy status.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mkchip:", err)
-	os.Exit(1)
+	os.Exit(tecerr.ExitCode(err))
 }

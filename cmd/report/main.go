@@ -10,84 +10,101 @@ import (
 
 	"tecopt/internal/bench"
 	"tecopt/internal/obs"
+	"tecopt/internal/tecerr"
 )
+
+// session is the tool-wide observability session; fatal flushes it
+// before exiting with the error's tecerr taxonomy status.
+var session *obs.Session
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "report:", err)
+	if cerr := session.Close(); cerr != nil {
+		fmt.Fprintln(os.Stderr, "report:", cerr)
+	}
+	session = nil
+	os.Exit(tecerr.ExitCode(err))
+}
 
 func main() {
 	parallel := flag.Int("parallel", 1, "Figure-6 points solved concurrently (0 = all cores, 1 = serial)")
 	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
-	session, err := obsFlags.Start()
+	var err error
+	session, err = obsFlags.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "report:", err)
 		os.Exit(1)
 	}
-	// A deferred Close runs on the panic paths below too, so -metrics-out
+	// fatal closes the session on every error path, so -metrics-out
 	// still captures whatever ran before a failure.
 	defer func() {
 		if err := session.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "report:", err)
 		}
 	}()
+	ctx, cancel := obsFlags.Context()
+	defer cancel()
 	val, err := bench.RunValidation()
 	if err != nil {
-		panic(err)
+		fatal(err)
 	}
 	fmt.Printf("validation: matched worst %.3f C | fine worst %.3f C mean bias %.3f C | ref nodes %d\n\n",
 		val.WorstDiffC, val.FineWorstDiffC, val.FineMeanBiasC, val.ReferenceNodes)
 
-	f6, err := bench.RunFigure6Opts(bench.Figure6Options{Points: 12, Parallel: *parallel})
+	f6, err := bench.RunFigure6Opts(bench.Figure6Options{Points: 12, Parallel: *parallel, Ctx: ctx})
 	if err != nil {
-		panic(err)
+		fatal(err)
 	}
 	fmt.Print(bench.FormatFigure6(f6))
 
 	f7, err := bench.RunFigure7()
 	if err != nil {
-		panic(err)
+		fatal(err)
 	}
 	fmt.Printf("\nFigure 7(b): %d TEC sites %v\n%s\n", len(f7.Sites), f7.Sites, f7.Map)
 
 	opt, err := bench.RunOptimizerAblation()
 	if err != nil {
-		panic(err)
+		fatal(err)
 	}
 	sol, err := bench.RunSolverAblation()
 	if err != nil {
-		panic(err)
+		fatal(err)
 	}
 	cvx, err := bench.RunConvexityAblation([]int{1, 2, 4, 8})
 	if err != nil {
-		panic(err)
+		fatal(err)
 	}
 	lam, err := bench.RunLambdaToleranceAblation([]float64{1e-3, 1e-6, 1e-10})
 	if err != nil {
-		panic(err)
+		fatal(err)
 	}
 	fmt.Print(bench.FormatAblations(opt, sol, cvx, lam))
 
 	contact, err := bench.RunContactSensitivity([]float64{0.25, 0.5, 1, 2, 4})
 	if err != nil {
-		panic(err)
+		fatal(err)
 	}
 	strategies, err := bench.RunDeploymentStrategies()
 	if err != nil {
-		panic(err)
+		fatal(err)
 	}
 	fmt.Print(bench.FormatSensitivity(contact, strategies))
 
 	workloads, err := bench.RunWorkloadValidation()
 	if err != nil {
-		panic(err)
+		fatal(err)
 	}
 	res, err := bench.RunResolutionAblation([]int{10, 20, 30})
 	if err != nil {
-		panic(err)
+		fatal(err)
 	}
 	fmt.Print(bench.FormatValidationStudies(workloads, res))
 
 	active, err := bench.RunActiveValidation()
 	if err != nil {
-		panic(err)
+		fatal(err)
 	}
 	fmt.Print(active)
 }

@@ -19,6 +19,7 @@ import (
 	"tecopt/internal/material"
 	"tecopt/internal/obs"
 	"tecopt/internal/power"
+	"tecopt/internal/tecerr"
 	"tecopt/internal/transient"
 )
 
@@ -39,8 +40,10 @@ func main() {
 		fatal(err)
 	}
 	defer closeObs()
+	ctx, cancel := obsFlags.Context()
+	defer cancel()
 
-	res, err := bench.RunFigure6Opts(bench.Figure6Options{Points: *points, Parallel: *parallel})
+	res, err := bench.RunFigure6Opts(bench.Figure6Options{Points: *points, Parallel: *parallel, Ctx: ctx})
 	if err != nil {
 		fatal(err)
 	}
@@ -64,14 +67,14 @@ func main() {
 	if *doTransient {
 		f, g := floorplan.Alpha21364Grid()
 		p := power.AlphaTilePowers(f, g)
-		dep, err := core.GreedyDeploy(core.Config{TilePower: p}, material.CelsiusToKelvin(85), core.CurrentOptions{})
+		dep, err := core.GreedyDeploy(core.Config{TilePower: p}, material.CelsiusToKelvin(85), core.CurrentOptions{Ctx: ctx})
 		if err != nil {
 			fatal(err)
 		}
 		sys := dep.System
 		fmt.Printf("\ntransient at 1.2 * lambda_m = %.2f A (dynamic runaway):\n", 1.2*res.LambdaM)
 		tr, err := transient.Simulate(sys, []transient.Phase{{Current: 1.2 * res.LambdaM, Duration: 600}},
-			transient.Options{Dt: 0.05, SampleEvery: 100, RunawayCeilingK: 600})
+			transient.Options{Dt: 0.05, SampleEvery: 100, RunawayCeilingK: 600, Ctx: ctx})
 		if err != nil {
 			fatal(err)
 		}
@@ -86,10 +89,12 @@ func main() {
 	}
 }
 
+// fatal reports the error and exits with its tecerr taxonomy status
+// (2 invalid input, 3 not PD, 4 diverged, 5 cancelled, ...).
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "runaway:", err)
 	closeObs()
-	os.Exit(1)
+	os.Exit(tecerr.ExitCode(err))
 }
 
 // closeObs flushes the observability session, reporting (but not

@@ -23,6 +23,7 @@ var fixturePatterns = []string{
 	"internal/lint/testdata/maporder",
 	"internal/lint/testdata/obsclock",
 	"internal/lint/testdata/testhelper",
+	"internal/lint/testdata/typederr",
 	"internal/lint/testdata/unitsanity",
 }
 
@@ -153,7 +154,7 @@ func TestRulesFlag(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("-rules exit code = %d", code)
 	}
-	for _, rule := range []string{"droppederr", "floateq", "lockcopy", "maporder", "obsclock", "testhelper", "unitsanity"} {
+	for _, rule := range []string{"droppederr", "floateq", "lockcopy", "maporder", "obsclock", "testhelper", "typederr", "unitsanity"} {
 		if !strings.Contains(stdout, rule) {
 			t.Errorf("-rules output missing %q:\n%s", rule, stdout)
 		}

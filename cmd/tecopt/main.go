@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -27,6 +28,7 @@ import (
 	"tecopt/internal/core"
 	"tecopt/internal/floorplan"
 	"tecopt/internal/material"
+	"tecopt/internal/tecerr"
 )
 
 func main() {
@@ -40,7 +42,15 @@ func main() {
 	tiles := flag.String("tiles", "12x12", "tile grid for custom floorplans, COLSxROWS")
 	margin := flag.Float64("margin", 1.2, "worst-case margin over the trace envelope")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON on stdout (for scripting)")
+	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = no limit)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	cols, rows, err := parseTiles(*tiles)
 	if err != nil {
@@ -65,11 +75,16 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown method %q", *method))
 	}
-	opt := core.CurrentOptions{Method: m}
+	opt := core.CurrentOptions{Method: m, Ctx: ctx}
 	cfg := core.Config{
 		Geom: loaded.Geom,
 		Cols: loaded.Grid.Cols, Rows: loaded.Grid.Rows,
 		TilePower: loaded.TilePower,
+	}
+	// Validate before solving so a bad chip file exits with the
+	// invalid-input status instead of surfacing as a solver failure.
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
 	}
 
 	res, err := core.GreedyDeploy(cfg, material.CelsiusToKelvin(*limitC), opt)
@@ -176,7 +191,9 @@ func parseTiles(s string) (cols, rows int, err error) {
 	return cols, rows, nil
 }
 
+// fatal reports the error and exits with its tecerr taxonomy status
+// (2 invalid input, 3 not PD, 4 diverged, 5 cancelled, ...).
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "tecopt:", err)
-	os.Exit(1)
+	os.Exit(tecerr.ExitCode(err))
 }

@@ -19,6 +19,7 @@ import (
 	"tecopt/internal/core"
 	"tecopt/internal/material"
 	"tecopt/internal/obs"
+	"tecopt/internal/tecerr"
 	"tecopt/internal/visual"
 )
 
@@ -51,6 +52,8 @@ func main() {
 		fatal(err)
 	}
 	defer closeObs()
+	ctx, cancel := obsFlags.Context()
+	defer cancel()
 
 	loaded, err := chipload.Load(chipload.Spec{Name: *chip, FLP: *flpPath, Ptrace: *ptracePath})
 	if err != nil {
@@ -66,11 +69,17 @@ func main() {
 			sites = append(sites, v)
 		}
 	}
-	sys, err := core.NewSystem(core.Config{
+	cfg := core.Config{
 		Geom: loaded.Geom,
 		Cols: loaded.Grid.Cols, Rows: loaded.Grid.Rows,
 		TilePower: loaded.TilePower,
-	}, sites)
+	}
+	// Validate the assembled configuration before any solve so a bad
+	// input exits with the invalid-input status instead of a solver error.
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+	sys, err := core.NewSystem(cfg, sites)
 	if err != nil {
 		fatal(err)
 	}
@@ -95,7 +104,7 @@ func main() {
 			fmt.Printf(", COP %.2f", sys.Array.ArrayCOP(theta, *current))
 		}
 		fmt.Println()
-		lambda, err := sys.RunawayLimit(core.RunawayOptions{})
+		lambda, err := sys.RunawayLimit(core.RunawayOptions{Ctx: ctx})
 		if err == nil {
 			fmt.Printf("  runaway limit lambda_m = %.2f A\n", lambda)
 		}
@@ -129,8 +138,9 @@ func main() {
 	}
 }
 
+// fatal reports the error and exits with its tecerr taxonomy status.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "thermalsim:", err)
 	closeObs()
-	os.Exit(1)
+	os.Exit(tecerr.ExitCode(err))
 }

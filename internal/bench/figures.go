@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -41,6 +42,9 @@ type Figure6Options struct {
 	// index-addressed slices, so the curve is identical at every worker
 	// count.
 	Parallel int
+	// Ctx, when non-nil, cancels the sweep between sample points and
+	// flows into the deployment and runaway-limit stages.
+	Ctx context.Context
 }
 
 // RunFigure6 sweeps the runaway curve serially with the given number of
@@ -61,15 +65,19 @@ func RunFigure6Opts(opt Figure6Options) (*Figure6Result, error) {
 	if points < 4 {
 		points = 16
 	}
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	f, g := floorplan.Alpha21364Grid()
 	p := power.AlphaTilePowers(f, g)
 	cfg := core.Config{TilePower: p}
-	dep, err := core.GreedyDeploy(cfg, material.CelsiusToKelvin(85), core.CurrentOptions{})
+	dep, err := core.GreedyDeploy(cfg, material.CelsiusToKelvin(85), core.CurrentOptions{Ctx: opt.Ctx})
 	if err != nil {
 		return nil, err
 	}
 	sys := dep.System
-	lambda, err := sys.RunawayLimit(core.RunawayOptions{})
+	lambda, err := sys.RunawayLimit(core.RunawayOptions{Ctx: opt.Ctx})
 	if err != nil {
 		return nil, err
 	}
@@ -81,7 +89,7 @@ func RunFigure6Opts(opt Figure6Options) (*Figure6Result, error) {
 	}
 	k := sys.PN.SilNode[dep.Current.PeakTile]
 	l := sys.Array.Hot[0]
-	err = engine.Pool{Workers: opt.Parallel}.Map(points, func(n int) error {
+	err = engine.Pool{Workers: opt.Parallel}.MapCtx(ctx, points, func(n int) error {
 		// Denser sampling near the limit, where the curve shoots up.
 		frac := 1 - math.Pow(1-float64(n)/float64(points-1), 2)
 		i := lambda * frac * (1 - 1e-6)

@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -63,6 +64,11 @@ type TableIOptions struct {
 	// every worker count (Runtime excepted, and FormatTableI does not
 	// print it).
 	Parallel int
+	// Ctx, when non-nil, cancels the run between chips and between the
+	// inner solves of each chip (it flows into the per-chip current
+	// optimization unless Current.Ctx is set explicitly). On
+	// cancellation RunTableI still returns the rows completed so far.
+	Ctx context.Context
 }
 
 func (o TableIOptions) withDefaults() TableIOptions {
@@ -71,6 +77,9 @@ func (o TableIOptions) withDefaults() TableIOptions {
 	}
 	if num.IsZero(o.MaxLimitC) {
 		o.MaxLimitC = 95
+	}
+	if o.Current.Ctx == nil {
+		o.Current.Ctx = o.Ctx
 	}
 	return o
 }
@@ -121,7 +130,17 @@ func RunTableIRow(name string, tilePower []float64, opt TableIOptions) (*TableIR
 // the ten hypothetical chips. Chips run on an engine pool sized by
 // opt.Parallel; on failure the error of the lowest-index chip is
 // returned, exactly as the serial loop would report it.
+//
+// On error the rows completed before the failure are still returned —
+// entries for failed or unstarted chips are nil — so a timed-out or
+// degraded run can flush its partial table instead of discarding paid-for
+// work. A nil error guarantees every row is non-nil.
 func RunTableI(opt TableIOptions) ([]*TableIRow, error) {
+	opt = opt.withDefaults()
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	f, g := floorplan.Alpha21364Grid()
 	chips, err := power.GenerateHCSuite(power.DefaultHCSpec())
 	if err != nil {
@@ -135,7 +154,7 @@ func RunTableI(opt TableIOptions) ([]*TableIRow, error) {
 	}
 
 	rows := make([]*TableIRow, len(names))
-	err = engine.Pool{Workers: opt.Parallel}.Map(len(names), func(i int) error {
+	err = engine.Pool{Workers: opt.Parallel}.MapCtx(ctx, len(names), func(i int) error {
 		row, err := RunTableIRow(names[i], powers[i], opt)
 		if err != nil {
 			return err
@@ -144,7 +163,7 @@ func RunTableI(opt TableIOptions) ([]*TableIRow, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return rows, err
 	}
 	return rows, nil
 }

@@ -13,6 +13,7 @@ import (
 	"tecopt/internal/floorplan"
 	"tecopt/internal/material"
 	"tecopt/internal/power"
+	"tecopt/internal/tecerr"
 )
 
 // Chip is a resolved benchmark chip ready for optimization.
@@ -59,17 +60,20 @@ func Load(spec Spec) (*Chip, error) {
 	case strings.HasPrefix(spec.Name, "hc:"):
 		seed, err := strconv.ParseInt(spec.Name[3:], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("chipload: bad hc seed in %q: %v", spec.Name, err)
+			return nil, tecerr.Newf(tecerr.CodeInvalidInput, "chipload",
+				"chipload: bad hc seed in %q: %v", spec.Name, err)
 		}
 		return fromHC(spec.Name, seed)
 	case strings.HasPrefix(spec.Name, "hc"):
 		n, err := strconv.Atoi(spec.Name[2:])
 		if err != nil || n < 1 || n > 10 {
-			return nil, fmt.Errorf("chipload: unknown chip %q (want alpha, hc01..hc10, or hc:<seed>)", spec.Name)
+			return nil, tecerr.Newf(tecerr.CodeInvalidInput, "chipload",
+				"chipload: unknown chip %q (want alpha, hc01..hc10, or hc:<seed>)", spec.Name)
 		}
 		return fromHC(fmt.Sprintf("HC%02d", n), int64(n))
 	default:
-		return nil, fmt.Errorf("chipload: unknown chip %q (want alpha, hc01..hc10, or hc:<seed>)", spec.Name)
+		return nil, tecerr.Newf(tecerr.CodeInvalidInput, "chipload",
+			"chipload: unknown chip %q (want alpha, hc01..hc10, or hc:<seed>)", spec.Name)
 	}
 }
 
@@ -105,7 +109,7 @@ func geomFor(f *floorplan.Floorplan) material.PackageGeometry {
 
 func loadCustom(spec Spec) (*Chip, error) {
 	if spec.Ptrace == "" {
-		return nil, fmt.Errorf("chipload: -flp requires a -ptrace power trace")
+		return nil, tecerr.New(tecerr.CodeInvalidInput, "chipload", "chipload: -flp requires a -ptrace power trace")
 	}
 	if spec.Cols <= 0 {
 		spec.Cols = 12
@@ -118,7 +122,7 @@ func loadCustom(spec Spec) (*Chip, error) {
 	}
 	ff, err := os.Open(spec.FLP)
 	if err != nil {
-		return nil, fmt.Errorf("chipload: %v", err)
+		return nil, tecerr.Wrap(tecerr.CodeInvalidInput, "chipload", "chipload", err)
 	}
 	defer ff.Close()
 	f, err := floorplan.ParseFLP(spec.FLP, ff)
@@ -134,7 +138,7 @@ func loadCustom(spec Spec) (*Chip, error) {
 	}
 	pf, err := os.Open(spec.Ptrace)
 	if err != nil {
-		return nil, fmt.Errorf("chipload: %v", err)
+		return nil, tecerr.Wrap(tecerr.CodeInvalidInput, "chipload", "chipload", err)
 	}
 	defer pf.Close()
 	tr, err := power.ParsePtrace(pf)
@@ -143,6 +147,9 @@ func loadCustom(spec Spec) (*Chip, error) {
 	}
 	tp, err := power.TilePowersFromTrace(tr, f, g, spec.Margin)
 	if err != nil {
+		return nil, err
+	}
+	if err := power.ValidateTilePower(tp); err != nil {
 		return nil, err
 	}
 	return &Chip{Name: spec.FLP, Floorplan: f, Grid: g, TilePower: tp, Geom: geomFor(f)}, nil

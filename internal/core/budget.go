@@ -1,8 +1,9 @@
 package core
 
 import (
-	"fmt"
 	"sort"
+
+	"tecopt/internal/tecerr"
 )
 
 // Budgeted placement: the dual of the paper's Problem 1.
@@ -65,7 +66,7 @@ type BudgetedResult struct {
 func BudgetedDeploy(cfg Config, budget int, opt BudgetedOptions) (*BudgetedResult, error) {
 	opt = opt.withDefaults()
 	if budget <= 0 {
-		return nil, fmt.Errorf("core: nonpositive device budget %d", budget)
+		return nil, tecerr.Newf(tecerr.CodeInvalidInput, "core.budgeted", "core: nonpositive device budget %d", budget)
 	}
 	cfg = cfg.withDefaults()
 

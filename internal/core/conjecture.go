@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 
 	"tecopt/internal/engine"
@@ -90,14 +91,27 @@ func (o ConjectureOptions) withDefaults() ConjectureOptions {
 // an engine pool with a report that is bit-identical to the serial run
 // (merge order is matrix-index order, never completion order).
 func VerifyConjecture1(rng *rand.Rand, opt ConjectureOptions) ConjectureReport {
+	// conjectureTrial never fails, so without a cancellable context the
+	// campaign cannot error (an injected pool fault is a test-only event
+	// and surfaces through the Ctx variant).
+	rep, _ := VerifyConjecture1Ctx(context.Background(), rng, opt)
+	return rep
+}
+
+// VerifyConjecture1Ctx is VerifyConjecture1 under a context: cancelling
+// ctx aborts the remaining trials and returns the partial report merged
+// from the trials that did complete, alongside a tecerr.CodeCancelled
+// error. The partial report is still deterministic per seed — each
+// trial's slot is written exactly once — but which trials ran depends on
+// timing, so a non-nil error means the counts are a lower bound.
+func VerifyConjecture1Ctx(ctx context.Context, rng *rand.Rand, opt ConjectureOptions) (ConjectureReport, error) {
 	opt = opt.withDefaults()
 	seeds := make([]int64, opt.Matrices)
 	for m := range seeds {
 		seeds[m] = rng.Int63()
 	}
 	trials := make([]ConjectureReport, opt.Matrices)
-	// conjectureTrial never fails, so Map cannot return an error.
-	_ = engine.Pool{Workers: opt.Parallel}.Map(opt.Matrices, func(m int) error {
+	err := engine.Pool{Workers: opt.Parallel}.MapCtx(ctx, opt.Matrices, func(m int) error {
 		trials[m] = conjectureTrial(seeds[m], opt)
 		return nil
 	})
@@ -110,7 +124,7 @@ func VerifyConjecture1(rng *rand.Rand, opt ConjectureOptions) ConjectureReport {
 			rep.FirstViolation = tr.FirstViolation
 		}
 	}
-	return rep
+	return rep, err
 }
 
 // conjectureTrial tests one matrix drawn from its own PRNG stream.

@@ -1,11 +1,11 @@
 package core
 
 import (
-	"fmt"
 	"math"
 
 	"tecopt/internal/num"
 	"tecopt/internal/optimize"
+	"tecopt/internal/tecerr"
 )
 
 // Optimality certification (Section V.C.2).
@@ -26,7 +26,7 @@ import (
 // x = H e_k and y = H 1_{HOT u CLD} — two linear solves.
 func (s *System) EtaZeta(i float64, tile int) (eta, etaPrime, zeta float64, err error) {
 	if tile < 0 || tile >= s.PN.NumTiles() {
-		return 0, 0, 0, fmt.Errorf("core: tile %d out of range", tile)
+		return 0, 0, 0, tecerr.Newf(tecerr.CodeInvalidInput, "core.convexity", "core: tile %d out of range", tile)
 	}
 	f, err := s.Factor(i)
 	if err != nil {

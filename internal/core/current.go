@@ -1,12 +1,13 @@
 package core
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"math"
 
 	"tecopt/internal/obs"
 	"tecopt/internal/optimize"
+	"tecopt/internal/tecerr"
 )
 
 // Supply-current setting (Problem 2, Section V.C): choose the single
@@ -39,6 +40,11 @@ type CurrentOptions struct {
 	SafetyMargin float64
 	// Runaway tunes the lambda_m computation.
 	Runaway RunawayOptions
+	// Ctx, when non-nil, cancels the optimization between objective
+	// evaluations; it also flows into the runaway-limit search unless
+	// Runaway.Ctx is set explicitly. A cancelled run returns a
+	// tecerr.CodeCancelled error.
+	Ctx context.Context
 }
 
 func (o CurrentOptions) withDefaults() CurrentOptions {
@@ -82,7 +88,8 @@ const maxBracketCurrentA = 1e6
 // meaningful model cannot do this — Joule heating (r i^2) eventually
 // dominates — so it signals a broken device parameterization (for
 // example a zero-resistance TEC) rather than an optimizer failure.
-var ErrBracketExhausted = errors.New("core: current bracket expansion found no ascending objective")
+var ErrBracketExhausted error = tecerr.New(tecerr.CodeInvalidInput, "core.optimize_current",
+	"core: current bracket expansion found no ascending objective")
 
 // expandBracket doubles hi from start until objective(hi) >= f0, giving
 // golden section an interval whose minimum is interior. It fails with
@@ -108,6 +115,13 @@ func expandBracket(objective func(float64) float64, f0, start, max float64) (flo
 // TECs deployed it degenerates to the passive solve at i = 0.
 func (s *System) OptimizeCurrent(opt CurrentOptions) (*CurrentResult, error) {
 	opt = opt.withDefaults()
+	if opt.Runaway.Ctx == nil {
+		opt.Runaway.Ctx = opt.Ctx
+	}
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	r := obs.Enabled()
 	evals := 0
 	if r != nil {
@@ -136,7 +150,17 @@ func (s *System) OptimizeCurrent(opt CurrentOptions) (*CurrentResult, error) {
 		return nil, err
 	}
 
+	// Cancellation is latched: the scalar optimizers see +Inf and back
+	// off, and the latched error is returned after they unwind.
+	var ctxErr error
 	objective := func(i float64) float64 {
+		if ctxErr != nil {
+			return math.Inf(1)
+		}
+		if err := ctx.Err(); err != nil {
+			ctxErr = tecerr.Cancelled("core.optimize_current", err)
+			return math.Inf(1)
+		}
 		evals++
 		peak, _, _, err := s.PeakAt(i)
 		if err != nil {
@@ -154,6 +178,9 @@ func (s *System) OptimizeCurrent(opt CurrentOptions) (*CurrentResult, error) {
 	var hi float64
 	if math.IsInf(lambda, 1) {
 		hi, err = expandBracket(objective, objective(0), 1.0, maxBracketCurrentA)
+		if ctxErr != nil {
+			return nil, ctxErr
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -161,19 +188,26 @@ func (s *System) OptimizeCurrent(opt CurrentOptions) (*CurrentResult, error) {
 		hi = lambda * (1 - opt.SafetyMargin)
 	}
 	if hi <= 0 {
-		return nil, fmt.Errorf("core: empty feasible current range (lambda_m = %g)", lambda)
+		return nil, tecerr.Newf(tecerr.CodeInvalidInput, "core.optimize_current",
+			"core: empty feasible current range (lambda_m = %g)", lambda)
 	}
 
 	var iOpt float64
 	switch opt.Method {
 	case CurrentGolden:
 		res, err := optimize.GoldenSection(objective, 0, hi, opt.Tol, 300)
+		if ctxErr != nil {
+			return nil, ctxErr
+		}
 		if err != nil {
 			return nil, err
 		}
 		iOpt = res.X
 	case CurrentBrent:
 		res, err := optimize.Brent(objective, 0, hi, opt.Tol/math.Max(hi, 1), 300)
+		if ctxErr != nil {
+			return nil, ctxErr
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -182,12 +216,19 @@ func (s *System) OptimizeCurrent(opt CurrentOptions) (*CurrentResult, error) {
 		res, err := optimize.GradientDescent(objective, optimize.GradientDescentOptions{
 			Lo: 0, Hi: hi, X0: hi / 4, Tol: opt.Tol, GradEps: opt.Tol / 4,
 		})
+		if ctxErr != nil {
+			return nil, ctxErr
+		}
 		if err != nil {
 			return nil, err
 		}
 		iOpt = res.X
 	default:
-		return nil, fmt.Errorf("core: unknown current method %d", opt.Method)
+		return nil, tecerr.Newf(tecerr.CodeInvalidInput, "core.optimize_current",
+			"core: unknown current method %d", opt.Method)
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
 	}
 
 	// i = 0 is always feasible; never settle for a current that is worse

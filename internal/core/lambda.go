@@ -1,14 +1,17 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"tecopt/internal/engine"
+	"tecopt/internal/faults"
 	"tecopt/internal/num"
 	"tecopt/internal/obs"
 	"tecopt/internal/optimize"
+	"tecopt/internal/tecerr"
 	"tecopt/internal/thermal"
 )
 
@@ -33,7 +36,8 @@ import (
 // lambda_m = +Inf — not a failure, so they report (+Inf, nil) and
 // callers that care can ask HasRunawayLimit. Only operations that are
 // meaningless without a finite limit return the sentinel.
-var ErrNoRunawayLimit = errors.New("core: system has no runaway limit (no TEC devices)")
+var ErrNoRunawayLimit error = tecerr.New(tecerr.CodeInvalidInput, "core.runaway",
+	"core: system has no runaway limit (no TEC devices)")
 
 // HasRunawayLimit reports whether the system can run away at all: true
 // iff D has a positive diagonal entry, i.e. at least one TEC device is
@@ -55,6 +59,10 @@ type RunawayOptions struct {
 	// still positive definite at BracketMax amperes the limit is
 	// reported as +Inf. Default 1e6 A.
 	BracketMax float64
+	// Ctx, when non-nil, cancels the search between positive-
+	// definiteness probes; a cancelled search returns a
+	// tecerr.CodeCancelled error.
+	Ctx context.Context
 }
 
 func (o RunawayOptions) withDefaults() RunawayOptions {
@@ -92,14 +100,31 @@ func (s *System) RunawayLimit(opt RunawayOptions) (float64, error) {
 			r.Gauge("core.runaway.last_probes").Set(probes)
 		}()
 	}
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// The probes cannot return an error through the boolean predicate, so
+	// cancellation is latched here and re-checked after every search stage.
+	var ctxErr error
 	pd := func(i float64) bool {
+		if ctxErr != nil {
+			return false
+		}
+		if err := ctx.Err(); err != nil {
+			ctxErr = tecerr.Cancelled("core.runaway", err)
+			return false
+		}
 		probes++
 		_, err := s.Factor(i)
 		return err == nil
 	}
 	if !pd(0) {
+		if ctxErr != nil {
+			return 0, ctxErr
+		}
 		// G itself must be PD (Lemma 1); anything else is a modeling bug.
-		return 0, errors.New("core: G is not positive definite at i=0")
+		return 0, tecerr.New(tecerr.CodeNotPD, "core.runaway", "core: G is not positive definite at i=0")
 	}
 	// Geometric bracketing.
 	hi := 1.0
@@ -110,12 +135,18 @@ func (s *System) RunawayLimit(opt RunawayOptions) (float64, error) {
 			return math.Inf(1), nil
 		}
 	}
+	if ctxErr != nil {
+		return 0, ctxErr
+	}
 	lo := hi / 2
 	if num.ExactEqual(hi, 1.0) {
 		lo = 0
 	}
 	r.Event("core.runaway.bracket_lo", lo)
 	lambda, err := optimize.BinarySearchBoundary(pd, lo, hi, opt.RelTol, 200)
+	if ctxErr != nil {
+		return 0, ctxErr
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -165,7 +196,8 @@ func (s *System) RunawayMode(lambda float64) ([]float64, error) {
 // Figure 6). The factorization is reused across l via one solve with e_l.
 func (s *System) Hkl(i float64, k, l int) (float64, error) {
 	if n := s.NumNodes(); k < 0 || k >= n || l < 0 || l >= n {
-		return 0, fmt.Errorf("core: Hkl nodes (%d, %d) out of range %d", k, l, n)
+		return 0, tecerr.Newf(tecerr.CodeInvalidInput, "core.hkl",
+			"core: Hkl nodes (%d, %d) out of range %d", k, l, n)
 	}
 	if r := obs.Enabled(); r != nil {
 		r.Counter("core.hkl.evals").Inc()
@@ -196,6 +228,14 @@ func (s *System) HklSweep(k, l int, currents []float64) ([]float64, error) {
 // and the result slice is index-addressed, so the output is identical
 // to the serial sweep at every worker count.
 func (s *System) HklSweepParallel(k, l int, currents []float64, pool engine.Pool) ([]float64, error) {
+	return s.HklSweepParallelCtx(context.Background(), k, l, currents, pool)
+}
+
+// HklSweepParallelCtx is HklSweepParallel under a context: cancellation
+// between sweep points aborts the remaining work and returns a
+// tecerr.CodeCancelled error. Completed points are discarded — a partial
+// Figure 6 curve with unwritten zeros is worse than no curve.
+func (s *System) HklSweepParallelCtx(ctx context.Context, k, l int, currents []float64, pool engine.Pool) ([]float64, error) {
 	r := obs.Enabled()
 	if r != nil {
 		sp := r.StartSpan("core.hkl_sweep")
@@ -204,7 +244,10 @@ func (s *System) HklSweepParallel(k, l int, currents []float64, pool engine.Pool
 		r.Counter("core.hkl_sweep.points").Add(uint64(len(currents)))
 	}
 	out := make([]float64, len(currents))
-	err := pool.Map(len(currents), func(idx int) error {
+	err := pool.MapCtx(ctx, len(currents), func(idx int) error {
+		if err := faults.Check(faults.SiteSweepPoint); err != nil {
+			return err
+		}
 		if r != nil {
 			defer r.ObserveSince("core.hkl_sweep.point_ns", r.Now())
 		}
@@ -233,7 +276,8 @@ func (s *System) HColumns(i float64, cols []int, pool engine.Pool) ([][]float64,
 	n := s.NumNodes()
 	for _, l := range cols {
 		if l < 0 || l >= n {
-			return nil, fmt.Errorf("core: HColumns node %d out of range %d", l, n)
+			return nil, tecerr.Newf(tecerr.CodeInvalidInput, "core.hkl",
+				"core: HColumns node %d out of range %d", l, n)
 		}
 	}
 	f, err := s.Factor(i)

@@ -11,14 +11,14 @@
 package core
 
 import (
-	"fmt"
-
 	"tecopt/internal/engine"
 	"tecopt/internal/material"
 	"tecopt/internal/num"
 	"tecopt/internal/obs"
+	"tecopt/internal/power"
 	"tecopt/internal/sparse"
 	"tecopt/internal/tec"
+	"tecopt/internal/tecerr"
 	"tecopt/internal/thermal"
 )
 
@@ -36,6 +36,31 @@ type Config struct {
 	// TilePower is the worst-case per-tile silicon power (W), length
 	// Cols*Rows.
 	TilePower []float64
+}
+
+// Validate checks the configuration before any network assembly: the
+// tiling and tile-power vector must be consistent, every tile power
+// finite and nonnegative, and the geometry and device parameters
+// physical. CLIs call it up front so a bad input fails with a typed
+// tecerr.CodeInvalidInput error instead of poisoning a solve.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.Cols <= 0 || c.Rows <= 0 {
+		return tecerr.Newf(tecerr.CodeInvalidInput, "core.validate",
+			"core: tiling %dx%d must be positive", c.Cols, c.Rows)
+	}
+	nt := c.Cols * c.Rows
+	if len(c.TilePower) != nt {
+		return tecerr.Newf(tecerr.CodeInvalidInput, "core.validate",
+			"core: tile power length %d, want %d", len(c.TilePower), nt)
+	}
+	if err := power.ValidateTilePower(c.TilePower); err != nil {
+		return err
+	}
+	if err := c.Geom.Validate(); err != nil {
+		return err
+	}
+	return c.Device.Validate()
 }
 
 // withDefaults fills zero fields.
@@ -103,8 +128,8 @@ func ResetFactorCache() { factorCache.Reset() }
 func NewSystem(cfg Config, sites []int) (*System, error) {
 	cfg = cfg.withDefaults()
 	nt := cfg.Cols * cfg.Rows
-	if len(cfg.TilePower) != nt {
-		return nil, fmt.Errorf("core: tile power length %d, want %d", len(cfg.TilePower), nt)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	opts := thermal.BuildOptions{
 		Cols: cfg.Cols, Rows: cfg.Rows,
@@ -113,10 +138,12 @@ func NewSystem(cfg Config, sites []int) (*System, error) {
 	}
 	for _, s := range sites {
 		if s < 0 || s >= nt {
-			return nil, fmt.Errorf("core: TEC site %d out of range %d", s, nt)
+			return nil, tecerr.Newf(tecerr.CodeInvalidInput, "core.system",
+				"core: TEC site %d out of range %d", s, nt)
 		}
 		if opts.TECSites[s] {
-			return nil, fmt.Errorf("core: duplicate TEC site %d", s)
+			return nil, tecerr.Newf(tecerr.CodeInvalidInput, "core.system",
+				"core: duplicate TEC site %d", s)
 		}
 		opts.TECSites[s] = true
 	}
@@ -188,7 +215,8 @@ func (s *System) RHS(i float64) []float64 {
 // SolveAt solves the steady state at supply current i.
 func (s *System) SolveAt(i float64) ([]float64, error) {
 	if i < 0 {
-		return nil, fmt.Errorf("core: negative supply current %g", i)
+		return nil, tecerr.Newf(tecerr.CodeInvalidInput, "core.system",
+			"core: negative supply current %g", i)
 	}
 	f, err := s.Factor(i)
 	if err != nil {

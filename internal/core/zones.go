@@ -1,13 +1,13 @@
 package core
 
 import (
-	"fmt"
 	"math"
 	"sort"
 
 	"tecopt/internal/num"
 	"tecopt/internal/optimize"
 	"tecopt/internal/sparse"
+	"tecopt/internal/tecerr"
 )
 
 // Multi-pin extension.
@@ -41,19 +41,20 @@ type ZonedSystem struct {
 // NewZonedSystem wraps a system with an explicit device->zone map.
 func NewZonedSystem(sys *System, zoneOf []int) (*ZonedSystem, error) {
 	if len(zoneOf) != sys.Array.Count() {
-		return nil, fmt.Errorf("core: zone map length %d, want %d devices", len(zoneOf), sys.Array.Count())
+		return nil, tecerr.Newf(tecerr.CodeInvalidInput, "core.zoned",
+			"core: zone map length %d, want %d devices", len(zoneOf), sys.Array.Count())
 	}
 	zones := 0
 	for _, z := range zoneOf {
 		if z < 0 {
-			return nil, fmt.Errorf("core: negative zone index %d", z)
+			return nil, tecerr.Newf(tecerr.CodeInvalidInput, "core.zoned", "core: negative zone index %d", z)
 		}
 		if z+1 > zones {
 			zones = z + 1
 		}
 	}
 	if zones == 0 {
-		return nil, fmt.Errorf("core: no zones (no devices deployed?)")
+		return nil, tecerr.New(tecerr.CodeInvalidInput, "core.zoned", "core: no zones (no devices deployed?)")
 	}
 	// Every zone must be nonempty.
 	seen := make([]bool, zones)
@@ -62,7 +63,7 @@ func NewZonedSystem(sys *System, zoneOf []int) (*ZonedSystem, error) {
 	}
 	for z, ok := range seen {
 		if !ok {
-			return nil, fmt.Errorf("core: zone %d is empty", z)
+			return nil, tecerr.Newf(tecerr.CodeInvalidInput, "core.zoned", "core: zone %d is empty", z)
 		}
 	}
 	zs := &ZonedSystem{System: sys, ZoneOf: zoneOf, Zones: zones}
@@ -86,7 +87,8 @@ func NewZonedSystem(sys *System, zoneOf []int) (*ZonedSystem, error) {
 func ZoneByColumns(sys *System, k int) ([]int, error) {
 	nDev := sys.Array.Count()
 	if k <= 0 || nDev == 0 {
-		return nil, fmt.Errorf("core: cannot build %d zones over %d devices", k, nDev)
+		return nil, tecerr.Newf(tecerr.CodeInvalidInput, "core.zoned",
+			"core: cannot build %d zones over %d devices", k, nDev)
 	}
 	if k > nDev {
 		k = nDev
@@ -140,11 +142,12 @@ func (zs *ZonedSystem) RHSZoned(currents []float64) []float64 {
 // SolveAtZoned solves the steady state for a current vector.
 func (zs *ZonedSystem) SolveAtZoned(currents []float64) ([]float64, error) {
 	if len(currents) != zs.Zones {
-		return nil, fmt.Errorf("core: current vector length %d, want %d zones", len(currents), zs.Zones)
+		return nil, tecerr.Newf(tecerr.CodeInvalidInput, "core.zoned",
+			"core: current vector length %d, want %d zones", len(currents), zs.Zones)
 	}
 	for _, i := range currents {
 		if i < 0 {
-			return nil, fmt.Errorf("core: negative zone current %g", i)
+			return nil, tecerr.Newf(tecerr.CodeInvalidInput, "core.zoned", "core: negative zone current %g", i)
 		}
 	}
 	f, err := factorCSR(zs.MatrixZoned(currents), zs.perm)

@@ -15,12 +15,14 @@
 package dtm
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"tecopt/internal/core"
 	"tecopt/internal/num"
 	"tecopt/internal/obs"
+	"tecopt/internal/tecerr"
 	"tecopt/internal/thermal"
 	"tecopt/internal/transient"
 )
@@ -124,6 +126,10 @@ type RunOptions struct {
 	Theta0 []float64
 	// SampleEvery records every n-th step (default = ControlEvery).
 	SampleEvery int
+	// Ctx, when non-nil, cancels the simulation between steps. A
+	// cancelled Run returns the partial result accumulated so far
+	// alongside a tecerr.CodeCancelled error.
+	Ctx context.Context
 }
 
 func (o RunOptions) withDefaults() RunOptions {
@@ -168,7 +174,7 @@ type RunResult struct {
 func Run(sys *core.System, phases []PowerPhase, ctrl Controller, limitK float64, opt RunOptions) (*RunResult, error) {
 	opt = opt.withDefaults()
 	if len(phases) == 0 {
-		return nil, fmt.Errorf("dtm: no workload phases")
+		return nil, tecerr.New(tecerr.CodeInvalidInput, "dtm.run", "dtm: no workload phases")
 	}
 	r := obs.Enabled()
 	if r != nil {
@@ -186,7 +192,8 @@ func Run(sys *core.System, phases []PowerPhase, ctrl Controller, limitK float64,
 	theta := make([]float64, n)
 	if opt.Theta0 != nil {
 		if len(opt.Theta0) != n {
-			return nil, fmt.Errorf("dtm: theta0 length %d, want %d", len(opt.Theta0), n)
+			return nil, tecerr.Newf(tecerr.CodeInvalidInput, "dtm.run",
+				"dtm: theta0 length %d, want %d", len(opt.Theta0), n)
 		}
 		copy(theta, opt.Theta0)
 	} else {
@@ -216,6 +223,10 @@ func Run(sys *core.System, phases []PowerPhase, ctrl Controller, limitK float64,
 		return math.Round(i/opt.CurrentQuantumA) * opt.CurrentQuantumA
 	}
 
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	res := &RunResult{Policy: ctrl.Name()}
 	now := 0.0
 	step := 0
@@ -227,7 +238,8 @@ func Run(sys *core.System, phases []PowerPhase, ctrl Controller, limitK float64,
 	rhs := make([]float64, n)
 	for _, ph := range phases {
 		if ph.Duration <= 0 {
-			return nil, fmt.Errorf("dtm: nonpositive phase duration %g", ph.Duration)
+			return nil, tecerr.Newf(tecerr.CodeInvalidInput, "dtm.run",
+				"dtm: nonpositive phase duration %g", ph.Duration)
 		}
 		base, err := sys.PN.PowerVector(ph.TilePower)
 		if err != nil {
@@ -239,6 +251,11 @@ func Run(sys *core.System, phases []PowerPhase, ctrl Controller, limitK float64,
 		}
 		steps := int(math.Ceil(ph.Duration / opt.Dt))
 		for s := 0; s < steps; s++ {
+			if step&63 == 0 {
+				if err := ctx.Err(); err != nil {
+					return res, tecerr.Cancelled("dtm.run", err)
+				}
+			}
 			stepStart := r.Now()
 			fact, err := factorFor(current)
 			if err != nil {

@@ -1,10 +1,9 @@
 package dtm
 
 import (
-	"fmt"
-
 	"tecopt/internal/floorplan"
 	"tecopt/internal/power"
+	"tecopt/internal/tecerr"
 )
 
 // PhasesFromTrace converts a per-unit power trace into a time-varying
@@ -14,17 +13,19 @@ import (
 // simulation: record a trace, replay it against a controller.
 func PhasesFromTrace(tr *power.Trace, f *floorplan.Floorplan, g *floorplan.Grid, samplePeriodS float64) ([]PowerPhase, error) {
 	if samplePeriodS <= 0 {
-		return nil, fmt.Errorf("dtm: nonpositive sample period %g", samplePeriodS)
+		return nil, tecerr.Newf(tecerr.CodeInvalidInput, "dtm.trace", "dtm: nonpositive sample period %g", samplePeriodS)
 	}
 	for _, u := range tr.Units {
 		if _, ok := f.Unit(u); !ok {
-			return nil, fmt.Errorf("dtm: trace unit %q not in floorplan %s", u, f.Name)
+			return nil, tecerr.Newf(tecerr.CodeInvalidInput, "dtm.trace",
+				"dtm: trace unit %q not in floorplan %s", u, f.Name)
 		}
 	}
 	phases := make([]PowerPhase, 0, len(tr.Samples))
 	for s, row := range tr.Samples {
 		if len(row) != len(tr.Units) {
-			return nil, fmt.Errorf("dtm: trace sample %d has %d values, want %d", s, len(row), len(tr.Units))
+			return nil, tecerr.Newf(tecerr.CodeInvalidInput, "dtm.trace",
+				"dtm: trace sample %d has %d values, want %d", s, len(row), len(tr.Units))
 		}
 		unitPower := make(map[string]float64, len(tr.Units))
 		for u, v := range row {

@@ -16,11 +16,15 @@
 package engine
 
 import (
+	"context"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
+	"tecopt/internal/faults"
 	"tecopt/internal/obs"
+	"tecopt/internal/tecerr"
 )
 
 // Pool is a bounded worker pool. The zero value runs with
@@ -50,12 +54,34 @@ func (p Pool) workers() int {
 //
 // Error contract: if any fn returns a non-nil error, Map returns the
 // error with the lowest index, matching what the serial loop would have
-// reported first. Workers stop claiming new indices once an error is
-// observed, but indices below the failing one are always evaluated, so
-// the winning error is deterministic.
+// reported first (task errors are returned as-is, never wrapped).
+// Workers stop claiming new indices once an error is observed, but
+// indices below the failing one are always evaluated, so the winning
+// error is deterministic.
+//
+// Panic contract: a panicking task cannot crash or deadlock the
+// process. The panic is recovered, its goroutine stack captured, and it
+// enters the error contract above as a tecerr.CodePanic error at the
+// panicking index (match with errors.Is(err, tecerr.ErrPanic)).
 func (p Pool) Map(n int, fn func(i int) error) error {
+	return p.MapCtx(context.Background(), n, fn)
+}
+
+// MapCtx is Map with cancellation: workers stop claiming new indices
+// once ctx is done, and MapCtx returns a tecerr.CodeCancelled error
+// wrapping ctx.Err(). Cancellation is checked between tasks, so an
+// in-flight fn always runs to completion; fn implementations that want
+// finer granularity must watch ctx themselves. When cancellation and a
+// task failure race, the task's lowest-index error wins if any task
+// completed with one; the deterministic-winner guarantee otherwise
+// applies only to uncancelled runs (cancellation legitimately skips
+// indices below a would-be failure).
+func (p Pool) MapCtx(ctx context.Context, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return tecerr.Cancelled("engine.pool", err)
 	}
 	if r := obs.Enabled(); r != nil {
 		// Wrap fn so every task reports its queue wait (Map entry to
@@ -83,7 +109,10 @@ func (p Pool) Map(n int, fn func(i int) error) error {
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := ctx.Err(); err != nil {
+				return tecerr.Cancelled("engine.pool", err)
+			}
+			if err := runTask(fn, i); err != nil {
 				return err
 			}
 		}
@@ -93,20 +122,25 @@ func (p Pool) Map(n int, fn func(i int) error) error {
 	errs := make([]error, n)
 	var next atomic.Int64
 	var failed atomic.Bool
+	var cancelled atomic.Bool
 	var wg sync.WaitGroup
 	for k := 0; k < w; k++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				if failed.Load() {
+				if failed.Load() || cancelled.Load() {
+					return
+				}
+				if ctx.Err() != nil {
+					cancelled.Store(true)
 					return
 				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := runTask(fn, i); err != nil {
 					errs[i] = err
 					failed.Store(true)
 				}
@@ -122,7 +156,29 @@ func (p Pool) Map(n int, fn func(i int) error) error {
 			return err
 		}
 	}
+	if cancelled.Load() {
+		return tecerr.Cancelled("engine.pool", context.Cause(ctx))
+	}
 	return nil
+}
+
+// runTask executes one task with panic isolation: a panic inside fn is
+// recovered and converted to a tecerr.CodePanic error carrying the
+// goroutine stack, so it flows through Map's normal error contract
+// instead of unwinding a worker (which would kill the process and, by
+// taking wg.Done with it on a non-main goroutine, could never be
+// recovered by the caller). The faults hook lets chaos tests inject
+// exactly such panics.
+func runTask(fn func(int) error, i int) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = tecerr.FromPanic("engine.pool", v, debug.Stack())
+		}
+	}()
+	if err := faults.Check(faults.SitePoolTask); err != nil {
+		return err
+	}
+	return fn(i)
 }
 
 // clampNS converts a clock difference to a histogram value, flooring

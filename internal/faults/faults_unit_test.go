@@ -1,0 +1,180 @@
+package faults
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestDisabledHooksAreNoOps(t *testing.T) {
+	Uninstall()
+	if err := Check("any.site"); err != nil {
+		t.Fatalf("Check with no injector: %v", err)
+	}
+	if v := Float64("any.site", 1.5); v != 1.5 { // teclint:ignore floateq disabled path must be bit-exact pass-through
+		t.Fatalf("Float64 with no injector = %g", v)
+	}
+	xs := []float64{1, 2, 3}
+	Perturb("any.site", xs)
+	if xs[0] != 1 || xs[1] != 2 || xs[2] != 3 { // teclint:ignore floateq disabled path must be bit-exact pass-through
+		t.Fatal("Perturb with no injector modified its input")
+	}
+}
+
+func TestOnHitFiresExactlyOnce(t *testing.T) {
+	in := New(1).Arm(Rule{Site: "s", Kind: KindError, OnHit: 3})
+	Install(in)
+	defer Uninstall()
+	for n := 1; n <= 5; n++ {
+		err := Check("s")
+		if (n == 3) != (err != nil) {
+			t.Fatalf("hit %d: err = %v", n, err)
+		}
+		if n == 3 && !errors.Is(err, ErrInjected) {
+			t.Fatalf("injected error %v does not match ErrInjected", err)
+		}
+	}
+	if got := in.Fired("s"); got != 1 {
+		t.Fatalf("Fired = %d, want 1", got)
+	}
+	if got := in.Hits("s"); got != 5 {
+		t.Fatalf("Hits = %d, want 5", got)
+	}
+}
+
+func TestEveryFiresPeriodically(t *testing.T) {
+	in := New(1).Arm(Rule{Site: "s", Kind: KindError, Every: 2})
+	Install(in)
+	defer Uninstall()
+	var fired int
+	for n := 0; n < 10; n++ {
+		if Check("s") != nil {
+			fired++
+		}
+	}
+	if fired != 5 {
+		t.Fatalf("fired %d times over 10 hits with Every=2", fired)
+	}
+}
+
+func TestProbIsSeedDeterministic(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		in := New(seed).Arm(Rule{Site: "s", Kind: KindError, Prob: 0.5})
+		Install(in)
+		defer Uninstall()
+		out := make([]bool, 64)
+		for n := range out {
+			out[n] = Check("s") != nil
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+	}
+	c := pattern(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 64-hit patterns")
+	}
+}
+
+func TestCustomErrorPayload(t *testing.T) {
+	want := errors.New("forced")
+	Install(New(1).Arm(Rule{Site: "s", Kind: KindError, Err: want}))
+	defer Uninstall()
+	if err := Check("s"); !errors.Is(err, want) {
+		t.Fatalf("Check = %v, want %v", err, want)
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	Install(New(1).Arm(Rule{Site: "s", Kind: KindPanic}))
+	defer Uninstall()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("KindPanic did not panic")
+		}
+	}()
+	_ = Check("s")
+}
+
+func TestCallKind(t *testing.T) {
+	called := 0
+	Install(New(1).Arm(Rule{Site: "s", Kind: KindCall, OnHit: 2, Call: func() { called++ }}))
+	defer Uninstall()
+	for n := 0; n < 4; n++ {
+		if err := Check("s"); err != nil {
+			t.Fatalf("KindCall returned error %v", err)
+		}
+	}
+	if called != 1 {
+		t.Fatalf("callback ran %d times, want 1", called)
+	}
+}
+
+func TestFloat64Kinds(t *testing.T) {
+	Install(New(1).
+		Arm(Rule{Site: "nan", Kind: KindNaN}).
+		Arm(Rule{Site: "inf", Kind: KindPosInf}).
+		Arm(Rule{Site: "pert", Kind: KindPerturb, Scale: 0.1}))
+	defer Uninstall()
+	if v := Float64("nan", 1); !math.IsNaN(v) {
+		t.Fatalf("KindNaN = %g", v)
+	}
+	if v := Float64("inf", 1); !math.IsInf(v, 1) {
+		t.Fatalf("KindPosInf = %g", v)
+	}
+	v := Float64("pert", 100)
+	if v == 100 || math.Abs(v-100) > 10 { // teclint:ignore floateq perturbation must change the bits
+		t.Fatalf("KindPerturb = %g, want within 10%% of 100 and not exact", v)
+	}
+}
+
+func TestPerturbIsDeterministicAndBounded(t *testing.T) {
+	run := func() []float64 {
+		Install(New(7).Arm(Rule{Site: "m", Kind: KindPerturb, Scale: 0.01}))
+		defer Uninstall()
+		xs := []float64{1, 2, 3, 4}
+		Perturb("m", xs)
+		return xs
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] { // teclint:ignore floateq seeded replay must be bit-identical
+			t.Fatalf("perturbation not deterministic at %d: %g vs %g", i, a[i], b[i])
+		}
+		orig := float64(i + 1)
+		if math.Abs(a[i]-orig) > 0.01*orig {
+			t.Fatalf("perturbation at %d exceeds Scale: %g from %g", i, a[i], orig)
+		}
+	}
+}
+
+func TestControlAndValueKindsKeepSeparateCounters(t *testing.T) {
+	// A value rule must not consume hits from Check, and vice versa.
+	in := New(1).
+		Arm(Rule{Site: "s", Kind: KindError, OnHit: 2}).
+		Arm(Rule{Site: "s", Kind: KindNaN, OnHit: 2})
+	Install(in)
+	defer Uninstall()
+	if Check("s") != nil {
+		t.Fatal("error rule fired on hit 1")
+	}
+	if v := Float64("s", 1); v != 1 { // teclint:ignore floateq unfired rule must be bit-exact pass-through
+		t.Fatalf("value hit 1 = %g", v)
+	}
+	if v := Float64("s", 1); !math.IsNaN(v) { // NaN on its own 2nd hit
+		t.Fatalf("value rule did not fire on its 2nd hit: %g", v)
+	}
+	if Check("s") == nil {
+		t.Fatal("error rule did not fire on its 2nd hit")
+	}
+}

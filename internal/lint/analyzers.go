@@ -11,6 +11,7 @@ func All() []*Analyzer {
 		MapOrder,
 		ObsClock,
 		TestHelper,
+		TypedErr,
 		UnitSanity,
 	}
 }

@@ -106,6 +106,7 @@ func TestLockCopyFixture(t *testing.T)   { runFixture(t, LockCopy) }
 func TestMapOrderFixture(t *testing.T)   { runFixture(t, MapOrder) }
 func TestObsClockFixture(t *testing.T)   { runFixture(t, ObsClock) }
 func TestTestHelperFixture(t *testing.T) { runFixture(t, TestHelper) }
+func TestTypedErrFixture(t *testing.T)   { runFixture(t, TypedErr) }
 func TestUnitSanityFixture(t *testing.T) { runFixture(t, UnitSanity) }
 
 // TestAllAnalyzersRegistered pins the suite composition: adding an
@@ -123,7 +124,7 @@ func TestAllAnalyzersRegistered(t *testing.T) {
 		}
 	}
 	sort.Strings(names)
-	want := []string{"droppederr", "floateq", "lockcopy", "maporder", "obsclock", "testhelper", "unitsanity"}
+	want := []string{"droppederr", "floateq", "lockcopy", "maporder", "obsclock", "testhelper", "typederr", "unitsanity"}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Fatalf("registered analyzers = %v, want %v", names, want)
 	}

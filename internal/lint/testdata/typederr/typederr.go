@@ -1,0 +1,50 @@
+// Package typederrtest seeds violations and clean code for the
+// typederr analyzer fixture tests. The package imports
+// tecopt/internal/tecerr, so it has adopted the typed taxonomy and
+// every bare fmt.Errorf (literal format without %w) is a violation;
+// lines carrying one end with a want-rule marker.
+package typederrtest
+
+import (
+	"fmt"
+
+	"tecopt/internal/tecerr"
+)
+
+// typedOrigin originates an error the approved way: through the
+// taxonomy, so it carries a code, an op, and an exit status.
+func typedOrigin(n int) error {
+	return tecerr.Newf(tecerr.CodeInvalidInput, "fixture.origin", "fixture: bad order %d", n)
+}
+
+// wrappedUpstream is also clean: %w keeps the upstream code reachable
+// through errors.Is/As classification.
+func wrappedUpstream(err error) error {
+	return fmt.Errorf("fixture: solve stage: %w", err)
+}
+
+func bareOrigin(n int) error {
+	return fmt.Errorf("fixture: bad order %d", n) // want typederr
+}
+
+func bareWithVerbSoup(name string, v float64) error {
+	return fmt.Errorf("fixture: %s diverged at %g", name, v) // want typederr
+}
+
+// swallowedUpstream is the worst shape: the upstream error is rendered
+// with %v, so its tecerr code is destroyed, not wrapped.
+func swallowedUpstream(err error) error {
+	return fmt.Errorf("fixture: solve stage: %v", err) // want typederr
+}
+
+// nonLiteralFormat shows the documented blind spot: a computed format
+// string cannot be inspected for %w, so it is not flagged.
+func nonLiteralFormat(format string, err error) error {
+	return fmt.Errorf(format, err)
+}
+
+// sprintfIsFine shows only Errorf is policed: plain formatting does not
+// originate errors.
+func sprintfIsFine(n int) string {
+	return fmt.Sprintf("fixture: order %d", n)
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// tecerrImportPath is the typed-error package whose taxonomy solver
+// code must speak once it has adopted it.
+const tecerrImportPath = "tecopt/internal/tecerr"
+
+// TypedErr flags bare fmt.Errorf calls — ones whose literal format
+// string carries no %w verb — inside solver packages, i.e. non-main
+// packages that import tecopt/internal/tecerr. Once a package has
+// adopted the typed taxonomy, every error it originates must either be
+// a tecerr value (New/Newf/Wrap/Cancelled, which attach a code, an op,
+// and an exit status) or wrap an upstream error with %w so the code
+// survives errors.Is/As classification. A bare fmt.Errorf severs that
+// chain: the CLI exit-status mapping sees CodeInternal, fallback
+// accounting loses the failure class, and callers matching sentinels
+// silently stop matching. Main packages are exempt (flag-parsing
+// errors print and exit; they never travel), as are test files and the
+// tecerr package itself. Non-literal format strings are not flagged —
+// the analyzer cannot see their verbs — so the rule stays free of
+// false positives at the cost of a narrow blind spot.
+var TypedErr = &Analyzer{
+	Name: "typederr",
+	Doc:  "flags fmt.Errorf without %w in non-main packages that import tecopt/internal/tecerr (use the tecerr taxonomy or wrap with %w)",
+	Run:  runTypedErr,
+}
+
+func runTypedErr(pass *Pass) {
+	if pass.Pkg == nil || pass.Pkg.Name() == "main" || pass.Pkg.Path() == tecerrImportPath {
+		return
+	}
+	typed := false
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, imp := range file.Imports {
+			if strings.Trim(imp.Path.Value, `"`) == tecerrImportPath {
+				typed = true
+			}
+		}
+	}
+	if !typed {
+		return
+	}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Errorf" {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.Info.Uses[ident].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "fmt" {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || strings.Contains(lit.Value, "%w") {
+				return true
+			}
+			pass.Reportf(call.Pos(), "bare fmt.Errorf in a typed-error package; originate errors with tecerr (New/Newf/Wrap) or wrap an upstream error with %%w so its code survives classification")
+			return true
+		})
+	}
+}

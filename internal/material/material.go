@@ -79,7 +79,20 @@ func DefaultPackage() PackageGeometry {
 }
 
 // Validate reports whether the geometry is physically meaningful.
+// Non-finite fields are rejected first: a NaN passes every `<= 0` sign
+// test below (all comparisons with NaN are false), so without this
+// check a NaN geometry would validate cleanly and poison the network
+// assembly.
 func (g PackageGeometry) Validate() error {
+	for _, v := range []float64{
+		g.DieWidth, g.DieHeight, g.DieThickness, g.TIMThickness,
+		g.SpreaderSide, g.SpreaderThickness, g.SinkSide, g.SinkThickness,
+		g.ConvectionResistance, g.AmbientK,
+	} {
+		if !num.IsFinite(v) {
+			return errGeom("all dimensions must be finite")
+		}
+	}
 	switch {
 	case g.DieWidth <= 0 || g.DieHeight <= 0:
 		return errGeom("die dimensions must be positive")

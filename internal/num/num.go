@@ -41,6 +41,13 @@ func AlmostEqual(a, b, tol float64) bool {
 	return math.Abs(a-b) <= tol
 }
 
+// IsFinite reports whether v is neither NaN nor an infinity. Input
+// validation must use it instead of sign tests alone: `v <= 0` is false
+// for NaN, so a bare positivity check silently accepts NaN parameters.
+func IsFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
 // EqualWithin reports whether a and b agree to within rel relative
 // error, falling back to absolute comparison near zero: the test is
 // |a-b| <= rel * max(|a|, |b|, 1).

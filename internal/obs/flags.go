@@ -22,6 +22,9 @@ import (
 //	                    JSON lines to FILE on exit
 //	-pprof ADDR         serve /metrics and /debug/pprof on ADDR while
 //	                    the tool runs
+//	-timeout DUR        cancel the run after DUR (e.g. 30s, 2m); the
+//	                    tool flushes whatever partial results it has and
+//	                    exits with the cancelled status code
 //
 // With none of the flags set, Start installs nothing and the process
 // runs the pre-obs disabled path (stdout byte-identical to a build
@@ -31,6 +34,7 @@ type Flags struct {
 	MetricsOut string
 	Trace      string
 	Pprof      string
+	Timeout    time.Duration
 }
 
 // BindFlags registers the bundle on fs (use flag.CommandLine in main).
@@ -40,7 +44,18 @@ func BindFlags(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write the JSON metric snapshot (run report) to this file")
 	fs.StringVar(&f.Trace, "trace", "", "record trace spans and write them as JSON lines to this file")
 	fs.StringVar(&f.Pprof, "pprof", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
+	fs.DurationVar(&f.Timeout, "timeout", 0, "cancel the run after this duration (0 = no limit), flushing partial results")
 	return f
+}
+
+// Context returns the context governing the run: context.Background()
+// without -timeout, or a deadline context honoring it. The returned
+// cancel func must be called (defer it) to release the timer.
+func (f *Flags) Context() (context.Context, context.CancelFunc) {
+	if f.Timeout <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), f.Timeout)
 }
 
 // enabled reports whether any observability flag was set.

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 
+	"tecopt/internal/tecerr"
+
 	"tecopt/internal/floorplan"
 	"tecopt/internal/num"
 )
@@ -62,7 +64,7 @@ type HCChip struct {
 // seeds produce identical chips, so HC01..HC10 are reproducible.
 func GenerateHC(name string, seed int64, spec HCSpec) (*HCChip, error) {
 	if spec.Cols <= 0 || spec.Rows <= 0 || spec.TileSize <= 0 {
-		return nil, fmt.Errorf("power: invalid HC spec %+v", spec)
+		return nil, tecerr.Newf(tecerr.CodeInvalidInput, "power.hc", "power: invalid HC spec %+v", spec)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	f := floorplan.New(name, float64(spec.Cols)*spec.TileSize, float64(spec.Rows)*spec.TileSize)

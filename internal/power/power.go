@@ -14,11 +14,12 @@
 package power
 
 import (
-	"fmt"
 	"math"
 	"sort"
 
 	"tecopt/internal/floorplan"
+	"tecopt/internal/num"
+	"tecopt/internal/tecerr"
 )
 
 // UnitParams describes one functional unit's power behaviour.
@@ -248,7 +249,8 @@ func CheckBudget(p []float64, total, rel float64) error {
 		s += v
 	}
 	if math.Abs(s-total) > rel*total {
-		return fmt.Errorf("power: tile powers sum to %.4g W, want %.4g W", s, total)
+		return tecerr.Newf(tecerr.CodeInvalidInput, "power.validate",
+			"power: tile powers sum to %.4g W, want %.4g W", s, total)
 	}
 	return nil
 }
@@ -264,4 +266,28 @@ func TopTiles(p []float64, n int) []int {
 		n = len(idx)
 	}
 	return idx[:n]
+}
+
+// ValidateTilePower is the power-map validation entry point: it rejects
+// NaN/Inf and negative per-tile powers with a tecerr.CodeInvalidInput
+// error naming the offending tile. Every CLI runs its power map through
+// this before handing it to a solver — a single NaN tile power would
+// otherwise sail through plain sign checks (NaN fails `v < 0` too) and
+// surface only as a diverging solve.
+func ValidateTilePower(p []float64) error {
+	if len(p) == 0 {
+		return tecerr.New(tecerr.CodeInvalidInput, "power.validate",
+			"power: empty tile power vector")
+	}
+	for t, v := range p {
+		if !num.IsFinite(v) {
+			return tecerr.Newf(tecerr.CodeInvalidInput, "power.validate",
+				"power: non-finite power %g at tile %d", v, t)
+		}
+		if v < 0 {
+			return tecerr.Newf(tecerr.CodeInvalidInput, "power.validate",
+				"power: negative power %g at tile %d", v, t)
+		}
+	}
+	return nil
 }

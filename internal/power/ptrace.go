@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"tecopt/internal/floorplan"
+	"tecopt/internal/tecerr"
 )
 
 // HotSpot-style .ptrace serialization.
@@ -45,29 +46,32 @@ func ParsePtrace(r io.Reader) (*Trace, error) {
 			continue
 		}
 		if len(fields) != len(tr.Units) {
-			return nil, fmt.Errorf("power: ptrace line %d: %d values, want %d", lineNo, len(fields), len(tr.Units))
+			return nil, tecerr.Newf(tecerr.CodeInvalidInput, "power.ptrace",
+				"power: ptrace line %d: %d values, want %d", lineNo, len(fields), len(tr.Units))
 		}
 		row := make([]float64, len(fields))
 		for i, f := range fields {
 			v, err := strconv.ParseFloat(f, 64)
 			if err != nil {
-				return nil, fmt.Errorf("power: ptrace line %d: bad value %q: %v", lineNo, f, err)
+				return nil, tecerr.Newf(tecerr.CodeInvalidInput, "power.ptrace",
+					"power: ptrace line %d: bad value %q: %v", lineNo, f, err)
 			}
 			if v < 0 {
-				return nil, fmt.Errorf("power: ptrace line %d: negative power %g", lineNo, v)
+				return nil, tecerr.Newf(tecerr.CodeInvalidInput, "power.ptrace",
+					"power: ptrace line %d: negative power %g", lineNo, v)
 			}
 			row[i] = v
 		}
 		tr.Samples = append(tr.Samples, row)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("power: reading ptrace: %v", err)
+		return nil, tecerr.Wrap(tecerr.CodeInvalidInput, "power.ptrace", "power: reading ptrace", err)
 	}
 	if tr.Units == nil {
-		return nil, fmt.Errorf("power: ptrace has no header")
+		return nil, tecerr.New(tecerr.CodeInvalidInput, "power.ptrace", "power: ptrace has no header")
 	}
 	if len(tr.Samples) == 0 {
-		return nil, fmt.Errorf("power: ptrace has no samples")
+		return nil, tecerr.New(tecerr.CodeInvalidInput, "power.ptrace", "power: ptrace has no samples")
 	}
 	return tr, nil
 }
@@ -79,7 +83,8 @@ func WritePtrace(w io.Writer, tr *Trace) error {
 	fmt.Fprintln(bw, strings.Join(tr.Units, "\t"))
 	for _, row := range tr.Samples {
 		if len(row) != len(tr.Units) {
-			return fmt.Errorf("power: sample width %d, want %d", len(row), len(tr.Units))
+			return tecerr.Newf(tecerr.CodeInvalidInput, "power.ptrace",
+				"power: sample width %d, want %d", len(row), len(tr.Units))
 		}
 		for i, v := range row {
 			if i > 0 {
@@ -144,7 +149,8 @@ func TilePowersFromTrace(tr *Trace, f *floorplan.Floorplan, g *floorplan.Grid, m
 	worst := tr.WorstCase(margin)
 	for _, u := range tr.Units {
 		if _, ok := f.Unit(u); !ok {
-			return nil, fmt.Errorf("power: trace unit %q not in floorplan %s", u, f.Name)
+			return nil, tecerr.Newf(tecerr.CodeInvalidInput, "power.ptrace",
+				"power: trace unit %q not in floorplan %s", u, f.Name)
 		}
 	}
 	return g.PowerPerTile(f, worst), nil

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math"
 
+	"tecopt/internal/faults"
 	"tecopt/internal/obs"
+	"tecopt/internal/tecerr"
 )
 
 // BandCholesky is an exact Cholesky factorization of a symmetric positive
@@ -49,7 +51,8 @@ func NewBandCholesky(a *CSR) (*BandCholesky, error) {
 func newBandCholesky(a *CSR) (*BandCholesky, error) {
 	n := a.Rows()
 	if a.Cols() != n {
-		return nil, fmt.Errorf("sparse: BandCholesky needs a square matrix, have %dx%d", n, a.Cols())
+		return nil, tecerr.Newf(tecerr.CodeInvalidInput, "sparse.band",
+			"sparse: BandCholesky needs a square matrix, have %dx%d", n, a.Cols())
 	}
 	bw := Bandwidth(a)
 	c := &BandCholesky{n: n, bw: bw, ab: make([]float64, n*(bw+1))}
@@ -62,6 +65,8 @@ func newBandCholesky(a *CSR) (*BandCholesky, error) {
 			}
 		}
 	}
+	// Chaos hook: perturb the loaded matrix entries before factoring.
+	faults.Perturb(faults.SiteBandMatrix, c.ab)
 	// In-place banded Cholesky.
 	w := bw + 1
 	for j := 0; j < n; j++ {
@@ -103,12 +108,10 @@ func newBandCholesky(a *CSR) (*BandCholesky, error) {
 	return c, nil
 }
 
-// ErrNotPositiveDefiniteBand reports a failed banded factorization.
-var ErrNotPositiveDefiniteBand = errNotPD{}
-
-type errNotPD struct{}
-
-func (errNotPD) Error() string { return "sparse: matrix is not positive definite" }
+// ErrNotPositiveDefiniteBand reports a failed banded factorization. It
+// carries tecerr.CodeNotPD.
+var ErrNotPositiveDefiniteBand error = tecerr.New(tecerr.CodeNotPD, "sparse.band",
+	"sparse: matrix is not positive definite")
 
 // Size returns the order of the factored matrix.
 func (c *BandCholesky) Size() int { return c.n }

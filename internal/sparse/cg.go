@@ -1,25 +1,30 @@
 package sparse
 
 import (
+	"context"
 	"errors"
-	"fmt"
 	"math"
 
+	"tecopt/internal/faults"
 	"tecopt/internal/num"
 	"tecopt/internal/obs"
+	"tecopt/internal/tecerr"
 )
 
 // ErrNotConverged is returned when an iterative solve fails to reach the
 // requested tolerance within its iteration budget. Near the thermal
 // runaway limit lambda_m the system G - i*D becomes arbitrarily
 // ill-conditioned, so callers must handle this error rather than assume
-// convergence.
-var ErrNotConverged = errors.New("sparse: conjugate gradient did not converge")
+// convergence. It carries tecerr.CodeDiverged.
+var ErrNotConverged error = tecerr.New(tecerr.CodeDiverged, "sparse.cg",
+	"sparse: conjugate gradient did not converge")
 
 // ErrBreakdown is returned when CG encounters a non-positive curvature
 // direction, which signals that the operator is not positive definite
-// (e.g. the supply current exceeded lambda_m).
-var ErrBreakdown = errors.New("sparse: conjugate gradient breakdown (matrix not positive definite)")
+// (e.g. the supply current exceeded lambda_m). It carries
+// tecerr.CodeNotPD.
+var ErrBreakdown error = tecerr.New(tecerr.CodeNotPD, "sparse.cg",
+	"sparse: conjugate gradient breakdown (matrix not positive definite)")
 
 // Preconditioner applies z = M^{-1} r for a symmetric positive definite
 // approximation M of the system matrix.
@@ -71,6 +76,12 @@ type CGOptions struct {
 	Precond Preconditioner
 	// X0 is the starting guess (zero vector when nil).
 	X0 []float64
+	// DivergenceWindow is how many consecutive residual-growth
+	// iterations the divergence guard tolerates before aborting with a
+	// tecerr.CodeDiverged error (the residual must also sit well above
+	// its best value, so preconditioned non-monotonicity on healthy
+	// systems never trips it). <= 0 selects the default of 25.
+	DivergenceWindow int
 }
 
 // CGResult reports solve statistics.
@@ -82,16 +93,23 @@ type CGResult struct {
 
 // SolveCG solves the symmetric positive definite system A x = b with the
 // preconditioned conjugate gradient method. The result always carries
-// the iteration count and final relative residual (even on
-// ErrNotConverged); when observability is enabled they are also
-// reported under "sparse.cg.*".
+// the iteration count and final relative residual (even on a
+// non-convergence or divergence error); when observability is enabled
+// they are also reported under "sparse.cg.*".
 func SolveCG(a *CSR, b []float64, opt CGOptions) (*CGResult, error) {
+	return SolveCGCtx(context.Background(), a, b, opt)
+}
+
+// SolveCGCtx is SolveCG with cancellation: the iteration loop polls ctx
+// and aborts with a tecerr.CodeCancelled error carrying the partial
+// iterate.
+func SolveCGCtx(ctx context.Context, a *CSR, b []float64, opt CGOptions) (*CGResult, error) {
 	r := obs.Enabled()
 	if r == nil {
-		return solveCG(a, b, opt)
+		return solveCG(ctx, a, b, opt)
 	}
 	start := r.Now()
-	res, err := solveCG(a, b, opt)
+	res, err := solveCG(ctx, a, b, opt)
 	r.Counter("sparse.cg.solves").Inc()
 	r.Histogram("sparse.cg.solve_ns").Observe(clampNS(r.Now() - start))
 	if res != nil {
@@ -104,18 +122,24 @@ func SolveCG(a *CSR, b []float64, opt CGOptions) (*CGResult, error) {
 		r.Counter("sparse.cg.not_converged").Inc()
 	case errors.Is(err, ErrBreakdown):
 		r.Counter("sparse.cg.breakdowns").Inc()
+	case errors.Is(err, tecerr.ErrCancelled):
+		r.Counter("sparse.cg.cancelled").Inc()
+	case errors.Is(err, tecerr.ErrDiverged):
+		r.Counter("sparse.cg.diverged").Inc()
 	}
 	return res, err
 }
 
 // solveCG is the uninstrumented CG implementation.
-func solveCG(a *CSR, b []float64, opt CGOptions) (*CGResult, error) {
+func solveCG(ctx context.Context, a *CSR, b []float64, opt CGOptions) (*CGResult, error) {
 	n := a.Rows()
 	if a.Cols() != n {
-		return nil, fmt.Errorf("sparse: CG needs a square matrix, have %dx%d", n, a.Cols())
+		return nil, tecerr.Newf(tecerr.CodeInvalidInput, "sparse.cg",
+			"sparse: CG needs a square matrix, have %dx%d", n, a.Cols())
 	}
 	if len(b) != n {
-		return nil, fmt.Errorf("sparse: CG rhs length %d, want %d", len(b), n)
+		return nil, tecerr.Newf(tecerr.CodeInvalidInput, "sparse.cg",
+			"sparse: CG rhs length %d, want %d", len(b), n)
 	}
 	if opt.Tol <= 0 {
 		opt.Tol = 1e-10
@@ -129,11 +153,15 @@ func solveCG(a *CSR, b []float64, opt CGOptions) (*CGResult, error) {
 	if opt.Precond == nil {
 		opt.Precond = NewJacobi(a)
 	}
+	if opt.DivergenceWindow <= 0 {
+		opt.DivergenceWindow = 25
+	}
 
 	x := make([]float64, n)
 	if opt.X0 != nil {
 		if len(opt.X0) != n {
-			return nil, fmt.Errorf("sparse: CG x0 length %d, want %d", len(opt.X0), n)
+			return nil, tecerr.Newf(tecerr.CodeInvalidInput, "sparse.cg",
+				"sparse: CG x0 length %d, want %d", len(opt.X0), n)
 		}
 		copy(x, opt.X0)
 	}
@@ -158,7 +186,22 @@ func solveCG(a *CSR, b []float64, opt CGOptions) (*CGResult, error) {
 	rz := dot(r, z)
 	ap := make([]float64, n)
 
+	// Divergence-guard state: the best residual seen and the length of
+	// the current run of consecutive residual increases.
+	best := math.Inf(1)
+	prev := math.Inf(1)
+	growth := 0
+
 	for k := 1; k <= opt.MaxIter; k++ {
+		if k&31 == 0 {
+			if err := ctx.Err(); err != nil {
+				return &CGResult{X: x, Iterations: k - 1, Residual: prev},
+					tecerr.Cancelled("sparse.cg", err)
+			}
+		}
+		if err := faults.Check(faults.SiteCGIteration); err != nil {
+			return &CGResult{X: x, Iterations: k - 1, Residual: prev}, err
+		}
 		a.MulVecTo(ap, p)
 		pap := dot(p, ap)
 		if pap <= 0 || math.IsNaN(pap) {
@@ -169,9 +212,34 @@ func solveCG(a *CSR, b []float64, opt CGOptions) (*CGResult, error) {
 			x[i] += alpha * p[i]
 			r[i] -= alpha * ap[i]
 		}
-		res := norm2(r) / normB
+		res := faults.Float64(faults.SiteCGResidual, norm2(r)/normB)
 		if res <= opt.Tol {
 			return &CGResult{X: x, Iterations: k, Residual: res}, nil
+		}
+		// Divergence guard. A NaN/Inf residual can never recover; a long
+		// run of strictly growing residuals sitting far above the best
+		// one means the iteration is actively diverging (ill-conditioned
+		// system near lambda_m, or a perturbed operator) and burning the
+		// remaining budget would be pointless.
+		if math.IsNaN(res) || math.IsInf(res, 0) {
+			return &CGResult{X: x, Iterations: k, Residual: res},
+				tecerr.Newf(tecerr.CodeDiverged, "sparse.cg",
+					"sparse: CG residual became %g at iteration %d (best %.3g)", res, k, best)
+		}
+		if res > prev {
+			growth++
+		} else {
+			growth = 0
+		}
+		if res < best {
+			best = res
+		}
+		prev = res
+		if growth >= opt.DivergenceWindow && res > 10*best {
+			return &CGResult{X: x, Iterations: k, Residual: res},
+				tecerr.Newf(tecerr.CodeDiverged, "sparse.cg",
+					"sparse: CG diverging: residual grew for %d consecutive iterations to %.3g at iteration %d (best %.3g)",
+					growth, res, k, best)
 		}
 		opt.Precond.Apply(z, r)
 		rzNew := dot(r, z)

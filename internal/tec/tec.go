@@ -17,9 +17,9 @@
 package tec
 
 import (
-	"fmt"
-
 	"tecopt/internal/material"
+	"tecopt/internal/num"
+	"tecopt/internal/tecerr"
 	"tecopt/internal/thermal"
 )
 
@@ -39,17 +39,29 @@ type DeviceParams struct {
 	ContactCold, ContactHot float64
 }
 
-// Validate reports whether the parameters are physical.
+// Validate reports whether the parameters are physical. Measured device
+// parameters arrive noisy and occasionally out of spec, so NaN/Inf are
+// rejected explicitly — a NaN slips through every plain `<= 0` sign
+// test. Errors carry tecerr.CodeInvalidInput.
 func (d DeviceParams) Validate() error {
 	switch {
+	case !num.IsFinite(d.Seebeck) || !num.IsFinite(d.Resistance) || !num.IsFinite(d.Kappa) ||
+		!num.IsFinite(d.ContactCold) || !num.IsFinite(d.ContactHot):
+		return tecerr.Newf(tecerr.CodeInvalidInput, "tec.validate",
+			"tec: parameters must be finite, have alpha=%g r=%g kappa=%g g_c=%g g_h=%g",
+			d.Seebeck, d.Resistance, d.Kappa, d.ContactCold, d.ContactHot)
 	case d.Seebeck <= 0:
-		return fmt.Errorf("tec: Seebeck coefficient must be positive, have %g", d.Seebeck)
+		return tecerr.Newf(tecerr.CodeInvalidInput, "tec.validate",
+			"tec: Seebeck coefficient must be positive, have %g", d.Seebeck)
 	case d.Resistance <= 0:
-		return fmt.Errorf("tec: resistance must be positive, have %g", d.Resistance)
+		return tecerr.Newf(tecerr.CodeInvalidInput, "tec.validate",
+			"tec: resistance must be positive, have %g", d.Resistance)
 	case d.Kappa <= 0:
-		return fmt.Errorf("tec: kappa must be positive, have %g", d.Kappa)
+		return tecerr.Newf(tecerr.CodeInvalidInput, "tec.validate",
+			"tec: kappa must be positive, have %g", d.Kappa)
 	case d.ContactCold <= 0 || d.ContactHot <= 0:
-		return fmt.Errorf("tec: contact conductances must be positive, have g_c=%g g_h=%g", d.ContactCold, d.ContactHot)
+		return tecerr.Newf(tecerr.CodeInvalidInput, "tec.validate",
+			"tec: contact conductances must be positive, have g_c=%g g_h=%g", d.ContactCold, d.ContactHot)
 	}
 	return nil
 }

@@ -1,0 +1,152 @@
+package tecerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestErrorMessage(t *testing.T) {
+	e := Newf(CodeInvalidInput, "sparse.cg", "sparse: CG rhs length %d, want %d", 3, 5)
+	if got, want := e.Error(), "sparse: CG rhs length 3, want 5"; got != want {
+		t.Fatalf("Error() = %q, want %q", got, want)
+	}
+	cause := errors.New("inner")
+	w := Wrap(CodeDiverged, "op", "outer", cause)
+	if got, want := w.Error(), "outer: inner"; got != want {
+		t.Fatalf("wrapped Error() = %q, want %q", got, want)
+	}
+	if !errors.Is(w, cause) {
+		t.Fatal("wrapped cause not reachable via errors.Is")
+	}
+}
+
+func TestCodeSentinelMatching(t *testing.T) {
+	cases := []struct {
+		err      error
+		sentinel error
+	}{
+		{New(CodeInvalidInput, "op", "m"), ErrInvalidInput},
+		{New(CodeNotPD, "op", "m"), ErrNotPD},
+		{New(CodeDiverged, "op", "m"), ErrDiverged},
+		{New(CodeCancelled, "op", "m"), ErrCancelled},
+		{New(CodeDegraded, "op", "m"), ErrDegraded},
+		{New(CodePanic, "op", "m"), ErrPanic},
+	}
+	for _, c := range cases {
+		if !errors.Is(c.err, c.sentinel) {
+			t.Errorf("errors.Is(%v, %v) = false, want true", c.err, c.sentinel)
+		}
+	}
+	// Cross-code matches must fail.
+	if errors.Is(New(CodeNotPD, "op", "m"), ErrDiverged) {
+		t.Error("CodeNotPD matched ErrDiverged")
+	}
+	// Matching survives fmt.Errorf %w wrapping.
+	wrapped := fmt.Errorf("outer: %w", New(CodeNotPD, "op", "m"))
+	if !errors.Is(wrapped, ErrNotPD) {
+		t.Error("code match lost through %w wrapping")
+	}
+}
+
+func TestDistinctErrorValuesKeepIdentity(t *testing.T) {
+	// Two *Error values with the same code are NOT errors.Is-equal:
+	// package-level sentinels built as *Error keep exact identity.
+	a := New(CodeNotPD, "a", "a failed")
+	b := New(CodeNotPD, "b", "b failed")
+	if errors.Is(a, b) {
+		t.Fatal("two distinct *Error values matched each other")
+	}
+	if !errors.Is(fmt.Errorf("x: %w", a), a) {
+		t.Fatal("identity match lost through wrapping")
+	}
+}
+
+func TestCodeOf(t *testing.T) {
+	if got := CodeOf(New(CodeDiverged, "op", "m")); got != CodeDiverged {
+		t.Errorf("CodeOf(*Error) = %v", got)
+	}
+	if got := CodeOf(fmt.Errorf("x: %w", New(CodeNotPD, "op", "m"))); got != CodeNotPD {
+		t.Errorf("CodeOf(wrapped) = %v", got)
+	}
+	if got := CodeOf(context.Canceled); got != CodeCancelled {
+		t.Errorf("CodeOf(context.Canceled) = %v", got)
+	}
+	if got := CodeOf(context.DeadlineExceeded); got != CodeCancelled {
+		t.Errorf("CodeOf(context.DeadlineExceeded) = %v", got)
+	}
+	if got := CodeOf(errors.New("plain")); got != CodeInternal {
+		t.Errorf("CodeOf(plain) = %v", got)
+	}
+	// The sentinel itself classifies.
+	if got := CodeOf(ErrDegraded); got != CodeDegraded {
+		t.Errorf("CodeOf(ErrDegraded) = %v", got)
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, 0},
+		{errors.New("plain"), 1},
+		{New(CodeInvalidInput, "op", "m"), 2},
+		{New(CodeNotPD, "op", "m"), 3},
+		{New(CodeDiverged, "op", "m"), 4},
+		{context.DeadlineExceeded, 5},
+		{New(CodeDegraded, "op", "m"), 6},
+		{New(CodePanic, "op", "m"), 7},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("ExitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+func TestFromPanic(t *testing.T) {
+	e := FromPanic("engine.pool", "boom", []byte("stack"))
+	if !errors.Is(e, ErrPanic) {
+		t.Fatal("FromPanic not matched by ErrPanic")
+	}
+	if string(e.Stack) != "stack" {
+		t.Fatalf("Stack = %q", e.Stack)
+	}
+	if got, want := e.Error(), "engine.pool: recovered panic: boom"; got != want {
+		t.Fatalf("Error() = %q, want %q", got, want)
+	}
+	// Panicking with an error keeps the cause reachable.
+	cause := errors.New("cause")
+	if !errors.Is(FromPanic("op", cause, nil), cause) {
+		t.Fatal("error panic value not reachable via errors.Is")
+	}
+}
+
+func TestCancelled(t *testing.T) {
+	e := Cancelled("engine.pool", context.Canceled)
+	if !errors.Is(e, ErrCancelled) || !errors.Is(e, context.Canceled) {
+		t.Fatal("Cancelled must match both ErrCancelled and the context cause")
+	}
+	if got, want := e.Error(), "engine.pool: cancelled: context canceled"; got != want {
+		t.Fatalf("Error() = %q, want %q", got, want)
+	}
+}
+
+func TestCodeString(t *testing.T) {
+	want := map[Code]string{
+		CodeInternal:     "internal",
+		CodeInvalidInput: "invalid_input",
+		CodeNotPD:        "not_pd",
+		CodeDiverged:     "diverged",
+		CodeCancelled:    "cancelled",
+		CodeDegraded:     "degraded",
+		CodePanic:        "panic",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("Code(%d).String() = %q, want %q", int(c), c.String(), s)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package thermal
+
+import (
+	"context"
+	"errors"
+
+	"tecopt/internal/obs"
+	"tecopt/internal/sparse"
+	"tecopt/internal/tecerr"
+)
+
+// GuardedOptions configures the fallback-chain solve.
+type GuardedOptions struct {
+	// Chain lists the methods to try, in order. Empty selects the
+	// default escalation CG+IC(0) -> banded Cholesky -> dense Cholesky:
+	// cheapest first, and each later link is sturdier against the
+	// ill-conditioning that builds up as i -> lambda_m (the direct band
+	// factorization has no iteration to stall; the dense reference
+	// factorization is the paper's own method and the last word).
+	Chain []Method
+	// CGTol is the relative residual tolerance of the CG link
+	// (default 1e-12, matching SolveSteadyStats).
+	CGTol float64
+	// CGMaxIter caps the CG link's iterations (0 uses the sparse
+	// package default).
+	CGMaxIter int
+}
+
+// GuardedAttempt records one failed link of the chain.
+type GuardedAttempt struct {
+	Method Method
+	Err    error
+}
+
+// GuardedReport describes how a guarded solve succeeded.
+type GuardedReport struct {
+	// Method is the chain link that produced the solution.
+	Method Method
+	// Degraded is true when at least one earlier link failed, i.e. the
+	// result is correct but was obtained on a fallback path. Callers
+	// that must surface this can wrap it via tecerr.CodeDegraded.
+	Degraded bool
+	// Attempts lists the failed links, in chain order.
+	Attempts []GuardedAttempt
+	// Stats carries the iterative-path statistics when Method is CG.
+	Stats SolveStats
+}
+
+// DefaultGuardedChain is the escalation order used when
+// GuardedOptions.Chain is empty.
+var DefaultGuardedChain = []Method{MethodCG, MethodBandCholesky, MethodDenseCholesky}
+
+// SolveGuarded solves G*theta = rhs through a fallback chain of
+// methods. Each link is tried in order; a link failure (divergence,
+// non-convergence, factorization breakdown) is recorded and the next,
+// sturdier link tried — this is the retry-with-escalation path for
+// operating points near the runaway limit, where CG may stall on an
+// arbitrarily ill-conditioned system that a direct factorization still
+// handles. Degradations are counted and evented under
+// "thermal.guarded.*" when observability is enabled.
+//
+// On success the report says which link won and whether the result is
+// degraded (an earlier link failed). Cancellation aborts the chain
+// immediately with a tecerr.CodeCancelled error. If every link fails,
+// the returned error wraps the last link's failure — which, for a
+// genuinely indefinite system (i beyond lambda_m), matches ErrNotPD the
+// same way the unguarded path does.
+func SolveGuarded(ctx context.Context, g *sparse.CSR, rhs []float64, opt GuardedOptions) ([]float64, *GuardedReport, error) {
+	chain := opt.Chain
+	if len(chain) == 0 {
+		chain = DefaultGuardedChain
+	}
+	r := obs.Enabled()
+	r.Counter("thermal.guarded.solves").Inc()
+	report := &GuardedReport{}
+	var lastErr error
+	for _, m := range chain {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, tecerr.Cancelled("thermal.guarded", err)
+		}
+		theta, st, err := solveLink(ctx, g, rhs, m, opt)
+		if err == nil {
+			report.Method = m
+			report.Stats = st
+			report.Degraded = len(report.Attempts) > 0
+			if report.Degraded {
+				r.Counter("thermal.guarded.degraded").Inc()
+			}
+			return theta, report, nil
+		}
+		if errors.Is(err, tecerr.ErrCancelled) {
+			return nil, nil, err
+		}
+		report.Attempts = append(report.Attempts, GuardedAttempt{Method: m, Err: err})
+		r.Counter("thermal.guarded.link_failures").Inc()
+		r.Event("thermal.guarded.fallback", float64(m))
+		lastErr = err
+	}
+	r.Counter("thermal.guarded.exhausted").Inc()
+	return nil, nil, tecerr.Wrapf(tecerr.CodeOf(lastErr), "thermal.guarded", lastErr,
+		"thermal: all %d solve methods failed", len(chain))
+}
+
+// solveLink runs one chain link. The CG link goes through SolveCGCtx so
+// cancellation and the divergence guard apply; the direct links reuse
+// the plain SolveSteadyStats paths (a factorization is one atomic unit
+// of work — cancellation is honored between links).
+func solveLink(ctx context.Context, g *sparse.CSR, rhs []float64, m Method, opt GuardedOptions) ([]float64, SolveStats, error) {
+	var st SolveStats
+	if m != MethodCG {
+		return SolveSteadyStats(g, rhs, m)
+	}
+	tol := opt.CGTol
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	res, err := sparse.SolveCGCtx(ctx, g, rhs, sparse.CGOptions{
+		Tol:     tol,
+		MaxIter: opt.CGMaxIter,
+		Precond: sparse.NewBestPreconditioner(g),
+	})
+	if res != nil {
+		st = SolveStats{Iterative: true, CGIterations: res.Iterations, CGResidual: res.Residual}
+	}
+	if err != nil {
+		if errors.Is(err, sparse.ErrBreakdown) {
+			return nil, st, ErrNotPD
+		}
+		return nil, st, err
+	}
+	return res.X, st, nil
+}
+
+// SolveSteadyGuarded is the PackageNetwork-level convenience: assemble
+// the passive power vector and solve through the fallback chain.
+func (pn *PackageNetwork) SolveSteadyGuarded(ctx context.Context, tilePower []float64, opt GuardedOptions) ([]float64, *GuardedReport, error) {
+	p, err := pn.PowerVector(tilePower)
+	if err != nil {
+		return nil, nil, err
+	}
+	rhs := pn.Net.BaseRHS()
+	for i, v := range p {
+		rhs[i] += v
+	}
+	return SolveGuarded(ctx, pn.Net.G(), rhs, opt)
+}
+
+// Validate checks the assembled package model: a structurally sound
+// network (see Network.Validate) and a consistent tile-to-node mapping.
+// Errors carry tecerr.CodeInvalidInput.
+func (pn *PackageNetwork) Validate() error {
+	if err := pn.Geom.Validate(); err != nil {
+		return err
+	}
+	if err := pn.Net.Validate(); err != nil {
+		return err
+	}
+	nt := pn.NumTiles()
+	if len(pn.SilNode) != nt || len(pn.TIMNode) != nt || len(pn.ColdNode) != nt || len(pn.HotNode) != nt {
+		return tecerr.Newf(tecerr.CodeInvalidInput, "thermal.validate",
+			"thermal: tile node tables sized %d/%d/%d/%d, want %d",
+			len(pn.SilNode), len(pn.TIMNode), len(pn.ColdNode), len(pn.HotNode), nt)
+	}
+	nn := pn.Net.NumNodes()
+	for t := 0; t < nt; t++ {
+		if pn.SilNode[t] < 0 || pn.SilNode[t] >= nn {
+			return tecerr.Newf(tecerr.CodeInvalidInput, "thermal.validate",
+				"thermal: tile %d silicon node %d out of range %d", t, pn.SilNode[t], nn)
+		}
+		if pn.TIMNode[t] < 0 && pn.ColdNode[t] < 0 && !pn.Opts.TECSites[t] {
+			return tecerr.Newf(tecerr.CodeInvalidInput, "thermal.validate",
+				"thermal: tile %d has neither a TIM node nor a TEC", t)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package thermal
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"tecopt/internal/faults"
+	"tecopt/internal/material"
+	"tecopt/internal/sparse"
+	"tecopt/internal/tecerr"
+)
+
+// testPackage builds the default package with a mild power profile and
+// returns the network plus its assembled system.
+func testPackage(t *testing.T) (*PackageNetwork, *sparse.CSR, []float64) {
+	t.Helper()
+	pn, err := BuildPackage(material.DefaultPackage(), DefaultBuildOptions())
+	if err != nil {
+		t.Fatalf("BuildPackage: %v", err)
+	}
+	tile := make([]float64, pn.NumTiles())
+	for i := range tile {
+		tile[i] = 0.5 + 0.01*float64(i%7)
+	}
+	p, err := pn.PowerVector(tile)
+	if err != nil {
+		t.Fatalf("PowerVector: %v", err)
+	}
+	rhs := pn.Net.BaseRHS()
+	for i, v := range p {
+		rhs[i] += v
+	}
+	return pn, pn.Net.G(), rhs
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestSolveGuardedHealthySystemUsesFirstLink(t *testing.T) {
+	_, g, rhs := testPackage(t)
+	theta, report, err := SolveGuarded(context.Background(), g, rhs, GuardedOptions{})
+	if err != nil {
+		t.Fatalf("SolveGuarded: %v", err)
+	}
+	if report.Degraded || report.Method != MethodCG || len(report.Attempts) != 0 {
+		t.Fatalf("healthy solve degraded: %+v", report)
+	}
+	if !report.Stats.Iterative || report.Stats.CGIterations == 0 {
+		t.Fatalf("CG stats missing: %+v", report.Stats)
+	}
+	ref, _, err := SolveSteadyStats(g, rhs, MethodDenseCholesky)
+	if err != nil {
+		t.Fatalf("dense reference: %v", err)
+	}
+	if d := maxAbsDiff(theta, ref); d > 1e-6 {
+		t.Fatalf("guarded vs dense reference differ by %g K", d)
+	}
+}
+
+func TestSolveGuardedFallsBackWhenCGFails(t *testing.T) {
+	_, g, rhs := testPackage(t)
+	// Force the CG link to fail on its first iteration; the chain must
+	// degrade to the banded direct solver and still match the dense
+	// reference.
+	faults.Install(faults.New(1).Arm(faults.Rule{
+		Site: faults.SiteCGIteration, Kind: faults.KindError, OnHit: 1,
+		Err: sparse.ErrNotConverged,
+	}))
+	defer faults.Uninstall()
+	theta, report, err := SolveGuarded(context.Background(), g, rhs, GuardedOptions{})
+	if err != nil {
+		t.Fatalf("SolveGuarded: %v", err)
+	}
+	if !report.Degraded || report.Method != MethodBandCholesky {
+		t.Fatalf("expected band-Cholesky fallback, got %+v", report)
+	}
+	if len(report.Attempts) != 1 || !errors.Is(report.Attempts[0].Err, sparse.ErrNotConverged) {
+		t.Fatalf("attempts = %+v", report.Attempts)
+	}
+	faults.Uninstall() // reference solve must run clean
+	ref, _, err := SolveSteadyStats(g, rhs, MethodDenseCholesky)
+	if err != nil {
+		t.Fatalf("dense reference: %v", err)
+	}
+	if d := maxAbsDiff(theta, ref); d > 1e-6 {
+		t.Fatalf("fallback result differs from dense reference by %g K", d)
+	}
+}
+
+func TestSolveGuardedExhaustedOnIndefiniteSystem(t *testing.T) {
+	// An indefinite 2x2: every link must fail, and the wrapped error
+	// must still read as not-PD.
+	b := sparse.NewBuilder(2, 2)
+	b.Add(0, 0, 1)
+	b.Add(1, 1, 1)
+	b.AddSym(0, 1, 2)
+	a := b.Build()
+	// rhs along the negative-eigenvalue direction, so CG hits negative
+	// curvature immediately instead of converging inside the positive
+	// subspace.
+	_, report, err := SolveGuarded(context.Background(), a, []float64{1, -1}, GuardedOptions{})
+	if err == nil || report != nil {
+		t.Fatalf("indefinite system solved: report=%+v", report)
+	}
+	if !errors.Is(err, ErrNotPD) || !errors.Is(err, tecerr.ErrNotPD) {
+		t.Fatalf("err = %v, want not-PD", err)
+	}
+}
+
+func TestSolveGuardedCancellation(t *testing.T) {
+	_, g, rhs := testPackage(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := SolveGuarded(ctx, g, rhs, GuardedOptions{})
+	if !errors.Is(err, tecerr.ErrCancelled) {
+		t.Fatalf("err = %v, want cancelled", err)
+	}
+}
+
+func TestPackageNetworkValidate(t *testing.T) {
+	pn, _, _ := testPackage(t)
+	if err := pn.Validate(); err != nil {
+		t.Fatalf("Validate on a healthy package: %v", err)
+	}
+}
+
+func TestNetworkValidateRejectsDegenerateNetworks(t *testing.T) {
+	empty := NewNetwork()
+	if err := empty.Validate(); !errors.Is(err, tecerr.ErrInvalidInput) {
+		t.Fatalf("empty network: %v", err)
+	}
+	ungrounded := NewNetwork()
+	a := ungrounded.AddNode(Node{Kind: KindSilicon})
+	b := ungrounded.AddNode(Node{Kind: KindTIM})
+	ungrounded.AddConductance(a, b, 1)
+	if err := ungrounded.Validate(); !errors.Is(err, tecerr.ErrInvalidInput) {
+		t.Fatalf("ungrounded network: %v", err)
+	}
+	isolated := NewNetwork()
+	c := isolated.AddNode(Node{Kind: KindSilicon})
+	isolated.AddNode(Node{Kind: KindTIM}) // never wired
+	isolated.AddGround(c, 1, 300)
+	if err := isolated.Validate(); !errors.Is(err, tecerr.ErrInvalidInput) {
+		t.Fatalf("isolated node: %v", err)
+	}
+}
+
+func TestPowerVectorRejectsNonFinite(t *testing.T) {
+	pn, _, _ := testPackage(t)
+	tile := make([]float64, pn.NumTiles())
+	tile[3] = math.NaN()
+	if _, err := pn.PowerVector(tile); !errors.Is(err, tecerr.ErrInvalidInput) {
+		t.Fatalf("NaN power: %v", err)
+	}
+	tile[3] = math.Inf(1)
+	if _, err := pn.PowerVector(tile); !errors.Is(err, tecerr.ErrInvalidInput) {
+		t.Fatalf("Inf power: %v", err)
+	}
+}
+
+func TestAddConductancePanicsOnNaN(t *testing.T) {
+	n := NewNetwork()
+	a := n.AddNode(Node{Kind: KindSilicon})
+	b := n.AddNode(Node{Kind: KindTIM})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NaN conductance did not panic")
+		}
+	}()
+	n.AddConductance(a, b, math.NaN())
+}

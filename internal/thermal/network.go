@@ -20,6 +20,7 @@ import (
 
 	"tecopt/internal/num"
 	"tecopt/internal/sparse"
+	"tecopt/internal/tecerr"
 )
 
 // NodeKind labels the physical role of a network node.
@@ -119,6 +120,9 @@ func (n *Network) AddConductance(i, j int, g float64) {
 	if num.IsZero(g) {
 		return
 	}
+	if !num.IsFinite(g) {
+		panic(fmt.Sprintf("thermal: non-finite conductance %g between %d and %d", g, i, j))
+	}
 	if g < 0 {
 		panic(fmt.Sprintf("thermal: negative conductance %g between %d and %d", g, i, j))
 	}
@@ -135,6 +139,9 @@ func (n *Network) AddConductance(i, j int, g float64) {
 func (n *Network) AddGround(i int, g, sourceK float64) {
 	if num.IsZero(g) {
 		return
+	}
+	if !num.IsFinite(g) || !num.IsFinite(sourceK) {
+		panic(fmt.Sprintf("thermal: non-finite ground leg (g=%g, sourceK=%g) at node %d", g, sourceK, i))
 	}
 	if g < 0 {
 		panic(fmt.Sprintf("thermal: negative ground conductance %g at node %d", g, i))
@@ -171,6 +178,39 @@ func (n *Network) BaseRHS() []float64 {
 		rhs[gr.i] += gr.g * gr.sourceK
 	}
 	return rhs
+}
+
+// Validate checks that the assembled network can yield a nonsingular
+// positive definite G: it needs at least one node, at least one ground
+// leg (otherwise the Laplacian is singular), and no isolated node (a
+// node with neither an edge nor a ground leg produces an all-zero row).
+// Edge and ground conductances are finite and non-negative by
+// construction — AddConductance and AddGround reject everything else —
+// so Validate only has to check the graph structure. Errors carry
+// tecerr.CodeInvalidInput.
+func (n *Network) Validate() error {
+	if len(n.nodes) == 0 {
+		return tecerr.New(tecerr.CodeInvalidInput, "thermal.validate",
+			"thermal: network has no nodes")
+	}
+	if len(n.grounds) == 0 {
+		return tecerr.New(tecerr.CodeInvalidInput, "thermal.validate",
+			"thermal: network has no ground legs (G would be singular)")
+	}
+	touched := make([]bool, len(n.nodes))
+	for _, e := range n.edges {
+		touched[e.i], touched[e.j] = true, true
+	}
+	for _, gr := range n.grounds {
+		touched[gr.i] = true
+	}
+	for i, ok := range touched {
+		if !ok {
+			return tecerr.Newf(tecerr.CodeInvalidInput, "thermal.validate",
+				"thermal: node %d (%s) is isolated — no conductance or ground leg", i, n.nodes[i].Kind)
+		}
+	}
+	return nil
 }
 
 // TotalGroundConductance returns the summed conductance to fixed nodes,

@@ -1,11 +1,10 @@
 package thermal
 
 import (
-	"fmt"
-
 	"tecopt/internal/floorplan"
 	"tecopt/internal/material"
 	"tecopt/internal/num"
+	"tecopt/internal/tecerr"
 )
 
 // BuildOptions configures the package discretization.
@@ -89,7 +88,8 @@ func BuildPackage(geom material.PackageGeometry, opts BuildOptions) (*PackageNet
 		return nil, err
 	}
 	if opts.Cols <= 0 || opts.Rows <= 0 {
-		return nil, fmt.Errorf("thermal: nonpositive die tiling %dx%d", opts.Cols, opts.Rows)
+		return nil, tecerr.Newf(tecerr.CodeInvalidInput, "thermal.build",
+			"thermal: nonpositive die tiling %dx%d", opts.Cols, opts.Rows)
 	}
 	if opts.SpreaderCells <= 0 {
 		opts.SpreaderCells = 20
@@ -271,16 +271,20 @@ func (pn *PackageNetwork) NumTiles() int { return pn.Opts.Cols * pn.Opts.Rows }
 // It returns the cold and hot node indices.
 func (pn *PackageNetwork) AttachTEC(t int, gc, gh, kappa float64) (cold, hot int, err error) {
 	if t < 0 || t >= pn.NumTiles() {
-		return 0, 0, fmt.Errorf("thermal: TEC site %d out of range %d", t, pn.NumTiles())
+		return 0, 0, tecerr.Newf(tecerr.CodeInvalidInput, "thermal.attach",
+			"thermal: TEC site %d out of range %d", t, pn.NumTiles())
 	}
 	if !pn.Opts.TECSites[t] {
-		return 0, 0, fmt.Errorf("thermal: tile %d was not reserved as a TEC site", t)
+		return 0, 0, tecerr.Newf(tecerr.CodeInvalidInput, "thermal.attach",
+			"thermal: tile %d was not reserved as a TEC site", t)
 	}
 	if pn.ColdNode[t] >= 0 {
-		return 0, 0, fmt.Errorf("thermal: tile %d already has a TEC attached", t)
+		return 0, 0, tecerr.Newf(tecerr.CodeInvalidInput, "thermal.attach",
+			"thermal: tile %d already has a TEC attached", t)
 	}
-	if gc <= 0 || gh <= 0 || kappa <= 0 {
-		return 0, 0, fmt.Errorf("thermal: TEC conductances must be positive (gc=%g gh=%g kappa=%g)", gc, gh, kappa)
+	if !num.IsFinite(gc) || !num.IsFinite(gh) || !num.IsFinite(kappa) || gc <= 0 || gh <= 0 || kappa <= 0 {
+		return 0, 0, tecerr.Newf(tecerr.CodeInvalidInput, "thermal.attach",
+			"thermal: TEC conductances must be positive (gc=%g gh=%g kappa=%g)", gc, gh, kappa)
 	}
 	cold = pn.Net.AddNode(Node{Kind: KindTECCold, Tile: t})
 	hot = pn.Net.AddNode(Node{Kind: KindTECHot, Tile: t})

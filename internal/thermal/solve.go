@@ -2,10 +2,12 @@ package thermal
 
 import (
 	"errors"
-	"fmt"
 
+	"tecopt/internal/faults"
 	"tecopt/internal/mat"
+	"tecopt/internal/num"
 	"tecopt/internal/sparse"
+	"tecopt/internal/tecerr"
 )
 
 // Solver method selection for steady-state solves.
@@ -26,8 +28,10 @@ const (
 )
 
 // ErrNotPD reports that the system matrix is not positive definite, i.e.
-// the operating point is at or beyond the thermal-runaway limit.
-var ErrNotPD = errors.New("thermal: system matrix not positive definite (beyond runaway limit?)")
+// the operating point is at or beyond the thermal-runaway limit. It
+// carries tecerr.CodeNotPD.
+var ErrNotPD error = tecerr.New(tecerr.CodeNotPD, "thermal.factor",
+	"thermal: system matrix not positive definite (beyond runaway limit?)")
 
 // Factorization is a reusable direct factorization of a system matrix,
 // with the RCM permutation folded in.
@@ -120,7 +124,8 @@ func SolveSteadyStats(g *sparse.CSR, rhs []float64, m Method) ([]float64, SolveS
 		}
 		return chol.Solve(rhs), st, nil
 	default:
-		return nil, st, fmt.Errorf("thermal: unknown method %d", m)
+		return nil, st, tecerr.Newf(tecerr.CodeInvalidInput, "thermal.solve",
+			"thermal: unknown method %d", m)
 	}
 }
 
@@ -130,12 +135,19 @@ func SolveSteadyStats(g *sparse.CSR, rhs []float64, m Method) ([]float64, SolveS
 // current level.
 func (pn *PackageNetwork) PowerVector(tilePower []float64) ([]float64, error) {
 	if len(tilePower) != pn.NumTiles() {
-		return nil, fmt.Errorf("thermal: tile power length %d, want %d", len(tilePower), pn.NumTiles())
+		return nil, tecerr.Newf(tecerr.CodeInvalidInput, "thermal.power",
+			"thermal: tile power length %d, want %d", len(tilePower), pn.NumTiles())
 	}
 	p := make([]float64, pn.Net.NumNodes())
 	for t, pw := range tilePower {
+		pw = faults.Float64(faults.SitePower, pw)
+		if !num.IsFinite(pw) {
+			return nil, tecerr.Newf(tecerr.CodeInvalidInput, "thermal.power",
+				"thermal: non-finite power %g at tile %d", pw, t)
+		}
 		if pw < 0 {
-			return nil, fmt.Errorf("thermal: negative power %g at tile %d", pw, t)
+			return nil, tecerr.Newf(tecerr.CodeInvalidInput, "thermal.power",
+				"thermal: negative power %g at tile %d", pw, t)
 		}
 		p[pn.SilNode[t]] = pw
 	}

@@ -16,13 +16,14 @@
 package transient
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"math"
 
 	"tecopt/internal/core"
 	"tecopt/internal/material"
 	"tecopt/internal/obs"
+	"tecopt/internal/tecerr"
 	"tecopt/internal/thermal"
 )
 
@@ -74,6 +75,11 @@ type Options struct {
 	RunawayCeilingK float64
 	// SampleEvery records every n-th step in the trace (default 1).
 	SampleEvery int
+	// Ctx, when non-nil, cancels the integration between steps. A
+	// cancelled Simulate returns the partial trace accumulated so far
+	// (Final set to the last field) alongside a tecerr.CodeCancelled
+	// error, so callers can flush what was already integrated.
+	Ctx context.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -107,7 +113,8 @@ type Trace struct {
 }
 
 // ErrBadSchedule reports an empty or non-positive schedule.
-var ErrBadSchedule = errors.New("transient: schedule must contain positive-duration phases")
+var ErrBadSchedule error = tecerr.New(tecerr.CodeInvalidInput, "transient.simulate",
+	"transient: schedule must contain positive-duration phases")
 
 // Simulate integrates the package ODE through the current schedule with
 // backward Euler: (C/dt + G - i*D) theta_{n+1} = (C/dt) theta_n + p(i).
@@ -118,6 +125,10 @@ func Simulate(sys *core.System, schedule []Phase, opt Options) (*Trace, error) {
 	opt = opt.withDefaults()
 	if len(schedule) == 0 {
 		return nil, ErrBadSchedule
+	}
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	r := obs.Enabled()
 	if r != nil {
@@ -132,7 +143,8 @@ func Simulate(sys *core.System, schedule []Phase, opt Options) (*Trace, error) {
 	theta := make([]float64, n)
 	if opt.Theta0 != nil {
 		if len(opt.Theta0) != n {
-			return nil, fmt.Errorf("transient: theta0 length %d, want %d", len(opt.Theta0), n)
+			return nil, tecerr.Newf(tecerr.CodeInvalidInput, "transient.simulate",
+				"transient: theta0 length %d, want %d", len(opt.Theta0), n)
 		}
 		copy(theta, opt.Theta0)
 	} else {
@@ -175,6 +187,12 @@ func Simulate(sys *core.System, schedule []Phase, opt Options) (*Trace, error) {
 		steps := int(math.Ceil(ph.Duration / opt.Dt))
 		rhs := make([]float64, n)
 		for s := 0; s < steps; s++ {
+			if step&63 == 0 {
+				if err := ctx.Err(); err != nil {
+					tr.Final = theta
+					return tr, tecerr.Cancelled("transient.simulate", err)
+				}
+			}
 			stepStart := r.Now()
 			for i := range rhs {
 				rhs[i] = rhsConst[i] + cOverDt[i]*theta[i]
