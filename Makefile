@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race race-engine chaos vet lint fuzz-smoke obs-overhead check
+.PHONY: all build test race race-engine chaos vet lint lint-json fuzz-smoke obs-overhead check
 
 all: check
 
@@ -36,11 +36,23 @@ vet:
 lint:
 	$(GO) run ./cmd/teclint ./...
 
+# Machine-readable lint report, checked against the committed baseline
+# (which is empty: the tree lints clean; the baseline exists so CI can
+# upload the JSON artifact and so a future emergency waiver has a
+# documented home). Exit code 2 = teclint itself failed to load the
+# tree; 1 = findings beyond the baseline; 0 = clean.
+lint-json:
+	$(GO) run ./cmd/teclint -json -baseline teclint.baseline.json ./... > teclint.json; \
+	status=$$?; cat teclint.json; exit $$status
+
 # Short fuzz runs over every parser fuzz target; catches regressions in
-# input handling without the cost of a long campaign.
+# input handling without the cost of a long campaign. FuzzCFG throws
+# arbitrary function bodies at the lint CFG builder, which must never
+# panic on code that parses.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParseFLP -fuzztime=$(FUZZTIME) -run='^$$' ./internal/floorplan
 	$(GO) test -fuzz=FuzzParsePtrace -fuzztime=$(FUZZTIME) -run='^$$' ./internal/power
+	$(GO) test -fuzz=FuzzCFG -fuzztime=$(FUZZTIME) -run='^$$' ./internal/lint
 
 # Observability overhead gate: runs the Table I workload with the obs
 # registry off and on, and fails if instrumentation costs more than 5%.

@@ -3,17 +3,30 @@
 //
 //	file:line: [rule] message
 //
-// sorted by file and line, exiting nonzero when any diagnostic is
-// produced. It is the lint gate invoked by `make lint` and CI:
+// sorted by file and line. It is the lint gate invoked by `make lint`
+// and CI:
 //
 //	go run ./cmd/teclint ./...
 //
 // Arguments are package patterns: "./..." walks every package under
 // the current module (skipping testdata), a plain directory path lints
 // just that package. With no arguments, "./..." is assumed.
+//
+// Flags:
+//
+//	-rules         list the analyzers and exit
+//	-json          emit findings as a JSON array instead of text
+//	-baseline F    suppress findings recorded in the JSON baseline file F
+//	-parallel N    run analyzers over N packages concurrently
+//	               (0 = all cores, 1 = serial; output is identical)
+//
+// Exit codes follow the tecerr contract: 0 clean, 1 when findings
+// survive the baseline, 2 (tecerr.CodeInvalidInput) when packages fail
+// to load or type-check, or on flag/baseline misuse.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -22,23 +35,34 @@ import (
 	"strings"
 
 	"tecopt/internal/lint"
+	"tecopt/internal/tecerr"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// loadFailure wraps a loader or baseline error so the process exit code
+// (via tecerr.ExitCode) distinguishes "could not analyze" from "found
+// problems".
+func loadFailure(op string, err error) error {
+	return &tecerr.Error{Code: tecerr.CodeInvalidInput, Op: op, Msg: "teclint: " + op, Err: err}
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("teclint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	listRules := fs.Bool("rules", false, "list the analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array")
+	baselinePath := fs.String("baseline", "", "JSON baseline file of findings to suppress")
+	parallel := fs.Int("parallel", 0, "packages analyzed concurrently (0 = all cores, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	analyzers := lint.All()
 	if *listRules {
 		for _, a := range analyzers {
-			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-13s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -50,37 +74,125 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(stderr, "teclint:", err)
-		return 2
+		return tecerr.ExitCode(loadFailure("getwd", err))
 	}
 	root, err := lint.FindModuleRoot(cwd)
 	if err != nil {
 		fmt.Fprintln(stderr, "teclint:", err)
-		return 2
+		return tecerr.ExitCode(loadFailure("module root", err))
 	}
 	loader, err := lint.NewLoader(root)
 	if err != nil {
 		fmt.Fprintln(stderr, "teclint:", err)
-		return 2
+		return tecerr.ExitCode(loadFailure("loader", err))
 	}
 
 	dirs, err := resolvePatterns(patterns, cwd)
 	if err != nil {
 		fmt.Fprintln(stderr, "teclint:", err)
-		return 2
+		return tecerr.ExitCode(loadFailure("resolving patterns", err))
 	}
-	diags, err := lint.LintDirs(loader, dirs, analyzers, cwd)
+	diags, err := lint.LintDirsParallel(loader, dirs, analyzers, cwd, *parallel)
 	if err != nil {
 		fmt.Fprintln(stderr, "teclint:", err)
-		return 2
+		return tecerr.ExitCode(loadFailure("loading packages", err))
 	}
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d.String())
+
+	if *baselinePath != "" {
+		baseline, err := readBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "teclint:", err)
+			return tecerr.ExitCode(loadFailure("reading baseline", err))
+		}
+		diags = filterBaseline(diags, baseline)
+	}
+
+	if *asJSON {
+		if err := writeJSON(stdout, diags); err != nil {
+			fmt.Fprintln(stderr, "teclint:", err)
+			return tecerr.ExitCode(loadFailure("encoding json", err))
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "teclint: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// Finding is the JSON shape of one diagnostic, stable for tooling: the
+// same struct round-trips baselines and the -json output.
+type Finding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+func toFinding(d lint.Diagnostic) Finding {
+	return Finding{File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column, Rule: d.Rule, Message: d.Message}
+}
+
+// writeJSON emits the findings as an indented JSON array (always an
+// array, never null, so consumers can range unconditionally).
+func writeJSON(w io.Writer, diags []lint.Diagnostic) error {
+	findings := make([]Finding, 0, len(diags))
+	for _, d := range diags {
+		findings = append(findings, toFinding(d))
+	}
+	data, err := json.MarshalIndent(findings, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", data)
+	return err
+}
+
+// baselineKey identifies a finding for baseline matching. Line and
+// column are deliberately excluded: a baseline entry keeps suppressing
+// its finding as unrelated edits shift it around a file.
+type baselineKey struct {
+	file string
+	rule string
+	msg  string
+}
+
+// readBaseline parses a -json findings array into a suppression
+// multiset: two identical findings in a file need two baseline entries.
+func readBaseline(path string) (map[baselineKey]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	if err := json.Unmarshal(data, &findings); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	out := make(map[baselineKey]int, len(findings))
+	for _, f := range findings {
+		out[baselineKey{file: f.File, rule: f.Rule, msg: f.Message}]++
+	}
+	return out, nil
+}
+
+// filterBaseline drops findings recorded in the baseline, consuming
+// each entry at most once.
+func filterBaseline(diags []lint.Diagnostic, baseline map[baselineKey]int) []lint.Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		key := baselineKey{file: d.Pos.Filename, rule: d.Rule, msg: d.Message}
+		if baseline[key] > 0 {
+			baseline[key]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
 // resolvePatterns expands package patterns into package directories.

@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -17,14 +19,19 @@ var update = flag.Bool("update", false, "rewrite golden files with current outpu
 // to the module root. They deliberately seed violations, so linting them
 // exercises every rule and the output formatting at once.
 var fixturePatterns = []string{
+	"internal/lint/testdata/badignore",
+	"internal/lint/testdata/ctxflow",
 	"internal/lint/testdata/droppederr",
+	"internal/lint/testdata/errpath",
 	"internal/lint/testdata/floateq",
+	"internal/lint/testdata/lockbalance",
 	"internal/lint/testdata/lockcopy",
 	"internal/lint/testdata/maporder",
 	"internal/lint/testdata/obsclock",
 	"internal/lint/testdata/testhelper",
 	"internal/lint/testdata/typederr",
 	"internal/lint/testdata/unitsanity",
+	"internal/lint/testdata/validatefirst",
 }
 
 // runAtRoot invokes the teclint driver from the module root and returns
@@ -148,13 +155,162 @@ func TestRepoLintsClean(t *testing.T) {
 	}
 }
 
+// TestJSONGolden pins the -json stream for the fixture packages: a
+// sorted, indented array in the documented Finding shape. Run with
+// -update to regenerate testdata/golden.json.
+func TestJSONGolden(t *testing.T) {
+	goldenPath, err := filepath.Abs(filepath.Join("testdata", "golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := runAtRoot(t, append([]string{"-json"}, fixturePatterns...))
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr:\n%s", code, stderr)
+	}
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(stdout), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden file (run with -update to create): %v", err)
+	}
+	if stdout != string(golden) {
+		t.Errorf("-json output differs from golden file\n--- got ---\n%s--- want ---\n%s", stdout, golden)
+	}
+}
+
+// TestJSONRoundTrip decodes the -json stream with encoding/json and
+// checks it carries the same findings, in the same order, as the text
+// output.
+func TestJSONRoundTrip(t *testing.T) {
+	_, jsonOut, _ := runAtRoot(t, append([]string{"-json"}, fixturePatterns...))
+	var findings []Finding
+	if err := json.Unmarshal([]byte(jsonOut), &findings); err != nil {
+		t.Fatalf("-json output does not round-trip: %v", err)
+	}
+	if len(findings) == 0 {
+		t.Fatal("no findings decoded; fixtures seed violations")
+	}
+	_, textOut, _ := runAtRoot(t, fixturePatterns)
+	textLines := strings.Split(strings.TrimRight(textOut, "\n"), "\n")
+	if len(findings) != len(textLines) {
+		t.Fatalf("JSON has %d findings, text has %d lines", len(findings), len(textLines))
+	}
+	for i, f := range findings {
+		want := fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Rule, f.Message)
+		if textLines[i] != want {
+			t.Errorf("finding %d: text %q, JSON renders %q", i, textLines[i], want)
+		}
+		if f.Line <= 0 || f.Col <= 0 || f.Rule == "" || f.Message == "" {
+			t.Errorf("finding %d has missing fields: %+v", i, f)
+		}
+	}
+	// A second run must be byte-stable.
+	_, again, _ := runAtRoot(t, append([]string{"-json"}, fixturePatterns...))
+	if jsonOut != again {
+		t.Error("-json output is not stable across runs")
+	}
+}
+
+// TestParallelMatchesSerial demands byte-identical output whatever the
+// worker count: index-ordered collection plus the global sort must hide
+// goroutine scheduling completely.
+func TestParallelMatchesSerial(t *testing.T) {
+	_, serial, _ := runAtRoot(t, append([]string{"-parallel", "1"}, fixturePatterns...))
+	for _, workers := range []string{"2", "8", "0"} {
+		_, parallel, _ := runAtRoot(t, append([]string{"-parallel", workers}, fixturePatterns...))
+		if parallel != serial {
+			t.Errorf("-parallel=%s output differs from serial\n--- parallel ---\n%s--- serial ---\n%s", workers, parallel, serial)
+		}
+	}
+}
+
+// TestBaselineSuppression records the current findings as a baseline
+// and reruns against it: everything suppressed, exit 0. A partial
+// baseline must leave the rest standing.
+func TestBaselineSuppression(t *testing.T) {
+	_, jsonOut, _ := runAtRoot(t, append([]string{"-json"}, fixturePatterns...))
+	baseline := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(baseline, []byte(jsonOut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := runAtRoot(t, append([]string{"-baseline", baseline}, fixturePatterns...))
+	if code != 0 || stdout != "" {
+		t.Fatalf("full baseline: exit %d, output:\n%s%s", code, stdout, stderr)
+	}
+
+	var findings []Finding
+	if err := json.Unmarshal([]byte(jsonOut), &findings); err != nil {
+		t.Fatal(err)
+	}
+	partial, err := json.Marshal(findings[:len(findings)/2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(baseline, partial, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ = runAtRoot(t, append([]string{"-baseline", baseline}, fixturePatterns...))
+	if code != 1 {
+		t.Fatalf("partial baseline: exit %d, want 1", code)
+	}
+	got := len(strings.Split(strings.TrimRight(stdout, "\n"), "\n"))
+	want := len(findings) - len(findings)/2
+	if got != want {
+		t.Errorf("partial baseline left %d findings, want %d", got, want)
+	}
+
+	// An empty baseline (the checked-in CI artifact) suppresses nothing.
+	if err := os.WriteFile(baseline, []byte("[]\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ = runAtRoot(t, append([]string{"-baseline", baseline}, fixturePatterns...))
+	if code != 1 || stdout == "" {
+		t.Fatalf("empty baseline: exit %d, want 1 with findings", code)
+	}
+
+	// A malformed baseline is a usage failure, not a lint result.
+	if err := os.WriteFile(baseline, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr = runAtRoot(t, append([]string{"-baseline", baseline}, fixturePatterns...))
+	if code != 2 {
+		t.Fatalf("malformed baseline: exit %d, want 2; stderr:\n%s", code, stderr)
+	}
+}
+
+// TestExitCodeContract pins the three-way exit contract: clean tree 0,
+// findings 1, load/type-check failure 2 (tecerr.CodeInvalidInput).
+func TestExitCodeContract(t *testing.T) {
+	if code, _, stderr := runAtRoot(t, []string{"internal/tecerr"}); code != 0 {
+		t.Errorf("clean package: exit %d, want 0; stderr:\n%s", code, stderr)
+	}
+	if code, _, _ := runAtRoot(t, fixturePatterns[:1]); code != 1 {
+		t.Errorf("fixture package: exit code != 1")
+	}
+	code, stdout, stderr := runAtRoot(t, []string{"cmd/teclint/testdata/broken"})
+	if code != 2 {
+		t.Errorf("broken package: exit %d, want 2; stderr:\n%s", code, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("broken package wrote findings:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "broken") {
+		t.Errorf("stderr does not mention the failing package:\n%s", stderr)
+	}
+}
+
 // TestRulesFlag checks the -rules listing names every registered analyzer.
 func TestRulesFlag(t *testing.T) {
 	code, stdout, _ := runAtRoot(t, []string{"-rules"})
 	if code != 0 {
 		t.Fatalf("-rules exit code = %d", code)
 	}
-	for _, rule := range []string{"droppederr", "floateq", "lockcopy", "maporder", "obsclock", "testhelper", "typederr", "unitsanity"} {
+	for _, rule := range []string{"ctxflow", "droppederr", "errpath", "floateq", "lockbalance", "lockcopy", "maporder", "obsclock", "testhelper", "typederr", "unitsanity", "validatefirst"} {
 		if !strings.Contains(stdout, rule) {
 			t.Errorf("-rules output missing %q:\n%s", rule, stdout)
 		}

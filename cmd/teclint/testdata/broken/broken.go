@@ -1,0 +1,8 @@
+// Package broken deliberately fails type-checking; the driver tests use
+// it to pin the load-failure exit code (2, tecerr.CodeInvalidInput).
+// The go tool never builds testdata, so this does not break `go build`.
+package broken
+
+func mismatched() int {
+	return "not an int"
+}

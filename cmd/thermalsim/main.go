@@ -128,7 +128,7 @@ func main() {
 			Floorplan: loaded.Floorplan,
 			ColorBar:  true,
 		})
-		if cerr := out.Close(); err == nil {
+		if cerr := out.Close(); cerr != nil && err == nil {
 			err = cerr
 		}
 		if err != nil {

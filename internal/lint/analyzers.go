@@ -5,13 +5,17 @@ package lint
 // identical positions; Run sorts findings by position and rule name.
 func All() []*Analyzer {
 	return []*Analyzer{
+		CtxFlow,
 		DroppedErr,
+		ErrPath,
 		FloatEq,
+		LockBalance,
 		LockCopy,
 		MapOrder,
 		ObsClock,
 		TestHelper,
 		TypedErr,
 		UnitSanity,
+		ValidateFirst,
 	}
 }

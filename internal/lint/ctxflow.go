@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces the repository's context-plumbing contract inside
+// any function (or function literal) that has a context.Context
+// parameter in scope:
+//
+//  1. a call to a function or method that has a Ctx sibling (Foo ->
+//     FooCtx, taking a context.Context first) must use the sibling —
+//     calling the plain variant silently severs cancellation, which is
+//     how a -timeout run ends up completing a full lambda_m search it
+//     was told to abandon;
+//  2. context.Background() / context.TODO() must not be called — the
+//     in-scope ctx is the one to pass;
+//  3. the context must not be stored into a struct field via
+//     assignment (x.f = ctx): a context outlives its call once
+//     latched into a long-lived struct. Constructing an options
+//     literal (CurrentOptions{Ctx: ctx}) that is handed straight to a
+//     callee is the repository's sanctioned forwarding idiom and is
+//     not flagged.
+//
+// A call that already passes any context-typed argument is considered
+// to forward cancellation and is not flagged under rule 1.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "in ctx-taking functions: use FooCtx variants, never context.Background/TODO, never store ctx in a struct field",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok {
+				return true
+			}
+			if fd.Body != nil {
+				w := &ctxWalker{pass: pass, inScope: make(map[types.Object]bool)}
+				w.addParams(fd.Type)
+				w.walk(fd.Body)
+			}
+			return false
+		})
+	}
+}
+
+// ctxWalker walks one function body, tracking the set of named
+// context.Context parameters in scope (outer function plus any
+// enclosing function literals at the current depth).
+type ctxWalker struct {
+	pass    *Pass
+	inScope map[types.Object]bool
+}
+
+// addParams records the named context parameters of a function type,
+// returning the objects added so the caller can remove them when the
+// literal's scope ends.
+func (w *ctxWalker) addParams(ft *ast.FuncType) []types.Object {
+	var added []types.Object
+	if ft == nil || ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := w.pass.Info.Defs[name]
+			if obj != nil && isContextType(obj.Type()) && !w.inScope[obj] {
+				w.inScope[obj] = true
+				added = append(added, obj)
+			}
+		}
+	}
+	return added
+}
+
+func (w *ctxWalker) walk(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			added := w.addParams(n.Type)
+			w.walk(n.Body)
+			for _, obj := range added {
+				delete(w.inScope, obj)
+			}
+			return false
+		case *ast.AssignStmt:
+			w.checkStore(n)
+		case *ast.CallExpr:
+			w.checkCall(n)
+		}
+		return true
+	})
+}
+
+// ctxInScope reports whether any context parameter is visible.
+func (w *ctxWalker) ctxInScope() bool { return len(w.inScope) > 0 }
+
+// checkStore flags `x.f = ctx` where ctx is an in-scope context
+// parameter: storing a context in a struct field retains it beyond
+// the call.
+func (w *ctxWalker) checkStore(assign *ast.AssignStmt) {
+	if len(assign.Lhs) != len(assign.Rhs) {
+		return
+	}
+	for i, lhs := range assign.Lhs {
+		sel, ok := lhs.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		id, ok := assign.Rhs[i].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if obj := w.pass.Info.Uses[id]; obj != nil && w.inScope[obj] {
+			w.pass.Reportf(sel.Pos(), "context parameter %s is stored in struct field %s; pass it as an argument (or an options literal forwarded to the callee) instead of retaining it", id.Name, sel.Sel.Name)
+		}
+	}
+}
+
+func (w *ctxWalker) checkCall(call *ast.CallExpr) {
+	if !w.ctxInScope() {
+		return
+	}
+	// Rule 2: context.Background()/TODO() with a ctx in scope.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && (sel.Sel.Name == "Background" || sel.Sel.Name == "TODO") {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pkg, ok := w.pass.Info.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "context" {
+				w.pass.Reportf(call.Pos(), "context.%s() called while a context parameter is in scope; pass the caller's ctx", sel.Sel.Name)
+				return
+			}
+		}
+	}
+	// Rule 1: a Ctx sibling exists and no context argument is passed.
+	callee := calleeFunc(w.pass, call)
+	if callee == nil {
+		return
+	}
+	for _, arg := range call.Args {
+		if t := w.pass.TypeOf(arg); t != nil && isContextType(t) {
+			return // forwards some context already
+		}
+	}
+	if variant := w.pass.Facts.CtxVariant(callee); variant != nil {
+		w.pass.Reportf(call.Pos(), "%s does not forward the in-scope ctx; call %s so cancellation propagates", callee.Name(), variant.Name())
+	}
+}
+
+// calleeFunc resolves the called function or method object, or nil for
+// conversions, builtins, and indirect calls through function values.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -17,6 +17,11 @@
 // on the flagged line (or the line directly above it). The rule name is
 // mandatory; a finding is only suppressed by a directive naming its
 // rule, so a suppression never hides diagnostics from other analyzers.
+// The reason is mandatory too: a directive with a bare rule name still
+// suppresses its target, but the framework reports the directive itself
+// under the "badignore" pseudo-rule, so a suppression can never pass
+// the lint gate without recording why it is safe. badignore findings
+// cannot themselves be suppressed.
 package lint
 
 import (
@@ -31,7 +36,7 @@ import (
 // unit and reports findings through the Pass.
 type Analyzer struct {
 	// Name is the short rule identifier printed as "[name]" in findings
-	// and matched by teclint:ignore directives.
+	// and matched by ignore directives.
 	Name string
 	// Doc is a one-paragraph description of what the rule flags and why.
 	Doc string
@@ -45,9 +50,19 @@ type Pass struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// Facts is the loader's cross-package fact store (may be nil in
+	// hand-built passes; FactStore methods tolerate a nil receiver).
+	Facts *FactStore
 
 	analyzer *Analyzer
 	diags    *[]Diagnostic
+}
+
+// Terminates reports whether the call can never return (panic,
+// os.Exit, a module-local fatal helper, ...): the predicate the
+// CFG-based analyzers hand to BuildCFG.
+func (p *Pass) Terminates(call *ast.CallExpr) bool {
+	return TerminatesCall(p.Info, p.Facts)(call)
 }
 
 // Reportf records a finding at pos under the current analyzer's rule.
@@ -100,13 +115,43 @@ func Run(unit *Unit, analyzers []*Analyzer) []Diagnostic {
 			Files:    unit.Files,
 			Pkg:      unit.Pkg,
 			Info:     unit.Info,
+			Facts:    unit.Facts,
 			analyzer: a,
 			diags:    &diags,
 		}
 		a.Run(pass)
 	}
 	diags = filterSuppressed(unit, diags)
+	diags = append(diags, reasonlessIgnores(unit)...)
 	SortDiagnostics(diags)
+	return diags
+}
+
+// BadIgnoreRule is the pseudo-rule under which the framework reports
+// teclint:ignore directives that carry no reason. It is emitted by Run
+// itself (not an Analyzer), after suppression filtering, so it can
+// never be suppressed.
+const BadIgnoreRule = "badignore"
+
+// reasonlessIgnores reports every teclint:ignore directive in the unit
+// whose reason text is empty: a suppression must say why it is safe.
+func reasonlessIgnores(unit *Unit) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range unit.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rule, reason, ok := parseIgnore(c.Text)
+				if !ok || strings.TrimSpace(reason) != "" {
+					continue
+				}
+				diags = append(diags, Diagnostic{
+					Pos:     unit.Fset.Position(c.Pos()),
+					Rule:    BadIgnoreRule,
+					Message: fmt.Sprintf("teclint:ignore %s has no reason; write `teclint:ignore %s <why this is safe>`", rule, rule),
+				})
+			}
+		}
+	}
 	return diags
 }
 
@@ -118,7 +163,7 @@ func filterSuppressed(unit *Unit, diags []Diagnostic) []Diagnostic {
 	for _, f := range unit.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rule, ok := parseIgnore(c.Text)
+				rule, _, ok := parseIgnore(c.Text)
 				if !ok {
 					continue
 				}
@@ -149,21 +194,24 @@ func filterSuppressed(unit *Unit, diags []Diagnostic) []Diagnostic {
 	return out
 }
 
-// parseIgnore extracts the rule name from a "teclint:ignore <rule> ..."
-// comment, reporting ok=false for comments without the directive.
-func parseIgnore(comment string) (rule string, ok bool) {
+// parseIgnore extracts the rule name and reason text from a
+// "teclint:ignore <rule> <reason>" comment, reporting ok=false for
+// comments without the directive. The reason may be empty; Run flags
+// such directives under the badignore pseudo-rule.
+func parseIgnore(comment string) (rule, reason string, ok bool) {
 	text := strings.TrimPrefix(comment, "//")
 	text = strings.TrimPrefix(text, "/*")
+	text = strings.TrimSuffix(strings.TrimSpace(text), "*/")
 	text = strings.TrimSpace(text)
 	const directive = "teclint:ignore"
 	idx := strings.Index(text, directive)
 	if idx < 0 {
-		return "", false
+		return "", "", false
 	}
 	rest := strings.TrimSpace(text[idx+len(directive):])
-	fields := strings.Fields(rest)
-	if len(fields) == 0 {
-		return "", false
+	rule, reason, _ = strings.Cut(rest, " ")
+	if rule == "" {
+		return "", "", false
 	}
-	return fields[0], true
+	return rule, strings.TrimSpace(reason), true
 }

@@ -100,14 +100,57 @@ func runFixture(t *testing.T, a *Analyzer) {
 	}
 }
 
-func TestFloatEqFixture(t *testing.T)    { runFixture(t, FloatEq) }
-func TestDroppedErrFixture(t *testing.T) { runFixture(t, DroppedErr) }
-func TestLockCopyFixture(t *testing.T)   { runFixture(t, LockCopy) }
-func TestMapOrderFixture(t *testing.T)   { runFixture(t, MapOrder) }
-func TestObsClockFixture(t *testing.T)   { runFixture(t, ObsClock) }
-func TestTestHelperFixture(t *testing.T) { runFixture(t, TestHelper) }
-func TestTypedErrFixture(t *testing.T)   { runFixture(t, TypedErr) }
-func TestUnitSanityFixture(t *testing.T) { runFixture(t, UnitSanity) }
+func TestFloatEqFixture(t *testing.T)       { runFixture(t, FloatEq) }
+func TestDroppedErrFixture(t *testing.T)    { runFixture(t, DroppedErr) }
+func TestLockCopyFixture(t *testing.T)      { runFixture(t, LockCopy) }
+func TestMapOrderFixture(t *testing.T)      { runFixture(t, MapOrder) }
+func TestObsClockFixture(t *testing.T)      { runFixture(t, ObsClock) }
+func TestTestHelperFixture(t *testing.T)    { runFixture(t, TestHelper) }
+func TestTypedErrFixture(t *testing.T)      { runFixture(t, TypedErr) }
+func TestUnitSanityFixture(t *testing.T)    { runFixture(t, UnitSanity) }
+func TestCtxFlowFixture(t *testing.T)       { runFixture(t, CtxFlow) }
+func TestErrPathFixture(t *testing.T)       { runFixture(t, ErrPath) }
+func TestLockBalanceFixture(t *testing.T)   { runFixture(t, LockBalance) }
+func TestValidateFirstFixture(t *testing.T) { runFixture(t, ValidateFirst) }
+
+// TestBadIgnoreFixture exercises the framework-level badignore
+// pseudo-rule: reasonless teclint:ignore directives are reported by Run
+// itself, with no analyzer registered at all.
+func TestBadIgnoreFixture(t *testing.T) {
+	loader := fixtureLoader(t)
+	dir, err := filepath.Abs(filepath.Join("testdata", "badignore"))
+	if err != nil {
+		t.Fatalf("resolving fixture dir: %v", err)
+	}
+	units, err := loader.Load(dir)
+	if err != nil {
+		t.Fatalf("loading fixture package: %v", err)
+	}
+	got := make(map[string]bool)
+	for _, unit := range units {
+		for _, d := range Run(unit, nil) {
+			if d.Rule != BadIgnoreRule {
+				t.Errorf("unexpected rule %q at %s:%d", d.Rule, d.Pos.Filename, d.Pos.Line)
+				continue
+			}
+			got[fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)] = true
+		}
+	}
+	want := wantedFindings(t, dir, BadIgnoreRule)
+	if len(want) == 0 {
+		t.Fatal("badignore fixture has no // want markers")
+	}
+	for key := range want {
+		if !got[key] {
+			t.Errorf("expected badignore finding at %s, got none", key)
+		}
+	}
+	for key := range got {
+		if !want[key] {
+			t.Errorf("unexpected badignore finding at %s", key)
+		}
+	}
+}
 
 // TestAllAnalyzersRegistered pins the suite composition: adding an
 // analyzer without registering it in All() would silently drop it from
@@ -124,7 +167,7 @@ func TestAllAnalyzersRegistered(t *testing.T) {
 		}
 	}
 	sort.Strings(names)
-	want := []string{"droppederr", "floateq", "lockcopy", "maporder", "obsclock", "testhelper", "typederr", "unitsanity"}
+	want := []string{"ctxflow", "droppederr", "errpath", "floateq", "lockbalance", "lockcopy", "maporder", "obsclock", "testhelper", "typederr", "unitsanity", "validatefirst"}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Fatalf("registered analyzers = %v, want %v", names, want)
 	}
@@ -134,18 +177,21 @@ func TestParseIgnoreDirective(t *testing.T) {
 	cases := []struct {
 		comment string
 		rule    string
+		reason  string
 		ok      bool
 	}{
-		{"//teclint:ignore floateq bit-exact sentinel", "floateq", true},
-		{"// teclint:ignore maporder reason", "maporder", true},
-		{"/* teclint:ignore droppederr reason */", "droppederr", true},
-		{"// regular comment", "", false},
-		{"//teclint:ignore", "", false}, // rule name is mandatory
+		{"//teclint:ignore floateq bit-exact sentinel", "floateq", "bit-exact sentinel", true},
+		{"// teclint:ignore maporder reason", "maporder", "reason", true},
+		{"/* teclint:ignore droppederr reason */", "droppederr", "reason", true},
+		{"/* teclint:ignore floateq */", "floateq", "", true}, // reasonless: still parses, badignore flags it
+		{"//teclint:ignore errpath", "errpath", "", true},
+		{"// regular comment", "", "", false},
+		{"//teclint:ignore", "", "", false}, // rule name is mandatory
 	}
 	for _, c := range cases {
-		rule, ok := parseIgnore(c.comment)
-		if rule != c.rule || ok != c.ok {
-			t.Errorf("parseIgnore(%q) = %q,%v want %q,%v", c.comment, rule, ok, c.rule, c.ok)
+		rule, reason, ok := parseIgnore(c.comment)
+		if rule != c.rule || reason != c.reason || ok != c.ok {
+			t.Errorf("parseIgnore(%q) = %q,%q,%v want %q,%q,%v", c.comment, rule, reason, ok, c.rule, c.reason, c.ok)
 		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Unit is one type-checked analysis unit: either a package together
@@ -23,6 +24,217 @@ type Unit struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// Facts is the loader's cross-package fact store, shared by every
+	// unit the loader produced.
+	Facts *FactStore
+}
+
+// FactStore accumulates facts derived across every package the loader
+// type-checks — including module-internal packages loaded only as
+// imports — so the path-sensitive analyzers can reason about callees
+// outside the unit under analysis. It is deliberately lightweight:
+// facts are computed from syntax and types already in hand, never by
+// re-analyzing a package.
+//
+// Facts recorded:
+//
+//   - no-return functions: a function whose body cannot complete
+//     normally (ends in panic, os.Exit, log.Fatal*, an empty select,
+//     or a call to another no-return function, with no reachable
+//     return statement). The CFG builder uses these so code after
+//     `fatal(err)` is not treated as a live path.
+//   - Validate methods: whether a type's method set carries
+//     `Validate() error` (cached; used by the validatefirst taint
+//     analysis to decide which values need validation).
+//
+// All methods are safe on a nil receiver (returning zero values) and
+// safe for concurrent use, since cmd/teclint analyzes units in
+// parallel once loading completes.
+type FactStore struct {
+	mu       sync.Mutex
+	noReturn map[*types.Func]bool
+	validate map[types.Type]bool
+}
+
+// NewFactStore returns an empty fact store.
+func NewFactStore() *FactStore {
+	return &FactStore{
+		noReturn: make(map[*types.Func]bool),
+		validate: make(map[types.Type]bool),
+	}
+}
+
+// NoReturn reports whether fn was proved to never return.
+func (f *FactStore) NoReturn(fn *types.Func) bool {
+	if f == nil || fn == nil {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.noReturn[fn]
+}
+
+// HasValidate reports whether t (or *t) has a Validate() error method.
+func (f *FactStore) HasValidate(t types.Type) bool {
+	if f == nil || t == nil {
+		return false
+	}
+	f.mu.Lock()
+	if v, ok := f.validate[t]; ok {
+		f.mu.Unlock()
+		return v
+	}
+	f.mu.Unlock()
+	v := hasValidateMethod(t)
+	f.mu.Lock()
+	f.validate[t] = v
+	f.mu.Unlock()
+	return v
+}
+
+func hasValidateMethod(t types.Type) bool {
+	for _, typ := range []types.Type{t, types.NewPointer(t)} {
+		ms := types.NewMethodSet(typ)
+		for i := 0; i < ms.Len(); i++ {
+			fn, ok := ms.At(i).Obj().(*types.Func)
+			if !ok || fn.Name() != "Validate" {
+				continue
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if ok && sig.Params().Len() == 0 && sig.Results().Len() == 1 && isErrorType(sig.Results().At(0).Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CtxVariant returns the context-accepting sibling of fn — the
+// function or method named fn.Name()+"Ctx" in the same scope (package
+// scope for functions, the receiver's method set for methods) whose
+// first parameter is a context.Context — or nil when none exists.
+func (f *FactStore) CtxVariant(fn *types.Func) *types.Func {
+	if fn == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	want := fn.Name() + "Ctx"
+	var cand *types.Func
+	if recv := sig.Recv(); recv != nil {
+		ms := types.NewMethodSet(recv.Type())
+		if sel := ms.Lookup(fn.Pkg(), want); sel != nil {
+			cand, _ = sel.Obj().(*types.Func)
+		}
+	} else if fn.Pkg() != nil {
+		cand, _ = fn.Pkg().Scope().Lookup(want).(*types.Func)
+	}
+	if cand == nil {
+		return nil
+	}
+	csig, ok := cand.Type().(*types.Signature)
+	if !ok || csig.Params().Len() == 0 || !isContextType(csig.Params().At(0).Type()) {
+		return nil
+	}
+	return cand
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// recordNoReturns scans a type-checked package's declarations for
+// functions that cannot return, iterating to a local fixpoint so
+// helpers that call other no-return helpers are found regardless of
+// declaration order.
+func (f *FactStore) recordNoReturns(info *types.Info, files []*ast.File) {
+	if f == nil {
+		return
+	}
+	for {
+		added := false
+		for _, file := range files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := info.Defs[fd.Name].(*types.Func)
+				if !ok || f.NoReturn(obj) {
+					continue
+				}
+				if f.bodyNeverReturns(info, fd.Body) {
+					f.mu.Lock()
+					f.noReturn[obj] = true
+					f.mu.Unlock()
+					added = true
+				}
+			}
+		}
+		if !added {
+			return
+		}
+	}
+}
+
+// bodyNeverReturns is a conservative syntactic check: the body must
+// contain no return statement (outside nested function literals) and
+// its final statement must be a terminating call or an empty select.
+func (f *FactStore) bodyNeverReturns(info *types.Info, body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	hasReturn := false
+	for _, st := range body.List {
+		ast.Inspect(st, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ReturnStmt:
+				hasReturn = true
+			}
+			return !hasReturn
+		})
+	}
+	if hasReturn {
+		return false
+	}
+	switch last := body.List[len(body.List)-1].(type) {
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		return ok && f.callNeverReturns(info, call)
+	case *ast.SelectStmt:
+		return len(last.Body.List) == 0
+	}
+	return false
+}
+
+func (f *FactStore) callNeverReturns(info *types.Info, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "panic" {
+			obj, ok := info.Uses[fun]
+			if !ok || obj == nil || obj == types.Universe.Lookup("panic") {
+				return true
+			}
+		}
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return stdNoReturn(fn) || f.NoReturn(fn)
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return stdNoReturn(fn) || f.NoReturn(fn)
+		}
+	}
+	return false
 }
 
 // Loader parses and type-checks packages of a single module using only
@@ -37,7 +249,11 @@ type Loader struct {
 	std     types.Importer
 	cache   map[string]*types.Package
 	loading map[string]bool
+	facts   *FactStore
 }
+
+// Facts exposes the loader's cross-package fact store.
+func (l *Loader) Facts() *FactStore { return l.facts }
 
 // NewLoader creates a loader rooted at moduleRoot, reading the module
 // path from go.mod.
@@ -65,6 +281,7 @@ func NewLoader(moduleRoot string) (*Loader, error) {
 		std:        importer.ForCompiler(fset, "source", nil),
 		cache:      make(map[string]*types.Package),
 		loading:    make(map[string]bool),
+		facts:      NewFactStore(),
 	}, nil
 }
 
@@ -161,7 +378,7 @@ func (l *Loader) Load(dir string) ([]*Unit, error) {
 		if err != nil {
 			return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
 		}
-		units = append(units, &Unit{Fset: l.Fset, Dir: dir, Path: path, Files: base, Pkg: pkg, Info: info})
+		units = append(units, &Unit{Fset: l.Fset, Dir: dir, Path: path, Files: base, Pkg: pkg, Info: info, Facts: l.facts})
 	}
 	if len(xtest) > 0 {
 		xpath := path + "_test"
@@ -169,7 +386,7 @@ func (l *Loader) Load(dir string) ([]*Unit, error) {
 		if err != nil {
 			return nil, fmt.Errorf("lint: type-checking %s: %w", xpath, err)
 		}
-		units = append(units, &Unit{Fset: l.Fset, Dir: dir, Path: xpath, Files: xtest, Pkg: pkg, Info: info})
+		units = append(units, &Unit{Fset: l.Fset, Dir: dir, Path: xpath, Files: xtest, Pkg: pkg, Info: info, Facts: l.facts})
 	}
 	return units, nil
 }
@@ -231,6 +448,10 @@ func (l *Loader) check(path string, files []*ast.File) (*types.Package, *types.I
 	if err != nil {
 		return nil, nil, err
 	}
+	// Harvest cross-package facts from every package that passes
+	// through the checker, imports included, so analyzers see e.g.
+	// no-return helpers defined in other module packages.
+	l.facts.recordNoReturns(info, files)
 	return pkg, info, nil
 }
 

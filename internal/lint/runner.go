@@ -3,6 +3,8 @@ package lint
 import (
 	"path/filepath"
 	"sort"
+
+	"tecopt/internal/engine"
 )
 
 // LintDirs type-checks every package directory in dirs and runs the
@@ -12,15 +14,37 @@ import (
 // (when non-empty) so output is stable regardless of where the tool
 // runs from.
 func LintDirs(loader *Loader, dirs []string, analyzers []*Analyzer, base string) ([]Diagnostic, error) {
-	var all []Diagnostic
+	return LintDirsParallel(loader, dirs, analyzers, base, 1)
+}
+
+// LintDirsParallel is LintDirs with the analyzer runs spread over
+// workers goroutines (engine.Pool semantics: <=0 means GOMAXPROCS, 1 is
+// serial). Loading and type-checking stay serial — the Loader mutates
+// its package cache — but a loaded Unit is immutable, the shared
+// FactStore is internally locked, and token.FileSet position lookups
+// are safe concurrently, so Run can fan out per unit. Results are
+// collected by index and then globally sorted, making the output
+// byte-identical to the serial run for any worker count.
+func LintDirsParallel(loader *Loader, dirs []string, analyzers []*Analyzer, base string, workers int) ([]Diagnostic, error) {
+	var units []*Unit
 	for _, dir := range dirs {
-		units, err := loader.Load(dir)
+		us, err := loader.Load(dir)
 		if err != nil {
 			return nil, err
 		}
-		for _, unit := range units {
-			all = append(all, Run(unit, analyzers)...)
-		}
+		units = append(units, us...)
+	}
+	perUnit := make([][]Diagnostic, len(units))
+	pool := engine.Pool{Workers: workers}
+	if err := pool.Map(len(units), func(i int) error {
+		perUnit[i] = Run(units[i], analyzers)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var all []Diagnostic
+	for _, diags := range perUnit {
+		all = append(all, diags...)
 	}
 	if base != "" {
 		for i := range all {

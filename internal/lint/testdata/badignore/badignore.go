@@ -1,0 +1,19 @@
+// Package badignoretest seeds reasonless and well-formed
+// teclint:ignore directives for the badignore framework tests.
+package badignoretest
+
+func approxZero(x float64) bool {
+	// A reasoned directive: suppresses floateq, emits nothing.
+	return x == 0 //teclint:ignore floateq exact zero sentinel comparison
+}
+
+func approxEqual(a, b float64) bool {
+	// A bare directive still suppresses floateq on its line, but the
+	// directive itself is reported so the gate stays red.
+	return a == b /* teclint:ignore floateq */ // want badignore
+}
+
+func approxClose(a, b float64) bool {
+	/* teclint:ignore floateq */ // want badignore
+	return a == b
+}

@@ -1,0 +1,91 @@
+// Package ctxflowtest seeds violations and clean code for the ctxflow
+// analyzer fixture tests.
+package ctxflowtest
+
+import "context"
+
+// search / searchCtx form a Ctx-sibling pair: inside a ctx-taking
+// function, calling search severs cancellation.
+func search(n int) int { return n * 2 }
+
+func searchCtx(ctx context.Context, n int) int {
+	select {
+	case <-ctx.Done():
+		return 0
+	default:
+	}
+	return n * 2
+}
+
+type sweeper struct{ budget int }
+
+func (s *sweeper) run(n int) int { return n + s.budget }
+
+func (s *sweeper) runCtx(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return n + s.budget
+}
+
+type server struct {
+	ctx    context.Context
+	budget int
+}
+
+type options struct {
+	Ctx context.Context
+	N   int
+}
+
+func solveWith(o options) int { return o.N }
+
+func badPlainCall(ctx context.Context) int {
+	return search(8) // want ctxflow
+}
+
+func badMethodCall(ctx context.Context, s *sweeper) int {
+	return s.run(8) // want ctxflow
+}
+
+func badBackground(ctx context.Context) int {
+	return searchCtx(context.Background(), 8) // want ctxflow
+}
+
+func badTODO(ctx context.Context) int {
+	return searchCtx(context.TODO(), 8) // want ctxflow
+}
+
+func badStore(ctx context.Context, s *server) {
+	s.ctx = ctx // want ctxflow
+}
+
+func badInsideLiteral(ctx context.Context) func() int {
+	return func() int {
+		return search(4) // want ctxflow
+	}
+}
+
+func goodForward(ctx context.Context, s *sweeper) int {
+	return searchCtx(ctx, 8) + s.runCtx(ctx, 8)
+}
+
+// goodNoCtxInScope: without a context parameter, the plain variants
+// and context.Background() are the correct spellings.
+func goodNoCtxInScope() int {
+	return search(8) + searchCtx(context.Background(), 8)
+}
+
+// goodOptionsLiteral: latching ctx into an options literal that is
+// handed straight to the callee is the sanctioned forwarding idiom.
+func goodOptionsLiteral(ctx context.Context) int {
+	return solveWith(options{Ctx: ctx, N: 8})
+}
+
+// goodDerivedCtx: passing a context derived from the in-scope one
+// still forwards cancellation.
+func goodDerivedCtx(ctx context.Context) int {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return searchCtx(sub, 8)
+}

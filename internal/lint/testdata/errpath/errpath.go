@@ -1,0 +1,141 @@
+// Package errpathtest seeds violations and clean code for the errpath
+// analyzer fixture tests.
+package errpathtest
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errDiverged = errors.New("diverged")
+
+func refine() error        { return nil }
+func cleanup() error       { return nil }
+func load() (int, error)   { return 0, nil }
+func coarse() int          { return 1 }
+func use(int)              {}
+func wrap(err error) error { return fmt.Errorf("refine: %w", err) }
+
+func badBranchDrop(fast bool) int {
+	err := refine() // want errpath
+	if fast {
+		return coarse()
+	}
+	if err != nil {
+		return -1
+	}
+	return 0
+}
+
+func badOverwrite() error {
+	err := refine() // want errpath
+	err = cleanup()
+	return err
+}
+
+func badMultiValueDrop(fast bool) int {
+	n, err := load() // want errpath
+	if fast {
+		return n
+	}
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+func badSwitchDrop(mode int) error {
+	err := refine() // want errpath
+	switch mode {
+	case 0:
+		return nil
+	default:
+		return err
+	}
+}
+
+func goodAllPaths(fast bool) (int, error) {
+	err := refine()
+	if fast {
+		return coarse(), err
+	}
+	if err != nil {
+		return 0, err
+	}
+	return 0, nil
+}
+
+func goodWrapOverwrite() error {
+	err := refine()
+	err = wrap(err) // consumes the pending value in the same statement
+	return err
+}
+
+func goodInitCond() error {
+	if err := refine(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// goodClosureLatch: variables written inside function literals follow
+// defer/goroutine flow the intraprocedural analysis cannot see; they
+// are excluded rather than reported.
+func goodClosureLatch() error {
+	var err error
+	func() { err = refine() }()
+	return err
+}
+
+// goodNamedResult: a named error result is implicitly read by a bare
+// return; it is declared in the signature, not the body, so it is
+// never tracked.
+func goodNamedResult() (err error) {
+	err = refine()
+	return
+}
+
+// goodErrorPrecedence: the early return carries another error value
+// (cancellation wins over the stale solver error), so no path reports
+// success with err unexamined.
+func goodErrorPrecedence(ctxErr error) error {
+	err := refine()
+	if ctxErr != nil {
+		return ctxErr
+	}
+	return err
+}
+
+// goodDispatchRead: a tagless switch reads err during case dispatch on
+// every path, including the no-match one.
+func goodDispatchRead() int {
+	err := refine()
+	switch {
+	case errDiverged == err:
+		return -1
+	case err != nil:
+		return -2
+	}
+	return 0
+}
+
+// goodFatalExit: a terminating call ends the path loudly; pending
+// errors there are not silent drops.
+func goodFatalExit(fail bool) error {
+	err := refine()
+	if fail {
+		panic("fatal")
+	}
+	return err
+}
+
+// goodShortCircuit: the error is consulted on the only live path; the
+// early return terminates the other one.
+func goodShortCircuit(n int) error {
+	err := refine()
+	if n == 0 {
+		return err
+	}
+	use(n)
+	return err
+}

@@ -1,0 +1,79 @@
+// Package lockbalancetest seeds violations and clean code for the
+// lockbalance analyzer fixture tests.
+package lockbalancetest
+
+import "sync"
+
+type cache struct {
+	mu      sync.RWMutex
+	entries map[string]float64
+}
+
+func badEarlyReturn(m *sync.Mutex, skip bool) int {
+	m.Lock() // want lockbalance
+	if skip {
+		return 0
+	}
+	m.Unlock()
+	return 1
+}
+
+func (c *cache) badReadPathLeak(key string) (float64, bool) {
+	c.mu.RLock() // want lockbalance
+	v, ok := c.entries[key]
+	if !ok {
+		return 0, false
+	}
+	c.mu.RUnlock()
+	return v, true
+}
+
+// badKindMismatch releases a read lock with the writer Unlock: the
+// RLock obligation is never discharged (and the Unlock panics at
+// runtime).
+func badKindMismatch(m *sync.RWMutex) {
+	m.RLock() // want lockbalance
+	m.Unlock()
+}
+
+func goodDefer(m *sync.Mutex) int {
+	m.Lock()
+	defer m.Unlock()
+	return 1
+}
+
+func (c *cache) goodDeferredLiteral(key string, v float64) {
+	c.mu.Lock()
+	defer func() {
+		delete(c.entries, "stale")
+		c.mu.Unlock()
+	}()
+	c.entries[key] = v
+}
+
+func goodBranchBalanced(m *sync.Mutex, b bool) int {
+	m.Lock()
+	if b {
+		m.Unlock()
+		return 0
+	}
+	m.Unlock()
+	return 1
+}
+
+func (c *cache) goodReadBalanced(key string) (float64, bool) {
+	c.mu.RLock()
+	v, ok := c.entries[key]
+	c.mu.RUnlock()
+	return v, ok
+}
+
+// goodTryLock: TryLock acquisition is conditional by design and is not
+// tracked.
+func goodTryLock(m *sync.Mutex) bool {
+	if m.TryLock() {
+		m.Unlock()
+		return true
+	}
+	return false
+}

@@ -1,0 +1,106 @@
+// Package validatefirsttest seeds violations and clean code for the
+// validatefirst analyzer fixture tests.
+package validatefirsttest
+
+import "errors"
+
+// Config mirrors the solver configuration types: constructed or
+// loaded, then Validate() gates the solve.
+type Config struct {
+	N     int
+	Power float64
+}
+
+func (c *Config) Validate() error {
+	if c.N <= 0 {
+		return errors.New("N must be positive")
+	}
+	return nil
+}
+
+// LoadConfig mirrors chipload.Load: a taint source by name (Load*) and
+// result type (has Validate).
+func LoadConfig() (Config, error) { return Config{N: 8}, nil }
+
+// SolveSteady is a sink by name prefix.
+func SolveSteady(cfg Config) float64 { return float64(cfg.N) }
+
+// RunawayLimit is a sink by exact name.
+func RunawayLimit(cfg *Config) float64 { return cfg.Power }
+
+func tweak(cfg *Config) { cfg.N++ }
+
+func badSkipValidate(fast bool) float64 {
+	cfg, err := LoadConfig()
+	if err != nil {
+		return -1
+	}
+	if !fast {
+		if err := cfg.Validate(); err != nil {
+			return -1
+		}
+	}
+	return SolveSteady(cfg) // want validatefirst
+}
+
+func badNoValidate() float64 {
+	cfg, err := LoadConfig()
+	if err != nil {
+		return -1
+	}
+	return SolveSteady(cfg) // want validatefirst
+}
+
+func badLiteral() float64 {
+	cfg := &Config{N: 8}
+	return RunawayLimit(cfg) // want validatefirst
+}
+
+func badCopyPropagates() float64 {
+	cfg, err := LoadConfig()
+	if err != nil {
+		return -1
+	}
+	alias := cfg
+	return SolveSteady(alias) // want validatefirst
+}
+
+func goodValidated() float64 {
+	cfg, err := LoadConfig()
+	if err != nil {
+		return -1
+	}
+	if err := cfg.Validate(); err != nil {
+		return -1
+	}
+	return SolveSteady(cfg)
+}
+
+func goodLiteralValidated() float64 {
+	cfg := &Config{N: 8}
+	if err := cfg.Validate(); err != nil {
+		return -1
+	}
+	return RunawayLimit(cfg)
+}
+
+// goodEscape: a value handed to another function first may have been
+// validated (or mutated) on the caller's behalf; tracking stops.
+func goodEscape() float64 {
+	cfg := Config{N: 8}
+	tweak(&cfg)
+	return SolveSteady(cfg)
+}
+
+// goodUnrelatedSource: values of types without Validate are never
+// tracked, whatever the producing call is named.
+func LoadWeights() ([]float64, error) { return nil, nil }
+
+func goodUnrelatedSource() float64 {
+	w, err := LoadWeights()
+	if err != nil {
+		return -1
+	}
+	_ = w
+	return SolveSteady(Config{N: 1})
+}
