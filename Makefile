@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race race-engine chaos vet lint lint-json fuzz-smoke obs-overhead check
+.PHONY: all build test race race-engine chaos vet lint lint-json lint-fixtures bench-json fuzz-smoke obs-overhead check
 
 all: check
 
@@ -45,14 +45,34 @@ lint-json:
 	$(GO) run ./cmd/teclint -json -baseline teclint.baseline.json ./... > teclint.json; \
 	status=$$?; cat teclint.json; exit $$status
 
+# Fixture gate: lints the seeded-violation fixture packages and checks
+# the per-rule finding counts against the committed expectations. A
+# refactor that silently kills an analyzer (zero findings where the
+# fixtures seed some) fails here even though `make lint` stays green.
+lint-fixtures:
+	$(GO) run ./cmd/teclint -expect cmd/teclint/testdata/fixture_counts.json internal/lint/testdata/*/
+
+# Benchmark snapshot: runs the Table I and h_kl-sweep engine benchmarks
+# through `go test -bench -json` and distills name / ns/op / allocs
+# into BENCH_solver.json (committed; EXPERIMENTS.md tracks history).
+# -benchtime=1x because Table I is a full paper reproduction per
+# iteration — one timed run is the snapshot.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine_(TableI|HklSweep)$$' \
+		-benchmem -benchtime=1x -json ./internal/bench ./internal/core \
+		| $(GO) run ./cmd/benchjson > BENCH_solver.json
+	@cat BENCH_solver.json
+
 # Short fuzz runs over every parser fuzz target; catches regressions in
 # input handling without the cost of a long campaign. FuzzCFG throws
 # arbitrary function bodies at the lint CFG builder, which must never
-# panic on code that parses.
+# panic on code that parses; FuzzDataflow pushes the resulting graphs
+# through the fixpoint engine (step-bound termination, state isolation).
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParseFLP -fuzztime=$(FUZZTIME) -run='^$$' ./internal/floorplan
 	$(GO) test -fuzz=FuzzParsePtrace -fuzztime=$(FUZZTIME) -run='^$$' ./internal/power
 	$(GO) test -fuzz=FuzzCFG -fuzztime=$(FUZZTIME) -run='^$$' ./internal/lint
+	$(GO) test -fuzz=FuzzDataflow -fuzztime=$(FUZZTIME) -run='^$$' ./internal/lint
 
 # Observability overhead gate: runs the Table I workload with the obs
 # registry off and on, and fails if instrumentation costs more than 5%.
@@ -60,4 +80,4 @@ obs-overhead:
 	OBS_OVERHEAD=1 $(GO) test -count=1 -run TestObsOverheadOnTableI -v ./internal/bench
 
 # The full gate, in the order CI runs it.
-check: build vet lint test race chaos
+check: build vet lint lint-fixtures test race chaos

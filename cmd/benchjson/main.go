@@ -1,0 +1,187 @@
+// Command benchjson converts the event stream of `go test -bench -json`
+// into a compact, diffable benchmark snapshot. It reads test2json
+// events on stdin, extracts the benchmark result lines, and writes a
+// sorted JSON array to stdout:
+//
+//	go test -run '^$' -bench 'BenchmarkEngine_(TableI|HklSweep)$' \
+//	    -benchmem -benchtime=1x -json ./internal/bench ./internal/core \
+//	    | go run ./cmd/benchjson > BENCH_solver.json
+//
+// Each entry carries the benchmark name (with the -N GOMAXPROCS suffix
+// stripped), the package, iteration count, ns/op, and — when -benchmem
+// is on — B/op and allocs/op. `make bench-json` is the canonical
+// invocation; EXPERIMENTS.md tracks the committed snapshots.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of the test2json schema benchjson needs.
+type event struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// Result is one benchmark measurement in the snapshot.
+type Result struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, out io.Writer) error {
+	results, err := parseStream(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results in input (did the bench run fail?)")
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(out, "%s\n", data)
+	return err
+}
+
+// parseStream decodes test2json events and collects benchmark result
+// lines, sorted by (package, name) so snapshots diff cleanly.
+//
+// test2json splits one textual benchmark result across multiple
+// output events (the name flushes with a trailing tab before the
+// measurements arrive), so events are reassembled into lines per
+// package before parsing.
+func parseStream(in io.Reader) ([]Result, error) {
+	var results []Result
+	partial := make(map[string]string) // package -> unterminated output
+	emit := func(pkg, text string) {
+		if r, ok := parseBenchLine(strings.TrimSpace(text), pkg); ok {
+			results = append(results, r)
+		}
+	}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			// Tolerate non-JSON noise (e.g. a bare `go test` line when
+			// the stream was produced without -json by mistake).
+			emit("", line)
+			continue
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		buf := partial[ev.Package] + ev.Output
+		for {
+			nl := strings.IndexByte(buf, '\n')
+			if nl < 0 {
+				break
+			}
+			emit(ev.Package, buf[:nl])
+			buf = buf[nl+1:]
+		}
+		partial[ev.Package] = buf
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for pkg, rest := range partial {
+		emit(pkg, rest)
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Package != results[j].Package {
+			return results[i].Package < results[j].Package
+		}
+		return results[i].Name < results[j].Name
+	})
+	return results, nil
+}
+
+// parseBenchLine parses one `BenchmarkName-N  iters  ns/op [B/op allocs/op]`
+// result line. Non-benchmark output returns ok=false.
+func parseBenchLine(line, pkg string) (Result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") || !strings.Contains(line, "ns/op") {
+		return Result{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{
+		Name:       strings.TrimSuffix(fields[0], "-"+gomaxprocsSuffix(fields[0])),
+		Package:    pkg,
+		Iterations: iters,
+	}
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			ns, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Result{}, false
+			}
+			r.NsPerOp = ns
+			sawNs = true
+		case "B/op":
+			b, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Result{}, false
+			}
+			r.BytesPerOp = b
+		case "allocs/op":
+			a, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Result{}, false
+			}
+			r.AllocsPerOp = a
+		}
+	}
+	if !sawNs {
+		return Result{}, false
+	}
+	return r, true
+}
+
+// gomaxprocsSuffix returns the trailing "-N" procs suffix of a
+// benchmark name (without the dash), or "" when absent.
+func gomaxprocsSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return ""
+	}
+	suffix := name[i+1:]
+	if _, err := strconv.Atoi(suffix); err != nil {
+		return ""
+	}
+	return suffix
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"tecopt/internal/num"
+)
+
+const sampleStream = `{"Action":"start","Package":"tecopt/internal/bench"}
+{"Action":"output","Package":"tecopt/internal/bench","Output":"goos: linux\n"}
+{"Action":"output","Package":"tecopt/internal/bench","Output":"BenchmarkEngine_TableI-8 \t       1\t1234567890 ns/op\t  456789 B/op\t    1234 allocs/op\n"}
+{"Action":"output","Package":"tecopt/internal/core","Output":"BenchmarkEngine_HklSweep-8 \t       2\t 98765432 ns/op\t   12345 B/op\t      67 allocs/op\n"}
+{"Action":"output","Package":"tecopt/internal/bench","Output":"PASS\n"}
+{"Action":"pass","Package":"tecopt/internal/bench"}
+`
+
+func TestParseStream(t *testing.T) {
+	results, err := parseStream(strings.NewReader(sampleStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2: %+v", len(results), results)
+	}
+	// Sorted by package: internal/bench before internal/core.
+	first := results[0]
+	if first.Name != "BenchmarkEngine_TableI" {
+		t.Errorf("name = %q (procs suffix must be stripped)", first.Name)
+	}
+	if first.Package != "tecopt/internal/bench" {
+		t.Errorf("package = %q", first.Package)
+	}
+	if first.Iterations != 1 || !num.ExactEqual(first.NsPerOp, 1234567890) {
+		t.Errorf("iters/ns = %d/%v", first.Iterations, first.NsPerOp)
+	}
+	if first.BytesPerOp != 456789 || first.AllocsPerOp != 1234 {
+		t.Errorf("B/op=%d allocs/op=%d", first.BytesPerOp, first.AllocsPerOp)
+	}
+	if results[1].Name != "BenchmarkEngine_HklSweep" || !num.ExactEqual(results[1].NsPerOp, 98765432) {
+		t.Errorf("second result: %+v", results[1])
+	}
+}
+
+// TestParseStreamReassemblesSplitLines covers what `go test -json`
+// actually emits: the benchmark name flushes as its own output event
+// (trailing tab, no newline) and the measurements arrive in the next
+// event, possibly interleaved with another package's events.
+func TestParseStreamReassemblesSplitLines(t *testing.T) {
+	in := `{"Action":"output","Package":"p/a","Output":"BenchmarkEngine_HklSweep/serial         \t"}
+{"Action":"output","Package":"p/b","Output":"BenchmarkOther \t"}
+{"Action":"output","Package":"p/a","Output":"       1\t  78241064 ns/op\t27409240 B/op\t    1786 allocs/op\n"}
+{"Action":"output","Package":"p/b","Output":" 3\t 11 ns/op\n"}
+`
+	results, err := parseStream(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2: %+v", len(results), results)
+	}
+	if results[0].Name != "BenchmarkEngine_HklSweep/serial" || results[0].AllocsPerOp != 1786 {
+		t.Errorf("split-line result mangled: %+v", results[0])
+	}
+	if results[1].Name != "BenchmarkOther" || results[1].Iterations != 3 {
+		t.Errorf("interleaved package mangled: %+v", results[1])
+	}
+}
+
+func TestParseStreamIgnoresNoise(t *testing.T) {
+	in := `{"Action":"output","Output":"goos: linux\n"}
+{"Action":"output","Output":"Benchmark notes: ns/op is wall time\n"}
+{"Action":"output","Output":"cpu: some chip\n"}
+`
+	results, err := parseStream(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("noise parsed as results: %+v", results)
+	}
+}
+
+func TestRunEmitsStableJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sampleStream), &out); err != nil {
+		t.Fatal(err)
+	}
+	var results []Result
+	if err := json.Unmarshal(out.Bytes(), &results); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(results) != 2 {
+		t.Fatalf("round-trip lost results: %+v", results)
+	}
+}
+
+func TestRunFailsOnEmptyInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(""), &out); err == nil {
+		t.Fatal("empty input must fail: a benchmark run that produced nothing is a broken gate")
+	}
+}

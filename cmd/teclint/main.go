@@ -19,6 +19,13 @@
 //	-baseline F    suppress findings recorded in the JSON baseline file F
 //	-parallel N    run analyzers over N packages concurrently
 //	               (0 = all cores, 1 = serial; output is identical)
+//	-stats         report per-analyzer wall time and finding counts
+//	               (a table on stderr; with -json the output becomes a
+//	               {"findings":..., "stats":...} object)
+//	-expect F      compare per-rule finding counts against the JSON
+//	               object {"rule": count, ...} in F: exit 0 iff they
+//	               match exactly. The CI fixture gate uses this to catch
+//	               analyzers that silently stop firing.
 //
 // Exit codes follow the tecerr contract: 0 clean, 1 when findings
 // survive the baseline, 2 (tecerr.CodeInvalidInput) when packages fail
@@ -32,7 +39,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 
 	"tecopt/internal/lint"
 	"tecopt/internal/tecerr"
@@ -56,6 +65,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	asJSON := fs.Bool("json", false, "emit findings as a JSON array")
 	baselinePath := fs.String("baseline", "", "JSON baseline file of findings to suppress")
 	parallel := fs.Int("parallel", 0, "packages analyzed concurrently (0 = all cores, 1 = serial)")
+	withStats := fs.Bool("stats", false, "report per-analyzer wall time and finding counts")
+	expectPath := fs.String("expect", "", "JSON file of expected per-rule finding counts; exit 0 iff they match")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -92,7 +103,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "teclint:", err)
 		return tecerr.ExitCode(loadFailure("resolving patterns", err))
 	}
-	diags, err := lint.LintDirsParallel(loader, dirs, analyzers, cwd, *parallel)
+	var stats *lint.StatsCollector
+	if *withStats {
+		stats = lint.NewStatsCollector()
+	}
+	diags, err := lint.LintDirsParallelStats(loader, dirs, analyzers, cwd, *parallel, stats)
 	if err != nil {
 		fmt.Fprintln(stderr, "teclint:", err)
 		return tecerr.ExitCode(loadFailure("loading packages", err))
@@ -108,7 +123,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *asJSON {
-		if err := writeJSON(stdout, diags); err != nil {
+		if err := writeJSON(stdout, diags, stats); err != nil {
 			fmt.Fprintln(stderr, "teclint:", err)
 			return tecerr.ExitCode(loadFailure("encoding json", err))
 		}
@@ -116,6 +131,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d.String())
 		}
+		writeStatsTable(stderr, stats)
+	}
+
+	if *expectPath != "" {
+		expected, err := readExpected(*expectPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "teclint:", err)
+			return tecerr.ExitCode(loadFailure("reading expected counts", err))
+		}
+		if mismatches := compareExpected(diags, expected); len(mismatches) > 0 {
+			for _, m := range mismatches {
+				fmt.Fprintln(stderr, "teclint:", m)
+			}
+			return 1
+		}
+		fmt.Fprintf(stderr, "teclint: finding counts match %s\n", *expectPath)
+		return 0
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "teclint: %d finding(s)\n", len(diags))
@@ -139,18 +171,86 @@ func toFinding(d lint.Diagnostic) Finding {
 }
 
 // writeJSON emits the findings as an indented JSON array (always an
-// array, never null, so consumers can range unconditionally).
-func writeJSON(w io.Writer, diags []lint.Diagnostic) error {
+// array, never null, so consumers can range unconditionally). With
+// -stats the output becomes a {"findings":..., "stats":...} object —
+// the bare-array shape is preserved whenever -stats is absent so
+// existing baselines and pipelines keep parsing.
+func writeJSON(w io.Writer, diags []lint.Diagnostic, stats *lint.StatsCollector) error {
 	findings := make([]Finding, 0, len(diags))
 	for _, d := range diags {
 		findings = append(findings, toFinding(d))
 	}
-	data, err := json.MarshalIndent(findings, "", "  ")
+	var payload any = findings
+	if stats != nil {
+		payload = struct {
+			Findings []Finding           `json:"findings"`
+			Stats    []lint.AnalyzerStat `json:"stats"`
+		}{Findings: findings, Stats: stats.Stats()}
+	}
+	data, err := json.MarshalIndent(payload, "", "  ")
 	if err != nil {
 		return err
 	}
 	_, err = fmt.Fprintf(w, "%s\n", data)
 	return err
+}
+
+// writeStatsTable prints the per-analyzer accounting to stderr in text
+// mode, keeping stdout byte-identical with and without -stats. Finding
+// counts here are post-suppression but pre-baseline (they are gathered
+// inside the analysis run, before -baseline filtering).
+func writeStatsTable(w io.Writer, stats *lint.StatsCollector) {
+	if stats == nil {
+		return
+	}
+	fmt.Fprintf(w, "%-13s %12s %9s\n", "analyzer", "wall", "findings")
+	for _, s := range stats.Stats() {
+		fmt.Fprintf(w, "%-13s %12s %9d\n", s.Name, time.Duration(s.Nanos).Round(time.Microsecond), s.Findings)
+	}
+}
+
+// readExpected parses a -expect file: a JSON object mapping rule name
+// to the exact number of findings that rule must produce.
+func readExpected(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var expected map[string]int
+	if err := json.Unmarshal(data, &expected); err != nil {
+		return nil, fmt.Errorf("parsing expected counts %s: %w", path, err)
+	}
+	return expected, nil
+}
+
+// compareExpected diffs actual per-rule finding counts against the
+// expected map, returning one message per rule that is off (sorted by
+// rule name). Rules absent from the expected map must produce zero
+// findings.
+func compareExpected(diags []lint.Diagnostic, expected map[string]int) []string {
+	actual := make(map[string]int)
+	for _, d := range diags {
+		actual[d.Rule]++
+	}
+	rules := make(map[string]bool, len(actual)+len(expected))
+	for r := range actual {
+		rules[r] = true
+	}
+	for r := range expected {
+		rules[r] = true
+	}
+	names := make([]string, 0, len(rules))
+	for r := range rules {
+		names = append(names, r)
+	}
+	sort.Strings(names)
+	var mismatches []string
+	for _, r := range names {
+		if actual[r] != expected[r] {
+			mismatches = append(mismatches, fmt.Sprintf("rule %s: %d finding(s), expected %d", r, actual[r], expected[r]))
+		}
+	}
+	return mismatches
 }
 
 // baselineKey identifies a finding for baseline matching. Line and

@@ -20,13 +20,17 @@ var update = flag.Bool("update", false, "rewrite golden files with current outpu
 // exercises every rule and the output formatting at once.
 var fixturePatterns = []string{
 	"internal/lint/testdata/badignore",
+	"internal/lint/testdata/cachegen",
 	"internal/lint/testdata/ctxflow",
+	"internal/lint/testdata/dimflow",
 	"internal/lint/testdata/droppederr",
 	"internal/lint/testdata/errpath",
 	"internal/lint/testdata/floateq",
+	"internal/lint/testdata/goroleak",
 	"internal/lint/testdata/lockbalance",
 	"internal/lint/testdata/lockcopy",
 	"internal/lint/testdata/maporder",
+	"internal/lint/testdata/nanflow",
 	"internal/lint/testdata/obsclock",
 	"internal/lint/testdata/testhelper",
 	"internal/lint/testdata/typederr",
@@ -304,13 +308,106 @@ func TestExitCodeContract(t *testing.T) {
 	}
 }
 
+// TestStatsFlag checks the per-analyzer accounting: text mode keeps
+// stdout byte-identical and prints the table on stderr; -json mode
+// wraps findings and stats in one object with a row for every
+// registered analyzer.
+func TestStatsFlag(t *testing.T) {
+	_, plain, _ := runAtRoot(t, fixturePatterns)
+	code, stdout, stderr := runAtRoot(t, append([]string{"-stats"}, fixturePatterns...))
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if stdout != plain {
+		t.Errorf("-stats changed stdout\n--- with ---\n%s--- without ---\n%s", stdout, plain)
+	}
+	if !strings.Contains(stderr, "analyzer") || !strings.Contains(stderr, "dimflow") {
+		t.Errorf("-stats stderr missing the table:\n%s", stderr)
+	}
+
+	_, jsonOut, _ := runAtRoot(t, append([]string{"-stats", "-json"}, fixturePatterns...))
+	var payload struct {
+		Findings []Finding `json:"findings"`
+		Stats    []lint.AnalyzerStat
+	}
+	if err := json.Unmarshal([]byte(jsonOut), &payload); err != nil {
+		t.Fatalf("-stats -json output does not decode: %v", err)
+	}
+	if len(payload.Findings) == 0 {
+		t.Error("stats payload carries no findings")
+	}
+	byName := make(map[string]lint.AnalyzerStat, len(payload.Stats))
+	for _, s := range payload.Stats {
+		byName[s.Name] = s
+	}
+	for _, a := range lint.All() {
+		if _, ok := byName[a.Name]; !ok {
+			t.Errorf("stats missing analyzer %s", a.Name)
+		}
+	}
+	if s := byName["dimflow"]; s.Findings == 0 {
+		t.Error("dimflow fixture findings not counted in stats")
+	}
+}
+
+// TestExpectFlag pins the fixture-count gate: matching counts exit 0
+// even though findings exist; a stale count or a dead analyzer (zero
+// where findings are expected) exits 1 naming the rule.
+func TestExpectFlag(t *testing.T) {
+	_, jsonOut, _ := runAtRoot(t, append([]string{"-json"}, fixturePatterns...))
+	var findings []Finding
+	if err := json.Unmarshal([]byte(jsonOut), &findings); err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	for _, f := range findings {
+		counts[f.Rule]++
+	}
+	writeCounts := func(m map[string]int) string {
+		t.Helper()
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "counts.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	code, _, stderr := runAtRoot(t, append([]string{"-expect", writeCounts(counts)}, fixturePatterns...))
+	if code != 0 {
+		t.Fatalf("matching counts: exit %d, want 0; stderr:\n%s", code, stderr)
+	}
+
+	bad := make(map[string]int, len(counts))
+	for r, n := range counts {
+		bad[r] = n
+	}
+	bad["dimflow"]++
+	code, _, stderr = runAtRoot(t, append([]string{"-expect", writeCounts(bad)}, fixturePatterns...))
+	if code != 1 {
+		t.Fatalf("stale counts: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "rule dimflow") {
+		t.Errorf("mismatch stderr does not name the rule:\n%s", stderr)
+	}
+
+	// The expected-counts file mirrors what the checked-in CI gate uses.
+	code, _, stderr = runAtRoot(t, append([]string{"-expect", filepath.Join("cmd", "teclint", "testdata", "fixture_counts.json")}, fixturePatterns...))
+	if code != 0 {
+		t.Fatalf("checked-in fixture_counts.json is stale: exit %d; stderr:\n%s", code, stderr)
+	}
+}
+
 // TestRulesFlag checks the -rules listing names every registered analyzer.
 func TestRulesFlag(t *testing.T) {
 	code, stdout, _ := runAtRoot(t, []string{"-rules"})
 	if code != 0 {
 		t.Fatalf("-rules exit code = %d", code)
 	}
-	for _, rule := range []string{"ctxflow", "droppederr", "errpath", "floateq", "lockbalance", "lockcopy", "maporder", "obsclock", "testhelper", "typederr", "unitsanity", "validatefirst"} {
+	for _, rule := range []string{"cachegen", "ctxflow", "dimflow", "droppederr", "errpath", "floateq", "goroleak", "lockbalance", "lockcopy", "maporder", "nanflow", "obsclock", "testhelper", "typederr", "unitsanity", "validatefirst"} {
 		if !strings.Contains(stdout, rule) {
 			t.Errorf("-rules output missing %q:\n%s", rule, stdout)
 		}

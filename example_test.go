@@ -2,6 +2,7 @@ package tecopt_test
 
 import (
 	"fmt"
+	"math"
 
 	"tecopt"
 )
@@ -40,6 +41,12 @@ func ExampleSystem_RunawayLimit() {
 	lambda, err := sys.RunawayLimit(tecopt.RunawayOptions{})
 	if err != nil {
 		fmt.Println("error:", err)
+		return
+	}
+	// Theorem 1 permits lambda_m = +Inf for unconditionally stable
+	// arrays; check finiteness before driving the solver with it.
+	if math.IsInf(lambda, 0) {
+		fmt.Println("no finite limit")
 		return
 	}
 	fmt.Printf("finite limit: %v\n", lambda > 0 && lambda < 1e6)

@@ -51,6 +51,9 @@ func TestRunawayLimitEigenPDAtBoundary(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if math.IsInf(lam, 0) || math.IsNaN(lam) {
+		t.Fatalf("spectral lambda_m is not finite: %v", lam)
+	}
 	if _, err := sys.Factor(lam * (1 - 1e-6)); err != nil {
 		t.Errorf("not PD just below spectral lambda_m: %v", err)
 	}

@@ -5,13 +5,17 @@ package lint
 // identical positions; Run sorts findings by position and rule name.
 func All() []*Analyzer {
 	return []*Analyzer{
+		CacheGen,
 		CtxFlow,
+		DimFlow,
 		DroppedErr,
 		ErrPath,
 		FloatEq,
+		GoroLeak,
 		LockBalance,
 		LockCopy,
 		MapOrder,
+		NaNFlow,
 		ObsClock,
 		TestHelper,
 		TypedErr,

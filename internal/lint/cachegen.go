@@ -1,0 +1,76 @@
+package lint
+
+// cachegen makes factor-cache invalidation statically sound. The
+// engine's FactorCache is keyed by Key{Gen, Current}: a System's
+// generation number stands in for "everything the factorization
+// depends on", so any mutation of that state without a generation
+// bump serves stale factorizations — silently, since the stale matrix
+// is numerically valid, just wrong.
+//
+// The loader's summary pass identifies cache-keyed types (named
+// structs whose field is somewhere assigned from NextGeneration(),
+// core.System being the one in production) and records which
+// functions bump a generation. This analyzer then flags every write
+// to a non-generation field of a cache-keyed value in a function that
+// neither calls NextGeneration() itself nor calls a bumping helper
+// that receives the value (per summary). Constructors are naturally
+// exempt: building the struct by composite literal with a fresh
+// generation is not a field write.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var CacheGen = &Analyzer{
+	Name: "cachegen",
+	Doc:  "mutations of cache-keyed state (types whose generation field comes from engine.NextGeneration) must be paired with a generation bump in the same function, directly or via a bumping callee",
+	Run:  runCacheGen,
+}
+
+func runCacheGen(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCacheGen(pass, fd)
+		}
+	}
+}
+
+func checkCacheGen(pass *Pass, fd *ast.FuncDecl) {
+	fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	s := pass.Facts.Summary(fn)
+	if s == nil || !s.MutatesCacheKeyed || s.BumpsGeneration {
+		return
+	}
+	// The function mutates cache-keyed state and never bumps: report
+	// every mutation site (including inside function literals — they
+	// run on behalf of this function).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if sel, field, ok := pass.Facts.cacheKeyedFieldWrite(pass.Info, lhs); ok {
+					reportCacheGen(pass, sel, field)
+				}
+			}
+		case *ast.IncDecStmt:
+			if sel, field, ok := pass.Facts.cacheKeyedFieldWrite(pass.Info, n.X); ok {
+				reportCacheGen(pass, sel, field)
+			}
+		}
+		return true
+	})
+}
+
+func reportCacheGen(pass *Pass, sel *ast.SelectorExpr, field string) {
+	t := pass.TypeOf(sel.X)
+	genField, _ := pass.Facts.GenField(t)
+	pass.Reportf(sel.Pos(), "mutating %s field %q of cache-keyed state without a generation bump: stale factorizations survive in the cache (assign %s = NextGeneration() alongside)", typeDesc(t), field, genField)
+}

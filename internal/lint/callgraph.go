@@ -1,0 +1,184 @@
+package lint
+
+// callgraph.go builds a package-level static call graph over the
+// loader's type information. It is the substrate for the bottom-up
+// function summaries in summary.go: summaries must be computed callees
+// first, so that when dimflow asks "what unit does peak() return" or
+// nanflow asks "can COP() be NaN", the answer for every callee of the
+// function under analysis is already in the store.
+//
+// The graph is deliberately modest — exactly what a summary pass
+// needs and nothing more:
+//
+//   - Nodes are the functions and methods *declared in the package
+//     being type-checked* (ast.FuncDecl with a body). Function
+//     literals are not nodes; the analyzers treat them as opaque
+//     values and analyze their bodies separately.
+//   - Edges are static calls resolved through types.Info.Uses: direct
+//     calls (f(...)), method calls (x.M(...)), and package-qualified
+//     calls (pkg.F(...)). Calls through function values, interface
+//     method calls, and go/defer of computed expressions contribute no
+//     edge — the summary layer treats an unresolved callee as unknown,
+//     which every client interprets conservatively.
+//   - Cross-package callees appear as edge targets but not nodes; the
+//     loader type-checks imports before importers, so their summaries
+//     are already final by the time this package's are computed.
+//
+// Bottom-up order is strongly-connected-component order: Tarjan's
+// algorithm yields SCCs with every callee-SCC emitted before its
+// callers, so recursion (direct or mutual) becomes one SCC whose
+// summaries are iterated to a local fixpoint.
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// CGNode is one declared function in the call graph.
+type CGNode struct {
+	// Fn is the declared function object.
+	Fn *types.Func
+	// Decl is its declaration, Body non-nil.
+	Decl *ast.FuncDecl
+	// Callees lists the statically resolved call targets, deduplicated,
+	// in first-call order (deterministic: source order, not map order).
+	Callees []*types.Func
+}
+
+// CallGraph is the static call graph of one type-checked package.
+type CallGraph struct {
+	// Nodes maps each declared function to its node.
+	Nodes map[*types.Func]*CGNode
+	// order preserves declaration order for deterministic traversal.
+	order []*CGNode
+}
+
+// BuildCallGraph constructs the call graph of the declared functions
+// in files, resolving callees through info.
+func BuildCallGraph(info *types.Info, files []*ast.File) *CallGraph {
+	g := &CallGraph{Nodes: make(map[*types.Func]*CGNode)}
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := &CGNode{Fn: fn, Decl: fd}
+			seen := make(map[*types.Func]bool)
+			// Collect static callees in source order, including calls
+			// inside nested function literals: a literal runs (or may
+			// run) on behalf of its enclosing function, so for summary
+			// purposes its callees belong to the declaring function.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := staticCallee(info, call); callee != nil && !seen[callee] {
+					seen[callee] = true
+					node.Callees = append(node.Callees, callee)
+				}
+				return true
+			})
+			g.Nodes[fn] = node
+			g.order = append(g.order, node)
+		}
+	}
+	return g
+}
+
+// staticCallee resolves the *types.Func a call statically targets, or
+// nil for builtins, conversions, and calls through function values.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// SCCs returns the strongly connected components of the graph in
+// bottom-up (reverse topological) order: every component is emitted
+// after all components it calls into. Functions inside one component
+// are mutually recursive and must be summarized together to a local
+// fixpoint. The result is deterministic: Tarjan's algorithm visits
+// nodes in declaration order and callees in first-call order.
+func (g *CallGraph) SCCs() [][]*CGNode {
+	t := &tarjan{
+		graph:   g,
+		index:   make(map[*CGNode]int),
+		lowlink: make(map[*CGNode]int),
+		onStack: make(map[*CGNode]bool),
+	}
+	for _, n := range g.order {
+		if _, visited := t.index[n]; !visited {
+			t.strongConnect(n)
+		}
+	}
+	return t.sccs
+}
+
+type tarjan struct {
+	graph   *CallGraph
+	counter int
+	index   map[*CGNode]int
+	lowlink map[*CGNode]int
+	onStack map[*CGNode]bool
+	stack   []*CGNode
+	sccs    [][]*CGNode
+}
+
+// strongConnect is Tarjan's recursive step. Lint targets are
+// human-written packages, so recursion depth is bounded by call-chain
+// length within one package — no explicit stack needed.
+func (t *tarjan) strongConnect(v *CGNode) {
+	t.index[v] = t.counter
+	t.lowlink[v] = t.counter
+	t.counter++
+	t.stack = append(t.stack, v)
+	t.onStack[v] = true
+
+	for _, calleeFn := range v.Callees {
+		w, inPkg := t.graph.Nodes[calleeFn]
+		if !inPkg {
+			continue // cross-package or bodiless: already summarized
+		}
+		if _, visited := t.index[w]; !visited {
+			t.strongConnect(w)
+			if t.lowlink[w] < t.lowlink[v] {
+				t.lowlink[v] = t.lowlink[w]
+			}
+		} else if t.onStack[w] && t.index[w] < t.lowlink[v] {
+			t.lowlink[v] = t.index[w]
+		}
+	}
+
+	if t.lowlink[v] == t.index[v] {
+		var scc []*CGNode
+		for {
+			n := len(t.stack) - 1
+			w := t.stack[n]
+			t.stack = t.stack[:n]
+			t.onStack[w] = false
+			scc = append(scc, w)
+			if w == v {
+				break
+			}
+		}
+		// Present members in declaration order so fixpoint iteration
+		// and any diagnostics derived from it are stable.
+		sort.Slice(scc, func(i, j int) bool {
+			return scc[i].Decl.Pos() < scc[j].Decl.Pos()
+		})
+		t.sccs = append(t.sccs, scc)
+	}
+}

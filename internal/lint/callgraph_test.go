@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// checkSrc type-checks one source string into the pieces the call
+// graph and summary layers consume.
+func checkSrc(t *testing.T, src string) (*types.Info, []*ast.File, *FactStore) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing: %v", err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("type-checking: %v", err)
+	}
+	return info, []*ast.File{f}, NewFactStore()
+}
+
+func sccNames(sccs [][]*CGNode) []string {
+	var out []string
+	for _, scc := range sccs {
+		var names []string
+		for _, n := range scc {
+			names = append(names, n.Fn.Name())
+		}
+		out = append(out, strings.Join(names, "+"))
+	}
+	return out
+}
+
+func TestCallGraphEdgesAndOrder(t *testing.T) {
+	info, files, _ := checkSrc(t, `package p
+func leaf() int { return 1 }
+func mid() int  { return leaf() + leaf() }
+func top() int  { return mid() + leaf() }
+`)
+	g := BuildCallGraph(info, files)
+	if len(g.Nodes) != 3 {
+		t.Fatalf("nodes = %d, want 3", len(g.Nodes))
+	}
+	var mid *CGNode
+	for fn, n := range g.Nodes {
+		if fn.Name() == "top" {
+			if len(n.Callees) != 2 {
+				t.Errorf("top callees = %d, want 2 (deduplicated)", len(n.Callees))
+			}
+		}
+		if fn.Name() == "mid" {
+			mid = n
+		}
+	}
+	if mid == nil || len(mid.Callees) != 1 || mid.Callees[0].Name() != "leaf" {
+		t.Fatalf("mid callees wrong: %+v", mid)
+	}
+	got := sccNames(g.SCCs())
+	want := []string{"leaf", "mid", "top"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("SCC order = %v, want %v (bottom-up)", got, want)
+	}
+}
+
+func TestCallGraphMutualRecursionSCC(t *testing.T) {
+	info, files, _ := checkSrc(t, `package p
+func even(n int) bool { if n == 0 { return true }; return odd(n - 1) }
+func odd(n int) bool  { if n == 0 { return false }; return even(n - 1) }
+func user(n int) bool { return even(n) }
+`)
+	got := sccNames(BuildCallGraph(info, files).SCCs())
+	want := []string{"even+odd", "user"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("SCCs = %v, want %v", got, want)
+	}
+}
+
+func TestCallGraphSeesCallsInsideFuncLits(t *testing.T) {
+	info, files, _ := checkSrc(t, `package p
+func helper() {}
+func spawner() { go func() { helper() }() }
+`)
+	g := BuildCallGraph(info, files)
+	for fn, n := range g.Nodes {
+		if fn.Name() != "spawner" {
+			continue
+		}
+		if len(n.Callees) != 1 || n.Callees[0].Name() != "helper" {
+			t.Fatalf("spawner callees = %v, want [helper]", n.Callees)
+		}
+		return
+	}
+	t.Fatal("spawner not in graph")
+}
+
+func TestStaticCalleeUnresolved(t *testing.T) {
+	info, files, _ := checkSrc(t, `package p
+func apply(f func()) { f() }
+`)
+	found := false
+	ast.Inspect(files[0], func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			found = true
+			if callee := staticCallee(info, call); callee != nil {
+				t.Errorf("function-value call resolved to %v, want nil", callee)
+			}
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("no call found in source")
+	}
+}

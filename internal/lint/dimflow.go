@@ -1,0 +1,232 @@
+package lint
+
+// dimflow is the interprocedural unit-dimension analyzer. The
+// repository's physics code carries its units in names — limitK,
+// tilePowerW, currentA, condWperK, Seebeck — a convention unitsanity
+// already polices for kelvin slots. dimflow turns the convention into
+// dimensional analysis: every named value gets a dimension over
+// {K, W, A} (volts are W/A, ohms W/A^2), expressions combine them by
+// the usual rules (multiply adds exponents, divide subtracts, add/
+// subtract/compare require agreement), and calls resolve through the
+// bottom-up function summaries so a mismatch crossing a function
+// boundary — passing a current where a conductance is expected,
+// adding K to the W/K a helper returns — is caught at the call site.
+//
+// The analysis only speaks when both sides are known and neither is a
+// pure number: literals, loop counters, and unnamed intermediates mix
+// with anything. That makes name collisions harmless (a geometry
+// tileW "width" never meets a genuine watt in the same expression
+// with both sides known) and keeps the rule silent on code that does
+// not opt into the convention.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var DimFlow = &Analyzer{
+	Name: "dimflow",
+	Doc:  "physical dimensions inferred from unit-suffix names (tempK, condWperK, currentA) must agree across +,-,comparisons, assignments, call arguments, returns, and struct fields, with callee dimensions resolved through function summaries",
+	Run:  runDimFlow,
+}
+
+func runDimFlow(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDimFlow(pass, fd)
+		}
+	}
+}
+
+func checkDimFlow(pass *Pass, fd *ast.FuncDecl) {
+	reported := make(map[token.Pos]bool)
+	ev := &dimEval{info: pass.Info, facts: pass.Facts}
+	ev.onConflict = func(n ast.Node, op string, a, b Dim) {
+		if !reported[n.Pos()] {
+			reported[n.Pos()] = true
+			pass.Reportf(n.Pos(), "dimension mismatch: %s %s %s", a, op, b)
+		}
+	}
+	var results *types.Tuple
+	if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok {
+			results = sig.Results()
+		}
+	}
+	walkDimBody(pass, ev, fd.Body, results)
+}
+
+// walkDimBody checks one function body, recursing into function
+// literals with their own result tuple so return statements are
+// matched against the right signature.
+func walkDimBody(pass *Pass, ev *dimEval, body *ast.BlockStmt, results *types.Tuple) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			var inner *types.Tuple
+			if sig, ok := pass.TypeOf(n).(*types.Signature); ok {
+				inner = sig.Results()
+			}
+			walkDimBody(pass, ev, n.Body, inner)
+			return false
+		case *ast.BinaryExpr:
+			// Evaluation fires the additive/comparison conflict
+			// callback; nested operands dedupe via ev's reported map.
+			ev.exprDim(n)
+		case *ast.AssignStmt:
+			checkDimAssign(pass, ev, n)
+		case *ast.ValueSpec:
+			checkDimValueSpec(pass, ev, n)
+		case *ast.CallExpr:
+			checkDimCall(pass, ev, n)
+		case *ast.ReturnStmt:
+			checkDimReturn(pass, ev, results, n)
+		case *ast.CompositeLit:
+			checkDimComposite(pass, ev, n)
+		}
+		return true
+	})
+}
+
+// dimsDisagree is the single speak-up condition: both dimensions
+// known, neither a pure number, and they differ.
+func dimsDisagree(a, b DimInfo) bool {
+	return a.Known && b.Known &&
+		!a.Dim.IsDimensionless() && !b.Dim.IsDimensionless() &&
+		a.Dim != b.Dim
+}
+
+func checkDimAssign(pass *Pass, ev *dimEval, s *ast.AssignStmt) {
+	for i, lhs := range s.Lhs {
+		if i >= len(s.Rhs) {
+			break
+		}
+		name := assignTargetName(lhs)
+		if name == "" {
+			continue
+		}
+		want := NameDim(name)
+		got := ev.exprDim(s.Rhs[i])
+		if dimsDisagree(want, got) {
+			pass.Reportf(s.Rhs[i].Pos(), "assigning %s value to %q (%s)", got.Dim, name, want.Dim)
+		}
+	}
+}
+
+func checkDimValueSpec(pass *Pass, ev *dimEval, vs *ast.ValueSpec) {
+	for i, nameID := range vs.Names {
+		if i >= len(vs.Values) {
+			break
+		}
+		want := NameDim(nameID.Name)
+		got := ev.exprDim(vs.Values[i])
+		if dimsDisagree(want, got) {
+			pass.Reportf(vs.Values[i].Pos(), "assigning %s value to %q (%s)", got.Dim, nameID.Name, want.Dim)
+		}
+	}
+}
+
+// assignTargetName extracts the declared name an assignment writes:
+// a plain identifier or the field of a selector.
+func assignTargetName(lhs ast.Expr) string {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return ""
+		}
+		return lhs.Name
+	case *ast.SelectorExpr:
+		return lhs.Sel.Name
+	}
+	return ""
+}
+
+// checkDimCall matches argument dimensions against the callee's
+// summarized (or signature-named) parameter dimensions.
+func checkDimCall(pass *Pass, ev *dimEval, call *ast.CallExpr) {
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion, not a call
+	}
+	callee := staticCallee(pass.Info, call)
+	if callee == nil {
+		return
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := paramDims(pass.Facts, callee, sig)
+	fixed := sig.Params().Len()
+	if sig.Variadic() {
+		fixed-- // leave variadic tails unchecked
+	}
+	for i, arg := range call.Args {
+		if i >= fixed {
+			break
+		}
+		want := params[i]
+		got := ev.exprDim(arg)
+		if dimsDisagree(want, got) {
+			pass.Reportf(arg.Pos(), "passing %s value as %q (%s) in call to %s", got.Dim, sig.Params().At(i).Name(), want.Dim, callee.Name())
+		}
+	}
+}
+
+// paramDims answers parameter dimensions from the summary store when
+// the callee was summarized, falling back to the signature's names
+// (which go/types keeps for source-imported stdlib too).
+func paramDims(facts *FactStore, callee *types.Func, sig *types.Signature) []DimInfo {
+	if s := facts.Summary(callee); s != nil && len(s.Params) == sig.Params().Len() {
+		return s.Params
+	}
+	dims := make([]DimInfo, sig.Params().Len())
+	for i := range dims {
+		dims[i] = NameDim(sig.Params().At(i).Name())
+	}
+	return dims
+}
+
+// checkDimReturn matches returned expressions against the enclosing
+// function's named results.
+func checkDimReturn(pass *Pass, ev *dimEval, results *types.Tuple, ret *ast.ReturnStmt) {
+	if results == nil || len(ret.Results) != results.Len() {
+		return
+	}
+	for i, e := range ret.Results {
+		name := results.At(i).Name()
+		if name == "" {
+			continue
+		}
+		want := NameDim(name)
+		got := ev.exprDim(e)
+		if dimsDisagree(want, got) {
+			pass.Reportf(e.Pos(), "returning %s value as result %q (%s)", got.Dim, name, want.Dim)
+		}
+	}
+}
+
+// checkDimComposite matches struct-literal field values against the
+// field names' dimensions: Config{LimitK: powerW} is a mixed unit
+// even though both are float64.
+func checkDimComposite(pass *Pass, ev *dimEval, lit *ast.CompositeLit) {
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		want := NameDim(key.Name)
+		got := ev.exprDim(kv.Value)
+		if dimsDisagree(want, got) {
+			pass.Reportf(kv.Value.Pos(), "field %q (%s) set from %s value", key.Name, want.Dim, got.Dim)
+		}
+	}
+}

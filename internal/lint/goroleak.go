@@ -1,0 +1,77 @@
+package lint
+
+// goroleak checks that every `go` statement spawns something that can
+// actually finish. A long-running service (the ROADMAP's tecserve)
+// leaks a goroutine per request if a worker loop has no ctx.Done()/
+// channel-close exit, and the leak is invisible until memory or the
+// scheduler gives out — the CFG already knows at lint time.
+//
+// For a spawned function literal, the literal's own CFG must reach
+// its exit block: a `for { select { case <-ctx.Done(): return ... } }`
+// loop terminates (the return edge), `for {}` and `select {}` do not,
+// and a `for range ch` loop terminates when the channel is closed
+// (the range exit edge models exactly that). For a named callee, the
+// answer comes from the bottom-up function summary (NeverTerminates),
+// so spawning a helper whose loop forgot its exit path is caught at
+// the `go` statement even when the helper lives in another package.
+// Unresolvable callees (function values, interface methods) are
+// trusted.
+
+import (
+	"go/ast"
+)
+
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "every go statement must spawn a function whose CFG can reach its exit (a ctx.Done()/channel-close termination path); named callees answer through function summaries",
+	Run:  runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoStmt(pass, g)
+			return true
+		})
+	}
+}
+
+func checkGoStmt(pass *Pass, g *ast.GoStmt) {
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		if bodyCannotFinish(pass, fun.Body) {
+			pass.Reportf(g.Pos(), "goroutine can never finish: no path reaches return (add a ctx.Done() or channel-close exit)")
+		}
+	default:
+		callee := staticCallee(pass.Info, g.Call)
+		if callee == nil {
+			return
+		}
+		if s := pass.Facts.Summary(callee); s != nil && s.NeverTerminates {
+			pass.Reportf(g.Pos(), "goroutine runs %s, which can never finish: no path reaches return (add a ctx.Done() or channel-close exit)", callee.Name())
+		}
+	}
+}
+
+// bodyCannotFinish builds the body's CFG and reports whether its exit
+// block is unreachable from entry.
+func bodyCannotFinish(pass *Pass, body *ast.BlockStmt) bool {
+	g := BuildCFG(body, pass.Terminates)
+	reached := map[*Block]bool{g.Entry: true}
+	work := []*Block{g.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, succ := range b.Succs {
+			if !reached[succ] {
+				reached[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return !reached[g.Exit]
+}

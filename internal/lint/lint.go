@@ -10,18 +10,20 @@
 // analysis passes (Analyzer, Pass, Diagnostic) without importing them,
 // so the repository keeps its zero-dependency go.mod.
 //
-// Suppressing a finding: add a comment containing
+// Suppressing a finding: add a comment of the form
 //
-//	teclint:ignore <rule> <reason>
+//	"teclint:ignore <rule>[,<rule>...] <reason>"
 //
-// on the flagged line (or the line directly above it). The rule name is
+// on the flagged line (or the line directly above it). The rule list is
 // mandatory; a finding is only suppressed by a directive naming its
 // rule, so a suppression never hides diagnostics from other analyzers.
-// The reason is mandatory too: a directive with a bare rule name still
-// suppresses its target, but the framework reports the directive itself
-// under the "badignore" pseudo-rule, so a suppression can never pass
-// the lint gate without recording why it is safe. badignore findings
-// cannot themselves be suppressed.
+// A directive with no rule list, or naming a rule that does not exist,
+// suppresses nothing and is itself reported under the "badignore"
+// pseudo-rule. The reason is mandatory too: a directive with a bare
+// rule list still suppresses its targets, but the framework reports the
+// directive itself under badignore, so a suppression can never pass the
+// lint gate without recording why it is safe. badignore findings cannot
+// themselves be suppressed.
 package lint
 
 import (
@@ -30,6 +32,7 @@ import (
 	"go/token"
 	"go/types"
 	"strings"
+	"time"
 )
 
 // Analyzer is one static-analysis rule. Run inspects a single package
@@ -108,6 +111,13 @@ func (d Diagnostic) String() string {
 // filtered out, and the rest are sorted by file, line, column, rule so
 // output is deterministic across runs.
 func Run(unit *Unit, analyzers []*Analyzer) []Diagnostic {
+	return RunStats(unit, analyzers, nil)
+}
+
+// RunStats is Run with per-analyzer accounting: each analyzer's wall
+// time and surviving finding count accumulate into stats (nil skips
+// collection entirely).
+func RunStats(unit *Unit, analyzers []*Analyzer, stats *StatsCollector) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -119,36 +129,70 @@ func Run(unit *Unit, analyzers []*Analyzer) []Diagnostic {
 			analyzer: a,
 			diags:    &diags,
 		}
+		start := time.Now()
 		a.Run(pass)
+		stats.addTime(a.Name, time.Since(start))
 	}
 	diags = filterSuppressed(unit, diags)
-	diags = append(diags, reasonlessIgnores(unit)...)
+	diags = append(diags, badIgnores(unit)...)
 	SortDiagnostics(diags)
+	stats.addFindings(diags)
 	return diags
 }
 
 // BadIgnoreRule is the pseudo-rule under which the framework reports
-// teclint:ignore directives that carry no reason. It is emitted by Run
-// itself (not an Analyzer), after suppression filtering, so it can
-// never be suppressed.
+// malformed teclint:ignore directives: no rule list, an unknown rule
+// name, or no reason. It is emitted by Run itself (not an Analyzer),
+// after suppression filtering, so it can never be suppressed.
 const BadIgnoreRule = "badignore"
 
-// reasonlessIgnores reports every teclint:ignore directive in the unit
-// whose reason text is empty: a suppression must say why it is safe.
-func reasonlessIgnores(unit *Unit) []Diagnostic {
+// knownRules is the set of rule names a directive may scope itself
+// to: every registered analyzer plus the badignore pseudo-rule (which
+// is listable in a directive for documentation purposes only — its
+// findings are emitted after filtering and never suppressed).
+func knownRules() map[string]bool {
+	known := map[string]bool{BadIgnoreRule: true}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	return known
+}
+
+// badIgnores reports every malformed teclint:ignore directive in the
+// unit: one with no rule list (it would otherwise silence nothing and
+// rot), one naming a rule that does not exist (usually a typo that
+// silently stops suppressing), and one with no reason (a suppression
+// must say why it is safe).
+func badIgnores(unit *Unit) []Diagnostic {
+	known := knownRules()
 	var diags []Diagnostic
+	report := func(c *ast.Comment, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:     unit.Fset.Position(c.Pos()),
+			Rule:    BadIgnoreRule,
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
 	for _, f := range unit.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rule, reason, ok := parseIgnore(c.Text)
-				if !ok || strings.TrimSpace(reason) != "" {
+				rules, reason, ok := parseIgnore(c.Text)
+				if !ok {
 					continue
 				}
-				diags = append(diags, Diagnostic{
-					Pos:     unit.Fset.Position(c.Pos()),
-					Rule:    BadIgnoreRule,
-					Message: fmt.Sprintf("teclint:ignore %s has no reason; write `teclint:ignore %s <why this is safe>`", rule, rule),
-				})
+				if len(rules) == 0 {
+					report(c, "teclint:ignore has no rule list; write `teclint:ignore <rule>[,<rule>] <why this is safe>`")
+					continue
+				}
+				for _, rule := range rules {
+					if !known[rule] {
+						report(c, "teclint:ignore names unknown rule %q; it suppresses nothing", rule)
+					}
+				}
+				if strings.TrimSpace(reason) == "" {
+					list := strings.Join(rules, ",")
+					report(c, "teclint:ignore %s has no reason; write `teclint:ignore %s <why this is safe>`", list, list)
+				}
 			}
 		}
 	}
@@ -163,8 +207,8 @@ func filterSuppressed(unit *Unit, diags []Diagnostic) []Diagnostic {
 	for _, f := range unit.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rule, _, ok := parseIgnore(c.Text)
-				if !ok {
+				rules, _, ok := parseIgnore(c.Text)
+				if !ok || len(rules) == 0 {
 					continue
 				}
 				pos := unit.Fset.Position(c.Pos())
@@ -179,7 +223,9 @@ func filterSuppressed(unit *Unit, diags []Diagnostic) []Diagnostic {
 					if byLine[ln] == nil {
 						byLine[ln] = make(map[string]bool)
 					}
-					byLine[ln][rule] = true
+					for _, rule := range rules {
+						byLine[ln][rule] = true
+					}
 				}
 			}
 		}
@@ -194,24 +240,29 @@ func filterSuppressed(unit *Unit, diags []Diagnostic) []Diagnostic {
 	return out
 }
 
-// parseIgnore extracts the rule name and reason text from a
-// "teclint:ignore <rule> <reason>" comment, reporting ok=false for
-// comments without the directive. The reason may be empty; Run flags
-// such directives under the badignore pseudo-rule.
-func parseIgnore(comment string) (rule, reason string, ok bool) {
+// parseIgnore extracts the rule list and reason text from a
+// "teclint:ignore <rule>[,<rule>...] <reason>" comment, reporting
+// ok=false for comments without the directive. The directive must
+// begin the comment (after the // or /* marker); that keeps prose
+// *mentioning* teclint:ignore — rule docs, this very comment — from
+// parsing as a directive. A bare directive parses with an empty rule
+// list; Run flags it (and directives with empty reasons or unknown
+// rule names) under the badignore pseudo-rule.
+func parseIgnore(comment string) (rules []string, reason string, ok bool) {
 	text := strings.TrimPrefix(comment, "//")
 	text = strings.TrimPrefix(text, "/*")
 	text = strings.TrimSuffix(strings.TrimSpace(text), "*/")
 	text = strings.TrimSpace(text)
 	const directive = "teclint:ignore"
-	idx := strings.Index(text, directive)
-	if idx < 0 {
-		return "", "", false
+	rest, found := strings.CutPrefix(text, directive)
+	if !found || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return nil, "", false
 	}
-	rest := strings.TrimSpace(text[idx+len(directive):])
-	rule, reason, _ = strings.Cut(rest, " ")
-	if rule == "" {
-		return "", "", false
+	list, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+	for _, rule := range strings.Split(list, ",") {
+		if rule = strings.TrimSpace(rule); rule != "" {
+			rules = append(rules, rule)
+		}
 	}
-	return rule, strings.TrimSpace(reason), true
+	return rules, strings.TrimSpace(reason), true
 }

@@ -112,6 +112,10 @@ func TestCtxFlowFixture(t *testing.T)       { runFixture(t, CtxFlow) }
 func TestErrPathFixture(t *testing.T)       { runFixture(t, ErrPath) }
 func TestLockBalanceFixture(t *testing.T)   { runFixture(t, LockBalance) }
 func TestValidateFirstFixture(t *testing.T) { runFixture(t, ValidateFirst) }
+func TestDimFlowFixture(t *testing.T)       { runFixture(t, DimFlow) }
+func TestNaNFlowFixture(t *testing.T)       { runFixture(t, NaNFlow) }
+func TestGoroLeakFixture(t *testing.T)      { runFixture(t, GoroLeak) }
+func TestCacheGenFixture(t *testing.T)      { runFixture(t, CacheGen) }
 
 // TestBadIgnoreFixture exercises the framework-level badignore
 // pseudo-rule: reasonless teclint:ignore directives are reported by Run
@@ -167,7 +171,7 @@ func TestAllAnalyzersRegistered(t *testing.T) {
 		}
 	}
 	sort.Strings(names)
-	want := []string{"ctxflow", "droppederr", "errpath", "floateq", "lockbalance", "lockcopy", "maporder", "obsclock", "testhelper", "typederr", "unitsanity", "validatefirst"}
+	want := []string{"cachegen", "ctxflow", "dimflow", "droppederr", "errpath", "floateq", "goroleak", "lockbalance", "lockcopy", "maporder", "nanflow", "obsclock", "testhelper", "typederr", "unitsanity", "validatefirst"}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Fatalf("registered analyzers = %v, want %v", names, want)
 	}
@@ -176,7 +180,7 @@ func TestAllAnalyzersRegistered(t *testing.T) {
 func TestParseIgnoreDirective(t *testing.T) {
 	cases := []struct {
 		comment string
-		rule    string
+		rules   string // comma-joined expected rule list
 		reason  string
 		ok      bool
 	}{
@@ -185,13 +189,15 @@ func TestParseIgnoreDirective(t *testing.T) {
 		{"/* teclint:ignore droppederr reason */", "droppederr", "reason", true},
 		{"/* teclint:ignore floateq */", "floateq", "", true}, // reasonless: still parses, badignore flags it
 		{"//teclint:ignore errpath", "errpath", "", true},
+		{"//teclint:ignore dimflow,nanflow both fire on the seeded mismatch", "dimflow,nanflow", "both fire on the seeded mismatch", true},
+		{"// teclint:ignore dimflow, nanflow stray space splits the list", "dimflow", "nanflow stray space splits the list", true},
 		{"// regular comment", "", "", false},
-		{"//teclint:ignore", "", "", false}, // rule name is mandatory
+		{"//teclint:ignore", "", "", true}, // bare directive parses; badignore reports it as unscoped
 	}
 	for _, c := range cases {
-		rule, reason, ok := parseIgnore(c.comment)
-		if rule != c.rule || reason != c.reason || ok != c.ok {
-			t.Errorf("parseIgnore(%q) = %q,%q,%v want %q,%q,%v", c.comment, rule, reason, ok, c.rule, c.reason, c.ok)
+		rules, reason, ok := parseIgnore(c.comment)
+		if strings.Join(rules, ",") != c.rules || reason != c.reason || ok != c.ok {
+			t.Errorf("parseIgnore(%q) = %q,%q,%v want %q,%q,%v", c.comment, strings.Join(rules, ","), reason, ok, c.rules, c.reason, c.ok)
 		}
 	}
 }

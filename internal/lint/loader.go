@@ -51,16 +51,20 @@ type Unit struct {
 // safe for concurrent use, since cmd/teclint analyzes units in
 // parallel once loading completes.
 type FactStore struct {
-	mu       sync.Mutex
-	noReturn map[*types.Func]bool
-	validate map[types.Type]bool
+	mu        sync.Mutex
+	noReturn  map[*types.Func]bool
+	validate  map[types.Type]bool
+	summaries map[*types.Func]*FuncSummary
+	genTypes  map[*types.Named]string // cache-keyed type -> generation field
 }
 
 // NewFactStore returns an empty fact store.
 func NewFactStore() *FactStore {
 	return &FactStore{
-		noReturn: make(map[*types.Func]bool),
-		validate: make(map[types.Type]bool),
+		noReturn:  make(map[*types.Func]bool),
+		validate:  make(map[types.Type]bool),
+		summaries: make(map[*types.Func]*FuncSummary),
+		genTypes:  make(map[*types.Named]string),
 	}
 }
 
@@ -452,6 +456,11 @@ func (l *Loader) check(path string, files []*ast.File) (*types.Package, *types.I
 	// through the checker, imports included, so analyzers see e.g.
 	// no-return helpers defined in other module packages.
 	l.facts.recordNoReturns(info, files)
+	// Function summaries ride the same hook: imports are checked before
+	// importers, so cross-package summaries are final (bottom-up) by the
+	// time a caller package is summarized. Within a package, SCC order
+	// provides the same guarantee (see summary.go).
+	l.facts.recordSummaries(info, files)
 	return pkg, info, nil
 }
 

@@ -26,6 +26,14 @@ func LintDirs(loader *Loader, dirs []string, analyzers []*Analyzer, base string)
 // collected by index and then globally sorted, making the output
 // byte-identical to the serial run for any worker count.
 func LintDirsParallel(loader *Loader, dirs []string, analyzers []*Analyzer, base string, workers int) ([]Diagnostic, error) {
+	return LintDirsParallelStats(loader, dirs, analyzers, base, workers, nil)
+}
+
+// LintDirsParallelStats is LintDirsParallel with per-analyzer timing
+// and finding counts accumulated into stats (nil disables collection).
+// The StatsCollector is internally locked, so concurrent unit runs may
+// share it.
+func LintDirsParallelStats(loader *Loader, dirs []string, analyzers []*Analyzer, base string, workers int, stats *StatsCollector) ([]Diagnostic, error) {
 	var units []*Unit
 	for _, dir := range dirs {
 		us, err := loader.Load(dir)
@@ -37,7 +45,7 @@ func LintDirsParallel(loader *Loader, dirs []string, analyzers []*Analyzer, base
 	perUnit := make([][]Diagnostic, len(units))
 	pool := engine.Pool{Workers: workers}
 	if err := pool.Map(len(units), func(i int) error {
-		perUnit[i] = Run(units[i], analyzers)
+		perUnit[i] = RunStats(units[i], analyzers, stats)
 		return nil
 	}); err != nil {
 		return nil, err

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// AnalyzerStat is one analyzer's aggregated work across every unit of
+// a lint run: total wall time inside its Run and the number of
+// findings that survived suppression under its rule. The badignore
+// pseudo-rule appears with zero time (it is emitted by the framework,
+// not an analyzer).
+type AnalyzerStat struct {
+	Name     string `json:"name"`
+	Nanos    int64  `json:"nanos"`
+	Findings int    `json:"findings"`
+}
+
+// StatsCollector accumulates AnalyzerStats across units; safe for the
+// parallel runner (units fan out over a worker pool). All methods are
+// nil-safe so the non-stats path costs nothing.
+type StatsCollector struct {
+	mu      sync.Mutex
+	entries map[string]*AnalyzerStat
+}
+
+// NewStatsCollector returns an empty collector.
+func NewStatsCollector() *StatsCollector {
+	return &StatsCollector{entries: make(map[string]*AnalyzerStat)}
+}
+
+func (c *StatsCollector) entry(name string) *AnalyzerStat {
+	e := c.entries[name]
+	if e == nil {
+		e = &AnalyzerStat{Name: name}
+		c.entries[name] = e
+	}
+	return e
+}
+
+// addTime charges d to the named analyzer (and ensures it has a row
+// even when it never finds anything).
+func (c *StatsCollector) addTime(name string, d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.entry(name).Nanos += d.Nanoseconds()
+	c.mu.Unlock()
+}
+
+// addFindings counts surviving findings per rule.
+func (c *StatsCollector) addFindings(diags []Diagnostic) {
+	if c == nil || len(diags) == 0 {
+		return
+	}
+	c.mu.Lock()
+	for _, d := range diags {
+		c.entry(d.Rule).Findings++
+	}
+	c.mu.Unlock()
+}
+
+// Stats returns the per-analyzer rows sorted by name, for
+// deterministic output.
+func (c *StatsCollector) Stats() []AnalyzerStat {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]AnalyzerStat, 0, len(c.entries))
+	for _, e := range c.entries {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,5 +1,6 @@
-// Package badignoretest seeds reasonless and well-formed
-// teclint:ignore directives for the badignore framework tests.
+// Package badignoretest seeds reasonless, unscoped, misspelled, and
+// well-formed teclint:ignore directives for the badignore framework
+// tests.
 package badignoretest
 
 func approxZero(x float64) bool {
@@ -16,4 +17,25 @@ func approxEqual(a, b float64) bool {
 func approxClose(a, b float64) bool {
 	/* teclint:ignore floateq */ // want badignore
 	return a == b
+}
+
+func approxBoth(a, b float64) bool {
+	// A reasoned rule list: suppresses every listed rule, emits nothing.
+	return a == b //teclint:ignore floateq,dimflow comparing like-for-like sentinels
+}
+
+func unscoped(a, b float64) bool {
+	// No rule list at all: suppresses nothing and is itself flagged.
+	return a == b /* teclint:ignore */ // want badignore
+}
+
+func reasonOnly(a, b float64) bool {
+	// A reason with no rule list: the first word parses as an unknown
+	// rule, suppresses nothing, and the directive is flagged.
+	return a == b //teclint:ignore totally safe here // want badignore
+}
+
+func misspelled(a, b float64) bool {
+	// An unknown rule name suppresses nothing; flag the typo.
+	return a == b //teclint:ignore floateqq sentinel comparison // want badignore
 }

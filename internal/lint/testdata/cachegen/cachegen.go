@@ -1,0 +1,69 @@
+// Package cachegen exercises the cache-generation analyzer: writes to
+// fields of a generation-keyed type (one whose generation field is
+// assigned from NextGeneration()) must be paired with a generation
+// bump, directly or through a bumping helper that receives the value.
+package cachegen
+
+var counter uint64
+
+// NextGeneration mirrors engine.NextGeneration; the analyzer matches
+// the allocator by name so fixtures stay self-contained.
+func NextGeneration() uint64 {
+	counter++
+	return counter
+}
+
+type system struct {
+	scale float64
+	hits  int
+	gen   uint64
+}
+
+// newSystem builds with a fresh generation: composite literals are
+// not mutations, so constructors stay clean.
+func newSystem() *system {
+	return &system{scale: 1, gen: NextGeneration()}
+}
+
+func (s *system) SetScaleBad(v float64) {
+	s.scale = v // want cachegen
+}
+
+func (s *system) GrowBad() {
+	s.hits++ // want cachegen
+}
+
+func (s *system) SetScaleGood(v float64) {
+	s.scale = v
+	s.gen = NextGeneration()
+}
+
+// invalidate is the bumping helper; callers that hand it the system
+// are covered.
+func (s *system) invalidate() {
+	s.gen = NextGeneration()
+}
+
+func (s *system) SetScaleViaHelper(v float64) {
+	s.scale = v
+	s.invalidate()
+}
+
+// reset receives the system as a parameter rather than a receiver;
+// its bump covers callers the same way.
+func reset(s *system) {
+	s.scale = 1
+	s.gen = NextGeneration()
+}
+
+func SetAndReset(s *system, v float64) {
+	s.scale = v
+	reset(s)
+}
+
+// plain is not cache-keyed: no generation field, no findings.
+type plain struct{ scale float64 }
+
+func (p *plain) SetScale(v float64) {
+	p.scale = v
+}

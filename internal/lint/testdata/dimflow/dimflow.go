@@ -1,0 +1,73 @@
+// Package dimflow exercises the unit-dimension analyzer: dimensions
+// inferred from names (tempK, condWperK, currentA, seebeck) must agree
+// across operators, assignments, call boundaries, returns, and struct
+// fields. Clean code in here must stay silent; every deliberate
+// mismatch carries a want marker.
+package dimflow
+
+import "math"
+
+type tuning struct {
+	LimitK  float64
+	BudgetW float64
+}
+
+// peakRiseK divides power by conductance: W / (W/K) = K. Consistent.
+func peakRiseK(powerW, condWperK float64) float64 {
+	return powerW / condWperK
+}
+
+// inputPowerW is Joule heating plus nothing fancy: A^2 * W/A^2 = W.
+func inputPowerW(currentA, resistanceOhm float64) (powerW float64) {
+	return currentA * currentA * resistanceOhm
+}
+
+// coldFluxW has an unnamed result; the summary layer infers W from
+// the returned expression: V/K * A * K = W.
+func coldFluxW(seebeck, currentA, thetaColdK float64) float64 {
+	return seebeck * currentA * thetaColdK
+}
+
+func cleanUses(tempK, condWperK, currentA, resistanceOhm float64) float64 {
+	riseK := peakRiseK(inputPowerW(currentA, resistanceOhm), condWperK)
+	halfK := riseK / 2           // pure numbers scale freely
+	total := tempK + 2*halfK     // K + K
+	margin := math.Abs(total)    // math helpers pass units through
+	count := 3                   // dimensionless
+	return margin * float64(count)
+}
+
+func mixedAdd(tempK, condWperK float64) float64 {
+	return tempK + condWperK // want dimflow
+}
+
+func mixedCompare(limitK, budgetW float64) bool {
+	return limitK > budgetW // want dimflow
+}
+
+func badArgument(currentA, condWperK float64) float64 {
+	return peakRiseK(currentA, condWperK) // want dimflow
+}
+
+func badAssign(currentA, resistanceOhm float64) float64 {
+	var limitK float64
+	limitK = inputPowerW(currentA, resistanceOhm) // want dimflow
+	return limitK
+}
+
+func badInferredResult(seebeck, currentA, thetaColdK float64) float64 {
+	tempsK := coldFluxW(seebeck, currentA, thetaColdK) // want dimflow
+	return tempsK
+}
+
+func badReturn(powerW float64) (riseK float64) {
+	return powerW // want dimflow
+}
+
+func badField(totalPowerW float64) tuning {
+	return tuning{LimitK: totalPowerW} // want dimflow
+}
+
+func goodField(totalPowerW, limitK float64) tuning {
+	return tuning{LimitK: limitK, BudgetW: totalPowerW}
+}

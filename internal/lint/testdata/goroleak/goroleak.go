@@ -1,0 +1,70 @@
+// Package goroleak exercises the goroutine-lifetime analyzer: every go
+// statement must spawn a body whose CFG can reach its exit — a
+// ctx.Done() select arm, a channel-close range exit, or plain
+// completion. Named callees answer through their function summaries.
+package goroleak
+
+import "context"
+
+func spawnForever() {
+	go func() { // want goroleak
+		for {
+		}
+	}()
+}
+
+func spawnEmptySelect() {
+	go func() { // want goroleak
+		select {}
+	}()
+}
+
+func spawnCtxLoop(ctx context.Context, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-work:
+				_ = v
+			}
+		}
+	}()
+}
+
+func spawnRangeDrain(work chan int) {
+	go func() {
+		for v := range work {
+			_ = v
+		}
+	}()
+}
+
+func spawnOneShot(done chan struct{}) {
+	go func() {
+		done <- struct{}{}
+	}()
+}
+
+// worker forgot its exit path; its summary says NeverTerminates, so
+// spawning it is flagged at the go statement even though the loop
+// lives elsewhere.
+func worker(work chan int) {
+	for {
+		<-work
+	}
+}
+
+// drainer has a termination path: range exits when work is closed.
+func drainer(work chan int) {
+	for range work {
+	}
+}
+
+func spawnNamedBad(work chan int) {
+	go worker(work) // want goroleak
+}
+
+func spawnNamedGood(work chan int) {
+	go drainer(work)
+}

@@ -1,0 +1,102 @@
+// Package nanflow exercises the NaN/Inf taint analyzer: values from
+// math.Sqrt/Log/Inf (or module callees whose summary says CanNaN) must
+// pass an IsNaN/IsInf/IsFinite check before reaching matrix entries,
+// factorizations, or cache keys.
+package nanflow
+
+import "math"
+
+// Key mirrors the engine's factor-cache key shape.
+type Key struct {
+	Gen     uint64
+	Current float64
+}
+
+type sys struct{ last float64 }
+
+func (s *sys) Factor(i float64)          { s.last = i }
+func (s *sys) SolveAt(i float64) float64 { return i }
+
+// Builder mirrors the sparse matrix builder sink.
+type Builder struct{ vals []float64 }
+
+func (b *Builder) Add(r, c int, v float64) { b.vals = append(b.vals, v) }
+
+// limit mirrors RunawayLimit: +Inf on one path, so its summary says
+// CanNaN and callers must guard the result.
+func limit(q float64) float64 {
+	if q < 0 {
+		return math.Inf(1)
+	}
+	return q
+}
+
+// safeRoot guards internally, so its summary is clean.
+func safeRoot(q float64) float64 {
+	r := math.Sqrt(q)
+	if math.IsNaN(r) {
+		return 0
+	}
+	return r
+}
+
+func observe(v float64) {}
+
+func direct(s *sys, d float64) {
+	r := math.Sqrt(d)
+	s.Factor(r) // want nanflow
+}
+
+func inline(s *sys, d float64) {
+	s.Factor(math.Sqrt(d)) // want nanflow
+}
+
+func guarded(s *sys, d float64) {
+	r := math.Sqrt(d)
+	if math.IsNaN(r) {
+		return
+	}
+	s.Factor(r)
+}
+
+func partialGuard(s *sys, d float64, strict bool) {
+	r := math.Sqrt(d)
+	if strict {
+		if math.IsNaN(r) {
+			return
+		}
+	}
+	s.Factor(r) // want nanflow
+}
+
+func viaSummary(s *sys, q float64) {
+	v := limit(q)
+	s.Factor(v) // want nanflow
+}
+
+func viaCleanSummary(s *sys, q float64) {
+	v := safeRoot(q)
+	s.Factor(v)
+}
+
+func intoKey(d float64) Key {
+	r := math.Sqrt(d)
+	return Key{Gen: 1, Current: r} // want nanflow
+}
+
+func intoBuilder(b *Builder, d float64) {
+	v := math.Log(d)
+	b.Add(0, 0, v) // want nanflow
+}
+
+func escapes(s *sys, d float64) {
+	r := math.Sqrt(d)
+	observe(r) // the callee may guard; tracking stops
+	s.Factor(r)
+}
+
+func overwritten(s *sys, d float64) {
+	r := math.Sqrt(d)
+	r = 1.5
+	s.Factor(r)
+}

@@ -163,9 +163,10 @@ func TestTotalInputPower(t *testing.T) {
 	theta := make([]float64, pn.Net.NumNodes())
 	theta[arr.Hot[0]] = 330
 	theta[arr.Cold[0]] = 320
-	i := 3.0
-	want := arr.Params.Resistance*9 + arr.Params.Seebeck*3*10
-	if got := arr.TotalInputPower(theta, i); math.Abs(got-want) > 1e-12 {
+	currentA := 3.0
+	deltaK := theta[arr.Hot[0]] - theta[arr.Cold[0]]
+	want := arr.Params.Resistance*currentA*currentA + arr.Params.Seebeck*currentA*deltaK
+	if got := arr.TotalInputPower(theta, currentA); math.Abs(got-want) > 1e-12 {
 		t.Fatalf("TotalInputPower = %v, want %v", got, want)
 	}
 }
