@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race race-engine chaos vet lint lint-json lint-fixtures bench-json fuzz-smoke obs-overhead check
+.PHONY: all build test race race-engine chaos vet lint lint-json lint-fixtures bench-json bench-gate fuzz-smoke obs-overhead check
 
 all: check
 
@@ -53,15 +53,28 @@ lint-fixtures:
 	$(GO) run ./cmd/teclint -expect cmd/teclint/testdata/fixture_counts.json internal/lint/testdata/*/
 
 # Benchmark snapshot: runs the Table I and h_kl-sweep engine benchmarks
-# through `go test -bench -json` and distills name / ns/op / allocs
-# into BENCH_solver.json (committed; EXPERIMENTS.md tracks history).
+# (default-path, explicit-SMW, and explicit-direct variants) through
+# `go test -bench -json` and distills name / ns/op / allocs into
+# BENCH_solver.json (committed; EXPERIMENTS.md tracks history).
 # -benchtime=1x because Table I is a full paper reproduction per
-# iteration — one timed run is the snapshot.
+# iteration — one timed run is the snapshot. -merge keeps snapshot
+# entries a partial run did not re-measure; the temp file exists
+# because the merge reads the same file the pipeline writes.
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngine_(TableI|HklSweep)$$' \
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine_(TableI|HklSweep)(_SMW|_Direct)?$$' \
 		-benchmem -benchtime=1x -json ./internal/bench ./internal/core \
-		| $(GO) run ./cmd/benchjson > BENCH_solver.json
+		| $(GO) run ./cmd/benchjson -merge BENCH_solver.json > BENCH_solver.json.tmp
+	mv BENCH_solver.json.tmp BENCH_solver.json
 	@cat BENCH_solver.json
+
+# Benchmark regression gate: re-times the SMW fast-path benchmarks and
+# fails if any regresses more than 20% in ns/op against the committed
+# BENCH_solver.json snapshot. Only the fast variants run — the gate
+# must stay cheap enough for CI.
+bench-gate:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine_(TableI_SMW|HklSweep_SMW)$$' \
+		-benchmem -benchtime=1x -json ./internal/bench ./internal/core \
+		| $(GO) run ./cmd/benchjson -gate BENCH_solver.json
 
 # Short fuzz runs over every parser fuzz target; catches regressions in
 # input handling without the cost of a long campaign. FuzzCFG throws
@@ -73,6 +86,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzParsePtrace -fuzztime=$(FUZZTIME) -run='^$$' ./internal/power
 	$(GO) test -fuzz=FuzzCFG -fuzztime=$(FUZZTIME) -run='^$$' ./internal/lint
 	$(GO) test -fuzz=FuzzDataflow -fuzztime=$(FUZZTIME) -run='^$$' ./internal/lint
+	$(GO) test -fuzz=FuzzSMWGuard -fuzztime=$(FUZZTIME) -run='^$$' ./internal/sparse
 
 # Observability overhead gate: runs the Table I workload with the obs
 # registry off and on, and fails if instrumentation costs more than 5%.

@@ -11,11 +11,27 @@
 // stripped), the package, iteration count, ns/op, and — when -benchmem
 // is on — B/op and allocs/op. `make bench-json` is the canonical
 // invocation; EXPERIMENTS.md tracks the committed snapshots.
+//
+// Two flags extend the converter into snapshot maintenance and CI
+// gating:
+//
+//	-merge FILE   start from the snapshot in FILE: re-measured entries
+//	              overwrite their previous values, entries the current
+//	              run did not touch are kept, so one targeted bench run
+//	              updates the snapshot without losing the trajectory of
+//	              the others.
+//	-gate FILE    compare the incoming results against the snapshot in
+//	              FILE instead of emitting JSON: any benchmark slower
+//	              than its snapshot ns/op by more than -tol (default
+//	              0.20, i.e. 20%) fails the gate with exit status 1.
+//	              Benchmarks missing from the snapshot are reported but
+//	              do not fail.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -42,13 +58,56 @@ type Result struct {
 }
 
 func main() {
-	if err := run(os.Stdin, os.Stdout); err != nil {
+	mergeFile := flag.String("merge", "", "merge results into the snapshot at this path (kept entries + re-measured overwrites)")
+	gateFile := flag.String("gate", "", "gate results against the snapshot at this path instead of emitting JSON")
+	tol := flag.Float64("tol", 0.20, "relative ns/op regression tolerance for -gate")
+	flag.Parse()
+	if err := runMode(os.Stdin, os.Stdout, *mergeFile, *gateFile, *tol); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in io.Reader, out io.Writer) error {
+// runMode dispatches on the flag set: plain conversion, snapshot merge,
+// or regression gate.
+func runMode(in io.Reader, out io.Writer, mergeFile, gateFile string, tol float64) error {
+	switch {
+	case mergeFile != "" && gateFile != "":
+		return fmt.Errorf("-merge and -gate are mutually exclusive")
+	case gateFile != "":
+		base, err := readSnapshot(gateFile)
+		if err != nil {
+			return err
+		}
+		return gate(in, out, base, tol)
+	case mergeFile != "":
+		base, err := readSnapshot(mergeFile)
+		if err != nil {
+			return err
+		}
+		return run(in, out, base)
+	default:
+		return run(in, out, nil)
+	}
+}
+
+// readSnapshot loads a committed BENCH_*.json array.
+func readSnapshot(path string) ([]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var results []Result
+	if err := json.Unmarshal(data, &results); err != nil {
+		return nil, fmt.Errorf("snapshot %s: %w", path, err)
+	}
+	return results, nil
+}
+
+// key identifies a benchmark across runs.
+func key(r Result) string { return r.Package + "\x00" + r.Name }
+
+func run(in io.Reader, out io.Writer, base []Result) error {
 	results, err := parseStream(in)
 	if err != nil {
 		return err
@@ -56,12 +115,65 @@ func run(in io.Reader, out io.Writer) error {
 	if len(results) == 0 {
 		return fmt.Errorf("no benchmark results in input (did the bench run fail?)")
 	}
+	if len(base) > 0 {
+		measured := make(map[string]bool, len(results))
+		for _, r := range results {
+			measured[key(r)] = true
+		}
+		for _, b := range base {
+			if !measured[key(b)] {
+				results = append(results, b)
+			}
+		}
+		sort.Slice(results, func(i, j int) bool {
+			if results[i].Package != results[j].Package {
+				return results[i].Package < results[j].Package
+			}
+			return results[i].Name < results[j].Name
+		})
+	}
 	data, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
 		return err
 	}
 	_, err = fmt.Fprintf(out, "%s\n", data)
 	return err
+}
+
+// gate compares incoming results against the snapshot and fails on any
+// ns/op regression beyond tol relative.
+func gate(in io.Reader, out io.Writer, base []Result, tol float64) error {
+	results, err := parseStream(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results in input (did the bench run fail?)")
+	}
+	snap := make(map[string]Result, len(base))
+	for _, b := range base {
+		snap[key(b)] = b
+	}
+	var failures int
+	for _, r := range results {
+		b, ok := snap[key(r)]
+		if !ok {
+			fmt.Fprintf(out, "NEW   %-45s %14.0f ns/op (not in snapshot)\n", r.Name, r.NsPerOp)
+			continue
+		}
+		ratio := r.NsPerOp / b.NsPerOp
+		status := "OK   "
+		if r.NsPerOp > b.NsPerOp*(1+tol) {
+			status = "FAIL "
+			failures++
+		}
+		fmt.Fprintf(out, "%s %-45s %14.0f ns/op vs %14.0f snapshot (%+.1f%%)\n",
+			status, r.Name, r.NsPerOp, b.NsPerOp, 100*(ratio-1))
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% against the snapshot", failures, 100*tol)
+	}
+	return nil
 }
 
 // parseStream decodes test2json events and collects benchmark result

@@ -85,7 +85,7 @@ func TestParseStreamIgnoresNoise(t *testing.T) {
 
 func TestRunEmitsStableJSON(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader(sampleStream), &out); err != nil {
+	if err := run(strings.NewReader(sampleStream), &out, nil); err != nil {
 		t.Fatal(err)
 	}
 	var results []Result
@@ -99,7 +99,82 @@ func TestRunEmitsStableJSON(t *testing.T) {
 
 func TestRunFailsOnEmptyInput(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader(""), &out); err == nil {
+	if err := run(strings.NewReader(""), &out, nil); err == nil {
 		t.Fatal("empty input must fail: a benchmark run that produced nothing is a broken gate")
+	}
+}
+
+// Merge semantics: re-measured entries overwrite the snapshot, entries
+// the run did not touch survive, and the output stays sorted.
+func TestRunMergeKeepsUntouchedEntries(t *testing.T) {
+	base := []Result{
+		{Name: "BenchmarkEngine_TableI", Package: "tecopt/internal/bench", Iterations: 1, NsPerOp: 9e9},
+		{Name: "BenchmarkEngine_Old", Package: "tecopt/internal/core", Iterations: 1, NsPerOp: 5},
+	}
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sampleStream), &out, base); err != nil {
+		t.Fatal(err)
+	}
+	var results []Result
+	if err := json.Unmarshal(out.Bytes(), &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d entries, want 3 (2 measured + 1 kept): %+v", len(results), results)
+	}
+	byKey := map[string]Result{}
+	for _, r := range results {
+		byKey[key(r)] = r
+	}
+	merged := byKey["tecopt/internal/bench\x00BenchmarkEngine_TableI"]
+	if !num.ExactEqual(merged.NsPerOp, 1234567890) {
+		t.Errorf("re-measured entry not overwritten: %+v", merged)
+	}
+	if _, ok := byKey["tecopt/internal/core\x00BenchmarkEngine_Old"]; !ok {
+		t.Error("untouched snapshot entry dropped by merge")
+	}
+	for i := 1; i < len(results); i++ {
+		a, b := results[i-1], results[i]
+		if a.Package > b.Package || (a.Package == b.Package && a.Name > b.Name) {
+			t.Fatalf("merged output not sorted at %d: %+v", i, results)
+		}
+	}
+}
+
+// Gate semantics: within tolerance passes, beyond it fails, and new
+// benchmarks missing from the snapshot never fail the gate.
+func TestGateTolerance(t *testing.T) {
+	base := []Result{
+		{Name: "BenchmarkEngine_TableI", Package: "tecopt/internal/bench", NsPerOp: 1234567890},
+		{Name: "BenchmarkEngine_HklSweep", Package: "tecopt/internal/core", NsPerOp: 98765432},
+	}
+	var out bytes.Buffer
+	if err := gate(strings.NewReader(sampleStream), &out, base, 0.20); err != nil {
+		t.Fatalf("identical timings failed the gate: %v\n%s", err, out.String())
+	}
+
+	// Shrink the snapshot so the measured TableI is a >20% regression.
+	base[0].NsPerOp = 1234567890 / 1.5
+	out.Reset()
+	err := gate(strings.NewReader(sampleStream), &out, base, 0.20)
+	if err == nil {
+		t.Fatalf("50%% regression passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Fatalf("gate report missing FAIL line:\n%s", out.String())
+	}
+	// A generous tolerance admits the same measurement.
+	out.Reset()
+	if err := gate(strings.NewReader(sampleStream), &out, base, 0.60); err != nil {
+		t.Fatalf("regression within widened tolerance failed: %v", err)
+	}
+
+	// Unknown benchmarks are reported as NEW, not failed.
+	out.Reset()
+	if err := gate(strings.NewReader(sampleStream), &out, base[:1], 0.60); err != nil {
+		t.Fatalf("benchmark absent from snapshot failed the gate: %v", err)
+	}
+	if !strings.Contains(out.String(), "NEW") {
+		t.Fatalf("gate report missing NEW line:\n%s", out.String())
 	}
 }

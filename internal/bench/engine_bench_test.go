@@ -3,6 +3,8 @@ package bench
 import (
 	"fmt"
 	"testing"
+
+	"tecopt/internal/core"
 )
 
 // Benchmarks for the engine-parallelized evaluation paths. Each has a
@@ -24,6 +26,28 @@ func BenchmarkEngine_TableI(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkEngine_TableI_SMW is the CI-gated fast-path entry: the full
+// serial Table I with the Sherman-Morrison-Woodbury per-current solves
+// requested explicitly (cmd/benchjson -gate fails the build when this
+// regresses against the BENCH_solver.json snapshot). Compare against
+// BenchmarkEngine_TableI_Direct for the per-current refactorization
+// cost the fast path removes.
+func BenchmarkEngine_TableI_SMW(b *testing.B) {
+	for n := 0; n < b.N; n++ {
+		if _, err := RunTableI(TableIOptions{Parallel: 1, Solve: core.SolveAuto}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngine_TableI_Direct(b *testing.B) {
+	for n := 0; n < b.N; n++ {
+		if _, err := RunTableI(TableIOptions{Parallel: 1, Solve: core.SolveDirect}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

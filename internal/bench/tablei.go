@@ -58,6 +58,10 @@ type TableIOptions struct {
 	MaxLimitC float64
 	// Current tunes the inner convex current optimization.
 	Current core.CurrentOptions
+	// Solve selects the per-current solve path for every chip (forwarded
+	// to core.Config.Solve): SolveAuto is the SMW fast path, SolveDirect
+	// refactors at every current.
+	Solve core.SolvePath
 	// Parallel is the number of chips evaluated concurrently: <= 0 uses
 	// GOMAXPROCS, 1 is the pure-serial fallback. Chips are independent
 	// and rows are collected by chip index, so the table is identical at
@@ -88,7 +92,7 @@ func (o TableIOptions) withDefaults() TableIOptions {
 // relaxation retries, and the full-cover baseline.
 func RunTableIRow(name string, tilePower []float64, opt TableIOptions) (*TableIRow, error) {
 	opt = opt.withDefaults()
-	cfg := core.Config{TilePower: tilePower}
+	cfg := core.Config{TilePower: tilePower, Solve: opt.Solve}
 	start := time.Now()
 
 	row := &TableIRow{Name: name, LimitC: opt.BaseLimitC}

@@ -32,11 +32,22 @@ func (s *System) ConditionNumber(i float64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	// Solve errors (impossible for power iteration's well-formed
+	// vectors) are latched through the error-free Op signature.
+	var opErr error
 	invLargest, _, err := eigen.PowerIteration(func(x []float64) []float64 {
-		return fact.Solve(x)
+		y, err := fact.Solve(x)
+		if err != nil {
+			opErr = err
+			return make([]float64, n)
+		}
+		return y
 	}, n, 1e-8, 3000)
 	if err != nil {
 		return 0, err
+	}
+	if opErr != nil {
+		return 0, opErr
 	}
 	if invLargest <= 0 {
 		return math.Inf(1), nil

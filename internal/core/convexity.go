@@ -28,17 +28,16 @@ func (s *System) EtaZeta(i float64, tile int) (eta, etaPrime, zeta float64, err 
 	if tile < 0 || tile >= s.PN.NumTiles() {
 		return 0, 0, 0, tecerr.Newf(tecerr.CodeInvalidInput, "core.convexity", "core: tile %d out of range", tile)
 	}
-	f, err := s.Factor(i)
-	if err != nil {
-		return 0, 0, 0, err
-	}
 	n := s.NumNodes()
 	k := s.PN.SilNode[tile]
 
 	// x = H e_k (row k of H by symmetry).
 	e := make([]float64, n)
 	e[k] = 1
-	x := f.Solve(e)
+	x, err := s.solveVec(i, e)
+	if err != nil {
+		return 0, 0, 0, err
+	}
 
 	// Indicator of HOT u CLD.
 	ind := make([]float64, n)
@@ -59,7 +58,10 @@ func (s *System) EtaZeta(i float64, tile int) (eta, etaPrime, zeta float64, err 
 		}
 	}
 	// eta' = x' D y with y = H 1_{HC}.
-	y := f.Solve(ind)
+	y, err := s.solveVec(i, ind)
+	if err != nil {
+		return 0, 0, 0, err
+	}
 	for l, dv := range s.d {
 		if !num.IsZero(dv) {
 			etaPrime += x[l] * dv * y[l]

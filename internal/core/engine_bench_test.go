@@ -69,3 +69,40 @@ func BenchmarkEngine_HklSweep(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkEngine_HklSweep_SMW isolates the per-current solve path on
+// the same sweep: "smw" pays one base factorization plus a rank-m
+// correction per current, "direct" refactors the shifted matrix at
+// every grid point. Both run serial from a cold cache, so the ratio is
+// the pure algorithmic win.
+func BenchmarkEngine_HklSweep_SMW(b *testing.B) {
+	for _, bm := range []struct {
+		name string
+		path SolvePath
+	}{{"smw", SolveAuto}, {"direct", SolveDirect}} {
+		b.Run(bm.name, func(b *testing.B) {
+			cfg := smallConfig()
+			cfg.Solve = bm.path
+			sys, err := NewSystem(cfg, []int{27, 28})
+			if err != nil {
+				b.Fatal(err)
+			}
+			lambda, err := sys.RunawayLimit(RunawayOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			currents := make([]float64, 32)
+			for i := range currents {
+				currents[i] = lambda * float64(i) / float64(len(currents))
+			}
+			k := sys.PN.SilNode[27]
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				ResetFactorCache()
+				if _, err := sys.HklSweepParallel(k, k, currents, engine.Serial); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

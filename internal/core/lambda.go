@@ -106,6 +106,12 @@ func (s *System) RunawayLimit(opt RunawayOptions) (float64, error) {
 	}
 	// The probes cannot return an error through the boolean predicate, so
 	// cancellation is latched here and re-checked after every search stage.
+	// With the SMW fast path up, each probe is the O(1) spectral
+	// comparison i < 1/mu_max instead of a factorization attempt — the
+	// bisection converges to the same limit (the spectral and
+	// Cholesky-breakdown boundaries agree far inside RelTol's bracket)
+	// for the cost of none of the probes.
+	rs := s.reusable()
 	var ctxErr error
 	pd := func(i float64) bool {
 		if ctxErr != nil {
@@ -116,6 +122,9 @@ func (s *System) RunawayLimit(opt RunawayOptions) (float64, error) {
 			return false
 		}
 		probes++
+		if rs != nil {
+			return rs.PD(i)
+		}
 		_, err := s.Factor(i)
 		return err == nil
 	}
@@ -175,7 +184,10 @@ func (s *System) RunawayMode(lambda float64) ([]float64, error) {
 			return nil, err
 		}
 	}
-	x := f.Solve(s.RHS(i))
+	x, err := f.Solve(s.RHS(i))
+	if err != nil {
+		return nil, err
+	}
 	mx := 0.0
 	for _, v := range x {
 		if a := math.Abs(v); a > mx {
@@ -203,13 +215,12 @@ func (s *System) Hkl(i float64, k, l int) (float64, error) {
 		r.Counter("core.hkl.evals").Inc()
 		defer r.ObserveSince("core.hkl.eval_ns", r.Now())
 	}
-	f, err := s.Factor(i)
+	e := make([]float64, s.NumNodes())
+	e[l] = 1
+	x, err := s.solveVec(i, e)
 	if err != nil {
 		return 0, err
 	}
-	e := make([]float64, s.NumNodes())
-	e[l] = 1
-	x := f.Solve(e)
 	return x[k], nil
 }
 
@@ -270,8 +281,10 @@ func (s *System) HklSweepParallelCtx(ctx context.Context, k, l int, currents []f
 
 // HColumns solves for the requested columns of H(i) = (G - i*D)^{-1}:
 // column l is the full nodal response to one watt injected at node l
-// (h_kl for all k at once). The matrix is factored once and the unit
-// solves run on the given worker pool; results are ordered as cols.
+// (h_kl for all k at once). The base state is prepared once (the SMW
+// fast-path data, or one shared factorization on the direct path) and
+// the unit solves run on the given worker pool; results are ordered as
+// cols and identical to per-column Hkl calls at every worker count.
 func (s *System) HColumns(i float64, cols []int, pool engine.Pool) ([][]float64, error) {
 	n := s.NumNodes()
 	for _, l := range cols {
@@ -280,15 +293,22 @@ func (s *System) HColumns(i float64, cols []int, pool engine.Pool) ([][]float64,
 				"core: HColumns node %d out of range %d", l, n)
 		}
 	}
-	f, err := s.Factor(i)
-	if err != nil {
-		return nil, err
+	if s.reusable() == nil {
+		// Direct path: surface a not-PD current before spawning the
+		// column solves (they would all fail identically).
+		if _, err := s.Factor(i); err != nil {
+			return nil, err
+		}
 	}
 	out := make([][]float64, len(cols))
-	err = pool.Map(len(cols), func(idx int) error {
+	err := pool.Map(len(cols), func(idx int) error {
 		e := make([]float64, n)
 		e[cols[idx]] = 1
-		out[idx] = f.Solve(e)
+		x, err := s.solveVec(i, e)
+		if err != nil {
+			return err
+		}
+		out[idx] = x
 		return nil
 	})
 	if err != nil {

@@ -46,12 +46,26 @@ func (s *System) RunawayLimitEigen() (float64, error) {
 	dp := sparse.PermuteVec(s.perm, s.d)
 
 	n := s.NumNodes()
+	// The eigen.Op signature cannot return an error, so triangular-solve
+	// failures (impossible for the well-formed vectors Lanczos feeds in,
+	// but part of the typed-error contract) are latched and checked
+	// after the iteration.
+	var opErr error
 	op := func(x []float64) []float64 {
-		z := chol.SolveLT(x)
+		z, err := chol.SolveLT(x)
+		if err != nil {
+			opErr = err
+			return make([]float64, n)
+		}
 		for i, dv := range dp {
 			z[i] *= dv
 		}
-		return chol.SolveL(z)
+		z, err = chol.SolveL(z)
+		if err != nil {
+			opErr = err
+			return make([]float64, n)
+		}
+		return z
 	}
 	// rank(D) + slack Lanczos steps capture the full nonzero spectrum.
 	k := nnz + 8
@@ -61,6 +75,9 @@ func (s *System) RunawayLimitEigen() (float64, error) {
 	ritz, err := eigen.Lanczos(op, n, k)
 	if err != nil {
 		return 0, err
+	}
+	if opErr != nil {
+		return 0, opErr
 	}
 	muMax := ritz[len(ritz)-1]
 	if muMax <= 0 {

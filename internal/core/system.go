@@ -11,6 +11,8 @@
 package core
 
 import (
+	"context"
+
 	"tecopt/internal/engine"
 	"tecopt/internal/material"
 	"tecopt/internal/num"
@@ -36,7 +38,25 @@ type Config struct {
 	// TilePower is the worst-case per-tile silicon power (W), length
 	// Cols*Rows.
 	TilePower []float64
+	// Solve selects the per-current solve strategy (default SolveAuto:
+	// the Sherman-Morrison-Woodbury fast path with guarded fallback).
+	Solve SolvePath
 }
+
+// SolvePath selects how SolveAt/Hkl/RunawayLimit evaluate the current
+// family (G - i*D) theta = p(i).
+type SolvePath int
+
+const (
+	// SolveAuto factors G once and applies per-current SMW corrections
+	// (thermal.ReusableSystem), falling back to direct factorization
+	// near the runaway limit and to the guarded chain when the
+	// capacitance matrix loses conditioning.
+	SolveAuto SolvePath = iota
+	// SolveDirect forces the legacy path: one banded Cholesky
+	// factorization per current, through the shared factor cache.
+	SolveDirect
+)
 
 // Validate checks the configuration before any network assembly: the
 // tiling and tile-power vector must be consistent, every tile power
@@ -59,6 +79,10 @@ func (c Config) Validate() error {
 	}
 	if err := c.Geom.Validate(); err != nil {
 		return err
+	}
+	if c.Solve != SolveAuto && c.Solve != SolveDirect {
+		return tecerr.Newf(tecerr.CodeInvalidInput, "core.validate",
+			"core: unknown solve path %d", c.Solve)
 	}
 	return c.Device.Validate()
 }
@@ -105,22 +129,41 @@ type System struct {
 // workers of the parallel sweeps share it.
 var factorCache = engine.NewFactorCache(engine.DefaultCacheCapacity)
 
+// solverCache is the process-wide LRU of SMW fast-path states: one
+// thermal.ReusableSystem per system generation (Key.Current is always
+// zero), holding the base factorization of G plus the rank-2*#TEC
+// correction data that every per-current solve of that system shares.
+// One entry replaces the dozens of per-current factorizations a single
+// OptimizeCurrent used to push through factorCache, which is what fixes
+// the cache thrash of concurrent per-chip runs (Table I measured 80
+// misses and 48 evictions per optimization against the 32-entry LRU).
+var solverCache = engine.NewCache[*thermal.ReusableSystem]("solver_cache", 16)
+
 // FactorCacheStats reports the cumulative hit/miss/eviction counters
 // and resident entry count of the shared factorization cache
 // (diagnostics and benchmarks).
 func FactorCacheStats() engine.CacheStats { return factorCache.Stats() }
 
-// The shared cache publishes its counters into every obs snapshot, so
-// a metrics dump at exit reflects the cache even for phases that ran
-// before observability was enabled.
+// SolverCacheStats is FactorCacheStats for the SMW fast-path cache.
+func SolverCacheStats() engine.CacheStats { return solverCache.Stats() }
+
+// The shared caches publish their counters into every obs snapshot, so
+// a metrics dump at exit reflects them even for phases that ran before
+// observability was enabled.
 func init() {
-	obs.RegisterSnapshotHook(func(r *obs.Registry) { factorCache.PublishStats(r) })
+	obs.RegisterSnapshotHook(func(r *obs.Registry) {
+		factorCache.PublishStats(r)
+		solverCache.PublishStats(r)
+	})
 }
 
-// ResetFactorCache empties the shared factorization cache and zeroes
-// its counters. Tests and long-lived servers use it to establish a
-// known cache state; correctness never depends on it.
-func ResetFactorCache() { factorCache.Reset() }
+// ResetFactorCache empties the shared factorization and solver caches
+// and zeroes their counters. Tests and long-lived servers use it to
+// establish a known cache state; correctness never depends on it.
+func ResetFactorCache() {
+	factorCache.Reset()
+	solverCache.Reset()
+}
 
 // NewSystem builds the package network with the given TEC sites reserved,
 // attaches one device per site, and assembles G, D and the base RHS.
@@ -212,17 +255,55 @@ func (s *System) RHS(i float64) []float64 {
 	return rhs
 }
 
-// SolveAt solves the steady state at supply current i.
-func (s *System) SolveAt(i float64) ([]float64, error) {
-	if i < 0 {
-		return nil, tecerr.Newf(tecerr.CodeInvalidInput, "core.system",
-			"core: negative supply current %g", i)
+// reusable returns the system's SMW fast-path state, built on first use
+// and cached by generation, or nil when the configuration forces the
+// direct path or the setup failed (a degenerate update; the caller then
+// factors per current exactly as before the fast path existed).
+func (s *System) reusable() *thermal.ReusableSystem {
+	if s.Cfg.Solve == SolveDirect {
+		return nil
+	}
+	rs, err := solverCache.Do(engine.Key{Gen: s.gen}, func() (*thermal.ReusableSystem, error) {
+		return thermal.NewReusableSystem(s.g, s.d, s.perm)
+	})
+	if err != nil {
+		// The error is cached per generation, so the direct fallback
+		// costs one failed setup per System, not one per solve.
+		if r := obs.Enabled(); r != nil {
+			r.Counter("core.system.reusable_setup_failures").Inc()
+		}
+		return nil
+	}
+	return rs
+}
+
+// solveVec solves (G - i*D) x = rhs on the fastest available path: the
+// SMW correction of the base factorization when the fast path is up,
+// the cached per-current factorization otherwise. Both paths report
+// ErrNotPD at or beyond the runaway limit.
+func (s *System) solveVec(i float64, rhs []float64) ([]float64, error) {
+	if rs := s.reusable(); rs != nil {
+		x, _, err := rs.SolveAtCurrent(context.Background(), i, rhs)
+		return x, err
 	}
 	f, err := s.Factor(i)
 	if err != nil {
 		return nil, err
 	}
-	return f.Solve(s.RHS(i)), nil
+	return f.Solve(rhs)
+}
+
+// SolveAt solves the steady state at supply current i.
+func (s *System) SolveAt(i float64) ([]float64, error) {
+	if !num.IsFinite(i) {
+		return nil, tecerr.Newf(tecerr.CodeInvalidInput, "core.system",
+			"core: non-finite supply current %g", i)
+	}
+	if i < 0 {
+		return nil, tecerr.Newf(tecerr.CodeInvalidInput, "core.system",
+			"core: negative supply current %g", i)
+	}
+	return s.solveVec(i, s.RHS(i))
 }
 
 // PeakAt solves at current i and returns the hottest silicon tile

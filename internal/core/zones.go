@@ -154,7 +154,7 @@ func (zs *ZonedSystem) SolveAtZoned(currents []float64) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	return f.Solve(zs.RHSZoned(currents)), nil
+	return f.Solve(zs.RHSZoned(currents))
 }
 
 // PeakAtZoned returns the peak silicon temperature at a current vector.
@@ -295,7 +295,7 @@ func (zs *ZonedSystem) OptimizeZoned(opt ZonedOptions) (*ZonedResult, error) {
 }
 
 // factorCSR is Factor for an explicit matrix with a shared ordering.
-func factorCSR(m *sparse.CSR, perm []int) (interface{ Solve([]float64) []float64 }, error) {
+func factorCSR(m *sparse.CSR, perm []int) (*permSolver, error) {
 	ap := m.Permute(perm)
 	chol, err := sparse.NewBandCholesky(ap)
 	if err != nil {
@@ -310,6 +310,10 @@ type permSolver struct {
 	inv  []int
 }
 
-func (p *permSolver) Solve(b []float64) []float64 {
-	return sparse.PermuteVec(p.inv, p.chol.Solve(sparse.PermuteVec(p.perm, b)))
+func (p *permSolver) Solve(b []float64) ([]float64, error) {
+	xp, err := p.chol.Solve(sparse.PermuteVec(p.perm, b))
+	if err != nil {
+		return nil, err
+	}
+	return sparse.PermuteVec(p.inv, xp), nil
 }

@@ -266,7 +266,9 @@ func Run(sys *core.System, phases []PowerPhase, ctrl Controller, limitK float64,
 			for i := range rhs {
 				rhs[i] += cOverDt[i] * theta[i]
 			}
-			theta = fact.Solve(rhs)
+			if theta, err = fact.Solve(rhs); err != nil {
+				return nil, err
+			}
 			if r != nil {
 				r.Counter("dtm.steps").Inc()
 				r.ObserveSince("dtm.step_ns", stepStart)

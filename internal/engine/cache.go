@@ -4,39 +4,51 @@ import (
 	"container/list"
 	"sync"
 
+	"tecopt/internal/num"
 	"tecopt/internal/obs"
+	"tecopt/internal/tecerr"
 	"tecopt/internal/thermal"
 )
 
-// Key identifies one cached factorization: the generation of the system
-// that owns the matrix pattern and values, and the supply current i of
+// Key identifies one cached value: the generation of the system that
+// owns the matrix pattern and values, and the supply current i of
 // G - i*D. Currents compare bit-exactly — the optimizer re-evaluates
 // the very same float64 (golden-section endpoints, the final PeakAt of
 // OptimizeCurrent, the Hkl-then-PeakAt pairs of the Figure 6 sweep), so
 // exact matching is both correct and sufficient; nearby-but-different
-// currents are different operating points and must not alias.
+// currents are different operating points and must not alias. Do
+// rejects non-finite currents up front: NaN is never equal to itself as
+// a map key, so a NaN entry could only grow the LRU with dead weight.
 type Key struct {
 	Gen     uint64
 	Current float64
 }
 
-// FactorCache is a bounded, concurrency-safe LRU cache of banded
-// Cholesky factorizations. A failed factorization (not positive
-// definite, i.e. at or beyond the runaway limit) is cached too: the
-// matrix for a given key is deterministic, so the binary search's
-// repeated probes of an infeasible current need not refactor to refail.
+// Cache is a bounded, concurrency-safe LRU keyed by Key, generic over
+// the cached value — banded Cholesky factorizations for the per-current
+// direct path, whole ReusableSystem fast-path states for the SMW path.
+// A failed build (e.g. not positive definite at or beyond the runaway
+// limit) is cached too: the value for a given key is deterministic, so
+// the binary search's repeated probes of an infeasible current need not
+// rebuild to refail.
 //
 // Concurrent requests for the same key are deduplicated: one goroutine
 // builds, the rest block on the entry's sync.Once and share the result.
-// FactorCache must not be copied after first use.
-type FactorCache struct {
+// Cache must not be copied after first use.
+type Cache[V any] struct {
+	name string // metrics namespace: "engine.<name>.*"
+
 	mu    sync.Mutex
 	cap   int
-	ll    *list.List // front = most recently used; elements hold *entry
+	ll    *list.List // front = most recently used; elements hold *entry[V]
 	items map[Key]*list.Element
 
 	hits, misses, evictions uint64
 }
+
+// FactorCache is the cache of banded Cholesky factorizations behind the
+// per-current direct solve path.
+type FactorCache = Cache[*thermal.Factorization]
 
 // CacheStats is a consistent view of the cache counters, taken under
 // the cache lock so hits/misses/evictions belong to one instant.
@@ -50,10 +62,10 @@ type CacheStats struct {
 // entry is one cache slot. val and err are written exactly once, inside
 // once; readers always go through once.Do so the happens-before edge is
 // the Once itself, not the cache lock.
-type entry struct {
+type entry[V any] struct {
 	key  Key
 	once sync.Once
-	val  *thermal.Factorization
+	val  V
 	err  error
 }
 
@@ -64,40 +76,55 @@ type entry struct {
 // megabytes.
 const DefaultCacheCapacity = 32
 
-// NewFactorCache creates a cache holding at most capacity
-// factorizations (capacity <= 0 selects DefaultCacheCapacity).
-func NewFactorCache(capacity int) *FactorCache {
+// NewCache creates a cache holding at most capacity values
+// (capacity <= 0 selects DefaultCacheCapacity). name scopes the metric
+// names to "engine.<name>.*".
+func NewCache[V any](name string, capacity int) *Cache[V] {
 	if capacity <= 0 {
 		capacity = DefaultCacheCapacity
 	}
-	return &FactorCache{
+	return &Cache[V]{
+		name:  name,
 		cap:   capacity,
 		ll:    list.New(),
 		items: make(map[Key]*list.Element, capacity),
 	}
 }
 
-// Do returns the factorization for k, building it with build on the
-// first request. The build runs outside the cache lock, so a slow
-// factorization never blocks hits on other keys; concurrent callers of
-// the same key share one build. When observability is enabled the
-// cache reports hits/misses/evictions and the build latency under
+// NewFactorCache creates a factorization cache holding at most capacity
+// entries (capacity <= 0 selects DefaultCacheCapacity), reporting under
 // "engine.factor_cache.*".
-func (c *FactorCache) Do(k Key, build func() (*thermal.Factorization, error)) (*thermal.Factorization, error) {
+func NewFactorCache(capacity int) *FactorCache {
+	return NewCache[*thermal.Factorization]("factor_cache", capacity)
+}
+
+// Do returns the value for k, building it with build on the first
+// request. The build runs outside the cache lock, so a slow build never
+// blocks hits on other keys; concurrent callers of the same key share
+// one build. A non-finite current is rejected with a
+// tecerr.CodeInvalidInput error before touching the cache. When
+// observability is enabled the cache reports hits/misses/evictions and
+// the build latency under "engine.<name>.*".
+func (c *Cache[V]) Do(k Key, build func() (V, error)) (V, error) {
+	if !num.IsFinite(k.Current) {
+		var zero V
+		return zero, tecerr.Newf(tecerr.CodeInvalidInput, "engine.cache",
+			"engine: non-finite current %g in cache key", k.Current)
+	}
 	r := obs.Enabled()
 	c.mu.Lock()
 	if el, ok := c.items[k]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
-		e := el.Value.(*entry)
+		e := el.Value.(*entry[V])
 		c.mu.Unlock()
 		if r != nil {
-			r.Counter("engine.factor_cache.hits").Inc()
+			r.Counter("engine." + c.name + ".hits").Inc()
 		}
 		e.once.Do(func() { e.val, e.err = build() }) // waits if mid-build
 		return e.val, e.err
 	}
-	e := &entry{key: k}
+	e := &entry[V]{key: k}
 	el := c.ll.PushFront(e)
 	c.items[k] = el
 	c.misses++
@@ -105,7 +132,7 @@ func (c *FactorCache) Do(k Key, build func() (*thermal.Factorization, error)) (*
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*entry).key)
+		delete(c.items, oldest.Value.(*entry[V]).key)
 		c.evictions++
 		evicted++
 	}
@@ -113,14 +140,14 @@ func (c *FactorCache) Do(k Key, build func() (*thermal.Factorization, error)) (*
 	c.mu.Unlock()
 
 	if r != nil {
-		r.Counter("engine.factor_cache.misses").Inc()
+		r.Counter("engine." + c.name + ".misses").Inc()
 		if evicted > 0 {
-			r.Counter("engine.factor_cache.evictions").Add(evicted)
+			r.Counter("engine." + c.name + ".evictions").Add(evicted)
 		}
-		r.Gauge("engine.factor_cache.len").Set(int64(resident))
+		r.Gauge("engine." + c.name + ".len").Set(int64(resident))
 		start := r.Now()
 		e.once.Do(func() { e.val, e.err = build() })
-		r.Histogram("engine.factor_cache.build_ns").Observe(clampNS(r.Now() - start))
+		r.Histogram("engine." + c.name + ".build_ns").Observe(clampNS(r.Now() - start))
 		return e.val, e.err
 	}
 	e.once.Do(func() { e.val, e.err = build() })
@@ -128,7 +155,7 @@ func (c *FactorCache) Do(k Key, build func() (*thermal.Factorization, error)) (*
 }
 
 // Len reports the number of resident entries.
-func (c *FactorCache) Len() int {
+func (c *Cache[V]) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
@@ -136,7 +163,7 @@ func (c *FactorCache) Len() int {
 
 // Stats reports the cumulative hit/miss/eviction counters and the
 // resident entry count. Safe to call concurrently with Do.
-func (c *FactorCache) Stats() CacheStats {
+func (c *Cache[V]) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Len: c.ll.Len()}
@@ -146,14 +173,14 @@ func (c *FactorCache) Stats() CacheStats {
 // the benchmark hook for measuring one phase of a longer run. Safe to
 // call concurrently with Do; in-flight operations are attributed to
 // whichever side of the reset their counter increment lands on.
-func (c *FactorCache) ResetStats() {
+func (c *Cache[V]) ResetStats() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.hits, c.misses, c.evictions = 0, 0, 0
 }
 
 // Reset drops every entry and zeroes the counters (test hook).
-func (c *FactorCache) Reset() {
+func (c *Cache[V]) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.ll.Init()
@@ -162,21 +189,21 @@ func (c *FactorCache) Reset() {
 }
 
 // PublishStats copies the current counters into registry r as
-// "engine.factor_cache.{hits,misses,evictions,len}" so a snapshot
-// taken at exit reflects the cache even if parts of the run executed
-// before observability was enabled. Callers register it as a snapshot
-// hook: obs.RegisterSnapshotHook(cache.PublishStats).
-func (c *FactorCache) PublishStats(r *obs.Registry) {
+// "engine.<name>.{hits,misses,evictions,len}" so a snapshot taken at
+// exit reflects the cache even if parts of the run executed before
+// observability was enabled. Callers register it as a snapshot hook:
+// obs.RegisterSnapshotHook(cache.PublishStats).
+func (c *Cache[V]) PublishStats(r *obs.Registry) {
 	if r == nil {
 		return
 	}
 	st := c.Stats()
 	// Counters are monotonic: top them up to the locked-in totals
 	// rather than double-adding.
-	topUp(r.Counter("engine.factor_cache.hits"), st.Hits)
-	topUp(r.Counter("engine.factor_cache.misses"), st.Misses)
-	topUp(r.Counter("engine.factor_cache.evictions"), st.Evictions)
-	r.Gauge("engine.factor_cache.len").Set(int64(st.Len))
+	topUp(r.Counter("engine."+c.name+".hits"), st.Hits)
+	topUp(r.Counter("engine."+c.name+".misses"), st.Misses)
+	topUp(r.Counter("engine."+c.name+".evictions"), st.Evictions)
+	r.Gauge("engine." + c.name + ".len").Set(int64(st.Len))
 }
 
 // topUp raises counter c to at least total.

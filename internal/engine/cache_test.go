@@ -1,12 +1,14 @@
 package engine
 
 import (
+	"errors"
 	"math"
 	"sync"
 	"sync/atomic"
 	"testing"
 
 	"tecopt/internal/sparse"
+	"tecopt/internal/tecerr"
 	"tecopt/internal/thermal"
 )
 
@@ -244,6 +246,29 @@ func TestCacheStatsRaceWithConcurrentDo(t *testing.T) {
 	}
 }
 
+// A NaN current can never be found again (NaN != NaN as a map key), so
+// the cache must reject non-finite keys at the boundary with a typed
+// invalid-input error instead of leaking one unreachable entry per call.
+func TestCacheRejectsNonFiniteCurrent(t *testing.T) {
+	c := NewFactorCache(4)
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		f, err := c.Do(Key{Gen: 1, Current: bad}, func() (*thermal.Factorization, error) {
+			t.Fatalf("build ran for non-finite current %v", bad)
+			return nil, nil
+		})
+		if f != nil {
+			t.Fatalf("current %v returned a factorization alongside the error", bad)
+		}
+		if !errors.Is(err, tecerr.ErrInvalidInput) {
+			t.Fatalf("current %v: err = %v, want CodeInvalidInput", bad, err)
+		}
+	}
+	st := c.Stats()
+	if st.Len != 0 || st.Misses != 0 {
+		t.Fatalf("rejected keys touched the cache: %+v", st)
+	}
+}
+
 // factorBoost returns a build function for a small SPD chain with the
 // given diagonal boost.
 func factorBoost(diagBoost float64) func() (*thermal.Factorization, error) {
@@ -271,7 +296,11 @@ func TestCacheConcurrentMixedKeys(t *testing.T) {
 					return
 				}
 				// Solves on a shared factorization must be safe.
-				x := f.Solve([]float64{1, 0, 0, 0, 0, 0, 0, 1})
+				x, err := f.Solve([]float64{1, 0, 0, 0, 0, 0, 0, 1})
+				if err != nil {
+					t.Error(err)
+					return
+				}
 				if len(x) != 8 {
 					t.Errorf("solve length %d", len(x))
 					return

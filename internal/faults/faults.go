@@ -46,6 +46,10 @@ const (
 	SitePower = "thermal.power"
 	// SiteSweepPoint fires at every h_kl sweep sample point.
 	SiteSweepPoint = "core.sweep.point"
+	// SiteSMWGuard filters the capacitance-matrix conditioning margin of
+	// every Sherman-Morrison-Woodbury correction, so chaos tests can
+	// force the guard to trip and exercise the guarded-chain fallback.
+	SiteSMWGuard = "sparse.smw.guard"
 )
 
 // ErrInjected is the cause wrapped by every injected error, so tests

@@ -1,7 +1,6 @@
 package sparse
 
 import (
-	"fmt"
 	"math"
 
 	"tecopt/internal/faults"
@@ -119,10 +118,13 @@ func (c *BandCholesky) Size() int { return c.n }
 // BandwidthUsed returns the (half) bandwidth of the stored factor.
 func (c *BandCholesky) BandwidthUsed() int { return c.bw }
 
-// Solve solves A x = b.
-func (c *BandCholesky) Solve(b []float64) []float64 {
+// Solve solves A x = b. A wrong-length rhs is reported as a
+// tecerr.CodeInvalidInput error (PR-4 contract: the solve stack returns
+// typed errors instead of panicking on caller mistakes).
+func (c *BandCholesky) Solve(b []float64) ([]float64, error) {
 	if len(b) != c.n {
-		panic(fmt.Sprintf("sparse: BandCholesky.Solve rhs length %d, want %d", len(b), c.n))
+		return nil, tecerr.Newf(tecerr.CodeInvalidInput, "sparse.band",
+			"sparse: BandCholesky.Solve rhs length %d, want %d", len(b), c.n)
 	}
 	if r := obs.Enabled(); r != nil {
 		start := r.Now()
@@ -158,16 +160,18 @@ func (c *BandCholesky) Solve(b []float64) []float64 {
 		}
 		x[i] = s / c.ab[i*w+bw]
 	}
-	return x
+	return x, nil
 }
 
 // SolveL solves the lower-triangular system L y = b with the factor L.
 // Together with SolveLT it lets callers apply L^{-1} and L^{-T}
 // separately — needed for the symmetric reduction of generalized
-// eigenproblems (see internal/eigen and core.RunawayLimitEigen).
-func (c *BandCholesky) SolveL(b []float64) []float64 {
+// eigenproblems (see internal/eigen and core.RunawayLimitEigen). A
+// wrong-length rhs is a tecerr.CodeInvalidInput error.
+func (c *BandCholesky) SolveL(b []float64) ([]float64, error) {
 	if len(b) != c.n {
-		panic(fmt.Sprintf("sparse: BandCholesky.SolveL rhs length %d, want %d", len(b), c.n))
+		return nil, tecerr.Newf(tecerr.CodeInvalidInput, "sparse.band",
+			"sparse: BandCholesky.SolveL rhs length %d, want %d", len(b), c.n)
 	}
 	n, bw, w := c.n, c.bw, c.bw+1
 	y := make([]float64, n)
@@ -183,13 +187,15 @@ func (c *BandCholesky) SolveL(b []float64) []float64 {
 		}
 		y[i] = s / c.ab[i*w+bw]
 	}
-	return y
+	return y, nil
 }
 
 // SolveLT solves the upper-triangular system L' x = b with the factor L.
-func (c *BandCholesky) SolveLT(b []float64) []float64 {
+// A wrong-length rhs is a tecerr.CodeInvalidInput error.
+func (c *BandCholesky) SolveLT(b []float64) ([]float64, error) {
 	if len(b) != c.n {
-		panic(fmt.Sprintf("sparse: BandCholesky.SolveLT rhs length %d, want %d", len(b), c.n))
+		return nil, tecerr.Newf(tecerr.CodeInvalidInput, "sparse.band",
+			"sparse: BandCholesky.SolveLT rhs length %d, want %d", len(b), c.n)
 	}
 	n, bw, w := c.n, c.bw, c.bw+1
 	x := make([]float64, n)
@@ -205,7 +211,7 @@ func (c *BandCholesky) SolveLT(b []float64) []float64 {
 		}
 		x[i] = s / c.ab[i*w+bw]
 	}
-	return x
+	return x, nil
 }
 
 // IsPositiveDefiniteBand reports whether the symmetric matrix a is

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"tecopt/internal/tecerr"
 )
 
 func TestBandCholeskySolvesGrid(t *testing.T) {
@@ -20,7 +22,10 @@ func TestBandCholeskySolvesGrid(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := c.Solve(b)
+	got, err := c.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range want {
 		if math.Abs(got[i]-want[i]) > 1e-8 {
 			t.Fatalf("Solve[%d] = %v, want %v", i, got[i], want[i])
@@ -50,17 +55,56 @@ func TestBandCholeskyNonSquare(t *testing.T) {
 	}
 }
 
-func TestBandCholeskyRhsLenPanics(t *testing.T) {
+// A wrong-length rhs must be a typed tecerr.CodeInvalidInput error on
+// every solve entry point (PR-4 contract; these used to panic).
+func TestBandCholeskyRhsLenTypedError(t *testing.T) {
 	c, err := NewBandCholesky(gridLaplacian(3, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+	for name, solve := range map[string]func([]float64) ([]float64, error){
+		"Solve":   c.Solve,
+		"SolveL":  c.SolveL,
+		"SolveLT": c.SolveLT,
+	} {
+		x, err := solve([]float64{1})
+		if x != nil {
+			t.Errorf("%s returned a vector alongside the error", name)
 		}
-	}()
-	c.Solve([]float64{1})
+		if !errors.Is(err, tecerr.ErrInvalidInput) {
+			t.Errorf("%s err = %v, want CodeInvalidInput", name, err)
+		}
+	}
+}
+
+// Round trip: SolveL then SolveLT must agree with Solve.
+func TestBandCholeskySolveLRoundTrip(t *testing.T) {
+	a := gridLaplacian(6, 5)
+	c, err := NewBandCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, a.Rows())
+	for i := range b {
+		b[i] = float64(i%7) - 3
+	}
+	want, err := c.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := c.SolveL(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.SolveLT(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-10*(1+math.Abs(want[i])) {
+			t.Fatalf("round trip[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
 }
 
 func TestBandCholeskyDiagonalMatrix(t *testing.T) {
@@ -75,7 +119,10 @@ func TestBandCholeskyDiagonalMatrix(t *testing.T) {
 	if c.BandwidthUsed() != 0 {
 		t.Fatalf("bandwidth = %d, want 0", c.BandwidthUsed())
 	}
-	got := c.Solve([]float64{2, 4, 8})
+	got, err := c.Solve([]float64{2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, v := range got {
 		if math.Abs(v-1) > 1e-15 {
 			t.Fatalf("x[%d] = %v, want 1", i, v)
@@ -102,7 +149,10 @@ func TestBandCholeskyMatchesCGProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		x := direct.Solve(b)
+		x, err := direct.Solve(b)
+		if err != nil {
+			return false
+		}
 		for i := range x {
 			if math.Abs(x[i]-cg.X[i]) > 1e-6*(1+math.Abs(cg.X[i])) {
 				return false
@@ -115,7 +165,11 @@ func TestBandCholeskyMatchesCGProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		xp := PermuteVec(InvertPerm(perm), dp.Solve(PermuteVec(perm, b)))
+		xpp, err := dp.Solve(PermuteVec(perm, b))
+		if err != nil {
+			return false
+		}
+		xp := PermuteVec(InvertPerm(perm), xpp)
 		for i := range xp {
 			if math.Abs(xp[i]-x[i]) > 1e-6*(1+math.Abs(x[i])) {
 				return false

@@ -1,0 +1,288 @@
+package sparse
+
+import (
+	"math"
+
+	"tecopt/internal/eigen"
+	"tecopt/internal/faults"
+	"tecopt/internal/mat"
+	"tecopt/internal/num"
+	"tecopt/internal/obs"
+	"tecopt/internal/tecerr"
+)
+
+// SMW applies Sherman-Morrison-Woodbury corrections for shifted systems
+//
+//	(G - i * diag(d)) x = b
+//
+// where d is supported on few entries (for the TEC model: two rows per
+// device), so diag(d) = U S U' is a rank-m update of a fixed G. Given a
+// solver for G (one factorization, reused for every current), each
+// correction costs two m x m matrix-vector products, one n x m product
+// and one base solve — versus a full O(n*bw^2) refactorization per
+// current on the direct path.
+//
+// Construction precomputes, once per system:
+//
+//	W  = G^{-1} U                (m base solves)
+//	M  = U' W = U' G^{-1} U      (m x m, symmetric positive definite)
+//	M  = L L'                    (dense Cholesky)
+//	T  = L' S L = Q Mu Q'        (symmetric eigendecomposition)
+//
+// T is similar to S*M (L' (S M) L^{-T} = T), so the capacitance matrix
+// of the Woodbury identity diagonalizes for every shift at once:
+//
+//	(I - i*S*M)^{-1} = L^{-T} Q diag(1/(1 - i*mu_j)) Q' L'
+//
+// and the per-current correction is
+//
+//	x = y + i * W * P2 * diag(1/(1 - i*mu_j)) * P1 * t,
+//	y = G^{-1} b,  t = y[idx],  P1 = Q' L' S,  P2 = L^{-T} Q.
+//
+// The eigenvalues mu_j are exactly those of G^{-1} diag(d), so the
+// largest one also yields the thermal-runaway limit lambda_m = 1/mu_max
+// (Theorem 1 via the spectral reduction of internal/core) for free.
+type SMW struct {
+	n   int
+	idx []int // support of d: the rows/columns of the update
+	// w holds the m columns of W = G^{-1} U, each of length n.
+	w [][]float64
+	// mu holds the eigenvalues of the reduced pencil, ascending.
+	mu []float64
+	// p1, p2 are the m x m projection factors (row-major): the
+	// correction is x = y + i * W * p2 * diag(1/(1-i*mu)) * p1 * y[idx].
+	p1, p2 []float64
+	// gapTol is the relative conditioning floor for the diagonal factors
+	// 1 - i*mu_j; a gap below it means the capacitance matrix is too
+	// close to singular for the correction to hold full accuracy.
+	gapTol float64
+}
+
+// ErrSMWIllConditioned reports that a requested shift puts the
+// capacitance matrix too close to singular (the operating point is
+// within the conditioning guard of 1/mu_j for some j — near the runaway
+// limit lambda_m in the thermal model), so the Woodbury correction
+// cannot deliver full accuracy and the caller should fall back to a
+// direct solve. It carries tecerr.CodeDiverged.
+var ErrSMWIllConditioned error = tecerr.New(tecerr.CodeDiverged, "sparse.smw",
+	"sparse: SMW capacitance matrix ill-conditioned at this shift")
+
+// defaultSMWGapTol keeps the correction's relative error near machine
+// epsilon divided by the gap below ~1e-9, the equivalence tolerance the
+// property tests assert against the direct path.
+const defaultSMWGapTol = 1e-7
+
+// NewSMW builds the correction data for the diagonal update d (length
+// n), using solve to apply G^{-1} (typically a banded Cholesky solve of
+// the unshifted base matrix). solve is called m times with unit vectors
+// during construction and never retained. A zero-support d yields an
+// SMW whose Correct is the identity and whose Lambda is +Inf.
+func NewSMW(d []float64, solve func([]float64) ([]float64, error)) (*SMW, error) {
+	n := len(d)
+	var idx []int
+	for k, v := range d {
+		if !num.IsZero(v) {
+			idx = append(idx, k)
+		}
+	}
+	s := &SMW{n: n, idx: idx, gapTol: defaultSMWGapTol}
+	m := len(idx)
+	if r := obs.Enabled(); r != nil {
+		start := r.Now()
+		defer func() {
+			r.Counter("sparse.smw.setups").Inc()
+			r.Histogram("sparse.smw.setup_ns").Observe(clampNS(r.Now() - start))
+			r.Gauge("sparse.smw.rank").Set(int64(m))
+		}()
+	}
+	if m == 0 {
+		return s, nil
+	}
+
+	// W = G^{-1} U, one base solve per support column.
+	s.w = make([][]float64, m)
+	e := make([]float64, n)
+	for j, k := range idx {
+		e[k] = 1
+		col, err := solve(e)
+		if err != nil {
+			return nil, tecerr.Wrapf(tecerr.CodeOf(err), "sparse.smw", err,
+				"sparse: SMW base solve for support column %d failed", k)
+		}
+		if len(col) != n {
+			return nil, tecerr.Newf(tecerr.CodeInternal, "sparse.smw",
+				"sparse: SMW base solve returned length %d, want %d", len(col), n)
+		}
+		e[k] = 0
+		s.w[j] = col
+	}
+
+	// M = U' W, symmetrized: it is a Gram matrix of G^{-1}, so any
+	// asymmetry is pure rounding from the base solves.
+	mm := mat.NewDense(m, m)
+	for a := 0; a < m; a++ {
+		for b := 0; b < m; b++ {
+			mm.Set(a, b, s.w[b][idx[a]])
+		}
+	}
+	for a := 0; a < m; a++ {
+		for b := a + 1; b < m; b++ {
+			v := 0.5 * (mm.At(a, b) + mm.At(b, a))
+			mm.Set(a, b, v)
+			mm.Set(b, a, v)
+		}
+	}
+	chol, err := mat.NewCholesky(mm)
+	if err != nil {
+		return nil, tecerr.Wrapf(tecerr.CodeInternal, "sparse.smw", err,
+			"sparse: SMW projected matrix U' G^{-1} U not positive definite")
+	}
+	l := chol.L()
+
+	// T = L' S L with S = diag(d[idx]).
+	t := mat.NewDense(m, m)
+	for a := 0; a < m; a++ {
+		for b := 0; b <= a; b++ {
+			var v float64
+			for k := 0; k < m; k++ {
+				v += l.At(k, a) * d[idx[k]] * l.At(k, b)
+			}
+			t.Set(a, b, v)
+			t.Set(b, a, v)
+		}
+	}
+	mu, q, err := eigen.SymEig(t, true)
+	if err != nil {
+		return nil, tecerr.Wrapf(tecerr.CodeInternal, "sparse.smw", err,
+			"sparse: SMW eigendecomposition of the reduced pencil failed")
+	}
+	s.mu = mu
+
+	// P1 = Q' L' S: p1[j][a] = d[idx[a]] * sum_k Q[k][j] L[a][k].
+	s.p1 = make([]float64, m*m)
+	for j := 0; j < m; j++ {
+		for a := 0; a < m; a++ {
+			var v float64
+			for k := 0; k <= a; k++ { // L is lower triangular
+				v += q.At(k, j) * l.At(a, k)
+			}
+			s.p1[j*m+a] = v * d[idx[a]]
+		}
+	}
+	// P2 = L^{-T} Q, column by column via back substitution.
+	s.p2 = make([]float64, m*m)
+	col := make([]float64, m)
+	for j := 0; j < m; j++ {
+		for a := 0; a < m; a++ {
+			col[a] = q.At(a, j)
+		}
+		for a := m - 1; a >= 0; a-- {
+			v := col[a]
+			for k := a + 1; k < m; k++ {
+				v -= l.At(k, a) * col[k]
+			}
+			col[a] = v / l.At(a, a)
+		}
+		for a := 0; a < m; a++ {
+			s.p2[a*m+j] = col[a]
+		}
+	}
+	return s, nil
+}
+
+// Rank returns the update rank m (the support size of d).
+func (s *SMW) Rank() int { return len(s.idx) }
+
+// MuMax returns the largest eigenvalue of G^{-1} diag(d), or 0 when the
+// update is empty.
+func (s *SMW) MuMax() float64 {
+	if len(s.mu) == 0 {
+		return 0
+	}
+	return s.mu[len(s.mu)-1]
+}
+
+// Lambda returns the spectral shift limit 1/mu_max: G - i*diag(d) is
+// positive definite for 0 <= i < Lambda and indefinite beyond it
+// (Theorem 1). +Inf when mu_max <= 0 (no positive support: the system
+// cannot run away).
+func (s *SMW) Lambda() float64 {
+	muMax := s.MuMax()
+	if muMax <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / muMax
+}
+
+// Correct turns y = G^{-1} b into (G - i*diag(d))^{-1} b in place.
+// It returns ErrSMWIllConditioned when the shift lands within the
+// conditioning guard of a capacitance-matrix singularity (callers fall
+// back to a direct factorization of the shifted matrix) and a
+// tecerr.CodeInvalidInput error for a non-finite shift or wrong-length
+// vector. Correct is safe for concurrent use: the precomputed data is
+// read-only and all scratch is local.
+func (s *SMW) Correct(i float64, y []float64) error {
+	if !num.IsFinite(i) {
+		return tecerr.Newf(tecerr.CodeInvalidInput, "sparse.smw",
+			"sparse: non-finite SMW shift %g", i)
+	}
+	if len(y) != s.n {
+		return tecerr.Newf(tecerr.CodeInvalidInput, "sparse.smw",
+			"sparse: SMW vector length %d, want %d", len(y), s.n)
+	}
+	m := len(s.idx)
+	if m == 0 || num.IsZero(i) {
+		return nil
+	}
+	// Conditioning guard: every diagonal factor 1 - i*mu_j must sit a
+	// relative gapTol away from zero, or the correction loses the
+	// accuracy contract. The margin passes through the chaos filter so
+	// fault-injection tests can force the fallback path.
+	minGap := math.Inf(1)
+	for _, mu := range s.mu {
+		gap := math.Abs(1-i*mu) / (1 + math.Abs(i*mu))
+		if gap < minGap {
+			minGap = gap
+		}
+	}
+	minGap = faults.Float64(faults.SiteSMWGuard, minGap)
+	if math.IsNaN(minGap) || minGap < s.gapTol {
+		if r := obs.Enabled(); r != nil {
+			r.Counter("sparse.smw.guard_trips").Inc()
+		}
+		return ErrSMWIllConditioned
+	}
+	if r := obs.Enabled(); r != nil {
+		start := r.Now()
+		defer func() {
+			r.Counter("sparse.smw.corrections").Inc()
+			r.Histogram("sparse.smw.correct_ns").Observe(clampNS(r.Now() - start))
+		}()
+	}
+	// u = P1 * y[idx], scaled by the diagonalized resolvent.
+	u := make([]float64, m)
+	for j := 0; j < m; j++ {
+		var v float64
+		row := s.p1[j*m : (j+1)*m]
+		for a, k := range s.idx {
+			v += row[a] * y[k]
+		}
+		u[j] = v * i / (1 - i*s.mu[j])
+	}
+	// c = P2 * u, then y += W * c.
+	for a := 0; a < m; a++ {
+		var v float64
+		row := s.p2[a*m : (a+1)*m]
+		for j := 0; j < m; j++ {
+			v += row[j] * u[j]
+		}
+		if num.IsZero(v) {
+			continue
+		}
+		col := s.w[a]
+		for k := range y {
+			y[k] += v * col[k]
+		}
+	}
+	return nil
+}

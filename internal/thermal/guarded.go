@@ -24,6 +24,17 @@ type GuardedOptions struct {
 	// CGMaxIter caps the CG link's iterations (0 uses the sparse
 	// package default).
 	CGMaxIter int
+	// X0 warm-starts the CG link from a previous nearby solution (nil
+	// starts from zero). Along a current sweep or bisection, adjacent
+	// operating points differ little, so the previous theta typically
+	// cuts the iteration count substantially.
+	X0 []float64
+	// Precond overrides the CG link's preconditioner. Nil builds the
+	// best one (IC(0), else Jacobi) from the system matrix per solve;
+	// passing the base matrix's IC(0) amortizes its setup across the
+	// nearby shifts of a sweep, for which it stays an effective
+	// preconditioner.
+	Precond sparse.Preconditioner
 }
 
 // GuardedAttempt records one failed link of the chain.
@@ -114,10 +125,15 @@ func solveLink(ctx context.Context, g *sparse.CSR, rhs []float64, m Method, opt 
 	if tol <= 0 {
 		tol = 1e-12
 	}
+	pre := opt.Precond
+	if pre == nil {
+		pre = sparse.NewBestPreconditioner(g)
+	}
 	res, err := sparse.SolveCGCtx(ctx, g, rhs, sparse.CGOptions{
 		Tol:     tol,
 		MaxIter: opt.CGMaxIter,
-		Precond: sparse.NewBestPreconditioner(g),
+		Precond: pre,
+		X0:      opt.X0,
 	})
 	if res != nil {
 		st = SolveStats{Iterative: true, CGIterations: res.Iterations, CGResidual: res.Residual}

@@ -25,6 +25,10 @@ const (
 	// paper's stated method, practical for small models and useful as a
 	// reference in solver-equivalence tests.
 	MethodDenseCholesky
+	// MethodSMW identifies the Sherman-Morrison-Woodbury fast path of
+	// ReusableSystem in solve reports: one base factorization of G,
+	// corrected per current against the rank-2*#TEC capacitance matrix.
+	MethodSMW
 )
 
 // ErrNotPD reports that the system matrix is not positive definite, i.e.
@@ -58,10 +62,18 @@ func Factor(a *sparse.CSR, perm []int) (*Factorization, error) {
 	return &Factorization{chol: chol, perm: perm, inv: sparse.InvertPerm(perm)}, nil
 }
 
-// Solve solves A x = b using the factorization.
-func (f *Factorization) Solve(b []float64) []float64 {
-	xp := f.chol.Solve(sparse.PermuteVec(f.perm, b))
-	return sparse.PermuteVec(f.inv, xp)
+// Solve solves A x = b using the factorization. A wrong-length rhs is
+// reported as a tecerr.CodeInvalidInput error.
+func (f *Factorization) Solve(b []float64) ([]float64, error) {
+	if len(b) != len(f.perm) {
+		return nil, tecerr.Newf(tecerr.CodeInvalidInput, "thermal.factor",
+			"thermal: Factorization.Solve rhs length %d, want %d", len(b), len(f.perm))
+	}
+	xp, err := f.chol.Solve(sparse.PermuteVec(f.perm, b))
+	if err != nil {
+		return nil, err
+	}
+	return sparse.PermuteVec(f.inv, xp), nil
 }
 
 // SolveStats reports per-solve statistics of the iterative path. For
@@ -93,7 +105,8 @@ func SolveSteadyStats(g *sparse.CSR, rhs []float64, m Method) ([]float64, SolveS
 		if err != nil {
 			return nil, st, err
 		}
-		return f.Solve(rhs), st, nil
+		theta, err := f.Solve(rhs)
+		return theta, st, err
 	case MethodCG:
 		res, err := sparse.SolveCG(g, rhs, sparse.CGOptions{
 			Tol:     1e-12,

@@ -78,8 +78,14 @@ func TestFactorReusesPermutation(t *testing.T) {
 		t.Fatal(err)
 	}
 	rhs := pn.Net.BaseRHS()
-	a := f1.Solve(rhs)
-	b := f2.Solve(rhs)
+	a, err := f1.Solve(rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f2.Solve(rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range a {
 		if math.Abs(a[i]-b[i]) > 1e-9 {
 			t.Fatalf("permutation reuse changed the solution at node %d", i)

@@ -197,7 +197,9 @@ func Simulate(sys *core.System, schedule []Phase, opt Options) (*Trace, error) {
 			for i := range rhs {
 				rhs[i] = rhsConst[i] + cOverDt[i]*theta[i]
 			}
-			theta = fact.Solve(rhs)
+			if theta, err = fact.Solve(rhs); err != nil {
+				return nil, err
+			}
 			if r != nil {
 				r.Counter("transient.steps").Inc()
 				r.ObserveSince("transient.step_ns", stepStart)
