@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race race-engine chaos vet lint lint-json lint-fixtures bench-json bench-gate fuzz-smoke obs-overhead check
+.PHONY: all build test race race-engine chaos vet lint lint-json lint-fixtures bench-json bench-gate fuzz-smoke obs-overhead trace-golden check
 
 all: check
 
@@ -92,6 +92,17 @@ fuzz-smoke:
 # registry off and on, and fails if instrumentation costs more than 5%.
 obs-overhead:
 	OBS_OVERHEAD=1 $(GO) test -count=1 -run TestObsOverheadOnTableI -v ./internal/bench
+
+# Flight-recorder format gate: the JSONL byte-compat pin (flat traces
+# must serialize exactly as before the flight recorder existed), the
+# deterministic flight/Perfetto goldens in cmd/tectrace, and the
+# concurrent-hierarchy test in the engine. Regenerate the goldens with
+#   go test ./cmd/tectrace -update
+# after an intentional format change.
+trace-golden:
+	$(GO) test -count=1 -run 'TestFlatTraceByteCompat|TestPerfettoExport' ./internal/obs
+	$(GO) test -count=1 ./cmd/tectrace
+	$(GO) test -count=1 -run TestMapTasksCtxFlight ./internal/engine
 
 # The full gate, in the order CI runs it.
 check: build vet lint lint-fixtures test race chaos

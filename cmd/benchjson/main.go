@@ -38,6 +38,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"tecopt/internal/obs"
 )
 
 // event is the subset of the test2json schema benchjson needs.
@@ -61,8 +63,18 @@ func main() {
 	mergeFile := flag.String("merge", "", "merge results into the snapshot at this path (kept entries + re-measured overwrites)")
 	gateFile := flag.String("gate", "", "gate results against the snapshot at this path instead of emitting JSON")
 	tol := flag.Float64("tol", 0.20, "relative ns/op regression tolerance for -gate")
+	logFlags := obs.BindLogFlags(flag.CommandLine)
 	flag.Parse()
+	restoreLog, err := logFlags.Install(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	defer restoreLog()
 	if err := runMode(os.Stdin, os.Stdout, *mergeFile, *gateFile, *tol); err != nil {
+		if l := obs.Logger(); l != nil {
+			l.Error("benchjson failed", "err", err.Error())
+		}
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

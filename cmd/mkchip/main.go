@@ -20,6 +20,7 @@ import (
 
 	"tecopt/internal/chipload"
 	"tecopt/internal/floorplan"
+	"tecopt/internal/obs"
 	"tecopt/internal/power"
 	"tecopt/internal/tecerr"
 )
@@ -27,7 +28,13 @@ import (
 func main() {
 	chip := flag.String("chip", "alpha", "chip to export: alpha, hc01..hc10, or hc:<seed>")
 	out := flag.String("out", "chip", "output basename (writes <out>.flp and <out>.ptrace)")
+	logFlags := obs.BindLogFlags(flag.CommandLine)
 	flag.Parse()
+	restoreLog, err := logFlags.Install(os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
+	defer restoreLog()
 
 	loaded, err := chipload.Load(chipload.Spec{Name: *chip})
 	if err != nil {
@@ -80,7 +87,12 @@ func main() {
 }
 
 // fatal reports the error and exits with its tecerr taxonomy status.
+// With -log on, the error also goes to the structured log with its
+// tecerr code attached.
 func fatal(err error) {
+	if l := obs.Logger(); l != nil {
+		l.Error("mkchip failed", tecerr.LogAttrs(err)...)
+	}
 	fmt.Fprintln(os.Stderr, "mkchip:", err)
 	os.Exit(tecerr.ExitCode(err))
 }

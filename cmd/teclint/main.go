@@ -26,6 +26,8 @@
 //	               object {"rule": count, ...} in F: exit 0 iff they
 //	               match exactly. The CI fixture gate uses this to catch
 //	               analyzers that silently stop firing.
+//	-log FMT       structured logging to stderr (off, text or json), the
+//	               uniform obs flag pair; -log-level sets the threshold.
 //
 // Exit codes follow the tecerr contract: 0 clean, 1 when findings
 // survive the baseline, 2 (tecerr.CodeInvalidInput) when packages fail
@@ -44,6 +46,7 @@ import (
 	"time"
 
 	"tecopt/internal/lint"
+	"tecopt/internal/obs"
 	"tecopt/internal/tecerr"
 )
 
@@ -67,9 +70,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	parallel := fs.Int("parallel", 0, "packages analyzed concurrently (0 = all cores, 1 = serial)")
 	withStats := fs.Bool("stats", false, "report per-analyzer wall time and finding counts")
 	expectPath := fs.String("expect", "", "JSON file of expected per-rule finding counts; exit 0 iff they match")
+	logFlags := obs.BindLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	restoreLog, err := logFlags.Install(stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "teclint:", err)
+		return 2
+	}
+	defer restoreLog()
 	analyzers := lint.All()
 	if *listRules {
 		for _, a := range analyzers {

@@ -8,6 +8,8 @@
 //	tecopt [-chip alpha|hcNN|hc:<seed>] [-limit 85] [-map]
 //	       [-method golden|gradient|brent]
 //	       [-flp chip.flp -ptrace chip.ptrace [-tiles 12x12] [-margin 1.2]]
+//	       [observability flags: -metrics, -trace FILE, -trace-format FMT,
+//	        -log text|json, -log-level LVL, -pprof ADDR, -timeout DUR]
 //
 // Examples:
 //
@@ -17,7 +19,6 @@
 package main
 
 import (
-	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,6 +29,7 @@ import (
 	"tecopt/internal/core"
 	"tecopt/internal/floorplan"
 	"tecopt/internal/material"
+	"tecopt/internal/obs"
 	"tecopt/internal/tecerr"
 )
 
@@ -42,15 +44,17 @@ func main() {
 	tiles := flag.String("tiles", "12x12", "tile grid for custom floorplans, COLSxROWS")
 	margin := flag.Float64("margin", 1.2, "worst-case margin over the trace envelope")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON on stdout (for scripting)")
-	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = no limit)")
+	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
+	var err error
+	session, err = obsFlags.Start()
+	if err != nil {
+		fatal(err)
 	}
+	defer closeObs(session)
+	ctx, cancel := obsFlags.Context()
+	defer cancel()
 
 	cols, rows, err := parseTiles(*tiles)
 	if err != nil {
@@ -191,9 +195,28 @@ func parseTiles(s string) (cols, rows int, err error) {
 	return cols, rows, nil
 }
 
+// session is the process observability session, closed by fatal before
+// exiting so -metrics/-trace output survives error paths (os.Exit skips
+// the deferred close).
+var session *obs.Session
+
+// closeObs flushes the observability session, reporting (but not
+// failing on) write errors.
+func closeObs(s *obs.Session) {
+	if err := s.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "tecopt:", err)
+	}
+}
+
 // fatal reports the error and exits with its tecerr taxonomy status
-// (2 invalid input, 3 not PD, 4 diverged, 5 cancelled, ...).
+// (2 invalid input, 3 not PD, 4 diverged, 5 cancelled, ...). The error
+// also goes to the structured log when -log is on, carrying its tecerr
+// code.
 func fatal(err error) {
+	if l := obs.Logger(); l != nil {
+		l.Error("tecopt failed", tecerr.LogAttrs(err)...)
+	}
 	fmt.Fprintln(os.Stderr, "tecopt:", err)
+	closeObs(session)
 	os.Exit(tecerr.ExitCode(err))
 }

@@ -89,12 +89,12 @@ func RunFigure6Opts(opt Figure6Options) (*Figure6Result, error) {
 	}
 	k := sys.PN.SilNode[dep.Current.PeakTile]
 	l := sys.Array.Hot[0]
-	err = engine.Pool{Workers: opt.Parallel}.MapCtx(ctx, points, func(n int) error {
+	err = engine.Pool{Workers: opt.Parallel}.MapTasksCtx(ctx, points, func(tctx context.Context, n int) error {
 		// Denser sampling near the limit, where the curve shoots up.
 		frac := 1 - math.Pow(1-float64(n)/float64(points-1), 2)
 		i := lambda * frac * (1 - 1e-6)
 		res.Currents[n] = i
-		h, err := sys.Hkl(i, k, l)
+		h, err := sys.HklCtx(tctx, i, k, l)
 		switch {
 		case errors.Is(err, thermal.ErrNotPD):
 			h = math.Inf(1)
@@ -102,7 +102,7 @@ func RunFigure6Opts(opt Figure6Options) (*Figure6Result, error) {
 			return fmt.Errorf("bench: figure 6 at i=%g A: %w", i, err)
 		}
 		res.Hkl[n] = h
-		peak, _, _, err := sys.PeakAt(i)
+		peak, _, _, err := sys.PeakAtCtx(tctx, i)
 		switch {
 		case errors.Is(err, thermal.ErrNotPD):
 			res.PeakC[n] = math.Inf(1)

@@ -140,7 +140,6 @@ func RunTableIRow(name string, tilePower []float64, opt TableIOptions) (*TableIR
 // degraded run can flush its partial table instead of discarding paid-for
 // work. A nil error guarantees every row is non-nil.
 func RunTableI(opt TableIOptions) ([]*TableIRow, error) {
-	opt = opt.withDefaults()
 	ctx := opt.Ctx
 	if ctx == nil {
 		ctx = context.Background()
@@ -158,8 +157,21 @@ func RunTableI(opt TableIOptions) ([]*TableIRow, error) {
 	}
 
 	rows := make([]*TableIRow, len(names))
-	err = engine.Pool{Workers: opt.Parallel}.MapCtx(ctx, len(names), func(i int) error {
-		row, err := RunTableIRow(names[i], powers[i], opt)
+	err = engine.Pool{Workers: opt.Parallel}.MapTasksCtx(ctx, len(names), func(tctx context.Context, i int) error {
+		// Each chip runs under its task context, so cancellation still
+		// flows and — when the flight recorder is on — the chip's whole
+		// solve tree (greedy deploy, current optimization, runaway
+		// search) nests under its pool task with the worker's track.
+		// Current is forwarded as the caller set it: with Current.Ctx
+		// unset, the row's withDefaults fills it from the task context;
+		// an explicitly set one is respected.
+		row, err := RunTableIRow(names[i], powers[i], TableIOptions{
+			BaseLimitC: opt.BaseLimitC,
+			MaxLimitC:  opt.MaxLimitC,
+			Current:    opt.Current,
+			Solve:      opt.Solve,
+			Ctx:        tctx,
+		})
 		if err != nil {
 			return err
 		}

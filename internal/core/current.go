@@ -95,7 +95,7 @@ var ErrBracketExhausted error = tecerr.New(tecerr.CodeInvalidInput, "core.optimi
 // golden section an interval whose minimum is interior. It fails with
 // ErrBracketExhausted instead of returning a truncated range when the
 // objective is still descending at the max current.
-func expandBracket(objective func(float64) float64, f0, start, max float64) (float64, error) {
+func expandBracket(ctx context.Context, objective func(float64) float64, f0, start, max float64) (float64, error) {
 	r := obs.Enabled()
 	hi := start
 	for objective(hi) < f0 {
@@ -105,7 +105,7 @@ func expandBracket(objective func(float64) float64, f0, start, max float64) (flo
 		hi *= 2
 		if r != nil {
 			r.Counter("core.optimize_current.bracket_expansions").Inc()
-			r.Event("core.optimize_current.bracket_hi", hi)
+			r.EventCtx(ctx, "core.optimize_current.bracket_hi", hi)
 		}
 	}
 	return hi, nil
@@ -115,9 +115,6 @@ func expandBracket(objective func(float64) float64, f0, start, max float64) (flo
 // TECs deployed it degenerates to the passive solve at i = 0.
 func (s *System) OptimizeCurrent(opt CurrentOptions) (*CurrentResult, error) {
 	opt = opt.withDefaults()
-	if opt.Runaway.Ctx == nil {
-		opt.Runaway.Ctx = opt.Ctx
-	}
 	ctx := opt.Ctx
 	if ctx == nil {
 		ctx = context.Background()
@@ -125,16 +122,25 @@ func (s *System) OptimizeCurrent(opt CurrentOptions) (*CurrentResult, error) {
 	r := obs.Enabled()
 	evals := 0
 	if r != nil {
-		sp := r.StartSpan("core.optimize_current")
+		var sp obs.Span
+		ctx, sp = r.StartSpanCtx(ctx, "core.optimize_current")
 		defer sp.End()
 		defer func() {
+			// Registered after sp.End's defer: (LIFO) the annotation
+			// lands before the span is flushed to the trace.
+			sp.AnnotateInt("evaluations", int64(evals))
 			r.Counter("core.optimize_current.runs").Inc()
 			r.Counter("core.optimize_current.evaluations").Add(uint64(evals))
 			r.Gauge("core.optimize_current.last_evaluations").Set(int64(evals))
 		}()
 	}
+	if opt.Runaway.Ctx == nil {
+		// The spanned ctx (not the raw opt.Ctx) flows into the runaway
+		// search so its span nests under this optimization's.
+		opt.Runaway.Ctx = ctx
+	}
 	if s.Array.Count() == 0 {
-		peak, tile, theta, err := s.PeakAt(0)
+		peak, tile, theta, err := s.PeakAtCtx(ctx, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -162,7 +168,7 @@ func (s *System) OptimizeCurrent(opt CurrentOptions) (*CurrentResult, error) {
 			return math.Inf(1)
 		}
 		evals++
-		peak, _, _, err := s.PeakAt(i)
+		peak, _, _, err := s.PeakAtCtx(ctx, i)
 		if err != nil {
 			// At/beyond runaway: treat as +Inf so the optimizer backs off.
 			return math.Inf(1)
@@ -177,7 +183,7 @@ func (s *System) OptimizeCurrent(opt CurrentOptions) (*CurrentResult, error) {
 	// endpoint evaluations at 0 and hi reuse them.
 	var hi float64
 	if math.IsInf(lambda, 1) {
-		hi, err = expandBracket(objective, objective(0), 1.0, maxBracketCurrentA)
+		hi, err = expandBracket(ctx, objective, objective(0), 1.0, maxBracketCurrentA)
 		if ctxErr != nil {
 			return nil, ctxErr
 		}
@@ -233,11 +239,11 @@ func (s *System) OptimizeCurrent(opt CurrentOptions) (*CurrentResult, error) {
 
 	// i = 0 is always feasible; never settle for a current that is worse
 	// than doing nothing (can happen within tolerance at the boundary).
-	peak0, tile0, theta0, err := s.PeakAt(0)
+	peak0, tile0, theta0, err := s.PeakAtCtx(ctx, 0)
 	if err != nil {
 		return nil, err
 	}
-	peak, tile, theta, err := s.PeakAt(iOpt)
+	peak, tile, theta, err := s.PeakAtCtx(ctx, iOpt)
 	if err != nil {
 		return nil, err
 	}
@@ -248,6 +254,9 @@ func (s *System) OptimizeCurrent(opt CurrentOptions) (*CurrentResult, error) {
 	if r != nil {
 		r.FloatGauge("core.optimize_current.last_iopt").Set(iOpt)
 		r.FloatGauge("core.optimize_current.last_peak_k").Set(peak)
+		sp := obs.SpanFromContext(ctx)
+		sp.AnnotateFloat("iopt", iOpt)
+		sp.AnnotateFloat("peak_k", peak)
 	}
 	return &CurrentResult{
 		IOpt:        iOpt,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -13,7 +14,7 @@ func TestExpandBracketFindsAscent(t *testing.T) {
 	// Convex parabola with its minimum at 3: expansion from 1 must stop
 	// at the first doubled point whose value is back above f(0).
 	f := func(i float64) float64 { return (i - 3) * (i - 3) }
-	hi, err := expandBracket(f, f(0), 1, 1e6)
+	hi, err := expandBracket(context.Background(), f, f(0), 1, 1e6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +25,7 @@ func TestExpandBracketFindsAscent(t *testing.T) {
 		t.Fatalf("hi = %g, want 8 (1 -> 2 -> 4 -> 8)", hi)
 	}
 	// A constant objective is trivially bracketed at the start point.
-	hi, err = expandBracket(func(float64) float64 { return 1 }, 1, 1, 1e6)
+	hi, err = expandBracket(context.Background(), func(float64) float64 { return 1 }, 1, 1, 1e6)
 	if err != nil || !num.ExactEqual(hi, 1) {
 		t.Fatalf("constant objective: hi = %g, err = %v", hi, err)
 	}
@@ -36,7 +37,7 @@ func TestExpandBracketErrorsWhenExhausted(t *testing.T) {
 	// if it were a valid bracket. It must now fail loudly.
 	calls := 0
 	f := func(i float64) float64 { calls++; return -i }
-	_, err := expandBracket(f, 0, 1, 1e6)
+	_, err := expandBracket(context.Background(), f, 0, 1, 1e6)
 	if err == nil {
 		t.Fatal("exhausted bracket expansion returned no error")
 	}

@@ -1,7 +1,11 @@
 package core
 
 import (
+	"context"
 	"sort"
+	"strconv"
+
+	"tecopt/internal/obs"
 )
 
 // GreedyDeploy (Figure 5): iteratively cover every over-limit tile with a
@@ -39,7 +43,25 @@ type DeployResult struct {
 
 // GreedyDeploy runs the paper's deployment algorithm for the given
 // configuration and maximum allowable silicon temperature limitK.
-func GreedyDeploy(cfg Config, limitK float64, opt CurrentOptions) (*DeployResult, error) {
+func GreedyDeploy(cfg Config, limitK float64, opt CurrentOptions) (res *DeployResult, err error) {
+	if r := obs.Enabled(); r.FlightOn() {
+		// One span per deployment: the root of a chip's solve tree in
+		// Table I flight recordings (each OptimizeCurrent iteration
+		// nests under it via opt.Ctx).
+		if opt.Ctx == nil {
+			opt.Ctx = context.Background()
+		}
+		var sp obs.Span
+		opt.Ctx, sp = r.StartSpanCtx(opt.Ctx, "core.greedy_deploy")
+		defer func() {
+			if res != nil {
+				sp.Annotate("success", strconv.FormatBool(res.Success))
+				sp.AnnotateInt("sites", int64(len(res.Sites)))
+				sp.AnnotateInt("iterations", int64(len(res.Iterations)))
+			}
+			sp.End()
+		}()
+	}
 	// Line 3-4: passive solve, initial over-limit set.
 	passive, err := NewSystem(cfg, nil)
 	if err != nil {
@@ -49,7 +71,7 @@ func GreedyDeploy(cfg Config, limitK float64, opt CurrentOptions) (*DeployResult
 	if err != nil {
 		return nil, err
 	}
-	res := &DeployResult{NoTECPeakK: peak0}
+	res = &DeployResult{NoTECPeakK: peak0}
 	overLimit := passive.OverLimitTiles(theta0, limitK)
 	if len(overLimit) == 0 {
 		// Already compliant: no TECs needed.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 
 	"tecopt/internal/engine"
 	"tecopt/internal/faults"
@@ -87,22 +88,26 @@ func (s *System) RunawayLimit(opt RunawayOptions) (float64, error) {
 		return math.Inf(1), nil
 	}
 
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	r := obs.Enabled()
 	var probes int64
 	if r != nil {
-		sp := r.StartSpan("core.runaway_limit")
+		var sp obs.Span
+		ctx, sp = r.StartSpanCtx(ctx, "core.runaway_limit")
 		defer sp.End()
 		defer func() {
 			// The probe count is the search's iteration count: geometric
-			// bracketing plus the binary-search PD tests.
+			// bracketing plus the binary-search PD tests. Registered after
+			// sp.End's defer, so (LIFO) the annotation lands before the
+			// span is flushed to the trace.
+			sp.AnnotateInt("probes", probes)
 			r.Counter("core.runaway.searches").Inc()
 			r.Counter("core.runaway.probes").Add(uint64(probes))
 			r.Gauge("core.runaway.last_probes").Set(probes)
 		}()
-	}
-	ctx := opt.Ctx
-	if ctx == nil {
-		ctx = context.Background()
 	}
 	// The probes cannot return an error through the boolean predicate, so
 	// cancellation is latched here and re-checked after every search stage.
@@ -111,7 +116,8 @@ func (s *System) RunawayLimit(opt RunawayOptions) (float64, error) {
 	// bisection converges to the same limit (the spectral and
 	// Cholesky-breakdown boundaries agree far inside RelTol's bracket)
 	// for the cost of none of the probes.
-	rs := s.reusable()
+	rs := s.reusableCtx(ctx)
+	flight := r.FlightOn()
 	var ctxErr error
 	pd := func(i float64) bool {
 		if ctxErr != nil {
@@ -122,11 +128,21 @@ func (s *System) RunawayLimit(opt RunawayOptions) (float64, error) {
 			return false
 		}
 		probes++
+		var ok bool
 		if rs != nil {
-			return rs.PD(i)
+			ok = rs.PD(i)
+		} else {
+			_, err := s.factorCtx(ctx, i)
+			ok = err == nil
 		}
-		_, err := s.Factor(i)
-		return err == nil
+		if flight {
+			// Per-probe outcomes are flight-only: they are the record of
+			// the bisection's path, but would bloat (and change) flat
+			// traces.
+			r.EventCtx(ctx, "core.runaway.probe", i,
+				obs.Attr{Key: "pd", Value: strconv.FormatBool(ok)})
+		}
+		return ok
 	}
 	if !pd(0) {
 		if ctxErr != nil {
@@ -139,7 +155,7 @@ func (s *System) RunawayLimit(opt RunawayOptions) (float64, error) {
 	hi := 1.0
 	for pd(hi) {
 		hi *= 2
-		r.Event("core.runaway.bracket_hi", hi)
+		r.EventCtx(ctx, "core.runaway.bracket_hi", hi)
 		if hi > opt.BracketMax {
 			return math.Inf(1), nil
 		}
@@ -151,7 +167,7 @@ func (s *System) RunawayLimit(opt RunawayOptions) (float64, error) {
 	if num.ExactEqual(hi, 1.0) {
 		lo = 0
 	}
-	r.Event("core.runaway.bracket_lo", lo)
+	r.EventCtx(ctx, "core.runaway.bracket_lo", lo)
 	lambda, err := optimize.BinarySearchBoundary(pd, lo, hi, opt.RelTol, 200)
 	if ctxErr != nil {
 		return 0, ctxErr
@@ -161,6 +177,7 @@ func (s *System) RunawayLimit(opt RunawayOptions) (float64, error) {
 	}
 	if r != nil {
 		r.FloatGauge("core.runaway.lambda_m").Set(lambda)
+		obs.SpanFromContext(ctx).AnnotateFloat("lambda_m", lambda)
 	}
 	return lambda, nil
 }
@@ -207,6 +224,13 @@ func (s *System) RunawayMode(lambda float64) ([]float64, error) {
 // the temperature of node k per watt injected at node l (the quantity of
 // Figure 6). The factorization is reused across l via one solve with e_l.
 func (s *System) Hkl(i float64, k, l int) (float64, error) {
+	return s.HklCtx(context.Background(), i, k, l)
+}
+
+// HklCtx is Hkl under a flight-recorder context: the underlying
+// solve's regime span and cache events parent to the span carried by
+// ctx (worker tasks of the parallel sweeps pass their task context).
+func (s *System) HklCtx(ctx context.Context, i float64, k, l int) (float64, error) {
 	if n := s.NumNodes(); k < 0 || k >= n || l < 0 || l >= n {
 		return 0, tecerr.Newf(tecerr.CodeInvalidInput, "core.hkl",
 			"core: Hkl nodes (%d, %d) out of range %d", k, l, n)
@@ -217,7 +241,7 @@ func (s *System) Hkl(i float64, k, l int) (float64, error) {
 	}
 	e := make([]float64, s.NumNodes())
 	e[l] = 1
-	x, err := s.solveVec(i, e)
+	x, err := s.solveVecCtx(ctx, i, e)
 	if err != nil {
 		return 0, err
 	}
@@ -249,20 +273,21 @@ func (s *System) HklSweepParallel(k, l int, currents []float64, pool engine.Pool
 func (s *System) HklSweepParallelCtx(ctx context.Context, k, l int, currents []float64, pool engine.Pool) ([]float64, error) {
 	r := obs.Enabled()
 	if r != nil {
-		sp := r.StartSpan("core.hkl_sweep")
+		var sp obs.Span
+		ctx, sp = r.StartSpanCtx(ctx, "core.hkl_sweep")
 		defer sp.End()
 		r.Counter("core.hkl_sweep.sweeps").Inc()
 		r.Counter("core.hkl_sweep.points").Add(uint64(len(currents)))
 	}
 	out := make([]float64, len(currents))
-	err := pool.MapCtx(ctx, len(currents), func(idx int) error {
+	err := pool.MapTasksCtx(ctx, len(currents), func(tctx context.Context, idx int) error {
 		if err := faults.Check(faults.SiteSweepPoint); err != nil {
 			return err
 		}
 		if r != nil {
 			defer r.ObserveSince("core.hkl_sweep.point_ns", r.Now())
 		}
-		v, err := s.Hkl(currents[idx], k, l)
+		v, err := s.HklCtx(tctx, currents[idx], k, l)
 		if err != nil {
 			if errors.Is(err, thermal.ErrNotPD) {
 				out[idx] = math.Inf(1) // at/beyond lambda_m: true runaway
@@ -301,10 +326,10 @@ func (s *System) HColumns(i float64, cols []int, pool engine.Pool) ([][]float64,
 		}
 	}
 	out := make([][]float64, len(cols))
-	err := pool.Map(len(cols), func(idx int) error {
+	err := pool.MapTasksCtx(context.Background(), len(cols), func(tctx context.Context, idx int) error {
 		e := make([]float64, n)
 		e[cols[idx]] = 1
-		x, err := s.solveVec(i, e)
+		x, err := s.solveVecCtx(tctx, i, e)
 		if err != nil {
 			return err
 		}

@@ -241,7 +241,13 @@ func (s *System) Matrix(i float64) *sparse.CSR {
 // the Figure 6 sweep and greedy re-solves all reuse one factorization.
 // Factor is safe for concurrent use by the engine pool workers.
 func (s *System) Factor(i float64) (*thermal.Factorization, error) {
-	return factorCache.Do(engine.Key{Gen: s.gen, Current: i}, func() (*thermal.Factorization, error) {
+	return s.factorCtx(context.Background(), i)
+}
+
+// factorCtx is Factor under a flight-recorder context: the cache
+// lookup's hit/miss event parents to the context span.
+func (s *System) factorCtx(ctx context.Context, i float64) (*thermal.Factorization, error) {
+	return factorCache.DoCtx(ctx, engine.Key{Gen: s.gen, Current: i}, func() (*thermal.Factorization, error) {
 		return thermal.Factor(s.Matrix(i), s.perm)
 	})
 }
@@ -260,10 +266,15 @@ func (s *System) RHS(i float64) []float64 {
 // direct path or the setup failed (a degenerate update; the caller then
 // factors per current exactly as before the fast path existed).
 func (s *System) reusable() *thermal.ReusableSystem {
+	return s.reusableCtx(context.Background())
+}
+
+// reusableCtx is reusable under a flight-recorder context.
+func (s *System) reusableCtx(ctx context.Context) *thermal.ReusableSystem {
 	if s.Cfg.Solve == SolveDirect {
 		return nil
 	}
-	rs, err := solverCache.Do(engine.Key{Gen: s.gen}, func() (*thermal.ReusableSystem, error) {
+	rs, err := solverCache.DoCtx(ctx, engine.Key{Gen: s.gen}, func() (*thermal.ReusableSystem, error) {
 		return thermal.NewReusableSystem(s.g, s.d, s.perm)
 	})
 	if err != nil {
@@ -282,11 +293,18 @@ func (s *System) reusable() *thermal.ReusableSystem {
 // the cached per-current factorization otherwise. Both paths report
 // ErrNotPD at or beyond the runaway limit.
 func (s *System) solveVec(i float64, rhs []float64) ([]float64, error) {
-	if rs := s.reusable(); rs != nil {
-		x, _, err := rs.SolveAtCurrent(context.Background(), i, rhs)
+	return s.solveVecCtx(context.Background(), i, rhs)
+}
+
+// solveVecCtx is solveVec under a flight-recorder context: the regime
+// span of the solve (and any cache events along the way) parent to the
+// span carried by ctx.
+func (s *System) solveVecCtx(ctx context.Context, i float64, rhs []float64) ([]float64, error) {
+	if rs := s.reusableCtx(ctx); rs != nil {
+		x, _, err := rs.SolveAtCurrent(ctx, i, rhs)
 		return x, err
 	}
-	f, err := s.Factor(i)
+	f, err := s.factorCtx(ctx, i)
 	if err != nil {
 		return nil, err
 	}
@@ -295,6 +313,14 @@ func (s *System) solveVec(i float64, rhs []float64) ([]float64, error) {
 
 // SolveAt solves the steady state at supply current i.
 func (s *System) SolveAt(i float64) ([]float64, error) {
+	return s.SolveAtCtx(context.Background(), i)
+}
+
+// SolveAtCtx is SolveAt under a context carrying the flight-recorder
+// span of the caller, so the solve's trace records link into the
+// caller's hierarchy. The context does not cancel the solve itself (a
+// factorization is one atomic unit of work).
+func (s *System) SolveAtCtx(ctx context.Context, i float64) ([]float64, error) {
 	if !num.IsFinite(i) {
 		return nil, tecerr.Newf(tecerr.CodeInvalidInput, "core.system",
 			"core: non-finite supply current %g", i)
@@ -303,13 +329,18 @@ func (s *System) SolveAt(i float64) ([]float64, error) {
 		return nil, tecerr.Newf(tecerr.CodeInvalidInput, "core.system",
 			"core: negative supply current %g", i)
 	}
-	return s.solveVec(i, s.RHS(i))
+	return s.solveVecCtx(ctx, i, s.RHS(i))
 }
 
 // PeakAt solves at current i and returns the hottest silicon tile
 // temperature (kelvin) with its tile index and the full field.
 func (s *System) PeakAt(i float64) (peakK float64, tile int, theta []float64, err error) {
-	theta, err = s.SolveAt(i)
+	return s.PeakAtCtx(context.Background(), i)
+}
+
+// PeakAtCtx is PeakAt under a flight-recorder context (see SolveAtCtx).
+func (s *System) PeakAtCtx(ctx context.Context, i float64) (peakK float64, tile int, theta []float64, err error) {
+	theta, err = s.SolveAtCtx(ctx, i)
 	if err != nil {
 		return 0, 0, nil, err
 	}

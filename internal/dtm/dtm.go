@@ -176,9 +176,15 @@ func Run(sys *core.System, phases []PowerPhase, ctrl Controller, limitK float64,
 	if len(phases) == 0 {
 		return nil, tecerr.New(tecerr.CodeInvalidInput, "dtm.run", "dtm: no workload phases")
 	}
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	r := obs.Enabled()
 	if r != nil {
-		sp := r.StartSpan("dtm.run")
+		var sp obs.Span
+		ctx, sp = r.StartSpanCtx(ctx, "dtm.run")
+		sp.Annotate("policy", ctrl.Name())
 		defer sp.End()
 		r.Counter("dtm.runs").Inc()
 	}
@@ -223,10 +229,6 @@ func Run(sys *core.System, phases []PowerPhase, ctrl Controller, limitK float64,
 		return math.Round(i/opt.CurrentQuantumA) * opt.CurrentQuantumA
 	}
 
-	ctx := opt.Ctx
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	res := &RunResult{Policy: ctrl.Name()}
 	now := 0.0
 	step := 0
@@ -291,7 +293,7 @@ func Run(sys *core.System, phases []PowerPhase, ctrl Controller, limitK float64,
 					r.Counter("dtm.control_decisions").Inc()
 					if !num.ExactEqual(next, current) {
 						r.Counter("dtm.current_changes").Inc()
-						r.Event("dtm.current", next)
+						r.EventCtx(ctx, "dtm.current", next)
 					}
 					r.FloatGauge("dtm.last_current_a").Set(next)
 				}

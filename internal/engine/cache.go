@@ -2,6 +2,8 @@ package engine
 
 import (
 	"container/list"
+	"context"
+	"strconv"
 	"sync"
 
 	"tecopt/internal/num"
@@ -106,6 +108,17 @@ func NewFactorCache(capacity int) *FactorCache {
 // observability is enabled the cache reports hits/misses/evictions and
 // the build latency under "engine.<name>.*".
 func (c *Cache[V]) Do(k Key, build func() (V, error)) (V, error) {
+	return c.DoCtx(context.Background(), k, build)
+}
+
+// DoCtx is Do linked into the flight recorder: when hierarchical
+// tracing is on, every lookup emits an "engine.<name>.hit" or
+// "engine.<name>.miss" event parented to the context span, carrying
+// the cache generation and current as attributes — so a solve's trace
+// records whether its factorization was resident. With the recorder
+// off it is exactly Do (the events are suppressed to keep flat traces
+// byte-compatible).
+func (c *Cache[V]) DoCtx(ctx context.Context, k Key, build func() (V, error)) (V, error) {
 	if !num.IsFinite(k.Current) {
 		var zero V
 		return zero, tecerr.Newf(tecerr.CodeInvalidInput, "engine.cache",
@@ -120,6 +133,9 @@ func (c *Cache[V]) Do(k Key, build func() (V, error)) (V, error) {
 		c.mu.Unlock()
 		if r != nil {
 			r.Counter("engine." + c.name + ".hits").Inc()
+			if r.FlightOn() {
+				r.EventCtx(ctx, "engine."+c.name+".hit", k.Current, cacheAttrs(k)...)
+			}
 		}
 		e.once.Do(func() { e.val, e.err = build() }) // waits if mid-build
 		return e.val, e.err
@@ -141,6 +157,9 @@ func (c *Cache[V]) Do(k Key, build func() (V, error)) (V, error) {
 
 	if r != nil {
 		r.Counter("engine." + c.name + ".misses").Inc()
+		if r.FlightOn() {
+			r.EventCtx(ctx, "engine."+c.name+".miss", k.Current, cacheAttrs(k)...)
+		}
 		if evicted > 0 {
 			r.Counter("engine." + c.name + ".evictions").Add(evicted)
 		}
@@ -204,6 +223,14 @@ func (c *Cache[V]) PublishStats(r *obs.Registry) {
 	topUp(r.Counter("engine."+c.name+".misses"), st.Misses)
 	topUp(r.Counter("engine."+c.name+".evictions"), st.Evictions)
 	r.Gauge("engine." + c.name + ".len").Set(int64(st.Len))
+}
+
+// cacheAttrs renders a cache key as flight-recorder event attributes.
+func cacheAttrs(k Key) []obs.Attr {
+	return []obs.Attr{
+		{Key: "gen", Value: strconv.FormatUint(k.Gen, 10)},
+		{Key: "current", Value: strconv.FormatFloat(k.Current, 'g', -1, 64)},
+	}
 }
 
 // topUp raises counter c to at least total.

@@ -77,28 +77,54 @@ func (p Pool) Map(n int, fn func(i int) error) error {
 // applies only to uncancelled runs (cancellation legitimately skips
 // indices below a would-be failure).
 func (p Pool) MapCtx(ctx context.Context, n int, fn func(i int) error) error {
+	return p.MapTasksCtx(ctx, n, func(_ context.Context, i int) error { return fn(i) })
+}
+
+// MapTasksCtx is MapCtx for context-aware tasks: each fn call receives
+// a task-scoped context derived from ctx. It is the flight-recorder
+// entry point of the pool — when hierarchical tracing is on, each
+// worker goroutine gets its own track (1..W; the serial path inherits
+// the caller's track) and each task runs inside an "engine.pool.task"
+// span parented to the surrounding "engine.pool.map" span, so callers
+// that start spans inside fn with the task context get correct
+// parent links and worker attribution. With the recorder off, the task
+// context is ctx itself (plus the obs wrapper) and the trace output is
+// unchanged from MapCtx.
+func (p Pool) MapTasksCtx(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
 	if err := ctx.Err(); err != nil {
 		return tecerr.Cancelled("engine.pool", err)
 	}
-	if r := obs.Enabled(); r != nil {
+	r := obs.Enabled()
+	if r != nil {
 		// Wrap fn so every task reports its queue wait (Map entry to
 		// task start) and run time, and the queue-depth gauge tracks
 		// unclaimed work. The wrapper is installed only when a registry
 		// exists: the disabled path costs one atomic load + nil check.
-		sp := r.StartSpan("engine.pool.map")
+		var sp obs.Span
+		ctx, sp = r.StartSpanCtx(ctx, "engine.pool.map")
 		defer sp.End()
 		r.Counter("engine.pool.maps").Inc()
 		r.Counter("engine.pool.tasks").Add(uint64(n))
 		mapStart := r.Now()
+		flight := r.FlightOn()
 		inner := fn
-		fn = func(i int) error {
+		fn = func(tctx context.Context, i int) error {
 			start := r.Now()
 			r.Gauge("engine.pool.queue_depth").Set(int64(n - 1 - i))
 			r.Histogram("engine.pool.wait_ns").Observe(clampNS(start - mapStart))
-			err := inner(i)
+			if flight {
+				// The per-task span exists only in flight mode so flat
+				// JSONL traces and metric snapshots stay byte-identical
+				// to the pre-flight format.
+				var tsp obs.Span
+				tctx, tsp = r.StartSpanCtx(tctx, "engine.pool.task")
+				tsp.AnnotateInt("index", int64(i))
+				defer tsp.End()
+			}
+			err := inner(tctx, i)
 			r.Histogram("engine.pool.task_ns").Observe(clampNS(r.Now() - start))
 			return err
 		}
@@ -112,7 +138,7 @@ func (p Pool) MapCtx(ctx context.Context, n int, fn func(i int) error) error {
 			if err := ctx.Err(); err != nil {
 				return tecerr.Cancelled("engine.pool", err)
 			}
-			if err := runTask(fn, i); err != nil {
+			if err := runTask(ctx, fn, i); err != nil {
 				return err
 			}
 		}
@@ -126,6 +152,12 @@ func (p Pool) MapCtx(ctx context.Context, n int, fn func(i int) error) error {
 	var wg sync.WaitGroup
 	for k := 0; k < w; k++ {
 		wg.Add(1)
+		wctx := ctx
+		if r.FlightOn() {
+			// Each worker is one track: spans recorded inside its tasks
+			// render as one lane per worker in the Perfetto view.
+			wctx = obs.ContextWithTrack(ctx, int64(k+1))
+		}
 		go func() {
 			defer wg.Done()
 			for {
@@ -140,7 +172,7 @@ func (p Pool) MapCtx(ctx context.Context, n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				if err := runTask(fn, i); err != nil {
+				if err := runTask(wctx, fn, i); err != nil {
 					errs[i] = err
 					failed.Store(true)
 				}
@@ -169,7 +201,7 @@ func (p Pool) MapCtx(ctx context.Context, n int, fn func(i int) error) error {
 // taking wg.Done with it on a non-main goroutine, could never be
 // recovered by the caller). The faults hook lets chaos tests inject
 // exactly such panics.
-func runTask(fn func(int) error, i int) (err error) {
+func runTask(ctx context.Context, fn func(context.Context, int) error, i int) (err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			err = tecerr.FromPanic("engine.pool", v, debug.Stack())
@@ -178,7 +210,7 @@ func runTask(fn func(int) error, i int) (err error) {
 	if err := faults.Check(faults.SitePoolTask); err != nil {
 		return err
 	}
-	return fn(i)
+	return fn(ctx, i)
 }
 
 // clampNS converts a clock difference to a histogram value, flooring

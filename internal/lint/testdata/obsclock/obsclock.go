@@ -6,6 +6,7 @@
 package obsclocktest
 
 import (
+	"context"
 	"time"
 
 	"tecopt/internal/obs"
@@ -44,4 +45,17 @@ func wallDurationLeak() time.Duration {
 // legitimate in instrumented code.
 func timeValuesAreFine() time.Duration {
 	return 5 * time.Millisecond
+}
+
+// structuredLogIsFine: logging through the installed slog handler is
+// clean under obsclock. slog stamps each record with a wall-clock
+// timestamp internally, but that read happens inside log/slog, not in
+// the instrumented package — the rule governs durations *measured* by
+// instrumented code (which must come from the registry clock), not
+// log-record metadata. The span handler's span_id/parent_id stamping
+// reads no clock at all.
+func structuredLogIsFine(ctx context.Context) {
+	if l := obs.Logger(); l != nil {
+		l.InfoContext(ctx, "fixture event", "detail", 42)
+	}
 }

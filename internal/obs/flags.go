@@ -18,8 +18,15 @@ import (
 //	-metrics            print a text metric snapshot to stderr on exit
 //	-metrics-out FILE   write the JSON snapshot (the machine-readable
 //	                    run report) to FILE on exit
-//	-trace FILE         record trace spans/events and write them as
-//	                    JSON lines to FILE on exit
+//	-trace FILE         record trace spans/events and write them to
+//	                    FILE on exit
+//	-trace-format FMT   trace exporter: "jsonl" (flat JSON lines, the
+//	                    historical format), "flight" (JSONL with
+//	                    hierarchical span IDs/parents/tracks/attrs for
+//	                    cmd/tectrace), or "perfetto" (Chrome
+//	                    trace-event JSON for ui.perfetto.dev)
+//	-log FMT            structured logging to stderr: off, text or json
+//	-log-level LVL      minimum log level: debug, info, warn or error
 //	-pprof ADDR         serve /metrics and /debug/pprof on ADDR while
 //	                    the tool runs
 //	-timeout DUR        cancel the run after DUR (e.g. 30s, 2m); the
@@ -30,11 +37,13 @@ import (
 // runs the pre-obs disabled path (stdout byte-identical to a build
 // without observability).
 type Flags struct {
-	Metrics    bool
-	MetricsOut string
-	Trace      string
-	Pprof      string
-	Timeout    time.Duration
+	Metrics     bool
+	MetricsOut  string
+	Trace       string
+	TraceFormat string
+	Log         LogFlags
+	Pprof       string
+	Timeout     time.Duration
 }
 
 // BindFlags registers the bundle on fs (use flag.CommandLine in main).
@@ -42,7 +51,9 @@ func BindFlags(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
 	fs.BoolVar(&f.Metrics, "metrics", false, "print a metric snapshot to stderr when the run completes")
 	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write the JSON metric snapshot (run report) to this file")
-	fs.StringVar(&f.Trace, "trace", "", "record trace spans and write them as JSON lines to this file")
+	fs.StringVar(&f.Trace, "trace", "", "record trace spans and write them to this file")
+	fs.StringVar(&f.TraceFormat, "trace-format", "jsonl", "trace exporter: jsonl (flat lines), flight (hierarchical JSONL) or perfetto (Chrome trace-event JSON)")
+	f.Log.bind(fs)
 	fs.StringVar(&f.Pprof, "pprof", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
 	fs.DurationVar(&f.Timeout, "timeout", 0, "cancel the run after this duration (0 = no limit), flushing partial results")
 	return f
@@ -60,33 +71,46 @@ func (f *Flags) Context() (context.Context, context.CancelFunc) {
 
 // enabled reports whether any observability flag was set.
 func (f *Flags) enabled() bool {
-	return f.Metrics || f.MetricsOut != "" || f.Trace != "" || f.Pprof != ""
+	return f.Metrics || f.MetricsOut != "" || f.Trace != "" || f.Pprof != "" || f.Log.enabled()
 }
 
 // Session is one activated observability run: the installed registry
 // plus the outputs owed at Close. A nil *Session (from Start with no
 // flags set) is valid and Close is a no-op on it.
 type Session struct {
-	Reg    *Registry
-	flags  Flags
-	server *http.Server
-	errs   chan error // server outcome, buffered
-	stderr io.Writer
+	Reg        *Registry
+	flags      Flags
+	server     *http.Server
+	errs       chan error // server outcome, buffered
+	stderr     io.Writer
+	restoreLog func() // uninstalls the slog logger; nil when -log is off
 }
 
 // Start activates the requested observability: it installs a global
-// registry on the wall clock, enables tracing if -trace was given, and
-// starts the debug server if -pprof was given. It returns nil (fully
-// disabled, zero overhead) when no flag was set.
+// registry on the wall clock, enables tracing if -trace was given
+// (hierarchical when -trace-format is flight or perfetto), installs
+// the structured logger if -log was given, and starts the debug server
+// if -pprof was given. It returns nil (fully disabled, zero overhead)
+// when no flag was set.
 func (f *Flags) Start() (*Session, error) {
 	if !f.enabled() {
 		return nil, nil
 	}
+	switch f.TraceFormat {
+	case "", "jsonl", "flight", "perfetto":
+	default:
+		return nil, fmt.Errorf("obs: unknown -trace-format %q (want jsonl, flight or perfetto)", f.TraceFormat)
+	}
 	reg := New(nil)
 	if f.Trace != "" {
-		reg.EnableTrace(0)
+		reg.EnableTraceOpts(TraceOptions{Flight: f.TraceFormat == "flight" || f.TraceFormat == "perfetto"})
 	}
 	s := &Session{Reg: reg, flags: *f, stderr: os.Stderr}
+	restore, err := f.Log.Install(s.stderr)
+	if err != nil {
+		return nil, err
+	}
+	s.restoreLog = restore
 	if f.Pprof != "" {
 		ln, err := net.Listen("tcp", f.Pprof)
 		if err != nil {
@@ -110,6 +134,9 @@ func (s *Session) Close() error {
 		return nil
 	}
 	SetGlobal(nil)
+	if s.restoreLog != nil {
+		s.restoreLog()
+	}
 	var errs []error
 	snap := s.Reg.Snapshot()
 	if s.flags.Metrics {
@@ -149,7 +176,11 @@ func (s *Session) writeTraceFile() error {
 	if err != nil {
 		return err
 	}
-	if err := s.Reg.WriteTrace(out); err != nil {
+	write := s.Reg.WriteTrace
+	if s.flags.TraceFormat == "perfetto" {
+		write = s.Reg.WriteTracePerfetto
+	}
+	if err := write(out); err != nil {
 		out.Close()
 		return err
 	}

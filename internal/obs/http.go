@@ -6,9 +6,18 @@ import (
 )
 
 // Handler serves the registry's snapshot: JSON at the mount point and
-// text with "?format=text". Expvar-style: GET-only, no state.
+// text with "?format=text". Expvar-style read-only endpoint: only GET
+// and HEAD are accepted (anything else gets 405 with an Allow header),
+// and responses carry X-Content-Type-Options: nosniff so a browser
+// never content-sniffs the snapshot.
 func Handler(r *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, http.StatusText(http.StatusMethodNotAllowed), http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("X-Content-Type-Options", "nosniff")
 		snap := r.Snapshot()
 		if req.URL.Query().Get("format") == "text" {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync/atomic"
+)
+
+// logger is the process-wide structured logger installed by SetLogger;
+// nil means logging is off. Like the metrics registry, the disabled
+// path is one atomic load plus a nil check.
+var logger atomic.Pointer[slog.Logger]
+
+// SetLogger installs l as the process-wide structured logger (nil
+// disables). The previous logger is returned so tests and Close paths
+// can restore it.
+func SetLogger(l *slog.Logger) *slog.Logger {
+	return logger.Swap(l)
+}
+
+// Logger returns the installed structured logger, or nil when logging
+// is off. Callers on hot paths should check for nil before building
+// attributes.
+func Logger() *slog.Logger {
+	return logger.Load()
+}
+
+// logWarn emits a warning through the installed logger, if any. The
+// obs package's own warnings (trace truncation) go through here so
+// they obey the user's -log flags.
+func logWarn(msg string, args ...any) {
+	if l := logger.Load(); l != nil {
+		l.Warn(msg, args...)
+	}
+}
+
+// spanHandler decorates a slog.Handler with the flight-recorder
+// identity of the context: records carry span_id/parent_id attributes
+// when the context holds an active span, so log lines correlate with
+// trace spans.
+type spanHandler struct {
+	slog.Handler
+}
+
+// Handle stamps the record with the context span's identity before
+// delegating.
+func (h spanHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if sp := SpanFromContext(ctx); sp.extra != nil {
+		rec.AddAttrs(
+			slog.Uint64("span_id", sp.extra.id),
+			slog.Uint64("parent_id", sp.extra.parent),
+		)
+	}
+	return h.Handler.Handle(ctx, rec)
+}
+
+// WithAttrs preserves the span decoration on derived handlers.
+func (h spanHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return spanHandler{h.Handler.WithAttrs(attrs)}
+}
+
+// WithGroup preserves the span decoration on derived handlers.
+func (h spanHandler) WithGroup(name string) slog.Handler {
+	return spanHandler{h.Handler.WithGroup(name)}
+}
+
+// NewLogHandler builds the shared structured-logging handler used by
+// every CLI: format is "text" or "json", level one of
+// debug/info/warn/error. The handler stamps span_id/parent_id from the
+// context when the flight recorder is active.
+func NewLogHandler(w io.Writer, format, level string) (slog.Handler, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lv = slog.LevelInfo
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text|json)", format)
+	}
+	return spanHandler{h}, nil
+}
+
+// LogFlags is the uniform -log/-log-level flag pair shared by every
+// CLI. The zero value ("off") disables structured logging.
+type LogFlags struct {
+	// Format is "off" (default), "text" or "json".
+	Format string
+	// Level is "debug", "info" (default), "warn" or "error".
+	Level string
+}
+
+// BindLogFlags registers the flag pair on fs and returns the bound
+// struct. It is split from BindFlags so CLIs that do not want the
+// metrics/trace bundle (teclint, mkchip, benchjson) still take the
+// uniform logging flags.
+func BindLogFlags(fs *flag.FlagSet) *LogFlags {
+	f := &LogFlags{}
+	f.bind(fs)
+	return f
+}
+
+// bind registers -log/-log-level on fs.
+func (f *LogFlags) bind(fs *flag.FlagSet) {
+	fs.StringVar(&f.Format, "log", "off", "structured logging: off, text or json (to stderr)")
+	fs.StringVar(&f.Level, "log-level", "info", "minimum log level: debug, info, warn or error")
+}
+
+// enabled reports whether the flags ask for logging.
+func (f *LogFlags) enabled() bool {
+	return f.Format != "" && f.Format != "off"
+}
+
+// Install builds the handler described by the flags, installs it as
+// the process logger, and returns a restore function (call it at CLI
+// exit). With logging off it installs nothing and the restore is a
+// no-op.
+func (f *LogFlags) Install(w io.Writer) (restore func(), err error) {
+	if !f.enabled() {
+		return func() {}, nil
+	}
+	h, err := NewLogHandler(w, f.Format, f.Level)
+	if err != nil {
+		return nil, err
+	}
+	prev := SetLogger(slog.New(h))
+	return func() { SetLogger(prev) }, nil
+}

@@ -204,6 +204,18 @@ type Registry struct {
 	hist    map[string]*Histogram
 
 	trace *traceBuffer // nil when tracing is off
+
+	// flight is true when the flight recorder (hierarchical tracing) is
+	// on: spans take IDs, parent links, tracks and attributes. It is read
+	// on every StartSpan, so it lives outside mu.
+	flight atomic.Bool
+	// spanID allocates span IDs: sequential from 1, so serial runs under
+	// an injected clock produce byte-identical traces.
+	spanID atomic.Uint64
+	// spanHists interns the "span.<name>_ns" histogram handles so the
+	// hot-loop StartSpan/End pair never rebuilds the name string
+	// (map[string]*Histogram).
+	spanHists sync.Map
 }
 
 // New creates a registry using the given clock (nil selects the wall

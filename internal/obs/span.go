@@ -1,8 +1,8 @@
 package obs
 
 import (
-	"encoding/json"
-	"io"
+	"context"
+	"strconv"
 	"sync"
 )
 
@@ -10,12 +10,69 @@ import (
 // clock. Spans are value types — starting and ending one allocates
 // nothing when tracing is off, and ending always feeds the
 // "span.<name>_ns" histogram so timings appear in metric snapshots even
-// without a trace file. The zero Span (from StartSpan on a nil
-// registry) is a no-op.
+// without a trace file. The histogram handle is interned at StartSpan,
+// so End never rebuilds the metric name. The zero Span (from StartSpan
+// on a nil registry) is a no-op.
+//
+// When the flight recorder is on (EnableTraceOpts with Flight set) a
+// span additionally carries an ID, a parent link and a track, all
+// shared through one heap cell so every copy of the value — including
+// the one a `defer sp.End()` captures — sees later Annotate calls.
 type Span struct {
 	r     *Registry
 	name  string
 	start int64
+	hist  *Histogram // interned "span.<name>_ns" handle
+	extra *spanExtra // flight-recorder state; nil unless the recorder is on
+}
+
+// spanExtra is the flight-recorder half of a span. It is allocated only
+// when hierarchical recording is enabled, and shared by all copies of
+// the Span value.
+type spanExtra struct {
+	id     uint64
+	parent uint64
+	track  int64
+	mu     sync.Mutex
+	attrs  []Attr
+}
+
+// Attr is one key/value annotation on a span or event. Attributes are
+// kept as an ordered slice (not a map) so traces serialize
+// deterministically.
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// spanHist returns the interned "span.<name>_ns" histogram handle,
+// building the name string only on the first span of each name.
+func (r *Registry) spanHist(name string) *Histogram {
+	if h, ok := r.spanHists.Load(name); ok {
+		return h.(*Histogram)
+	}
+	h := r.Histogram("span." + name + "_ns")
+	r.spanHists.Store(name, h)
+	return h
+}
+
+// FlightOn reports whether the flight recorder (hierarchical tracing)
+// is enabled. Nil-safe; instrumentation sites use it to gate work that
+// only pays off when hierarchy is being recorded (per-probe events,
+// attribute formatting).
+func (r *Registry) FlightOn() bool {
+	return r != nil && r.flight.Load()
+}
+
+// newSpan builds the span value shared by StartSpan and StartSpanCtx:
+// clock read, interned histogram handle, and (flight recorder on) a
+// fresh sequential ID.
+func (r *Registry) newSpan(name string) Span {
+	s := Span{r: r, name: name, start: r.clock.Now(), hist: r.spanHist(name)}
+	if r.flight.Load() {
+		s.extra = &spanExtra{id: r.spanID.Add(1)}
+	}
+	return s
 }
 
 // StartSpan opens a span. Close it with End.
@@ -23,11 +80,91 @@ func (r *Registry) StartSpan(name string) Span {
 	if r == nil {
 		return Span{}
 	}
-	return Span{r: r, name: name, start: r.clock.Now()}
+	return r.newSpan(name)
+}
+
+// StartSpanCtx opens a span as a child of the span carried by ctx (if
+// any) and returns a derived context carrying the new span, so deeper
+// solve layers parent to it — the context-propagation entry point of
+// the flight recorder. With the recorder off it degrades to StartSpan
+// and returns ctx unchanged; on a nil registry it is a no-op.
+func (r *Registry) StartSpanCtx(ctx context.Context, name string) (context.Context, Span) {
+	if r == nil {
+		return ctx, Span{}
+	}
+	s := r.newSpan(name)
+	if s.extra != nil {
+		if parent := SpanFromContext(ctx); parent.extra != nil {
+			s.extra.parent = parent.extra.id
+		}
+		s.extra.track = TrackFromContext(ctx)
+		ctx = context.WithValue(ctx, spanKey{}, s)
+	}
+	return ctx, s
+}
+
+// ID returns the span's flight-recorder ID (0 when the recorder is off
+// or the span is the zero value).
+func (s Span) ID() uint64 {
+	if s.extra == nil {
+		return 0
+	}
+	return s.extra.id
+}
+
+// ParentID returns the ID of the span's parent (0 for a root span or
+// when the recorder is off).
+func (s Span) ParentID() uint64 {
+	if s.extra == nil {
+		return 0
+	}
+	return s.extra.parent
+}
+
+// Track returns the span's track (worker attribution; 0 is the main
+// track).
+func (s Span) Track() int64 {
+	if s.extra == nil {
+		return 0
+	}
+	return s.extra.track
+}
+
+// Annotate attaches a key/value attribute to the span's trace record —
+// the regime a solve took, a guard-trip reason, a cache outcome. It is
+// a no-op unless the flight recorder is on, so callers may annotate
+// unconditionally on hot paths.
+func (s Span) Annotate(key, value string) {
+	x := s.extra
+	if x == nil {
+		return
+	}
+	x.mu.Lock()
+	x.attrs = append(x.attrs, Attr{Key: key, Value: value})
+	x.mu.Unlock()
+}
+
+// AnnotateInt is Annotate for integer values; the value is formatted
+// only when the recorder is on.
+func (s Span) AnnotateInt(key string, v int64) {
+	if s.extra == nil {
+		return
+	}
+	s.Annotate(key, strconv.FormatInt(v, 10))
+}
+
+// AnnotateFloat is Annotate for float values; the value is formatted
+// (shortest round-trip form) only when the recorder is on.
+func (s Span) AnnotateFloat(key string, v float64) {
+	if s.extra == nil {
+		return
+	}
+	s.Annotate(key, strconv.FormatFloat(v, 'g', -1, 64))
 }
 
 // End closes the span, recording its duration in the span histogram and
-// (when tracing is enabled) appending a trace event.
+// (when tracing is enabled) appending a trace event carrying the
+// flight-recorder identity and annotations.
 func (s Span) End() {
 	if s.r == nil {
 		return
@@ -37,8 +174,15 @@ func (s Span) End() {
 	if dur < 0 {
 		dur = 0
 	}
-	s.r.Histogram("span." + s.name + "_ns").Observe(uint64(dur))
-	s.r.traceAppend(TraceEvent{Kind: "span", Name: s.name, StartNS: s.start, DurNS: dur})
+	s.hist.Observe(uint64(dur))
+	ev := TraceEvent{Kind: "span", Name: s.name, StartNS: s.start, DurNS: dur}
+	if x := s.extra; x != nil {
+		ev.ID, ev.Parent, ev.Track = x.id, x.parent, x.track
+		x.mu.Lock()
+		ev.Attrs = x.attrs
+		x.mu.Unlock()
+	}
+	s.r.traceAppend(ev)
 }
 
 // Event records a named point value into the trace stream (when
@@ -52,96 +196,22 @@ func (r *Registry) Event(name string, value float64) {
 	r.traceAppend(TraceEvent{Kind: "event", Name: name, StartNS: r.clock.Now(), Value: value})
 }
 
-// TraceEvent is one record of the trace stream, serialized as a JSON
-// line by WriteTrace.
-type TraceEvent struct {
-	Kind    string  `json:"kind"` // "span" or "event"
-	Name    string  `json:"name"`
-	StartNS int64   `json:"start_ns"`
-	DurNS   int64   `json:"dur_ns,omitempty"`
-	Value   float64 `json:"value,omitempty"`
-}
-
-// defaultTraceCap bounds the in-memory trace buffer. A Table I run
-// emits a few thousand spans; one million events (~56 MB) leaves room
-// for long transient simulations while still bounding a runaway loop.
-const defaultTraceCap = 1 << 20
-
-// traceBuffer is a bounded, mutex-guarded event log. Past capacity it
-// counts drops instead of growing.
-type traceBuffer struct {
-	mu      sync.Mutex
-	events  []TraceEvent
-	cap     int
-	dropped uint64
-}
-
-// EnableTrace turns on trace recording with the given event capacity
-// (<= 0 selects the default). Without this call spans still feed their
-// histograms but no per-event stream is kept.
-func (r *Registry) EnableTrace(capacity int) {
+// EventCtx is Event linked into the flight-recorder hierarchy: when the
+// recorder is on, the event takes the context span as its parent, the
+// context track, and the given attributes. With the recorder off it
+// serializes byte-identically to Event (attrs are dropped), keeping
+// flat JSONL traces compatible.
+func (r *Registry) EventCtx(ctx context.Context, name string, value float64, attrs ...Attr) {
 	if r == nil {
 		return
 	}
-	if capacity <= 0 {
-		capacity = defaultTraceCap
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.trace == nil {
-		r.trace = &traceBuffer{cap: capacity}
-	}
-}
-
-// tracer returns the trace buffer under the registry read lock.
-func (r *Registry) tracer() *traceBuffer {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.trace
-}
-
-func (r *Registry) traceAppend(ev TraceEvent) {
-	tb := r.tracer()
-	if tb == nil {
-		return
-	}
-	tb.mu.Lock()
-	defer tb.mu.Unlock()
-	if len(tb.events) >= tb.cap {
-		tb.dropped++
-		return
-	}
-	tb.events = append(tb.events, ev)
-}
-
-// WriteTrace serializes the recorded trace as JSON lines (one TraceEvent
-// per line) followed by a final line reporting drops, if any. It is a
-// no-op on a nil registry or when tracing was never enabled.
-func (r *Registry) WriteTrace(w io.Writer) error {
-	if r == nil {
-		return nil
-	}
-	tb := r.tracer()
-	if tb == nil {
-		return nil
-	}
-	tb.mu.Lock()
-	events := make([]TraceEvent, len(tb.events))
-	copy(events, tb.events)
-	dropped := tb.dropped
-	tb.mu.Unlock()
-
-	enc := json.NewEncoder(w)
-	for _, ev := range events {
-		if err := enc.Encode(ev); err != nil {
-			return err
+	ev := TraceEvent{Kind: "event", Name: name, StartNS: r.clock.Now(), Value: value}
+	if r.flight.Load() {
+		if sp := SpanFromContext(ctx); sp.extra != nil {
+			ev.Parent = sp.extra.id
 		}
+		ev.Track = TrackFromContext(ctx)
+		ev.Attrs = attrs
 	}
-	if dropped > 0 {
-		return enc.Encode(struct {
-			Kind    string `json:"kind"`
-			Dropped uint64 `json:"dropped"`
-		}{Kind: "dropped", Dropped: dropped})
-	}
-	return nil
+	r.traceAppend(ev)
 }

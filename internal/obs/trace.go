@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// TraceEvent is one record of the trace stream, serialized as a JSON
+// line by WriteTrace. The first five fields are the original flat
+// schema; ID/Parent/Track/Attrs are populated only by the flight
+// recorder and are omitted when zero, so a trace taken with the
+// recorder off is byte-identical to the pre-flight format.
+type TraceEvent struct {
+	Kind    string  `json:"kind"` // "span" or "event"
+	Name    string  `json:"name"`
+	StartNS int64   `json:"start_ns"`
+	DurNS   int64   `json:"dur_ns,omitempty"`
+	Value   float64 `json:"value,omitempty"`
+	// ID is the span's flight-recorder ID (sequential from 1); 0 for
+	// plain events and recorder-off traces.
+	ID uint64 `json:"id,omitempty"`
+	// Parent is the ID of the enclosing span (0 = root).
+	Parent uint64 `json:"parent,omitempty"`
+	// Track attributes the record to an execution lane: 0 is the main
+	// goroutine, engine pool workers take 1..W.
+	Track int64 `json:"track,omitempty"`
+	// Attrs carries the span/event annotations in insertion order.
+	Attrs []Attr `json:"attrs,omitempty"`
+}
+
+// spanKey carries the current Span through a context chain; trackKey
+// carries the worker track.
+type (
+	spanKey  struct{}
+	trackKey struct{}
+)
+
+// ContextWithSpan returns ctx carrying sp as the current span, so
+// spans started with StartSpanCtx below it become its children. Spans
+// without flight-recorder state (recorder off) are not stored — there
+// is no identity to link to.
+func ContextWithSpan(ctx context.Context, sp Span) context.Context {
+	if sp.extra == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// SpanFromContext returns the current span carried by ctx (the zero
+// Span when none).
+func SpanFromContext(ctx context.Context) Span {
+	if ctx == nil {
+		return Span{}
+	}
+	sp, _ := ctx.Value(spanKey{}).(Span)
+	return sp
+}
+
+// ContextWithTrack returns ctx carrying the given track ID; spans and
+// events recorded below it are attributed to that track (worker lane)
+// in exports. Track 0 is the main goroutine.
+func ContextWithTrack(ctx context.Context, track int64) context.Context {
+	return context.WithValue(ctx, trackKey{}, track)
+}
+
+// TrackFromContext returns the track carried by ctx (0 when none).
+func TrackFromContext(ctx context.Context) int64 {
+	if ctx == nil {
+		return 0
+	}
+	t, _ := ctx.Value(trackKey{}).(int64)
+	return t
+}
+
+// defaultTraceCap bounds the in-memory trace buffer. A Table I run
+// emits a few thousand spans; one million events (~56 MB) leaves room
+// for long transient simulations while still bounding a runaway loop.
+const defaultTraceCap = 1 << 20
+
+// traceBuffer is a bounded, mutex-guarded event log. Past capacity it
+// counts drops instead of growing.
+type traceBuffer struct {
+	mu      sync.Mutex
+	events  []TraceEvent
+	cap     int
+	dropped uint64
+}
+
+// TraceOptions configures trace recording.
+type TraceOptions struct {
+	// Capacity bounds the in-memory event buffer (<= 0 selects the
+	// default, 2^20 events).
+	Capacity int
+	// Flight turns on the flight recorder: spans take sequential IDs,
+	// parent links, tracks and attributes, and flight-only events
+	// (cache hits, runaway probes) are recorded. Off, the trace stays
+	// byte-compatible with the flat JSONL schema.
+	Flight bool
+}
+
+// EnableTrace turns on trace recording with the given event capacity
+// (<= 0 selects the default). Without this call spans still feed their
+// histograms but no per-event stream is kept.
+func (r *Registry) EnableTrace(capacity int) {
+	r.EnableTraceOpts(TraceOptions{Capacity: capacity})
+}
+
+// EnableTraceOpts turns on trace recording with explicit options; see
+// TraceOptions. Calling it again on an already-tracing registry only
+// updates the Flight bit.
+func (r *Registry) EnableTraceOpts(opt TraceOptions) {
+	if r == nil {
+		return
+	}
+	if opt.Capacity <= 0 {
+		opt.Capacity = defaultTraceCap
+	}
+	r.mu.Lock()
+	if r.trace == nil {
+		r.trace = &traceBuffer{cap: opt.Capacity}
+	}
+	r.mu.Unlock()
+	r.flight.Store(opt.Flight)
+}
+
+// tracer returns the trace buffer under the registry read lock.
+func (r *Registry) tracer() *traceBuffer {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.trace
+}
+
+func (r *Registry) traceAppend(ev TraceEvent) {
+	tb := r.tracer()
+	if tb == nil {
+		return
+	}
+	tb.mu.Lock()
+	if len(tb.events) >= tb.cap {
+		tb.dropped++
+		first := tb.dropped == 1
+		tb.mu.Unlock()
+		// Surface the truncation: the counter appears in snapshots, and
+		// the first drop logs one warning so a silently shortened trace
+		// never masquerades as a complete one.
+		r.Counter("trace.dropped").Inc()
+		if first {
+			logWarn("trace buffer full; dropping events",
+				"capacity", tb.cap, "event", ev.Name)
+		}
+		return
+	}
+	tb.events = append(tb.events, ev)
+	tb.mu.Unlock()
+}
+
+// traceSnapshot copies the recorded events and drop count out of the
+// buffer (nil, 0 when tracing is off).
+func (r *Registry) traceSnapshot() ([]TraceEvent, uint64) {
+	if r == nil {
+		return nil, 0
+	}
+	tb := r.tracer()
+	if tb == nil {
+		return nil, 0
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	events := make([]TraceEvent, len(tb.events))
+	copy(events, tb.events)
+	return events, tb.dropped
+}
+
+// WriteTrace serializes the recorded trace as JSON lines (one TraceEvent
+// per line) followed by a final line reporting drops, if any. It is a
+// no-op on a nil registry or when tracing was never enabled.
+func (r *Registry) WriteTrace(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	if tb := r.tracer(); tb == nil {
+		return nil
+	}
+	events, dropped := r.traceSnapshot()
+	enc := json.NewEncoder(w)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	if dropped > 0 {
+		return enc.Encode(struct {
+			Kind    string `json:"kind"`
+			Dropped uint64 `json:"dropped"`
+		}{Kind: "dropped", Dropped: dropped})
+	}
+	return nil
+}

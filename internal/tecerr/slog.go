@@ -1,0 +1,30 @@
+package tecerr
+
+import (
+	"errors"
+	"log/slog"
+)
+
+// LogAttrs renders err as structured logging attributes: the error
+// message plus, when err carries a classified *Error anywhere in its
+// chain, the tecerr code and operation. CLIs pass the result to the
+// shared obs slog handler so every logged failure is greppable by
+// code:
+//
+//	logger.Error("run failed", tecerr.LogAttrs(err)...)
+//
+// A nil err returns nil.
+func LogAttrs(err error) []any {
+	if err == nil {
+		return nil
+	}
+	attrs := []any{slog.String("err", err.Error())}
+	var te *Error
+	if errors.As(err, &te) {
+		attrs = append(attrs, slog.String("code", te.Code.String()))
+		if te.Op != "" {
+			attrs = append(attrs, slog.String("op", te.Op))
+		}
+	}
+	return attrs
+}

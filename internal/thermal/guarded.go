@@ -3,6 +3,7 @@ package thermal
 import (
 	"context"
 	"errors"
+	"strconv"
 
 	"tecopt/internal/obs"
 	"tecopt/internal/sparse"
@@ -83,6 +84,14 @@ func SolveGuarded(ctx context.Context, g *sparse.CSR, rhs []float64, opt Guarded
 	}
 	r := obs.Enabled()
 	r.Counter("thermal.guarded.solves").Inc()
+	var sp obs.Span
+	if r.FlightOn() {
+		// The per-solve span exists only in flight mode, keeping flat
+		// JSONL traces byte-compatible. Annotate is a no-op on the zero
+		// Span, so the success path below annotates unconditionally.
+		ctx, sp = r.StartSpanCtx(ctx, "thermal.guarded.solve")
+		defer sp.End()
+	}
 	report := &GuardedReport{}
 	var lastErr error
 	for _, m := range chain {
@@ -97,6 +106,12 @@ func SolveGuarded(ctx context.Context, g *sparse.CSR, rhs []float64, opt Guarded
 			if report.Degraded {
 				r.Counter("thermal.guarded.degraded").Inc()
 			}
+			sp.Annotate("method", m.String())
+			sp.AnnotateInt("failed_links", int64(len(report.Attempts)))
+			if st.Iterative {
+				sp.AnnotateInt("cg_iterations", int64(st.CGIterations))
+				sp.Annotate("warm_start", strconv.FormatBool(opt.X0 != nil))
+			}
 			return theta, report, nil
 		}
 		if errors.Is(err, tecerr.ErrCancelled) {
@@ -104,9 +119,12 @@ func SolveGuarded(ctx context.Context, g *sparse.CSR, rhs []float64, opt Guarded
 		}
 		report.Attempts = append(report.Attempts, GuardedAttempt{Method: m, Err: err})
 		r.Counter("thermal.guarded.link_failures").Inc()
-		r.Event("thermal.guarded.fallback", float64(m))
+		r.EventCtx(ctx, "thermal.guarded.fallback", float64(m),
+			obs.Attr{Key: "method", Value: m.String()},
+			obs.Attr{Key: "reason", Value: tecerr.CodeOf(err).String()})
 		lastErr = err
 	}
+	sp.Annotate("method", "exhausted")
 	r.Counter("thermal.guarded.exhausted").Inc()
 	return nil, nil, tecerr.Wrapf(tecerr.CodeOf(lastErr), "thermal.guarded", lastErr,
 		"thermal: all %d solve methods failed", len(chain))

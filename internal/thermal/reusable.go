@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"strconv"
 	"sync/atomic"
 
 	"tecopt/internal/num"
@@ -132,6 +133,16 @@ func (rs *ReusableSystem) SolveAtCurrent(ctx context.Context, i float64, rhs []f
 			"thermal: rhs length %d, want %d", len(rhs), len(rs.d))
 	}
 	r := obs.Enabled()
+	var sp obs.Span
+	if r.FlightOn() {
+		// The per-solve span is the flight recorder's record of WHICH
+		// regime this solve took; it exists only in flight mode so flat
+		// traces stay byte-compatible. Annotate is a no-op on the zero
+		// Span, so the regime paths below annotate unconditionally.
+		ctx, sp = r.StartSpanCtx(ctx, "thermal.reusable.solve")
+		sp.AnnotateFloat("current", i)
+		defer sp.End()
+	}
 	if rs.smw.Rank() == 0 || num.IsZero(i) {
 		x, err := rs.base.Solve(rhs)
 		if err != nil {
@@ -140,6 +151,7 @@ func (rs *ReusableSystem) SolveAtCurrent(ctx context.Context, i float64, rhs []f
 		if r != nil {
 			r.Counter("thermal.reusable.smw_hits").Inc()
 		}
+		sp.Annotate("regime", "smw")
 		return x, &GuardedReport{Method: MethodSMW}, nil
 	}
 	if !math.IsInf(rs.lambda, 1) {
@@ -150,9 +162,10 @@ func (rs *ReusableSystem) SolveAtCurrent(ctx context.Context, i float64, rhs []f
 			if r != nil {
 				r.Counter("thermal.reusable.beyond_limit").Inc()
 			}
+			sp.Annotate("regime", "beyond-limit")
 			return nil, nil, ErrNotPD
 		case i >= rs.lambda*(1-rs.window):
-			return rs.solveNear(i, rhs)
+			return rs.solveNear(i, rhs, sp)
 		}
 	}
 
@@ -165,6 +178,7 @@ func (rs *ReusableSystem) SolveAtCurrent(ctx context.Context, i float64, rhs []f
 		if r != nil {
 			r.Counter("thermal.reusable.smw_hits").Inc()
 		}
+		sp.Annotate("regime", "smw")
 		warm := make([]float64, len(y))
 		copy(warm, y)
 		rs.warm.Store(&warm)
@@ -180,6 +194,8 @@ func (rs *ReusableSystem) SolveAtCurrent(ctx context.Context, i float64, rhs []f
 	if r != nil {
 		r.Counter("thermal.reusable.fallbacks").Inc()
 	}
+	sp.Annotate("regime", "guarded")
+	sp.Annotate("guard_reason", tecerr.CodeOf(cerr).String())
 	opts := GuardedOptions{Precond: rs.pre}
 	if warm := rs.warm.Load(); warm != nil {
 		opts.X0 = *warm
@@ -187,6 +203,7 @@ func (rs *ReusableSystem) SolveAtCurrent(ctx context.Context, i float64, rhs []f
 			r.Counter("thermal.reusable.warm_start_solves").Inc()
 		}
 	}
+	sp.Annotate("warm_start", strconv.FormatBool(opts.X0 != nil))
 	x, rep, err := SolveGuarded(ctx, rs.shifted(i), rhs, opts)
 	if err != nil {
 		return nil, nil, err
@@ -211,12 +228,15 @@ func (rs *ReusableSystem) shifted(i float64) *sparse.CSR {
 // memoized direct factorization: deterministic, authoritative on
 // ErrNotPD, and amortized across repeated solves at one current (the
 // h_kl column sweeps solve many right-hand sides at the same i).
-func (rs *ReusableSystem) solveNear(i float64, rhs []float64) ([]float64, *GuardedReport, error) {
+func (rs *ReusableSystem) solveNear(i float64, rhs []float64, sp obs.Span) ([]float64, *GuardedReport, error) {
 	if r := obs.Enabled(); r != nil {
 		r.Counter("thermal.reusable.near_limit").Inc()
 	}
+	sp.Annotate("regime", "direct")
 	nf := rs.near.Load()
-	if nf == nil || !num.ExactEqual(nf.i, i) {
+	memo := nf != nil && num.ExactEqual(nf.i, i)
+	sp.Annotate("near_memo", strconv.FormatBool(memo))
+	if !memo {
 		f, err := Factor(rs.shifted(i), rs.perm)
 		nf = &nearFactor{i: i, f: f, err: err}
 		rs.near.Store(nf)

@@ -31,6 +31,24 @@ const (
 	MethodSMW
 )
 
+// String names the method for reports, trace annotations and logs.
+func (m Method) String() string {
+	switch m {
+	case MethodAuto:
+		return "auto"
+	case MethodBandCholesky:
+		return "band-cholesky"
+	case MethodCG:
+		return "cg"
+	case MethodDenseCholesky:
+		return "dense-cholesky"
+	case MethodSMW:
+		return "smw"
+	default:
+		return "unknown"
+	}
+}
+
 // ErrNotPD reports that the system matrix is not positive definite, i.e.
 // the operating point is at or beyond the thermal-runaway limit. It
 // carries tecerr.CodeNotPD.

@@ -132,7 +132,8 @@ func Simulate(sys *core.System, schedule []Phase, opt Options) (*Trace, error) {
 	}
 	r := obs.Enabled()
 	if r != nil {
-		sp := r.StartSpan("transient.simulate")
+		var sp obs.Span
+		ctx, sp = r.StartSpanCtx(ctx, "transient.simulate")
 		defer sp.End()
 		r.Counter("transient.simulations").Inc()
 		r.Counter("transient.phases").Add(uint64(len(schedule)))
@@ -168,54 +169,69 @@ func Simulate(sys *core.System, schedule []Phase, opt Options) (*Trace, error) {
 
 	step := 0
 	for _, ph := range schedule {
-		if ph.Duration <= 0 || ph.Current < 0 {
-			return nil, ErrBadSchedule
-		}
-		// System matrix for this phase: (G - iD) + C/dt on the diagonal.
-		m := sys.Matrix(ph.Current).AddScaledDiag(1, cOverDt)
-		factStart := r.Now()
-		fact, err := thermal.Factor(m, nil)
-		if r != nil {
-			r.ObserveSince("transient.phase_factor_ns", factStart)
-		}
-		if err != nil {
-			// C/dt should dominate for reasonable dt; a failure means dt
-			// is far too large for this current.
-			return nil, fmt.Errorf("transient: implicit matrix not PD at i=%g (dt too large?): %w", ph.Current, err)
-		}
-		rhsConst := sys.RHS(ph.Current)
-		steps := int(math.Ceil(ph.Duration / opt.Dt))
-		rhs := make([]float64, n)
-		for s := 0; s < steps; s++ {
-			if step&63 == 0 {
-				if err := ctx.Err(); err != nil {
+		// Each phase runs in a closure so its flight-recorder span (one
+		// per factor-and-integrate segment) closes on every exit path.
+		res, err := func(ph Phase) (*Trace, error) {
+			if r.FlightOn() {
+				var psp obs.Span
+				_, psp = r.StartSpanCtx(ctx, "transient.phase")
+				psp.AnnotateFloat("current", ph.Current)
+				psp.AnnotateFloat("duration_s", ph.Duration)
+				defer psp.End()
+			}
+			if ph.Duration <= 0 || ph.Current < 0 {
+				return nil, ErrBadSchedule
+			}
+			// System matrix for this phase: (G - iD) + C/dt on the diagonal.
+			m := sys.Matrix(ph.Current).AddScaledDiag(1, cOverDt)
+			factStart := r.Now()
+			fact, err := thermal.Factor(m, nil)
+			if r != nil {
+				r.ObserveSince("transient.phase_factor_ns", factStart)
+			}
+			if err != nil {
+				// C/dt should dominate for reasonable dt; a failure means dt
+				// is far too large for this current.
+				return nil, fmt.Errorf("transient: implicit matrix not PD at i=%g (dt too large?): %w", ph.Current, err)
+			}
+			rhsConst := sys.RHS(ph.Current)
+			steps := int(math.Ceil(ph.Duration / opt.Dt))
+			rhs := make([]float64, n)
+			for s := 0; s < steps; s++ {
+				if step&63 == 0 {
+					if err := ctx.Err(); err != nil {
+						tr.Final = theta
+						return tr, tecerr.Cancelled("transient.simulate", err)
+					}
+				}
+				stepStart := r.Now()
+				for i := range rhs {
+					rhs[i] = rhsConst[i] + cOverDt[i]*theta[i]
+				}
+				if theta, err = fact.Solve(rhs); err != nil {
+					return nil, err
+				}
+				if r != nil {
+					r.Counter("transient.steps").Inc()
+					r.ObserveSince("transient.step_ns", stepStart)
+				}
+				now += opt.Dt
+				step++
+				if step%opt.SampleEvery == 0 {
+					record(now, ph.Current)
+				}
+				peak, _ := sys.PN.PeakSilicon(theta)
+				if peak > opt.RunawayCeilingK {
+					tr.Runaway = true
 					tr.Final = theta
-					return tr, tecerr.Cancelled("transient.simulate", err)
+					record(now, ph.Current)
+					return tr, nil
 				}
 			}
-			stepStart := r.Now()
-			for i := range rhs {
-				rhs[i] = rhsConst[i] + cOverDt[i]*theta[i]
-			}
-			if theta, err = fact.Solve(rhs); err != nil {
-				return nil, err
-			}
-			if r != nil {
-				r.Counter("transient.steps").Inc()
-				r.ObserveSince("transient.step_ns", stepStart)
-			}
-			now += opt.Dt
-			step++
-			if step%opt.SampleEvery == 0 {
-				record(now, ph.Current)
-			}
-			peak, _ := sys.PN.PeakSilicon(theta)
-			if peak > opt.RunawayCeilingK {
-				tr.Runaway = true
-				tr.Final = theta
-				record(now, ph.Current)
-				return tr, nil
-			}
+			return nil, nil
+		}(ph)
+		if res != nil || err != nil {
+			return res, err
 		}
 	}
 	tr.Final = theta
