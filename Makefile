@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race race-engine chaos vet lint lint-json lint-fixtures bench-json bench-gate fuzz-smoke obs-overhead trace-golden check
+.PHONY: all build test race race-engine chaos serve-chaos serve-smoke bench-serve vet lint lint-json lint-fixtures bench-json bench-gate fuzz-smoke obs-overhead trace-golden check
 
 all: check
 
@@ -29,6 +29,33 @@ race-engine:
 # test cache cannot see.
 chaos:
 	$(GO) test -race -count=1 ./internal/faults/... ./internal/engine/... ./internal/thermal/...
+
+# Service chaos gate: seeded faults (typed errors of every class,
+# worker panics, injected latency) driven through the live tecserve
+# HTTP pipeline under the race detector, asserting the status-code
+# contract, per-request isolation, backpressure, deadline partial
+# flush, and the drain state machine. -count=1: the fault injector is
+# process-global state the test cache cannot see.
+serve-chaos:
+	$(GO) test -race -count=1 ./internal/serve/
+
+# Service smoke: build the real tecserve binary, drive every endpoint
+# over HTTP, force a 429 through a one-worker/no-queue configuration,
+# verify the cross-request solver-cache hit on /metrics, and
+# SIGTERM-drain to a clean exit 0.
+serve-smoke:
+	$(GO) test -count=1 -run 'TestServeBinary' ./cmd/tecserve
+
+# Serving latency snapshot: open-loop load from cmd/tecload against an
+# in-process server; the p50/p99/throughput result lines are distilled
+# into BENCH_serve.json by the same benchjson -merge flow the solver
+# benchmarks use (EXPERIMENTS.md tracks history).
+bench-serve:
+	@[ -f BENCH_serve.json ] || echo '[]' > BENCH_serve.json
+	$(GO) run ./cmd/tecload -self -rate 100 -duration 5s \
+		| $(GO) run ./cmd/benchjson -merge BENCH_serve.json > BENCH_serve.json.tmp
+	mv BENCH_serve.json.tmp BENCH_serve.json
+	@cat BENCH_serve.json
 
 vet:
 	$(GO) vet ./...
@@ -105,4 +132,4 @@ trace-golden:
 	$(GO) test -count=1 -run TestMapTasksCtxFlight ./internal/engine
 
 # The full gate, in the order CI runs it.
-check: build vet lint lint-fixtures test race chaos
+check: build vet lint lint-fixtures test race chaos serve-chaos serve-smoke

@@ -1,0 +1,175 @@
+// Command tecserve is the fault-tolerant thermal-solve service: the
+// core solver library behind an HTTP+JSON API with admission control,
+// backpressure, per-request deadlines, panic isolation, and graceful
+// drain. See internal/serve for the pipeline and DESIGN.md §14 for the
+// architecture and the status-code contract.
+//
+// Endpoints (all POST, JSON bodies):
+//
+//	/v1/solve             steady-state field at one supply current
+//	/v1/optimize-current  optimal shared supply current (Section V.C)
+//	/v1/runaway-limit     thermal-runaway current lambda_m (Theorem 2)
+//	/v1/sweep             h_kl over a current sweep (Figure 6); partial
+//	                      results are flushed on deadline expiry
+//	/healthz              200 serving, 503 draining (GET)
+//	/metrics              metric snapshot (GET)
+//	/debug/pprof/*        pprof handlers
+//
+// Usage:
+//
+//	tecserve [-addr localhost:8080] [-workers N] [-queue N]
+//	         [-default-deadline 30s] [-max-deadline 2m]
+//	         [-sweep-workers N] [-drain-timeout 10s]
+//	         [-faults SPEC]
+//	         [observability flags: -metrics, -trace FILE, -log json, ...]
+//
+// SIGTERM or SIGINT starts a graceful drain: the server immediately
+// answers 503 to new requests, finishes in-flight ones up to
+// -drain-timeout, then exits — 0 after a clean drain, the cancelled
+// status code when the deadline forced it.
+//
+// -faults arms deterministic service-layer chaos (see faults.ParseSpec
+// for the grammar), e.g.:
+//
+//	tecserve -faults 'seed=7;panic@serve.handle:every=10;sleep@serve.handle:prob=0.2,ms=50'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tecopt/internal/faults"
+	"tecopt/internal/obs"
+	"tecopt/internal/serve"
+	"tecopt/internal/tecerr"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// run is main's body; returning (instead of os.Exit inline) lets the
+// deferred obs session flush its snapshot and trace on every path.
+func run() int {
+	addr := flag.String("addr", "localhost:8080", "listen address (host:port; :0 picks a free port)")
+	workers := flag.Int("workers", 0, "max concurrently executing requests (0 = default 4)")
+	queue := flag.Int("queue", 64, "admission queue depth beyond the workers; 0 = no waiting room, shed immediately")
+	defaultDeadline := flag.Duration("default-deadline", 30*time.Second, "per-request deadline when the request sets none")
+	maxDeadline := flag.Duration("max-deadline", 2*time.Minute, "cap on any requested deadline_ms")
+	sweepWorkers := flag.Int("sweep-workers", 1, "parallel workers per sweep request")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on SIGTERM before forcing exit")
+	faultsSpec := flag.String("faults", "", "arm deterministic chaos faults (kind@site:params;... — see internal/faults)")
+	obsFlags := obs.BindFlags(flag.CommandLine)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		return fatal(tecerr.Newf(tecerr.CodeInvalidInput, "tecserve",
+			"tecserve: unexpected arguments %q", flag.Args()))
+	}
+
+	session, err := obsFlags.Start()
+	if err != nil {
+		return fatal(err)
+	}
+	defer func() {
+		if err := session.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "tecserve: obs shutdown: %v\n", err)
+		}
+	}()
+	// A service always has a live registry — /metrics must answer even
+	// when no observability flag was given. The flag bundle's registry
+	// wins when present (it carries the trace/log configuration).
+	reg := obs.Enabled()
+	if reg == nil {
+		reg = obs.New(nil)
+		obs.SetGlobal(reg)
+		defer obs.SetGlobal(nil)
+	}
+
+	if *faultsSpec != "" {
+		in, err := faults.ParseSpec(*faultsSpec)
+		if err != nil {
+			return fatal(err)
+		}
+		faults.Install(in)
+		fmt.Fprintf(os.Stderr, "tecserve: CHAOS MODE — fault injection armed: %s\n", *faultsSpec)
+	}
+
+	srv := serve.New(serve.Options{
+		Workers:         *workers,
+		Queue:           cliQueue(*queue),
+		DefaultDeadline: *defaultDeadline,
+		MaxDeadline:     *maxDeadline,
+		SweepWorkers:    *sweepWorkers,
+	})
+	obs.RegisterSnapshotHook(srv.PublishStats)
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", srv.Handler())
+	mux.Handle("/healthz", srv.Handler())
+	mux.Handle("/metrics", obs.Handler(reg))
+	mux.Handle("/debug/", obs.DebugMux(reg))
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fatal(tecerr.Wrapf(tecerr.CodeUnavailable, "tecserve", err,
+			"tecserve: listen on %s", *addr))
+	}
+	// The smoke tests and operators parse this line; keep it stable.
+	fmt.Printf("tecserve: listening on http://%s\n", ln.Addr())
+
+	httpServer := &http.Server{Handler: mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpServer.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "tecserve: %v — draining (timeout %s)\n", sig, *drainTimeout)
+	case err := <-serveErr:
+		return fatal(tecerr.Wrapf(tecerr.CodeUnavailable, "tecserve", err, "tecserve: serve"))
+	}
+
+	// Drain state machine: refuse new work (503) while in-flight
+	// requests finish, bounded by -drain-timeout; only then close the
+	// listener.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	drainErr := srv.Drain(ctx)
+	cancel()
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 2*time.Second)
+	if err := httpServer.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "tecserve: shutdown: %v\n", err)
+	}
+	shutCancel()
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "tecserve: serve: %v\n", err)
+	}
+	if drainErr != nil {
+		fmt.Fprintf(os.Stderr, "tecserve: drain forced: %v\n", drainErr)
+		return tecerr.ExitCode(drainErr)
+	}
+	fmt.Fprintln(os.Stderr, "tecserve: drained cleanly")
+	return 0
+}
+
+// cliQueue maps the flag convention (0 = no waiting room) onto the
+// Options convention (negative = none, 0 = default).
+func cliQueue(q int) int {
+	if q == 0 {
+		return -1
+	}
+	return q
+}
+
+func fatal(err error) int {
+	fmt.Fprintln(os.Stderr, err)
+	return tecerr.ExitCode(err)
+}

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"context"
 	"strconv"
+	"strings"
 	"sync"
 
 	"tecopt/internal/num"
@@ -26,26 +27,38 @@ type Key struct {
 	Current float64
 }
 
-// Cache is a bounded, concurrency-safe LRU keyed by Key, generic over
-// the cached value — banded Cholesky factorizations for the per-current
-// direct path, whole ReusableSystem fast-path states for the SMW path.
-// A failed build (e.g. not positive definite at or beyond the runaway
-// limit) is cached too: the value for a given key is deterministic, so
-// the binary search's repeated probes of an infeasible current need not
+// KeyedCache is a bounded, concurrency-safe LRU generic over both the
+// key and the cached value. It is the machinery beneath Cache (keyed by
+// the solver's (generation, current) Key) and beneath the serving
+// layer's content-hash-keyed system cache, where the key is a string. A
+// failed build is cached too: the value for a given key is
+// deterministic, so repeated requests for an infeasible input need not
 // rebuild to refail.
 //
 // Concurrent requests for the same key are deduplicated: one goroutine
 // builds, the rest block on the entry's sync.Once and share the result.
-// Cache must not be copied after first use.
-type Cache[V any] struct {
-	name string // metrics namespace: "engine.<name>.*"
+// A KeyedCache must not be copied after first use.
+type KeyedCache[K comparable, V any] struct {
+	metric string // metrics namespace, e.g. "engine.factor_cache"
+	// flight renders a key as its flight-recorder event value and
+	// attributes; nil suppresses the hit/miss events.
+	flight func(K) (float64, []obs.Attr)
 
 	mu    sync.Mutex
 	cap   int
-	ll    *list.List // front = most recently used; elements hold *entry[V]
-	items map[Key]*list.Element
+	ll    *list.List // front = most recently used; elements hold *entry[K, V]
+	items map[K]*list.Element
 
 	hits, misses, evictions uint64
+}
+
+// Cache is the solver-side LRU keyed by Key — banded Cholesky
+// factorizations for the per-current direct path, whole ReusableSystem
+// fast-path states for the SMW path. It is a KeyedCache plus the
+// Key-specific contract: Do/DoCtx reject non-finite currents with a
+// tecerr.CodeInvalidInput error before touching the cache.
+type Cache[V any] struct {
+	KeyedCache[Key, V]
 }
 
 // FactorCache is the cache of banded Cholesky factorizations behind the
@@ -64,8 +77,8 @@ type CacheStats struct {
 // entry is one cache slot. val and err are written exactly once, inside
 // once; readers always go through once.Do so the happens-before edge is
 // the Once itself, not the cache lock.
-type entry[V any] struct {
-	key  Key
+type entry[K comparable, V any] struct {
+	key  K
 	once sync.Once
 	val  V
 	err  error
@@ -78,19 +91,41 @@ type entry[V any] struct {
 // megabytes.
 const DefaultCacheCapacity = 32
 
-// NewCache creates a cache holding at most capacity values
-// (capacity <= 0 selects DefaultCacheCapacity). name scopes the metric
-// names to "engine.<name>.*".
-func NewCache[V any](name string, capacity int) *Cache[V] {
+// init sets up the embedded machinery. A name with no dot is scoped
+// under "engine." (the historical metric names); a dotted name is used
+// verbatim, so other layers (tecserve) can cache under their own
+// namespace.
+func (c *KeyedCache[K, V]) init(name string, capacity int) {
 	if capacity <= 0 {
 		capacity = DefaultCacheCapacity
 	}
-	return &Cache[V]{
-		name:  name,
-		cap:   capacity,
-		ll:    list.New(),
-		items: make(map[Key]*list.Element, capacity),
+	c.metric = name
+	if !strings.Contains(name, ".") {
+		c.metric = "engine." + name
 	}
+	c.cap = capacity
+	c.ll = list.New()
+	c.items = make(map[K]*list.Element, capacity)
+}
+
+// NewKeyedCache creates a cache holding at most capacity values
+// (capacity <= 0 selects DefaultCacheCapacity). A dotted name is the
+// metric namespace verbatim; an undotted one reports under
+// "engine.<name>.*".
+func NewKeyedCache[K comparable, V any](name string, capacity int) *KeyedCache[K, V] {
+	c := &KeyedCache[K, V]{}
+	c.init(name, capacity)
+	return c
+}
+
+// NewCache creates a Key-addressed cache holding at most capacity
+// values (capacity <= 0 selects DefaultCacheCapacity). name scopes the
+// metric names to "engine.<name>.*".
+func NewCache[V any](name string, capacity int) *Cache[V] {
+	c := &Cache[V]{}
+	c.init(name, capacity)
+	c.flight = cacheFlight
+	return c
 }
 
 // NewFactorCache creates a factorization cache holding at most capacity
@@ -106,41 +141,52 @@ func NewFactorCache(capacity int) *FactorCache {
 // one build. A non-finite current is rejected with a
 // tecerr.CodeInvalidInput error before touching the cache. When
 // observability is enabled the cache reports hits/misses/evictions and
-// the build latency under "engine.<name>.*".
+// the build latency under its metric namespace.
 func (c *Cache[V]) Do(k Key, build func() (V, error)) (V, error) {
 	return c.DoCtx(context.Background(), k, build)
 }
 
 // DoCtx is Do linked into the flight recorder: when hierarchical
-// tracing is on, every lookup emits an "engine.<name>.hit" or
-// "engine.<name>.miss" event parented to the context span, carrying
-// the cache generation and current as attributes — so a solve's trace
-// records whether its factorization was resident. With the recorder
-// off it is exactly Do (the events are suppressed to keep flat traces
-// byte-compatible).
+// tracing is on, every lookup emits a ".hit" or ".miss" event parented
+// to the context span, carrying the cache generation and current as
+// attributes — so a solve's trace records whether its factorization was
+// resident. With the recorder off it is exactly Do (the events are
+// suppressed to keep flat traces byte-compatible).
 func (c *Cache[V]) DoCtx(ctx context.Context, k Key, build func() (V, error)) (V, error) {
 	if !num.IsFinite(k.Current) {
 		var zero V
 		return zero, tecerr.Newf(tecerr.CodeInvalidInput, "engine.cache",
 			"engine: non-finite current %g in cache key", k.Current)
 	}
+	return c.KeyedCache.DoCtx(ctx, k, build)
+}
+
+// Do is DoCtx without a flight-recorder context.
+func (c *KeyedCache[K, V]) Do(k K, build func() (V, error)) (V, error) {
+	return c.DoCtx(context.Background(), k, build)
+}
+
+// DoCtx returns the value for k, building it with build on the first
+// request; see Cache.DoCtx for the caching and observability contract.
+func (c *KeyedCache[K, V]) DoCtx(ctx context.Context, k K, build func() (V, error)) (V, error) {
 	r := obs.Enabled()
 	c.mu.Lock()
 	if el, ok := c.items[k]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
-		e := el.Value.(*entry[V])
+		e := el.Value.(*entry[K, V])
 		c.mu.Unlock()
 		if r != nil {
-			r.Counter("engine." + c.name + ".hits").Inc()
-			if r.FlightOn() {
-				r.EventCtx(ctx, "engine."+c.name+".hit", k.Current, cacheAttrs(k)...)
+			r.Counter(c.metric + ".hits").Inc()
+			if r.FlightOn() && c.flight != nil {
+				v, attrs := c.flight(k)
+				r.EventCtx(ctx, c.metric+".hit", v, attrs...)
 			}
 		}
 		e.once.Do(func() { e.val, e.err = build() }) // waits if mid-build
 		return e.val, e.err
 	}
-	e := &entry[V]{key: k}
+	e := &entry[K, V]{key: k}
 	el := c.ll.PushFront(e)
 	c.items[k] = el
 	c.misses++
@@ -148,7 +194,7 @@ func (c *Cache[V]) DoCtx(ctx context.Context, k Key, build func() (V, error)) (V
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*entry[V]).key)
+		delete(c.items, oldest.Value.(*entry[K, V]).key)
 		c.evictions++
 		evicted++
 	}
@@ -156,17 +202,18 @@ func (c *Cache[V]) DoCtx(ctx context.Context, k Key, build func() (V, error)) (V
 	c.mu.Unlock()
 
 	if r != nil {
-		r.Counter("engine." + c.name + ".misses").Inc()
-		if r.FlightOn() {
-			r.EventCtx(ctx, "engine."+c.name+".miss", k.Current, cacheAttrs(k)...)
+		r.Counter(c.metric + ".misses").Inc()
+		if r.FlightOn() && c.flight != nil {
+			v, attrs := c.flight(k)
+			r.EventCtx(ctx, c.metric+".miss", v, attrs...)
 		}
 		if evicted > 0 {
-			r.Counter("engine." + c.name + ".evictions").Add(evicted)
+			r.Counter(c.metric + ".evictions").Add(evicted)
 		}
-		r.Gauge("engine." + c.name + ".len").Set(int64(resident))
+		r.Gauge(c.metric + ".len").Set(int64(resident))
 		start := r.Now()
 		e.once.Do(func() { e.val, e.err = build() })
-		r.Histogram("engine." + c.name + ".build_ns").Observe(clampNS(r.Now() - start))
+		r.Histogram(c.metric + ".build_ns").Observe(clampNS(r.Now() - start))
 		return e.val, e.err
 	}
 	e.once.Do(func() { e.val, e.err = build() })
@@ -174,7 +221,7 @@ func (c *Cache[V]) DoCtx(ctx context.Context, k Key, build func() (V, error)) (V
 }
 
 // Len reports the number of resident entries.
-func (c *Cache[V]) Len() int {
+func (c *KeyedCache[K, V]) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
@@ -182,7 +229,7 @@ func (c *Cache[V]) Len() int {
 
 // Stats reports the cumulative hit/miss/eviction counters and the
 // resident entry count. Safe to call concurrently with Do.
-func (c *Cache[V]) Stats() CacheStats {
+func (c *KeyedCache[K, V]) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Len: c.ll.Len()}
@@ -192,42 +239,43 @@ func (c *Cache[V]) Stats() CacheStats {
 // the benchmark hook for measuring one phase of a longer run. Safe to
 // call concurrently with Do; in-flight operations are attributed to
 // whichever side of the reset their counter increment lands on.
-func (c *Cache[V]) ResetStats() {
+func (c *KeyedCache[K, V]) ResetStats() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.hits, c.misses, c.evictions = 0, 0, 0
 }
 
 // Reset drops every entry and zeroes the counters (test hook).
-func (c *Cache[V]) Reset() {
+func (c *KeyedCache[K, V]) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.ll.Init()
-	c.items = make(map[Key]*list.Element, c.cap)
+	c.items = make(map[K]*list.Element, c.cap)
 	c.hits, c.misses, c.evictions = 0, 0, 0
 }
 
 // PublishStats copies the current counters into registry r as
-// "engine.<name>.{hits,misses,evictions,len}" so a snapshot taken at
-// exit reflects the cache even if parts of the run executed before
+// "<metric>.{hits,misses,evictions,len}" so a snapshot taken at exit
+// reflects the cache even if parts of the run executed before
 // observability was enabled. Callers register it as a snapshot hook:
 // obs.RegisterSnapshotHook(cache.PublishStats).
-func (c *Cache[V]) PublishStats(r *obs.Registry) {
+func (c *KeyedCache[K, V]) PublishStats(r *obs.Registry) {
 	if r == nil {
 		return
 	}
 	st := c.Stats()
 	// Counters are monotonic: top them up to the locked-in totals
 	// rather than double-adding.
-	topUp(r.Counter("engine."+c.name+".hits"), st.Hits)
-	topUp(r.Counter("engine."+c.name+".misses"), st.Misses)
-	topUp(r.Counter("engine."+c.name+".evictions"), st.Evictions)
-	r.Gauge("engine." + c.name + ".len").Set(int64(st.Len))
+	topUp(r.Counter(c.metric+".hits"), st.Hits)
+	topUp(r.Counter(c.metric+".misses"), st.Misses)
+	topUp(r.Counter(c.metric+".evictions"), st.Evictions)
+	r.Gauge(c.metric + ".len").Set(int64(st.Len))
 }
 
-// cacheAttrs renders a cache key as flight-recorder event attributes.
-func cacheAttrs(k Key) []obs.Attr {
-	return []obs.Attr{
+// cacheFlight renders a solver cache key as its flight-recorder event
+// value (the current) and attributes.
+func cacheFlight(k Key) (float64, []obs.Attr) {
+	return k.Current, []obs.Attr{
 		{Key: "gen", Value: strconv.FormatUint(k.Gen, 10)},
 		{Key: "current", Value: strconv.FormatFloat(k.Current, 'g', -1, 64)},
 	}

@@ -1,0 +1,185 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"tecopt/internal/tecerr"
+)
+
+// TestGateAdmitsUpToWorkers checks the concurrency bound: W slots
+// admit immediately, the W+1st waits, and beyond the queue cap the
+// gate sheds with CodeOverload.
+func TestGateAdmitsUpToWorkers(t *testing.T) {
+	g := NewGate("test.gate", 2, 1)
+	ctx := context.Background()
+
+	rel1, err := g.Acquire(ctx)
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	rel2, err := g.Acquire(ctx)
+	if err != nil {
+		t.Fatalf("second acquire: %v", err)
+	}
+	if got := g.Inflight(); got != 2 {
+		t.Fatalf("inflight = %d, want 2", got)
+	}
+
+	// Third caller queues (cap 1). Run it in a goroutine; it must be
+	// granted once a slot frees.
+	granted := make(chan error, 1)
+	go func() {
+		rel, err := g.Acquire(ctx)
+		if err == nil {
+			defer rel()
+		}
+		granted <- err
+	}()
+	// Wait for it to be queued so the fourth caller overflows.
+	for i := 0; g.Queued() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if g.Queued() != 1 {
+		t.Fatalf("queued = %d, want 1", g.Queued())
+	}
+
+	// Fourth caller: queue full, shed immediately.
+	if _, err := g.Acquire(ctx); !errors.Is(err, tecerr.ErrOverload) {
+		t.Fatalf("overflow acquire error = %v, want CodeOverload", err)
+	}
+
+	rel1()
+	if err := <-granted; err != nil {
+		t.Fatalf("queued acquire after release: %v", err)
+	}
+	rel2()
+}
+
+// TestGateAcquireCancelledWhileQueued checks that a caller abandoned
+// by its context while waiting gets a CodeCancelled error and frees
+// its queue slot.
+func TestGateAcquireCancelledWhileQueued(t *testing.T) {
+	g := NewGate("test.gate", 1, 4)
+	rel, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	defer rel()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Acquire(ctx)
+		done <- err
+	}()
+	for i := 0; g.Queued() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, tecerr.ErrCancelled) {
+		t.Fatalf("cancelled acquire error = %v, want CodeCancelled", err)
+	}
+	if g.Queued() != 0 {
+		t.Fatalf("queued = %d after abandonment, want 0", g.Queued())
+	}
+}
+
+// TestGateDrain checks the shutdown path: Drain returns once every
+// in-flight holder releases, and reports CodeCancelled when the drain
+// deadline expires with work still running.
+func TestGateDrain(t *testing.T) {
+	g := NewGate("test.gate", 3, 0)
+	var rels []func()
+	for i := 0; i < 3; i++ {
+		rel, err := g.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		rels = append(rels, rel)
+	}
+
+	// Deadline expires first: drain must fail cancelled.
+	expired, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if err := g.Drain(expired); !errors.Is(err, tecerr.ErrCancelled) {
+		t.Fatalf("drain with work in flight = %v, want CodeCancelled", err)
+	}
+
+	// Release everything concurrently; drain must complete.
+	var wg sync.WaitGroup
+	for _, rel := range rels {
+		wg.Add(1)
+		go func(rel func()) { defer wg.Done(); rel() }(rel)
+	}
+	drained := make(chan error, 1)
+	go func() { drained <- g.Drain(context.Background()) }()
+	wg.Wait()
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatalf("drain after release: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain did not complete after all releases")
+	}
+	if g.Inflight() != 0 {
+		t.Fatalf("inflight = %d after drain, want 0", g.Inflight())
+	}
+}
+
+// TestGateConcurrentLoad hammers the gate from many goroutines under
+// the race detector: the concurrency bound must never be exceeded and
+// every admit must be released.
+func TestGateConcurrentLoad(t *testing.T) {
+	const workers, queue, callers = 4, 8, 64
+	g := NewGate("test.gate", workers, queue)
+	var peak atomic64Max
+	var admitted sync.WaitGroup
+	admitted.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func() {
+			defer admitted.Done()
+			rel, err := g.Acquire(context.Background())
+			if err != nil {
+				if !errors.Is(err, tecerr.ErrOverload) {
+					t.Errorf("unexpected acquire error: %v", err)
+				}
+				return
+			}
+			peak.observe(int64(g.Inflight()))
+			time.Sleep(time.Millisecond)
+			rel()
+		}()
+	}
+	admitted.Wait()
+	if p := peak.load(); p > workers {
+		t.Fatalf("observed %d concurrent holders, bound is %d", p, workers)
+	}
+	if err := g.Drain(context.Background()); err != nil {
+		t.Fatalf("drain after load: %v", err)
+	}
+}
+
+// atomic64Max tracks a maximum across goroutines.
+type atomic64Max struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (m *atomic64Max) observe(v int64) {
+	m.mu.Lock()
+	if v > m.v {
+		m.v = v
+	}
+	m.mu.Unlock()
+}
+
+func (m *atomic64Max) load() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.v
+}

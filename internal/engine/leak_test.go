@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tecopt/internal/tecerr"
+)
+
+// TestMapTasksCtxNoGoroutineLeakOnCancel is the server's per-request
+// cancellation guard: a pool map cancelled mid-flight must not strand
+// worker goroutines. A long-running service calls MapTasksCtx once per
+// request; a single leaked worker per cancelled request would grow
+// without bound. The test parks tasks on a channel, cancels the map,
+// releases the tasks, and requires the goroutine count to return to
+// its pre-map baseline.
+func TestMapTasksCtxNoGoroutineLeakOnCancel(t *testing.T) {
+	const tasks, workers = 64, 8
+	baseline := stableGoroutines(t)
+
+	for round := 0; round < 4; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		release := make(chan struct{})
+		var started atomic.Int64
+		done := make(chan error, 1)
+		go func() {
+			done <- Pool{Workers: workers}.MapTasksCtx(ctx, tasks, func(tctx context.Context, i int) error {
+				started.Add(1)
+				<-release // park: the map cannot finish until released
+				return nil
+			})
+		}()
+
+		// Wait until every worker is parked inside a task, then cancel:
+		// this is mid-flight cancellation, not pre-start.
+		for i := 0; started.Load() < workers && i < 5000; i++ {
+			time.Sleep(100 * time.Microsecond)
+		}
+		cancel()
+		close(release)
+
+		err := <-done
+		if !errors.Is(err, tecerr.ErrCancelled) {
+			t.Fatalf("round %d: MapTasksCtx = %v, want CodeCancelled", round, err)
+		}
+	}
+
+	// Workers must unwind completely: the count returns to baseline
+	// (with slack for runtime housekeeping goroutines).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		now := runtime.NumGoroutine()
+		if now <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, now)
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// stableGoroutines samples the goroutine count after letting any
+// stragglers from other tests unwind.
+func stableGoroutines(t *testing.T) int {
+	t.Helper()
+	prev := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		time.Sleep(2 * time.Millisecond)
+		now := runtime.NumGoroutine()
+		if now == prev {
+			return now
+		}
+		prev = now
+	}
+	return prev
+}

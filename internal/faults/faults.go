@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+	"time"
 
 	"tecopt/internal/tecerr"
 )
@@ -50,6 +51,15 @@ const (
 	// every Sherman-Morrison-Woodbury correction, so chaos tests can
 	// force the guard to trip and exercise the guarded-chain fallback.
 	SiteSMWGuard = "sparse.smw.guard"
+	// SiteServeAdmit fires as the serving layer (tecserve) classifies a
+	// request, before admission control — faults here exercise the
+	// reject-early paths (shed, unavailable, malformed).
+	SiteServeAdmit = "serve.admit"
+	// SiteServeHandle fires inside a serving-layer worker as an admitted
+	// request starts executing — faults here (panics, typed errors,
+	// injected latency) exercise per-request isolation and the
+	// status-code mapping with the request already holding a slot.
+	SiteServeHandle = "serve.handle"
 )
 
 // ErrInjected is the cause wrapped by every injected error, so tests
@@ -75,6 +85,11 @@ const (
 	// KindPerturb makes Float64 scale its value by (1 + Scale*u) with a
 	// deterministic u in [-1, 1), and Perturb do the same elementwise.
 	KindPerturb
+	// KindSleep makes Check block for Rule.Sleep before returning nil —
+	// injected latency, the service-layer chaos primitive that turns a
+	// fast handler into a slow one so backpressure, deadline, and drain
+	// paths can be exercised deterministically.
+	KindSleep
 )
 
 // Rule arms one fault at one site. Exactly one of the firing selectors
@@ -87,9 +102,10 @@ type Rule struct {
 	OnHit uint64  // fire on this 1-based hit only
 	Every uint64  // fire on every Every-th hit
 	Prob  float64 // fire each hit with this probability (seed-keyed)
-	Err   error   // KindError payload; nil uses a generic injected error
-	Scale float64 // KindPerturb relative amplitude
-	Call  func()  // KindCall payload
+	Err   error         // KindError payload; nil uses a generic injected error
+	Scale float64       // KindPerturb relative amplitude
+	Call  func()        // KindCall payload
+	Sleep time.Duration // KindSleep latency
 }
 
 // armed is a Rule plus its runtime counters.
@@ -182,7 +198,7 @@ func Check(site string) error {
 	}
 	for _, a := range in.rules[site] {
 		switch a.Kind {
-		case KindError, KindPanic, KindCall:
+		case KindError, KindPanic, KindCall, KindSleep:
 		default:
 			continue
 		}
@@ -197,6 +213,8 @@ func Check(site string) error {
 			if a.Call != nil {
 				a.Call()
 			}
+		case KindSleep:
+			time.Sleep(a.Sleep)
 		default:
 			if a.Err != nil {
 				return a.Err

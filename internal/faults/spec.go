@@ -1,0 +1,184 @@
+package faults
+
+import (
+	"strconv"
+	"strings"
+	"time"
+
+	"tecopt/internal/tecerr"
+)
+
+// ParseSpec builds an injector from a compact textual rule list, the
+// syntax behind tecserve's -faults flag (service-layer chaos without
+// recompiling):
+//
+//	spec  := [ "seed=" N ";" ] rule { ";" rule }
+//	rule  := kind "@" site [ ":" param { "," param } ]
+//	kind  := "error" | "panic" | "nan" | "posinf" | "perturb" | "sleep"
+//	param := "onhit=" N | "every=" N | "prob=" F
+//	       | "scale=" F | "ms=" N | "code=" NAME
+//
+// Sites are the Site* constants ("serve.handle", "sparse.cg.residual",
+// ...). "code" names a tecerr code ("not_pd", "diverged", ...) and
+// turns an error rule into that class, so a chaos run can prove each
+// failure class maps to its contracted HTTP status. "ms" is the
+// KindSleep latency in milliseconds. With no selector param the rule
+// fires on every hit. Examples:
+//
+//	-faults 'panic@serve.handle:onhit=3'
+//	-faults 'seed=7;error@serve.handle:prob=0.2,code=diverged;sleep@serve.handle:every=5,ms=50'
+//
+// KindCall rules are not expressible — they carry a func payload.
+func ParseSpec(spec string) (*Injector, error) {
+	var seed int64
+	parts := splitNonEmpty(spec, ";")
+	if len(parts) == 0 {
+		return nil, tecerr.New(tecerr.CodeInvalidInput, "faults.spec", "faults: empty fault spec")
+	}
+	if strings.HasPrefix(parts[0], "seed=") {
+		n, err := strconv.ParseInt(strings.TrimPrefix(parts[0], "seed="), 10, 64)
+		if err != nil {
+			return nil, tecerr.Newf(tecerr.CodeInvalidInput, "faults.spec",
+				"faults: bad seed in %q: %v", parts[0], err)
+		}
+		seed = n
+		parts = parts[1:]
+	}
+	if len(parts) == 0 {
+		return nil, tecerr.New(tecerr.CodeInvalidInput, "faults.spec", "faults: spec has a seed but no rules")
+	}
+	in := New(seed)
+	for _, p := range parts {
+		r, err := parseRule(p)
+		if err != nil {
+			return nil, err
+		}
+		in.Arm(r)
+	}
+	return in, nil
+}
+
+// parseRule parses one kind@site:params clause.
+func parseRule(s string) (Rule, error) {
+	head, params, _ := strings.Cut(s, ":")
+	kindName, site, ok := strings.Cut(head, "@")
+	if !ok || site == "" {
+		return Rule{}, tecerr.Newf(tecerr.CodeInvalidInput, "faults.spec",
+			"faults: rule %q is not kind@site", s)
+	}
+	var r Rule
+	r.Site = site
+	switch kindName {
+	case "error":
+		r.Kind = KindError
+	case "panic":
+		r.Kind = KindPanic
+	case "nan":
+		r.Kind = KindNaN
+	case "posinf":
+		r.Kind = KindPosInf
+	case "perturb":
+		r.Kind = KindPerturb
+	case "sleep":
+		r.Kind = KindSleep
+	default:
+		return Rule{}, tecerr.Newf(tecerr.CodeInvalidInput, "faults.spec",
+			"faults: unknown kind %q in rule %q (want error, panic, nan, posinf, perturb or sleep)", kindName, s)
+	}
+	selectors := 0
+	for _, p := range splitNonEmpty(params, ",") {
+		key, val, ok := strings.Cut(p, "=")
+		if !ok {
+			return Rule{}, tecerr.Newf(tecerr.CodeInvalidInput, "faults.spec",
+				"faults: bad param %q in rule %q", p, s)
+		}
+		switch key {
+		case "onhit":
+			n, err := parseUint(val)
+			if err != nil {
+				return Rule{}, badParam(s, p, err)
+			}
+			r.OnHit = n
+			selectors++
+		case "every":
+			n, err := parseUint(val)
+			if err != nil {
+				return Rule{}, badParam(s, p, err)
+			}
+			r.Every = n
+			selectors++
+		case "prob":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f <= 0 || f > 1 {
+				return Rule{}, tecerr.Newf(tecerr.CodeInvalidInput, "faults.spec",
+					"faults: prob %q in rule %q must be in (0, 1]", val, s)
+			}
+			r.Prob = f
+			selectors++
+		case "scale":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Rule{}, badParam(s, p, err)
+			}
+			r.Scale = f
+		case "ms":
+			n, err := parseUint(val)
+			if err != nil {
+				return Rule{}, badParam(s, p, err)
+			}
+			r.Sleep = time.Duration(n) * time.Millisecond
+		case "code":
+			code, ok := codeByName(val)
+			if !ok {
+				return Rule{}, tecerr.Newf(tecerr.CodeInvalidInput, "faults.spec",
+					"faults: unknown tecerr code %q in rule %q", val, s)
+			}
+			r.Err = tecerr.Wrapf(code, "faults", ErrInjected,
+				"faults: injected %s error at %s", val, site)
+		default:
+			return Rule{}, tecerr.Newf(tecerr.CodeInvalidInput, "faults.spec",
+				"faults: unknown param %q in rule %q", key, s)
+		}
+	}
+	if selectors > 1 {
+		return Rule{}, tecerr.Newf(tecerr.CodeInvalidInput, "faults.spec",
+			"faults: rule %q sets more than one of onhit/every/prob", s)
+	}
+	return r, nil
+}
+
+// codeByName resolves a tecerr code's String() name. The scan is
+// bounded by the first unnamed code, so it tracks the enum without a
+// parallel table here.
+func codeByName(name string) (tecerr.Code, bool) {
+	for c := tecerr.Code(0); ; c++ {
+		s := c.String()
+		if strings.HasPrefix(s, "Code(") {
+			return 0, false
+		}
+		if s == name {
+			return c, true
+		}
+	}
+}
+
+func parseUint(s string) (uint64, error) {
+	return strconv.ParseUint(s, 10, 64)
+}
+
+func badParam(rule, param string, err error) error {
+	return tecerr.Newf(tecerr.CodeInvalidInput, "faults.spec",
+		"faults: bad param %q in rule %q: %v", param, rule, err)
+}
+
+// splitNonEmpty splits s on sep, dropping empty and whitespace-only
+// segments ("" splits to nothing, not [""]).
+func splitNonEmpty(s, sep string) []string {
+	var out []string
+	for _, p := range strings.Split(s, sep) {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // TraceEvent is one record of the trace stream, serialized as a JSON
@@ -72,6 +73,21 @@ func TrackFromContext(ctx context.Context) int64 {
 	}
 	t, _ := ctx.Value(trackKey{}).(int64)
 	return t
+}
+
+// requestTracks feeds NextRequestTrack; see below for the numbering.
+var requestTracks atomic.Int64
+
+// NextRequestTrack allocates a process-unique flight-recorder track for
+// one served request, so a server can give every request its own lane
+// in the Perfetto view without coordinating IDs. Request tracks count
+// down from -1: engine pool workers own the small positive tracks
+// (1..W) and 0 is the main goroutine, so negatives can never collide
+// with either. Use with ContextWithTrack:
+//
+//	ctx = obs.ContextWithTrack(ctx, obs.NextRequestTrack())
+func NextRequestTrack() int64 {
+	return -requestTracks.Add(1)
 }
 
 // defaultTraceCap bounds the in-memory trace buffer. A Table I run

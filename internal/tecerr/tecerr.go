@@ -48,6 +48,20 @@ const (
 	// CodePanic marks a panic recovered inside a worker and converted to
 	// an error instead of crashing the process.
 	CodePanic
+	// CodeOverload marks work rejected by admission control: a bounded
+	// queue was full and the request was shed rather than accepted into
+	// an ever-growing backlog. The work never ran; retrying later is
+	// legitimate.
+	CodeOverload
+	// CodeUnavailable marks work refused because the serving process is
+	// shutting down (draining) or otherwise not accepting requests.
+	CodeUnavailable
+
+	// numCodes counts the codes above. New codes MUST be added above
+	// this line so the exhaustive-mapping tests (String, ExitCode,
+	// HTTPStatus) iterate them automatically — an unmapped code fails
+	// TestCodeMappingsExhaustive the moment it exists.
+	numCodes
 )
 
 // String returns the code's stable lowercase name.
@@ -67,6 +81,10 @@ func (c Code) String() string {
 		return "degraded"
 	case CodePanic:
 		return "panic"
+	case CodeOverload:
+		return "overload"
+	case CodeUnavailable:
+		return "unavailable"
 	default:
 		return fmt.Sprintf("Code(%d)", int(c))
 	}
@@ -90,6 +108,8 @@ var (
 	ErrCancelled    error = sentinel{CodeCancelled}
 	ErrDegraded     error = sentinel{CodeDegraded}
 	ErrPanic        error = sentinel{CodePanic}
+	ErrOverload     error = sentinel{CodeOverload}
+	ErrUnavailable  error = sentinel{CodeUnavailable}
 )
 
 // Error is a classified solver error. Msg carries the complete
@@ -192,6 +212,33 @@ func CodeOf(err error) Code {
 	return CodeInternal
 }
 
+// exitStatus is the one-per-code process exit table. ok is false for a
+// code the table does not know, which the exhaustive-mapping test turns
+// into a failure the moment a new code is added unmapped.
+func (c Code) exitStatus() (status int, ok bool) {
+	switch c {
+	case CodeInternal:
+		return 1, true
+	case CodeInvalidInput:
+		return 2, true
+	case CodeNotPD:
+		return 3, true
+	case CodeDiverged:
+		return 4, true
+	case CodeCancelled:
+		return 5, true
+	case CodeDegraded:
+		return 6, true
+	case CodePanic:
+		return 7, true
+	case CodeOverload:
+		return 8, true
+	case CodeUnavailable:
+		return 9, true
+	}
+	return 1, false
+}
+
 // ExitCode maps an error to a process exit status, one per code, so
 // scripts driving the CLIs can distinguish "bad input" from "beyond the
 // runaway limit" from "timed out". nil maps to 0 and unclassified
@@ -200,20 +247,6 @@ func ExitCode(err error) int {
 	if err == nil {
 		return 0
 	}
-	switch CodeOf(err) {
-	case CodeInvalidInput:
-		return 2
-	case CodeNotPD:
-		return 3
-	case CodeDiverged:
-		return 4
-	case CodeCancelled:
-		return 5
-	case CodeDegraded:
-		return 6
-	case CodePanic:
-		return 7
-	default:
-		return 1
-	}
+	status, _ := CodeOf(err).exitStatus()
+	return status
 }
