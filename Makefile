@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race race-engine chaos serve-chaos serve-smoke bench-serve vet lint lint-json lint-fixtures bench-json bench-gate fuzz-smoke obs-overhead trace-golden check
+.PHONY: all build test race race-engine chaos serve-chaos serve-smoke bench-serve vet lint lint-json lint-sarif lint-fixtures bench-json bench-gate fuzz-smoke obs-overhead trace-golden check
 
 all: check
 
@@ -34,10 +34,12 @@ chaos:
 # worker panics, injected latency) driven through the live tecserve
 # HTTP pipeline under the race detector, asserting the status-code
 # contract, per-request isolation, backpressure, deadline partial
-# flush, and the drain state machine. -count=1: the fault injector is
-# process-global state the test cache cannot see.
+# flush, and the drain state machine, plus the gate drain-vs-acquire
+# stress in the engine. -count=1: the fault injector is process-global
+# state the test cache cannot see.
 serve-chaos:
 	$(GO) test -race -count=1 ./internal/serve/
+	$(GO) test -race -count=1 -run 'TestGateDrain' ./internal/engine/
 
 # Service smoke: build the real tecserve binary, drive every endpoint
 # over HTTP, force a 429 through a one-worker/no-queue configuration,
@@ -71,6 +73,13 @@ lint:
 lint-json:
 	$(GO) run ./cmd/teclint -json -baseline teclint.baseline.json ./... > teclint.json; \
 	status=$$?; cat teclint.json; exit $$status
+
+# SARIF 2.1.0 report for code-scanning UIs; CI uploads teclint.sarif
+# as an artifact alongside the JSON report. Same exit-code contract as
+# lint-json.
+lint-sarif:
+	$(GO) run ./cmd/teclint -format=sarif ./... > teclint.sarif; \
+	status=$$?; cat teclint.sarif; exit $$status
 
 # Fixture gate: lints the seeded-violation fixture packages and checks
 # the per-rule finding counts against the committed expectations. A

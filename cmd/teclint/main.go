@@ -16,6 +16,10 @@
 //
 //	-rules         list the analyzers and exit
 //	-json          emit findings as a JSON array instead of text
+//	-format FMT    output format: text (default), json, or sarif
+//	               (SARIF 2.1.0, the interchange format code-scanning
+//	               dashboards ingest; -json is shorthand for
+//	               -format=json)
 //	-baseline F    suppress findings recorded in the JSON baseline file F
 //	-parallel N    run analyzers over N packages concurrently
 //	               (0 = all cores, 1 = serial; output is identical)
@@ -66,6 +70,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	listRules := fs.Bool("rules", false, "list the analyzers and exit")
 	asJSON := fs.Bool("json", false, "emit findings as a JSON array")
+	format := fs.String("format", "", "output format: text, json, or sarif (-json is shorthand for -format=json)")
 	baselinePath := fs.String("baseline", "", "JSON baseline file of findings to suppress")
 	parallel := fs.Int("parallel", 0, "packages analyzed concurrently (0 = all cores, 1 = serial)")
 	withStats := fs.Bool("stats", false, "report per-analyzer wall time and finding counts")
@@ -80,6 +85,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	defer restoreLog()
+	outFormat := *format
+	if outFormat == "" {
+		outFormat = "text"
+		if *asJSON {
+			outFormat = "json"
+		}
+	}
+	switch outFormat {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(stderr, "teclint: unknown -format %q (want text, json, or sarif)\n", outFormat)
+		return 2
+	}
 	analyzers := lint.All()
 	if *listRules {
 		for _, a := range analyzers {
@@ -132,12 +150,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		diags = filterBaseline(diags, baseline)
 	}
 
-	if *asJSON {
+	switch outFormat {
+	case "json":
 		if err := writeJSON(stdout, diags, stats); err != nil {
 			fmt.Fprintln(stderr, "teclint:", err)
 			return tecerr.ExitCode(loadFailure("encoding json", err))
 		}
-	} else {
+	case "sarif":
+		if err := writeSARIF(stdout, diags, analyzers); err != nil {
+			fmt.Fprintln(stderr, "teclint:", err)
+			return tecerr.ExitCode(loadFailure("encoding sarif", err))
+		}
+		writeStatsTable(stderr, stats)
+	default:
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d.String())
 		}

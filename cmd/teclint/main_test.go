@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"tecopt/internal/lint"
 )
@@ -21,6 +22,7 @@ var update = flag.Bool("update", false, "rewrite golden files with current outpu
 var fixturePatterns = []string{
 	"internal/lint/testdata/badignore",
 	"internal/lint/testdata/cachegen",
+	"internal/lint/testdata/chanflow",
 	"internal/lint/testdata/ctxflow",
 	"internal/lint/testdata/dimflow",
 	"internal/lint/testdata/droppederr",
@@ -30,12 +32,16 @@ var fixturePatterns = []string{
 	"internal/lint/testdata/lockbalance",
 	"internal/lint/testdata/lockcopy",
 	"internal/lint/testdata/maporder",
+	"internal/lint/testdata/mutexblock",
 	"internal/lint/testdata/nanflow",
 	"internal/lint/testdata/obsclock",
+	"internal/lint/testdata/oncemisuse",
+	"internal/lint/testdata/spawnctx",
 	"internal/lint/testdata/testhelper",
 	"internal/lint/testdata/typederr",
 	"internal/lint/testdata/unitsanity",
 	"internal/lint/testdata/validatefirst",
+	"internal/lint/testdata/wgbalance",
 }
 
 // runAtRoot invokes the teclint driver from the module root and returns
@@ -159,6 +165,33 @@ func TestRepoLintsClean(t *testing.T) {
 	}
 }
 
+// lintWallBudget caps the whole-module serial sweep at twice the
+// 16-analyzer snapshot recorded in EXPERIMENTS.md (8.39 s on the
+// single-CPU reference container). The five concurrency analyzers and
+// their summary harvest ride the same CFG/dataflow machinery, so the
+// suite must not double the gate's cost; a regression here means an
+// analyzer went super-linear, not that the machine is slow — the
+// budget already assumes the slowest container measured.
+const lintWallBudget = 2 * 8390 * time.Millisecond // 2 x 8.39 s
+
+// TestLintWallTimeBudget times the full-repo serial sweep and fails if
+// it blows the 2x budget over the 16-analyzer snapshot.
+func TestLintWallTimeBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing gate skipped in -short mode")
+	}
+	start := time.Now()
+	code, stdout, stderr := runAtRoot(t, []string{"-parallel", "1", "./..."})
+	elapsed := time.Since(start)
+	if code != 0 {
+		t.Fatalf("repo sweep failed (exit %d):\n%s%s", code, stdout, stderr)
+	}
+	if elapsed > lintWallBudget {
+		t.Errorf("serial whole-module lint took %v, budget %v (2x the 16-analyzer snapshot)", elapsed.Round(time.Millisecond), lintWallBudget)
+	}
+	t.Logf("serial whole-module lint: %v (budget %v)", elapsed.Round(time.Millisecond), lintWallBudget)
+}
+
 // TestJSONGolden pins the -json stream for the fixture packages: a
 // sorted, indented array in the documented Finding shape. Run with
 // -update to regenerate testdata/golden.json.
@@ -184,6 +217,122 @@ func TestJSONGolden(t *testing.T) {
 	}
 	if stdout != string(golden) {
 		t.Errorf("-json output differs from golden file\n--- got ---\n%s--- want ---\n%s", stdout, golden)
+	}
+}
+
+// TestSARIFGolden pins the -format=sarif stream byte-for-byte: the
+// SARIF 2.1.0 envelope, the rule catalog, and one result per finding
+// in the same order as the text output. Run with -update to regenerate
+// testdata/golden.sarif.
+func TestSARIFGolden(t *testing.T) {
+	goldenPath, err := filepath.Abs(filepath.Join("testdata", "golden.sarif"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := runAtRoot(t, append([]string{"-format", "sarif"}, fixturePatterns...))
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr:\n%s", code, stderr)
+	}
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(stdout), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden file (run with -update to create): %v", err)
+	}
+	if stdout != string(golden) {
+		t.Errorf("-format=sarif output differs from golden file\n--- got ---\n%s--- want ---\n%s", stdout, golden)
+	}
+}
+
+// TestSARIFShape decodes the SARIF stream and checks the envelope
+// invariants: version 2.1.0, every result's ruleId resolves through
+// ruleIndex into the rule catalog, locations carry slash-separated
+// relative URIs, and the result count matches the text output.
+func TestSARIFShape(t *testing.T) {
+	_, sarifOut, _ := runAtRoot(t, append([]string{"-format", "sarif"}, fixturePatterns...))
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(sarifOut), &log); err != nil {
+		t.Fatalf("-format=sarif output does not decode: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "teclint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	for _, a := range lint.All() {
+		found := false
+		for _, r := range run.Tool.Driver.Rules {
+			if r.ID == a.Name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("rule catalog missing analyzer %s", a.Name)
+		}
+	}
+	_, textOut, _ := runAtRoot(t, fixturePatterns)
+	textLines := strings.Split(strings.TrimRight(textOut, "\n"), "\n")
+	if len(run.Results) != len(textLines) {
+		t.Fatalf("SARIF has %d results, text has %d findings", len(run.Results), len(textLines))
+	}
+	for i, r := range run.Results {
+		if r.RuleIndex < 0 || r.RuleIndex >= len(run.Tool.Driver.Rules) || run.Tool.Driver.Rules[r.RuleIndex].ID != r.RuleID {
+			t.Errorf("result %d: ruleIndex %d does not resolve to %q", i, r.RuleIndex, r.RuleID)
+		}
+		if len(r.Locations) != 1 {
+			t.Errorf("result %d: %d locations", i, len(r.Locations))
+			continue
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if strings.Contains(loc.ArtifactLocation.URI, "\\") || filepath.IsAbs(loc.ArtifactLocation.URI) {
+			t.Errorf("result %d: URI %q is not a relative slash path", i, loc.ArtifactLocation.URI)
+		}
+		if loc.Region.StartLine <= 0 {
+			t.Errorf("result %d: startLine %d", i, loc.Region.StartLine)
+		}
+		want := fmt.Sprintf("%s:%d: [%s] %s", loc.ArtifactLocation.URI, loc.Region.StartLine, r.RuleID, r.Message.Text)
+		if textLines[i] != want {
+			t.Errorf("result %d: text %q, SARIF renders %q", i, textLines[i], want)
+		}
 	}
 }
 
@@ -407,7 +556,7 @@ func TestRulesFlag(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("-rules exit code = %d", code)
 	}
-	for _, rule := range []string{"cachegen", "ctxflow", "dimflow", "droppederr", "errpath", "floateq", "goroleak", "lockbalance", "lockcopy", "maporder", "nanflow", "obsclock", "testhelper", "typederr", "unitsanity", "validatefirst"} {
+	for _, rule := range []string{"cachegen", "chanflow", "ctxflow", "dimflow", "droppederr", "errpath", "floateq", "goroleak", "lockbalance", "lockcopy", "maporder", "mutexblock", "nanflow", "obsclock", "oncemisuse", "spawnctx", "testhelper", "typederr", "unitsanity", "validatefirst", "wgbalance"} {
 		if !strings.Contains(stdout, rule) {
 			t.Errorf("-rules output missing %q:\n%s", rule, stdout)
 		}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+
+	"tecopt/internal/lint"
+)
+
+// SARIF 2.1.0 output (-format=sarif): the static-analysis interchange
+// format GitHub code scanning and most lint dashboards ingest. Only
+// the required subset is emitted — tool.driver with the rule catalog,
+// and one result per finding with a physical location — and the
+// encoding is a single deterministic json.MarshalIndent pass, so the
+// stream is byte-stable for golden tests. File URIs are the same
+// module-relative paths as the text and JSON formats, with forward
+// slashes as the SARIF spec requires.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// writeSARIF emits the findings as one SARIF 2.1.0 run. The rule
+// catalog lists every registered analyzer (plus the framework's
+// badignore pseudo-rule when it fires), so a clean run still documents
+// what was checked.
+func writeSARIF(w io.Writer, diags []lint.Diagnostic, analyzers []*lint.Analyzer) error {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	index := make(map[string]int, len(analyzers)+1)
+	for _, a := range analyzers {
+		index[a.Name] = len(rules)
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	for _, d := range diags {
+		if _, ok := index[d.Rule]; !ok {
+			index[d.Rule] = len(rules)
+			rules = append(rules, sarifRule{ID: d.Rule, ShortDescription: sarifMessage{Text: "teclint framework rule"}})
+		}
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:    d.Rule,
+			RuleIndex: index[d.Rule],
+			Level:     "warning",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: filepath.ToSlash(d.Pos.Filename)},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "teclint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	data, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", data)
+	return err
+}

@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Gate shutdown stress, run under -race by `make serve-chaos`: Drain
+// seizes worker slots while releases, queued waiters, and abandoning
+// (timed-out) acquirers are all still in motion. The race detector
+// watches the atomics/channel interplay; the assertions pin the
+// contract — Drain completes once traffic stops, and the counters
+// return to zero.
+
+// TestGateDrainAcquireStress hammers Acquire/release from many
+// goroutines, cuts traffic off, then drains: the drain must complete
+// and leave no inflight or queued callers behind.
+func TestGateDrainAcquireStress(t *testing.T) {
+	g := NewGate("stress.gate", 4, 8)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+				rel, err := g.Acquire(ctx)
+				cancel()
+				if err == nil {
+					rel()
+				}
+			}
+		}()
+	}
+	time.Sleep(25 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := g.Drain(ctx); err != nil {
+		t.Fatalf("drain after traffic stopped: %v", err)
+	}
+	if n := g.Inflight(); n != 0 {
+		t.Errorf("inflight = %d after drain, want 0", n)
+	}
+	if n := g.Queued(); n != 0 {
+		t.Errorf("queued = %d after drain, want 0", n)
+	}
+}
+
+// TestGateDrainContention overlaps Drain with live holders releasing
+// and queued waiters abandoning on their own deadlines: Drain competes
+// for slots with the waiters and must still finish once every holder
+// releases and every waiter times out.
+func TestGateDrainContention(t *testing.T) {
+	g := NewGate("stress.gate.contention", 2, 4)
+
+	// Occupy both slots.
+	holders := make([]func(), 0, 2)
+	for i := 0; i < 2; i++ {
+		rel, err := g.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("initial acquire %d: %v", i, err)
+		}
+		holders = append(holders, rel)
+	}
+
+	// Queue waiters that will abandon on their own short deadlines.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+			defer cancel()
+			if rel, err := g.Acquire(ctx); err == nil {
+				rel()
+			}
+		}()
+	}
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		drained <- g.Drain(ctx)
+	}()
+
+	// Release the holders while the drain and the waiters race for the
+	// freed slots.
+	for _, rel := range holders {
+		go rel()
+	}
+
+	if err := <-drained; err != nil {
+		t.Fatalf("drain with contention: %v", err)
+	}
+	wg.Wait()
+	if n := g.Inflight(); n != 0 {
+		t.Errorf("inflight = %d after drain, want 0", n)
+	}
+}

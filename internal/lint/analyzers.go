@@ -6,6 +6,7 @@ package lint
 func All() []*Analyzer {
 	return []*Analyzer{
 		CacheGen,
+		ChanFlow,
 		CtxFlow,
 		DimFlow,
 		DroppedErr,
@@ -15,11 +16,15 @@ func All() []*Analyzer {
 		LockBalance,
 		LockCopy,
 		MapOrder,
+		MutexBlock,
 		NaNFlow,
 		ObsClock,
+		OnceMisuse,
+		SpawnCtx,
 		TestHelper,
 		TypedErr,
 		UnitSanity,
 		ValidateFirst,
+		WGBalance,
 	}
 }

@@ -1,0 +1,387 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ChanFlow tracks the open/closed state of channels through each
+// function's CFG. Closing a channel twice or sending on a closed
+// channel panics at runtime — in the serving layer that is a crash
+// under exactly the load patterns unit tests never produce (a drain
+// racing a late producer). The analyzer reports:
+//
+//   - close of a channel already closed (on every path, or on some
+//     path — the messages differ);
+//   - send on a channel closed on every or some path;
+//   - receive from a locally-made unbuffered channel that nothing in
+//     the function ever sends on or closes — a guaranteed deadlock
+//     when the channel never escapes.
+//
+// Channels are tracked by object identity (parameters and locals as
+// *ast.Ident), so aliasing through another variable loses track —
+// a false-negative direction, never false-positive. Callee effects
+// come from the concurrency summaries: a helper that closes its
+// channel parameter moves the caller's channel to "maybe closed", and
+// a helper that sends on its parameter counts as a writer for the
+// never-written check.
+var ChanFlow = &Analyzer{
+	Name: "chanflow",
+	Doc:  "flags double-close, send-on-closed-channel (definite or some-path), and receives from never-written unbuffered local channels",
+	Run:  runChanFlow,
+}
+
+func runChanFlow(pass *Pass) {
+	forEachFuncBody(pass, func(body *ast.BlockStmt) {
+		checkChanStates(pass, body)
+		checkDeadRecv(pass, body)
+	})
+}
+
+// chanAbs is the abstract open/closed state of one channel object.
+type chanAbs uint8
+
+const (
+	chanOpen chanAbs = iota
+	chanMaybeClosed
+	chanClosed
+)
+
+// cfState maps channel objects to their abstract state. Untracked
+// objects are open/unknown — only a close on the analyzed path can
+// move a channel toward closed.
+type cfState map[types.Object]chanAbs
+
+type cfAnalysis struct {
+	pass *Pass
+}
+
+func (a *cfAnalysis) Entry() FlowState { return cfState{} }
+
+func (a *cfAnalysis) Equal(x, y FlowState) bool {
+	sx, sy := x.(cfState), y.(cfState)
+	if len(sx) != len(sy) {
+		return false
+	}
+	for k, v := range sx {
+		if w, ok := sy[k]; !ok || v != w {
+			return false
+		}
+	}
+	return true
+}
+
+// Join merges path states: agreeing states keep their value, a channel
+// closed on one path but not the other becomes maybe-closed. A channel
+// tracked on only one incoming path counts as open on the other (its
+// declaration dominates both, and no close happened there).
+func (a *cfAnalysis) Join(x, y FlowState) FlowState {
+	sx, sy := x.(cfState), y.(cfState)
+	out := make(cfState, len(sx)+len(sy))
+	for k, v := range sx {
+		out[k] = joinChanAbs(v, sy[k])
+	}
+	for k, v := range sy {
+		if _, ok := sx[k]; !ok {
+			out[k] = joinChanAbs(v, chanOpen)
+		}
+	}
+	// Drop opens: absent means open, keeping states small and Equal
+	// independent of which paths mentioned the channel.
+	for k, v := range out {
+		if v == chanOpen {
+			delete(out, k)
+		}
+	}
+	return out
+}
+
+func joinChanAbs(a, b chanAbs) chanAbs {
+	if a == b {
+		return a
+	}
+	return chanMaybeClosed
+}
+
+func (a *cfAnalysis) Transfer(n ast.Node, in FlowState) FlowState {
+	ops := chanOps(a.pass, n)
+	if len(ops) == 0 {
+		return in
+	}
+	st := in.(cfState)
+	out := make(cfState, len(st)+1)
+	for k, v := range st {
+		out[k] = v
+	}
+	for _, op := range ops {
+		switch op.kind {
+		case chanOpClose:
+			out[op.obj] = chanClosed
+		case chanOpMaybeClose:
+			if out[op.obj] != chanClosed {
+				out[op.obj] = chanMaybeClosed
+			}
+		case chanOpReopen:
+			delete(out, op.obj)
+		}
+	}
+	return out
+}
+
+type chanOpKind uint8
+
+const (
+	chanOpSend chanOpKind = iota
+	chanOpClose
+	chanOpMaybeClose // callee may close the forwarded channel
+	chanOpReopen     // reassignment: state unknown again
+)
+
+type chanOp struct {
+	obj  types.Object
+	kind chanOpKind
+	pos  token.Pos
+}
+
+// chanOps extracts the channel state transitions and sends performed
+// directly by CFG node n. Nested function literals run on their own
+// schedule and are analyzed with their own body.
+func chanOps(pass *Pass, n ast.Node) []chanOp {
+	var out []chanOp
+	obj := func(e ast.Expr) types.Object {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		o := pass.Info.Uses[id]
+		if o == nil {
+			o = pass.Info.Defs[id]
+		}
+		if o == nil || !isChanType(o.Type()) {
+			return nil
+		}
+		return o
+	}
+	var walk func(ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.RangeStmt:
+			// A CFG range head carries the whole statement; the body's
+			// ops replay in their own blocks, so only the ranged
+			// expression is evaluated here.
+			ast.Inspect(n.X, walk)
+			return false
+		case *ast.SendStmt:
+			if o := obj(n.Chan); o != nil {
+				out = append(out, chanOp{obj: o, kind: chanOpSend, pos: n.Arrow})
+			}
+		case *ast.AssignStmt:
+			// Any assignment to a tracked channel variable resets its
+			// state to unknown — a fresh make is open, an alias is
+			// untrackable.
+			for _, lhs := range n.Lhs {
+				if o := obj(lhs); o != nil {
+					out = append(out, chanOp{obj: o, kind: chanOpReopen, pos: n.Pos()})
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && len(n.Args) == 1 && isBuiltinIdent(pass.Info, id, "close") {
+				if o := obj(n.Args[0]); o != nil {
+					out = append(out, chanOp{obj: o, kind: chanOpClose, pos: n.Pos()})
+				}
+				return true
+			}
+			// Forwarding to a summarized callee that may close it.
+			if callee := staticCallee(pass.Info, n); callee != nil {
+				if s := pass.Facts.Summary(callee); s != nil {
+					for ai, arg := range n.Args {
+						if e, ok := s.ChanParams[ai]; ok && e.Closes {
+							if o := obj(arg); o != nil {
+								out = append(out, chanOp{obj: o, kind: chanOpMaybeClose, pos: n.Pos()})
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(n, walk)
+	return out
+}
+
+// checkChanStates runs the dataflow fixpoint and replays reachable
+// blocks in order, reporting sends and closes that hit a (maybe-)
+// closed channel.
+func checkChanStates(pass *Pass, body *ast.BlockStmt) {
+	a := &cfAnalysis{pass: pass}
+	g := BuildCFG(body, pass.Terminates)
+	res := RunForward(g, a)
+	for _, b := range g.Blocks {
+		in, ok := res.In[b]
+		if !ok {
+			continue // unreachable
+		}
+		st := in
+		for _, n := range b.Nodes {
+			for _, op := range chanOps(pass, n) {
+				state := st.(cfState)[op.obj]
+				switch op.kind {
+				case chanOpSend:
+					switch state {
+					case chanClosed:
+						pass.Reportf(op.pos, "send on %s, which was closed before this point; sending on a closed channel panics", op.obj.Name())
+					case chanMaybeClosed:
+						pass.Reportf(op.pos, "send on %s, which is closed on some path to this point; sending on a closed channel panics", op.obj.Name())
+					}
+				case chanOpClose:
+					switch state {
+					case chanClosed:
+						pass.Reportf(op.pos, "%s is already closed at this point; closing a closed channel panics", op.obj.Name())
+					case chanMaybeClosed:
+						pass.Reportf(op.pos, "%s may already be closed on some path to this point; closing a closed channel panics", op.obj.Name())
+					}
+				}
+			}
+			st = a.Transfer(n, st)
+		}
+	}
+}
+
+// checkDeadRecv reports receives from locally-made unbuffered channels
+// that nothing in the function — including its goroutines and
+// summarized callees — ever sends on or closes: such a receive blocks
+// forever. Channels that escape (stored, returned, captured by a call
+// we cannot summarize) are trusted.
+func checkDeadRecv(pass *Pass, body *ast.BlockStmt) {
+	// Locally-made unbuffered channels.
+	local := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.Info.Defs[id]
+			if obj == nil || !isUnbufferedMake(pass, as.Rhs[i]) {
+				continue
+			}
+			local[obj] = true
+		}
+		return true
+	})
+	if len(local) == 0 {
+		return
+	}
+
+	// Classify every use of each candidate, parents tracked by a
+	// manual stack so each identifier is judged in context.
+	written := make(map[types.Object]bool)
+	escaped := make(map[types.Object]bool)
+	firstRecv := make(map[types.Object]token.Pos)
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil || !local[obj] {
+			return true
+		}
+		parent := stack[len(stack)-2]
+		switch p := parent.(type) {
+		case *ast.SendStmt:
+			if p.Chan == id {
+				written[obj] = true
+				return true
+			}
+		case *ast.UnaryExpr:
+			if p.Op == token.ARROW {
+				if _, ok := firstRecv[obj]; !ok {
+					firstRecv[obj] = p.OpPos
+				}
+				return true
+			}
+		case *ast.RangeStmt:
+			if p.X == id {
+				if _, ok := firstRecv[obj]; !ok {
+					firstRecv[obj] = p.For
+				}
+				return true
+			}
+		case *ast.CallExpr:
+			if fid, ok := p.Fun.(*ast.Ident); ok && isBuiltinIdent(pass.Info, fid, "close") {
+				written[obj] = true // close unblocks the receive
+				return true
+			}
+			for ai, arg := range p.Args {
+				if arg != ast.Expr(id) {
+					continue
+				}
+				if callee := staticCallee(pass.Info, p); callee != nil {
+					if s := pass.Facts.Summary(callee); s != nil {
+						if e, ok := s.ChanParams[ai]; ok && (e.Sends || e.Closes) {
+							written[obj] = true
+							return true
+						}
+						if e, ok := s.ChanParams[ai]; ok && e.Recvs {
+							return true // pure reader: not a writer, not an escape
+						}
+					}
+				}
+				escaped[obj] = true
+				return true
+			}
+		}
+		escaped[obj] = true
+		return true
+	})
+	for obj, pos := range firstRecv {
+		if written[obj] || escaped[obj] {
+			continue
+		}
+		pass.Reportf(pos, "receive from unbuffered channel %s, which is never sent on or closed in this function: this blocks forever", obj.Name())
+	}
+}
+
+// isUnbufferedMake reports whether e is make(chan T) or
+// make(chan T, 0).
+func isUnbufferedMake(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || !isBuiltinIdent(pass.Info, id, "make") {
+		return false
+	}
+	if len(call.Args) == 0 || !isChanType(pass.TypeOf(call.Args[0])) {
+		return false
+	}
+	if len(call.Args) == 1 {
+		return true
+	}
+	if n, ok := constIntArg(pass.Info, call.Args[1]); ok {
+		return n == 0
+	}
+	return false
+}

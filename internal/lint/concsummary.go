@@ -1,0 +1,707 @@
+package lint
+
+// concsummary.go is the concurrency-effects half of the function
+// summary layer (summary.go): per-parameter channel operations,
+// WaitGroup deltas, may-block, and cancellation observation, harvested
+// bottom-up over the call graph in the same SCC fixpoint as the other
+// summary facts. The five concurrency analyzers (chanflow, wgbalance,
+// mutexblock, oncemisuse, spawnctx) consume these facts so that a
+// channel closed inside a helper, a Done performed by a spawned
+// worker, or a block hidden two calls deep is still visible at the
+// call site under analysis.
+//
+// Every fact here is a MAY fact — "this effect can happen on some
+// execution" — never a MUST fact. That keeps the lattice monotone
+// (booleans flip false->true, effect sets only grow) and the fixpoint
+// trivially terminating, at the cost of the soundness limits
+// documented in DESIGN §15: effects inside spawned goroutines are
+// attributed to the spawning function, function values and interface
+// methods contribute nothing, and aliasing is ignored.
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// ChanEffect records which operations a function may perform on a
+// channel-typed parameter: sends, receives, closes.
+type ChanEffect struct {
+	Sends  bool
+	Recvs  bool
+	Closes bool
+}
+
+func (e ChanEffect) isZero() bool { return !e.Sends && !e.Recvs && !e.Closes }
+
+func (e ChanEffect) merge(o ChanEffect) ChanEffect {
+	return ChanEffect{
+		Sends:  e.Sends || o.Sends,
+		Recvs:  e.Recvs || o.Recvs,
+		Closes: e.Closes || o.Closes,
+	}
+}
+
+// WGEffect records sync.WaitGroup effects through a *sync.WaitGroup
+// parameter: the summed constant Add argument (AddUnknown when any
+// Add argument is non-constant), the number of Done calls, and
+// whether Wait is called.
+type WGEffect struct {
+	AddDelta   int
+	AddUnknown bool
+	Dones      int
+	CallsWait  bool
+}
+
+func (e WGEffect) isZero() bool {
+	return e.AddDelta == 0 && !e.AddUnknown && e.Dones == 0 && !e.CallsWait
+}
+
+func (e WGEffect) merge(o WGEffect) WGEffect {
+	return WGEffect{
+		AddDelta:   e.AddDelta + o.AddDelta,
+		AddUnknown: e.AddUnknown || o.AddUnknown,
+		Dones:      e.Dones + o.Dones,
+		CallsWait:  e.CallsWait || o.CallsWait,
+	}
+}
+
+// refineConcurrency recomputes the concurrency facts of one summary
+// from scratch and reports whether anything changed. Called from the
+// SCC fixpoint in refineSummary: callee summaries below the current
+// SCC are final, in-SCC callees converge over iterations.
+func (f *FactStore) refineConcurrency(info *types.Info, node *CGNode, s *FuncSummary) bool {
+	body := node.Decl.Body
+	sig, _ := node.Fn.Type().(*types.Signature)
+	chanIdx, wgIdx := concParamIndex(sig)
+
+	chans, wgs := f.collectParamEffects(info, body, chanIdx, wgIdx)
+	mayBlock, blockWhy := f.bodyMayBlock(info, body)
+	observes := f.bodyObservesCancel(info, body)
+	unobserved := len(f.unobservedLoops(info, body)) > 0
+
+	changed := false
+	if !chanEffectsEqual(s.ChanParams, chans) {
+		s.ChanParams = chans
+		changed = true
+	}
+	if !wgEffectsEqual(s.WGParams, wgs) {
+		s.WGParams = wgs
+		changed = true
+	}
+	if mayBlock && !s.MayBlock {
+		s.MayBlock, s.BlockWhy = true, blockWhy
+		changed = true
+	}
+	if observes && !s.ObservesCancel {
+		s.ObservesCancel = true
+		changed = true
+	}
+	if unobserved != s.HasUnobservedLoop {
+		// May flip back to false as in-SCC callees are proved to
+		// observe cancellation; ObservesCancel itself is monotone, so
+		// this flips at most once per direction.
+		s.HasUnobservedLoop = unobserved
+		changed = true
+	}
+	return changed
+}
+
+func chanEffectsEqual(a, b map[int]ChanEffect) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func wgEffectsEqual(a, b map[int]WGEffect) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// concParamIndex maps the declared parameter objects of interest to
+// their signature index: channel-typed parameters and *sync.WaitGroup
+// parameters.
+func concParamIndex(sig *types.Signature) (chans, wgs map[types.Object]int) {
+	chans = make(map[types.Object]int)
+	wgs = make(map[types.Object]int)
+	if sig == nil {
+		return chans, wgs
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if isChanType(p.Type()) {
+			chans[p] = i
+		} else if isWaitGroupPtr(p.Type()) {
+			wgs[p] = i
+		}
+	}
+	return chans, wgs
+}
+
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// isBuiltinIdent reports whether id is an unshadowed use of the named
+// builtin (close, make, ...). go/types records builtin uses as
+// *types.Builtin objects, so a plain nil check would miss them.
+func isBuiltinIdent(info *types.Info, id *ast.Ident, name string) bool {
+	if id.Name != name {
+		return false
+	}
+	_, ok := info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// isWaitGroupPtr reports whether t is *sync.WaitGroup.
+func isWaitGroupPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return isSyncNamed(ptr.Elem(), "WaitGroup")
+}
+
+// isSyncNamed reports whether t is the named sync.<name> type.
+func isSyncNamed(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// collectParamEffects walks the whole body — including function
+// literals and spawned goroutines, whose effects the call graph
+// attributes to the enclosing function — recording channel and
+// WaitGroup operations on the tracked parameter objects, both direct
+// ops and ops performed by summarized callees the parameter is passed
+// to.
+func (f *FactStore) collectParamEffects(info *types.Info, body *ast.BlockStmt, chanIdx, wgIdx map[types.Object]int) (map[int]ChanEffect, map[int]WGEffect) {
+	chans := make(map[int]ChanEffect)
+	wgs := make(map[int]WGEffect)
+	addChan := func(obj types.Object, e ChanEffect) {
+		if i, ok := chanIdx[obj]; ok {
+			chans[i] = chans[i].merge(e)
+		}
+	}
+	addWG := func(obj types.Object, e WGEffect) {
+		if i, ok := wgIdx[obj]; ok {
+			wgs[i] = wgs[i].merge(e)
+		}
+	}
+	paramObj := func(e ast.Expr) types.Object {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			return info.Uses[id]
+		}
+		return nil
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			addChan(paramObj(n.Chan), ChanEffect{Sends: true})
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				addChan(paramObj(n.X), ChanEffect{Recvs: true})
+			}
+		case *ast.RangeStmt:
+			if isChanType(info.TypeOf(n.X)) {
+				addChan(paramObj(n.X), ChanEffect{Recvs: true})
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && len(n.Args) == 1 && isBuiltinIdent(info, id, "close") {
+				addChan(paramObj(n.Args[0]), ChanEffect{Closes: true})
+				return true
+			}
+			// WaitGroup method on a tracked parameter.
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+					if obj := paramObj(sel.X); obj != nil {
+						switch fn.Name() {
+						case "Add":
+							e := WGEffect{AddUnknown: true}
+							if len(n.Args) == 1 {
+								if v, ok := constIntArg(info, n.Args[0]); ok {
+									e = WGEffect{AddDelta: v}
+								}
+							}
+							addWG(obj, e)
+						case "Done":
+							addWG(obj, WGEffect{Dones: 1})
+						case "Wait":
+							addWG(obj, WGEffect{CallsWait: true})
+						}
+					}
+				}
+			}
+			// Forwarding a tracked parameter to a summarized callee
+			// inherits the callee's effects on it.
+			callee := staticCallee(info, n)
+			if callee == nil {
+				return true
+			}
+			cs := f.Summary(callee)
+			if cs == nil {
+				return true
+			}
+			for ai, arg := range n.Args {
+				obj := paramObj(arg)
+				if obj == nil {
+					// &wg forwarded to a *sync.WaitGroup parameter.
+					if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+						obj = paramObj(u.X)
+					}
+				}
+				if obj == nil {
+					continue
+				}
+				if e, ok := cs.ChanParams[ai]; ok {
+					addChan(obj, e)
+				}
+				if e, ok := cs.WGParams[ai]; ok {
+					addWG(obj, e)
+				}
+			}
+		}
+		return true
+	})
+	return chans, wgs
+}
+
+// constIntArg evaluates e as a constant int, for WaitGroup Add deltas.
+func constIntArg(info *types.Info, e ast.Expr) (int, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v := constant.ToInt(tv.Value)
+	if v.Kind() != constant.Int {
+		return 0, false
+	}
+	i, exact := constant.Int64Val(v)
+	if !exact {
+		return 0, false
+	}
+	return int(i), true
+}
+
+// blockSite is one potentially-blocking operation.
+type blockSite struct {
+	pos token.Pos
+	why string
+}
+
+// bodyMayBlock reports whether executing the body can park the calling
+// goroutine, and why. Spawned goroutines are skipped (they block
+// themselves, not the caller); deferred calls and function literals
+// are included, matching the call graph's attribution.
+func (f *FactStore) bodyMayBlock(info *types.Info, body *ast.BlockStmt) (bool, string) {
+	sites := findBlockSites(info, f, body, blockScanOpts{skipGo: true})
+	if len(sites) == 0 {
+		return false, ""
+	}
+	return true, sites[0].why
+}
+
+type blockScanOpts struct {
+	// skipGo skips go-statement subtrees: a spawned body blocks the
+	// goroutine it starts, not the function that starts it.
+	skipGo bool
+	// skipFuncLit skips nested function literals: used by mutexblock,
+	// where a literal merely defined while a lock is held does not
+	// execute under it.
+	skipFuncLit bool
+	// skipDefer skips defer statements: deferred calls run at return,
+	// after deferred unlocks are scheduled, so mutexblock excludes
+	// them.
+	skipDefer bool
+	// firstOnly stops at the first site found.
+	firstOnly bool
+	// nonBlocking marks additional comm statements known to be inside
+	// a select-with-default. CFG-based callers need this: the CFG
+	// hands out comm statements detached from their enclosing
+	// SelectStmt, so the per-node scan below cannot see the default.
+	nonBlocking map[ast.Stmt]bool
+	// shallowRange stops at range statement bodies: a CFG range head
+	// carries the whole statement, and the body's operations replay in
+	// their own blocks. Whole-body scans leave this false.
+	shallowRange bool
+}
+
+// findBlockSites walks n and returns the potentially-blocking
+// operations it performs: channel sends/receives outside a
+// select-with-default, ranging over a channel, blocking standard
+// library calls (WaitGroup.Wait, Cond.Wait, time.Sleep, network and
+// file I/O), and calls to module functions whose summary says
+// MayBlock.
+func findBlockSites(info *types.Info, facts *FactStore, n ast.Node, opts blockScanOpts) []blockSite {
+	nonBlocking := nonBlockingComms(n)
+	for s := range opts.nonBlocking {
+		nonBlocking[s] = true
+	}
+	var out []blockSite
+	add := func(pos token.Pos, why string) {
+		out = append(out, blockSite{pos: pos, why: why})
+	}
+	var walk func(ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if opts.firstOnly && len(out) > 0 {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return !opts.skipFuncLit
+		case *ast.GoStmt:
+			return !opts.skipGo
+		case *ast.DeferStmt:
+			return !opts.skipDefer
+		case ast.Stmt:
+			if nonBlocking[n] {
+				return false // comm of a select with a default: never parks
+			}
+			if s, ok := n.(*ast.SendStmt); ok {
+				add(s.Arrow, "channel send")
+			}
+			if r, ok := n.(*ast.RangeStmt); ok {
+				if isChanType(info.TypeOf(r.X)) {
+					add(r.For, "range over channel")
+				}
+				if opts.shallowRange {
+					ast.Inspect(r.X, walk)
+					return false
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				add(n.OpPos, "channel receive")
+			}
+		case *ast.CallExpr:
+			if why, ok := blockingCall(info, facts, n); ok {
+				add(n.Pos(), why)
+			}
+		}
+		return true
+	}
+	ast.Inspect(n, walk)
+	return out
+}
+
+// nonBlockingComms collects the comm statements of every select that
+// has a default clause under root: those sends/receives never park
+// (the default takes over), so the block scan skips them.
+func nonBlockingComms(root ast.Node) map[ast.Stmt]bool {
+	out := make(map[ast.Stmt]bool)
+	ast.Inspect(root, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		var comms []ast.Stmt
+		for _, cl := range sel.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if cc.Comm == nil {
+				hasDefault = true
+			} else {
+				comms = append(comms, cc.Comm)
+			}
+		}
+		if hasDefault {
+			for _, c := range comms {
+				out[c] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// blockingFileMethods are the *os.File methods treated as file I/O.
+var blockingFileMethods = map[string]bool{
+	"Read": true, "ReadAt": true, "ReadFrom": true,
+	"Write": true, "WriteAt": true, "WriteString": true, "WriteTo": true,
+	"Sync": true,
+}
+
+// blockingOSFuncs are the package-level os functions treated as file I/O.
+var blockingOSFuncs = map[string]bool{
+	"ReadFile": true, "WriteFile": true, "Open": true, "OpenFile": true,
+	"Create": true,
+}
+
+// blockingIOFuncs are the io helpers that loop over reads/writes.
+var blockingIOFuncs = map[string]bool{
+	"Copy": true, "CopyN": true, "CopyBuffer": true,
+	"ReadAll": true, "ReadFull": true,
+}
+
+// blockingCall classifies a call as potentially blocking: the
+// standard-library park points, or a module callee whose summary says
+// MayBlock. sync.Cond.Wait counts here (the summary is about parking);
+// mutexblock separately exempts direct Cond.Wait calls, which are
+// designed to run with the mutex held.
+func blockingCall(info *types.Info, facts *FactStore, call *ast.CallExpr) (string, bool) {
+	var fn *types.Func
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = info.Uses[fun.Sel].(*types.Func)
+	}
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	switch {
+	case pkg == "sync" && name == "Wait":
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if isWaitGroupPtr(sig.Recv().Type()) {
+				return "sync.WaitGroup.Wait", true
+			}
+			return "sync.Cond.Wait", true
+		}
+	case pkg == "time" && name == "Sleep":
+		return "time.Sleep", true
+	case pkg == "net" || hasPathPrefix(pkg, "net/"):
+		return "network I/O (" + pkg + "." + name + ")", true
+	case pkg == "os/exec":
+		return "subprocess I/O (os/exec." + name + ")", true
+	case pkg == "os":
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if blockingFileMethods[name] {
+				return "file I/O (os.File." + name + ")", true
+			}
+		} else if blockingOSFuncs[name] {
+			return "file I/O (os." + name + ")", true
+		}
+	case pkg == "io" && blockingIOFuncs[name]:
+		return "I/O (io." + name + ")", true
+	}
+	if s := facts.Summary(fn); s != nil && s.MayBlock {
+		return "call to " + fn.Name() + " (" + s.BlockWhy + ")", true
+	}
+	return "", false
+}
+
+func hasPathPrefix(path, prefix string) bool {
+	return len(path) >= len(prefix) && path[:len(prefix)] == prefix
+}
+
+// bodyObservesCancel reports whether the body observes cancellation
+// somewhere outside nested function literals and spawned goroutines.
+func (f *FactStore) bodyObservesCancel(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		}
+		if observesCancelNode(info, f, n) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// observesCancelNode reports whether the single node n is a
+// cancellation observation: a receive from ctx.Done(), a ctx.Err()
+// call, a comma-ok channel receive (which sees channel close), a range
+// over a channel (which exits on close), or a call to a module
+// function whose summary observes cancellation.
+func observesCancelNode(info *types.Info, facts *FactStore, n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.UnaryExpr:
+		return n.Op == token.ARROW && isContextMethodCall(info, n.X, "Done")
+	case *ast.CallExpr:
+		if isContextMethodCallExpr(info, n, "Err") {
+			return true
+		}
+		if callee := staticCallee(info, n); callee != nil {
+			if s := facts.Summary(callee); s != nil && s.ObservesCancel {
+				return true
+			}
+		}
+	case *ast.AssignStmt:
+		if len(n.Lhs) == 2 && len(n.Rhs) == 1 {
+			if u, ok := ast.Unparen(n.Rhs[0]).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				return true // v, ok := <-ch observes close
+			}
+		}
+	case *ast.RangeStmt:
+		return isChanType(info.TypeOf(n.X))
+	}
+	return false
+}
+
+// isContextMethodCall reports whether e is a call of the named
+// context.Context method.
+func isContextMethodCall(info *types.Info, e ast.Expr, name string) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	return ok && isContextMethodCallExpr(info, call, name)
+}
+
+func isContextMethodCallExpr(info *types.Info, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "context"
+}
+
+// nodeObserves deep-walks one CFG node (skipping nested function
+// literals and go statements) looking for a cancellation observation.
+func nodeObserves(info *types.Info, facts *FactStore, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		}
+		if observesCancelNode(info, facts, n) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// unobservedLoops returns the positions of every unconditional `for`
+// loop in body whose CFG has a cycle through the loop head that passes
+// no cancellation observation — the loop can iterate forever without
+// noticing ctx.Done() or a channel close. Conditional and range loops
+// are exempt (their condition bounds them, or close exits them); a
+// select statement observes on every case when any of its comms does,
+// because dispatch re-polls all channels each iteration.
+func (f *FactStore) unobservedLoops(info *types.Info, body *ast.BlockStmt) []token.Pos {
+	// Cheap syntactic gate: no unconditional for loop outside nested
+	// function literals, no CFG work.
+	bare := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if n.Cond == nil {
+				bare = true
+			}
+		}
+		return !bare
+	})
+	if !bare {
+		return nil
+	}
+
+	g := BuildCFG(body, TerminatesCall(info, f))
+
+	// Comms of a select with an observing comm all observe: whichever
+	// case fires, the dispatch polled the cancellation channel.
+	selObserving := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SelectStmt:
+			observes := false
+			var comms []ast.Stmt
+			for _, cl := range n.Body.List {
+				cc, ok := cl.(*ast.CommClause)
+				if !ok || cc.Comm == nil {
+					continue
+				}
+				comms = append(comms, cc.Comm)
+				if nodeObserves(info, f, cc.Comm) {
+					observes = true
+				}
+			}
+			if observes {
+				for _, c := range comms {
+					selObserving[c] = true
+				}
+			}
+		}
+		return true
+	})
+
+	observing := make([]bool, len(g.Blocks))
+	for i, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if selObserving[n] || nodeObserves(info, f, n) {
+				observing[i] = true
+				break
+			}
+		}
+	}
+
+	var out []token.Pos
+	for _, b := range g.Blocks {
+		fs, ok := b.Loop.(*ast.ForStmt)
+		if !ok || fs.Cond != nil || observing[b.Index] {
+			continue
+		}
+		if cycleThrough(g, b, observing) {
+			out = append(out, fs.Pos())
+		}
+	}
+	return out
+}
+
+// cycleThrough reports whether the CFG has a cycle through start that
+// avoids every observing block.
+func cycleThrough(g *CFG, start *Block, observing []bool) bool {
+	seen := make([]bool, len(g.Blocks))
+	work := []*Block{}
+	for _, s := range start.Succs {
+		if !observing[s.Index] {
+			work = append(work, s)
+		}
+	}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		if b == start {
+			return true
+		}
+		if seen[b.Index] || observing[b.Index] {
+			continue
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			if !observing[s.Index] {
+				work = append(work, s)
+			}
+		}
+	}
+	return false
+}

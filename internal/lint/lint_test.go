@@ -116,6 +116,11 @@ func TestDimFlowFixture(t *testing.T)       { runFixture(t, DimFlow) }
 func TestNaNFlowFixture(t *testing.T)       { runFixture(t, NaNFlow) }
 func TestGoroLeakFixture(t *testing.T)      { runFixture(t, GoroLeak) }
 func TestCacheGenFixture(t *testing.T)      { runFixture(t, CacheGen) }
+func TestChanFlowFixture(t *testing.T)      { runFixture(t, ChanFlow) }
+func TestWGBalanceFixture(t *testing.T)     { runFixture(t, WGBalance) }
+func TestMutexBlockFixture(t *testing.T)    { runFixture(t, MutexBlock) }
+func TestOnceMisuseFixture(t *testing.T)    { runFixture(t, OnceMisuse) }
+func TestSpawnCtxFixture(t *testing.T)      { runFixture(t, SpawnCtx) }
 
 // TestBadIgnoreFixture exercises the framework-level badignore
 // pseudo-rule: reasonless teclint:ignore directives are reported by Run
@@ -171,7 +176,7 @@ func TestAllAnalyzersRegistered(t *testing.T) {
 		}
 	}
 	sort.Strings(names)
-	want := []string{"cachegen", "ctxflow", "dimflow", "droppederr", "errpath", "floateq", "goroleak", "lockbalance", "lockcopy", "maporder", "nanflow", "obsclock", "testhelper", "typederr", "unitsanity", "validatefirst"}
+	want := []string{"cachegen", "chanflow", "ctxflow", "dimflow", "droppederr", "errpath", "floateq", "goroleak", "lockbalance", "lockcopy", "maporder", "mutexblock", "nanflow", "obsclock", "oncemisuse", "spawnctx", "testhelper", "typederr", "unitsanity", "validatefirst", "wgbalance"}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Fatalf("registered analyzers = %v, want %v", names, want)
 	}

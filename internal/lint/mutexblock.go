@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MutexBlock flags blocking operations performed while a sync mutex is
+// held — the classic serving-latency bug (every other request on that
+// lock queues behind the block) that escalates to deadlock when the
+// blocking operation itself waits on work that needs the lock. The
+// held-lock state machine is lockbalance's (receiver-text keys,
+// Lock/RLock acquire, Unlock/RUnlock release), except that deferred
+// releases do NOT discharge the lock here: `mu.Lock(); defer
+// mu.Unlock()` holds the mutex across everything that follows, which
+// is exactly the window this analyzer audits.
+//
+// Blocking operations are channel sends/receives outside a
+// select-with-default, ranging over a channel, the blocking standard
+// library calls (WaitGroup.Wait, time.Sleep, network/file I/O), and
+// calls to module functions whose concurrency summary says MayBlock —
+// so a Gate.Acquire two calls deep is still caught at the top call
+// site. Direct sync.Cond.Wait calls are exempt: Cond.Wait is designed
+// to run with its mutex held (it releases it while parked).
+var MutexBlock = &Analyzer{
+	Name: "mutexblock",
+	Doc:  "flags channel ops, Waits, sleeps, I/O, and may-block callees executed while a sync mutex is held",
+	Run:  runMutexBlock,
+}
+
+func runMutexBlock(pass *Pass) {
+	forEachFuncBody(pass, func(body *ast.BlockStmt) {
+		a := &mbAnalysis{pass: pass}
+		g := BuildCFG(body, pass.Terminates)
+		res := RunForward(g, a)
+		// Computed over the whole body: the CFG hands out select comms
+		// detached from their SelectStmt, so the per-node scan cannot
+		// tell which ones a default clause covers.
+		nonBlocking := nonBlockingComms(body)
+		for _, b := range g.Blocks {
+			in, ok := res.In[b]
+			if !ok {
+				continue
+			}
+			st := in
+			for _, n := range b.Nodes {
+				if held := st.(lbState); len(held) > 0 {
+					reportBlockSites(pass, n, held, nonBlocking)
+				}
+				st = a.Transfer(n, st)
+			}
+		}
+	})
+}
+
+// mbAnalysis tracks held locks like lockbalance but keeps
+// deferred-released locks in the held set: a deferred unlock releases
+// at return, so the lock is held across every intervening operation.
+type mbAnalysis struct {
+	pass *Pass
+}
+
+func (a *mbAnalysis) Entry() FlowState { return lbState{} }
+
+func (a *mbAnalysis) Equal(x, y FlowState) bool {
+	sx, sy := x.(lbState), y.(lbState)
+	if len(sx) != len(sy) {
+		return false
+	}
+	for k, v := range sx {
+		if w, ok := sy[k]; !ok || v != w {
+			return false
+		}
+	}
+	return true
+}
+
+// Join keeps locks held on either path (may-held is what "held across
+// a blocking call" asks about); the earlier acquisition wins.
+func (a *mbAnalysis) Join(x, y FlowState) FlowState {
+	sx, sy := x.(lbState), y.(lbState)
+	out := make(lbState, len(sx)+len(sy))
+	for k, v := range sx {
+		out[k] = v
+	}
+	for k, v := range sy {
+		if w, ok := out[k]; !ok || v < w {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func (a *mbAnalysis) Transfer(n ast.Node, in FlowState) FlowState {
+	ops := lockOps(a.pass, n)
+	if len(ops) == 0 {
+		return in
+	}
+	st := in.(lbState)
+	out := make(lbState, len(st)+1)
+	for k, v := range st {
+		out[k] = v
+	}
+	for _, op := range ops {
+		if op.acquire {
+			out[op.key] = op.pos
+		} else {
+			delete(out, op.key)
+		}
+	}
+	return out
+}
+
+// reportBlockSites reports every blocking operation node n performs
+// while the locks in held are held. Function literals merely defined
+// here do not run here; go statements block their own goroutine;
+// deferred calls run at return, after this window.
+func reportBlockSites(pass *Pass, n ast.Node, held lbState, nonBlocking map[ast.Stmt]bool) {
+	sites := findBlockSites(pass.Info, pass.Facts, n, blockScanOpts{
+		skipGo:       true,
+		skipFuncLit:  true,
+		skipDefer:    true,
+		shallowRange: true,
+		nonBlocking:  nonBlocking,
+	})
+	if len(sites) == 0 {
+		return
+	}
+	// Name the longest-held lock deterministically: smallest position.
+	var key lbKey
+	best := token.Pos(0)
+	for k, pos := range held {
+		if best == 0 || pos < best || (pos == best && k.recv < key.recv) {
+			key, best = k, pos
+		}
+	}
+	for _, site := range sites {
+		if condWaitSite(pass, n, site) {
+			continue
+		}
+		pass.Reportf(site.pos, "%s is held across %s; shrink the critical section or release the lock before blocking", key.desc(), site.why)
+	}
+}
+
+// condWaitSite reports whether the site is a direct sync.Cond.Wait
+// call, which legitimately runs with the mutex held.
+func condWaitSite(pass *Pass, n ast.Node, site blockSite) bool {
+	if site.why != "sync.Cond.Wait" {
+		return false
+	}
+	exempt := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		call, ok := c.(*ast.CallExpr)
+		if !ok || call.Pos() != site.pos {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync" && fn.Name() == "Wait" {
+				exempt = true
+			}
+		}
+		return false
+	})
+	return exempt
+}

@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// OnceMisuse audits sync.Once usage. A Once's whole contract is "this
+// exact initialization runs exactly once"; three idioms silently break
+// it:
+//
+//   - passing a sync.Once by value (the copy has its own done flag, so
+//     "once" becomes "once per copy");
+//   - reassigning a Once (`o = sync.Once{}`) to "reset" it — racy
+//     against concurrent Do callers and almost always a design smell;
+//   - calling Do on the same Once with different functions: only the
+//     first ever runs, and which one is first depends on scheduling.
+//     Sites are grouped by Once identity — the variable object for
+//     plain identifiers, the receiver type plus field path for field
+//     selections (every instance of a struct should initialize its
+//     Once field the same way) — and the Do argument is fingerprinted
+//     by its printed source, so textually identical closures at
+//     several call sites (the keyed-cache dedup idiom) do not fire.
+var OnceMisuse = &Analyzer{
+	Name: "oncemisuse",
+	Doc:  "flags by-value sync.Once parameters, Once reassignment, and Do calls with differing functions on the same Once",
+	Run:  runOnceMisuse,
+}
+
+func runOnceMisuse(pass *Pass) {
+	checkOnceParams(pass)
+	checkOnceReassign(pass)
+	checkDoIdentity(pass)
+}
+
+// checkOnceParams reports sync.Once (value) parameters.
+func checkOnceParams(pass *Pass) {
+	check := func(ft *ast.FuncType) {
+		if ft.Params == nil {
+			return
+		}
+		for _, field := range ft.Params.List {
+			t := pass.TypeOf(field.Type)
+			if t == nil || !isSyncNamed(t, "Once") {
+				continue
+			}
+			pass.Reportf(field.Type.Pos(), "sync.Once parameter passed by value; the copy has its own done flag, so the function body can run again — take *sync.Once")
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				check(n.Type)
+			case *ast.FuncLit:
+				check(n.Type)
+			}
+			return true
+		})
+	}
+}
+
+// checkOnceReassign reports assignments (not definitions) whose target
+// is a sync.Once: overwriting a Once resets its done flag with no
+// synchronization against racing Do callers.
+func checkOnceReassign(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.ASSIGN {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				t := pass.TypeOf(lhs)
+				if t == nil || !isSyncNamed(t, "Once") {
+					continue
+				}
+				pass.Reportf(lhs.Pos(), "sync.Once reassigned; resetting a Once races concurrent Do callers — allocate a fresh Once where the guarded state is created")
+			}
+			return true
+		})
+	}
+}
+
+// doSite is one (*sync.Once).Do call site.
+type doSite struct {
+	pos         token.Pos
+	fingerprint string
+}
+
+// checkDoIdentity groups Do call sites by Once identity and reports
+// sites whose function argument differs from the group's first.
+func checkDoIdentity(pass *Pass) {
+	type group struct {
+		sites []doSite
+	}
+	groups := make(map[any]*group)
+	var order []any
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Do" {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" || fn.Name() != "Do" {
+				return true
+			}
+			key := onceIdentity(pass, sel.X)
+			if key == nil {
+				return true
+			}
+			g, ok := groups[key]
+			if !ok {
+				g = &group{}
+				groups[key] = g
+				order = append(order, key)
+			}
+			g.sites = append(g.sites, doSite{pos: call.Args[0].Pos(), fingerprint: fingerprintExpr(pass.Fset, call.Args[0])})
+			return true
+		})
+	}
+	for _, key := range order {
+		g := groups[key]
+		if len(g.sites) < 2 {
+			continue
+		}
+		sort.Slice(g.sites, func(i, j int) bool { return g.sites[i].pos < g.sites[j].pos })
+		first := g.sites[0]
+		for _, s := range g.sites[1:] {
+			if s.fingerprint != first.fingerprint {
+				pass.Reportf(s.pos, "Once.Do called with a different function than at line %d; only the first Do ever runs, so one of these initializations is silently skipped", pass.Fset.Position(first.pos).Line)
+			}
+		}
+	}
+}
+
+// onceIdentity computes a grouping key for the Once receiver
+// expression: the variable object for a plain identifier, the
+// "type.field[.field...]" path for a field selection, nil when the
+// expression is too dynamic to group (map index, call result).
+func onceIdentity(pass *Pass, recv ast.Expr) any {
+	switch e := ast.Unparen(recv).(type) {
+	case *ast.Ident:
+		if o := pass.Info.Uses[e]; o != nil {
+			return o
+		}
+		return nil
+	case *ast.SelectorExpr:
+		base := pass.TypeOf(e.X)
+		if base == nil {
+			return nil
+		}
+		return types.TypeString(derefType(base), nil) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return onceIdentity(pass, e.X)
+	}
+	return nil
+}
+
+// fingerprintExpr canonicalizes the Do argument: the printed source of
+// the expression, which go/printer normalizes (whitespace, formatting)
+// so that textually identical closures compare equal.
+func fingerprintExpr(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// SpawnCtx tightens goroleak for request-path packages (the serving
+// layer: internal/serve, internal/engine, and the commands). goroleak
+// asks "can this goroutine ever reach return?" — a loop with a
+// conditional return passes even when nothing ever flips the
+// condition. SpawnCtx asks the stronger question a serving goroutine
+// must answer: can its unconditional loops iterate forever WITHOUT
+// observing cancellation? A loop body that can cycle back to its head
+// through no ctx.Done() receive, ctx.Err() check, comma-ok receive,
+// range-over-channel head, select polling a cancellation channel, or
+// call to a summarized observer, keeps a drained server's goroutine
+// spinning (or parked mid-loop) after every request is gone.
+//
+// For spawned function literals the loop analysis runs directly on the
+// literal's body; for named callees the HasUnobservedLoop summary fact
+// answers, so `go s.worker()` is caught at the spawn site even when
+// the worker lives in another file. Conditional and range loops are
+// exempt — their condition or channel close bounds them — and test
+// files are exempt (tests spawn bounded helpers, not request-path
+// workers).
+var SpawnCtx = &Analyzer{
+	Name: "spawnctx",
+	Doc:  "request-path goroutines (internal/serve, internal/engine, cmd) must observe ctx.Done() or channel close on every unconditional-loop cycle",
+	Run:  runSpawnCtx,
+}
+
+// spawnCtxPaths are the import-path fragments that mark a package as
+// request-path: goroutines spawned there serve traffic and must be
+// cancellable. The testdata fragment keeps the analyzer's own fixtures
+// in scope.
+var spawnCtxPaths = []string{
+	"internal/serve",
+	"internal/engine",
+	"/cmd/",
+	"testdata/spawnctx",
+}
+
+func spawnCtxTargeted(path string) bool {
+	for _, frag := range spawnCtxPaths {
+		if strings.Contains(path, frag) {
+			return true
+		}
+	}
+	return strings.HasPrefix(path, "cmd/")
+}
+
+func runSpawnCtx(pass *Pass) {
+	if pass.Pkg == nil || !spawnCtxTargeted(pass.Pkg.Path()) {
+		return
+	}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkSpawn(pass, g)
+			return true
+		})
+	}
+}
+
+func checkSpawn(pass *Pass, g *ast.GoStmt) {
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		for _, pos := range pass.Facts.unobservedLoops(pass.Info, fun.Body) {
+			pass.Reportf(pos, "goroutine loop can iterate forever without observing ctx.Done() or a channel close; add a ctx.Done()/comma-ok receive to the loop")
+		}
+	default:
+		callee := staticCallee(pass.Info, g.Call)
+		if callee == nil {
+			return
+		}
+		if s := pass.Facts.Summary(callee); s != nil && s.HasUnobservedLoop {
+			pass.Reportf(g.Pos(), "goroutine runs %s, whose loop can iterate forever without observing ctx.Done() or a channel close; add a cancellation exit to its loop", callee.Name())
+		}
+	}
+}

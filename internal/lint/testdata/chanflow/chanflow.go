@@ -1,0 +1,103 @@
+// Package chanflow exercises the channel state analyzer: closing a
+// channel twice or sending on a closed channel panics, and receiving
+// from an unbuffered channel nothing ever writes blocks forever.
+// Callee effects flow through the concurrency summaries, so a helper
+// that closes (or sends on) its channel parameter is visible at the
+// call site.
+package chanflow
+
+func doubleClose() {
+	ch := make(chan int, 1)
+	close(ch)
+	close(ch) // want chanflow
+}
+
+func closeThenSend() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1 // want chanflow
+}
+
+func closedOnSomePath(flag bool) {
+	ch := make(chan int, 1)
+	if flag {
+		close(ch)
+	}
+	ch <- 1 // want chanflow
+}
+
+func maybeDoubleClose(flag bool) {
+	ch := make(chan int, 1)
+	if flag {
+		close(ch)
+	}
+	close(ch) // want chanflow
+}
+
+// reopened is clean: reassignment resets the tracked state.
+func reopened() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch = make(chan int, 1)
+	ch <- 1
+	close(ch)
+}
+
+// sendBeforeClose is the correct producer shutdown order.
+func sendBeforeClose() {
+	ch := make(chan int, 1)
+	ch <- 1
+	close(ch)
+}
+
+// closeArg closes its parameter; the concurrency summary carries the
+// effect to callers.
+func closeArg(c chan int) {
+	close(c)
+}
+
+func summarizedClose() {
+	ch := make(chan int, 1)
+	closeArg(ch)
+	ch <- 1 // want chanflow
+}
+
+func deadRecv() {
+	ch := make(chan struct{})
+	<-ch // want chanflow
+}
+
+// recvWithGoroutineSender is clean: the spawned literal writes.
+func recvWithGoroutineSender() {
+	ch := make(chan struct{})
+	go func() {
+		ch <- struct{}{}
+	}()
+	<-ch
+}
+
+// sendArg sends on its parameter: passing a channel to it counts as a
+// write for the never-written check.
+func sendArg(c chan struct{}) {
+	c <- struct{}{}
+}
+
+func recvWithSummarizedSender() {
+	ch := make(chan struct{})
+	go sendArg(ch)
+	<-ch
+}
+
+// recvAfterEscape is clean: once the channel is handed to an
+// unsummarized function value, someone else may write it.
+func recvAfterEscape(sink func(chan struct{})) {
+	ch := make(chan struct{})
+	sink(ch)
+	<-ch
+}
+
+// bufferedRecv is clean: only unbuffered channels are checked.
+func bufferedRecv() {
+	ch := make(chan int, 1)
+	<-ch
+}

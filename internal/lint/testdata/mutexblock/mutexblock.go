@@ -1,0 +1,73 @@
+// Package mutexblock exercises the lock-held-across-blocking-call
+// analyzer. Deferred unlocks keep the mutex held until return, channel
+// ops in a select with a default are non-blocking, summarized module
+// callees that may block are caught at the call site, and direct
+// sync.Cond.Wait is exempt (it parks with its mutex held by design).
+package mutexblock
+
+import (
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (s *store) sleepUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want mutexblock
+}
+
+func (s *store) sendUnderLock(ch chan int) {
+	s.mu.Lock()
+	ch <- s.v // want mutexblock
+	s.mu.Unlock()
+}
+
+// recvAfterUnlock is clean: the critical section closes before the
+// blocking receive.
+func (s *store) recvAfterUnlock(ch chan int) {
+	s.mu.Lock()
+	s.v++
+	s.mu.Unlock()
+	<-ch
+}
+
+// tryPublish is clean: a select with a default never blocks.
+func (s *store) tryPublish(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case ch <- s.v:
+	default:
+	}
+}
+
+func (s *store) waitUnderLock(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want mutexblock
+}
+
+// park blocks on a channel receive; its concurrency summary says so.
+func park(ch chan struct{}) {
+	<-ch
+}
+
+func (s *store) summarizedBlockUnderLock(ch chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	park(ch) // want mutexblock
+}
+
+// condWait is clean: Cond.Wait releases the mutex while parked.
+func (s *store) condWait(c *sync.Cond) {
+	c.L.Lock()
+	defer c.L.Unlock()
+	for s.v == 0 {
+		c.Wait()
+	}
+}

@@ -1,0 +1,48 @@
+// Package oncemisuse exercises the sync.Once contract analyzer:
+// by-value Once parameters fork the done flag, reassignment races
+// concurrent Do callers, and Do calls with different functions on the
+// same Once silently skip all but the first. Do sites are grouped by
+// Once identity (variable object, or receiver type plus field path)
+// and the argument is fingerprinted by printed source, so textually
+// identical closures at several sites do not fire.
+package oncemisuse
+
+import "sync"
+
+type lazy struct {
+	once sync.Once
+	v    int
+}
+
+// get and getAgain run the same textual closure: same fingerprint, no
+// finding.
+func (l *lazy) get() int {
+	l.once.Do(func() { l.v = 42 })
+	return l.v
+}
+
+func (l *lazy) getAgain() int {
+	l.once.Do(func() { l.v = 42 })
+	return l.v
+}
+
+func (l *lazy) getOther() int {
+	l.once.Do(func() { l.v = 7 }) // want oncemisuse
+	return l.v
+}
+
+func reset(l *lazy) {
+	l.once = sync.Once{} // want oncemisuse
+}
+
+func byValueParam(o sync.Once) { // want oncemisuse
+	o.Do(func() {})
+}
+
+// localOnces is clean: distinct Once objects group separately.
+func localOnces() {
+	var a sync.Once
+	var b sync.Once
+	a.Do(func() { _ = 1 })
+	b.Do(func() { _ = 2 })
+}

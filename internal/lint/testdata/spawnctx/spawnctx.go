@@ -1,0 +1,119 @@
+// Package spawnctx exercises the request-path goroutine analyzer: an
+// unconditional loop in a spawned goroutine must not be able to cycle
+// without observing cancellation — a ctx.Done() receive, a ctx.Err()
+// check, a comma-ok receive, ranging over a channel, or a call to a
+// summarized observer. Conditional and range loops are exempt (their
+// condition or channel close bounds them), and named callees answer
+// through the HasUnobservedLoop summary fact.
+package spawnctx
+
+import (
+	"context"
+	"time"
+)
+
+func pollLoop(ctx context.Context, stop func() bool) {
+	go func() {
+		for { // want spawnctx
+			if stop() {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+// selectLoop is clean: the select polls ctx.Done alongside the work
+// channel, so every cycle observes cancellation.
+func selectLoop(ctx context.Context, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-work:
+				_ = v
+			}
+		}
+	}()
+}
+
+func bareRecvLoop(work chan int, sink chan int) {
+	go func() {
+		for { // want spawnctx
+			v := <-work
+			if v < 0 {
+				return
+			}
+			sink <- v
+		}
+	}()
+}
+
+// commaOkLoop is clean: the comma-ok receive observes channel close.
+func commaOkLoop(work chan int) {
+	go func() {
+		for {
+			v, ok := <-work
+			if !ok {
+				return
+			}
+			_ = v
+		}
+	}()
+}
+
+// rangeLoop is clean: range over a channel exits on close.
+func rangeLoop(work chan int) {
+	go func() {
+		for v := range work {
+			_ = v
+		}
+	}()
+}
+
+// busyWorker never checks its context; the HasUnobservedLoop summary
+// fact carries that to the spawn site.
+func busyWorker(ctx context.Context, stop func() bool) {
+	for {
+		if stop() {
+			return
+		}
+	}
+}
+
+func spawnBusyWorker(ctx context.Context, stop func() bool) {
+	go busyWorker(ctx, stop) // want spawnctx
+}
+
+// ctxWorker polls ctx.Err every iteration, so its loop observes.
+func ctxWorker(ctx context.Context, stop func() bool) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		if stop() {
+			return
+		}
+	}
+}
+
+func spawnCtxWorker(ctx context.Context, stop func() bool) {
+	go ctxWorker(ctx, stop)
+}
+
+// checkCancel is an observing helper: a loop that calls it observes
+// cancellation through the summary.
+func checkCancel(ctx context.Context) bool {
+	return ctx.Err() != nil
+}
+
+func spawnHelperObserved(ctx context.Context) {
+	go func() {
+		for {
+			if checkCancel(ctx) {
+				return
+			}
+		}
+	}()
+}

@@ -1,0 +1,88 @@
+// Package wgbalance exercises the WaitGroup bookkeeping analyzer:
+// Add/Done deltas are tracked along CFG paths, spawned goroutines
+// credit the Dones their bodies (or summarized callees) perform, and
+// only provable imbalance reports — joins that disagree go to
+// "unknown", which is silent.
+package wgbalance
+
+import "sync"
+
+func waitWithoutDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	wg.Wait() // want wgbalance
+}
+
+// balancedSpawn is the canonical fan-out: Add before go, Done in the
+// spawned body.
+func balancedSpawn() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func loopBalanced(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func addTwoSpawnOne() {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait() // want wgbalance
+}
+
+func doubleDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	wg.Done()
+	wg.Done() // want wgbalance
+}
+
+func addInsideGoroutine() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want wgbalance
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func byValueParam(wg sync.WaitGroup) { // want wgbalance
+	wg.Wait()
+}
+
+// worker is the callee side of a fan-out Add: its summary carries the
+// Done to spawn sites.
+func worker(wg *sync.WaitGroup) {
+	defer wg.Done()
+}
+
+func spawnSummarizedWorker() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go worker(&wg)
+	wg.Wait()
+}
+
+// condImbalance is silent by design: the join of +1 and 0 is unknown,
+// and unknown deltas never report.
+func condImbalance(flag bool) {
+	var wg sync.WaitGroup
+	if flag {
+		wg.Add(1)
+	}
+	wg.Wait()
+}

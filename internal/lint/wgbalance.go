@@ -1,0 +1,393 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WGBalance checks sync.WaitGroup bookkeeping along CFG paths. The
+// pool/gate/drain machinery all hinge on Add/Done symmetry: an Add
+// with no Done hangs Wait forever (a stuck drain), a Done with no Add
+// panics ("negative WaitGroup counter"), and an Add issued inside the
+// spawned goroutine races the Wait it is supposed to gate. The
+// analyzer reports:
+//
+//   - wg.Wait reached on a path whose net Add/Done delta is a known
+//     positive number with no spawned goroutine covering it;
+//   - a Done (or deferred Done) that drives a known delta negative
+//     after the function itself added — a double-Done;
+//   - wg.Add inside a go-spawned function literal when the WaitGroup
+//     comes from the enclosing scope;
+//   - a sync.WaitGroup parameter passed by value (Add/Done on the
+//     copy never release the caller's Wait).
+//
+// WaitGroups are identified textually by receiver expression, like
+// lockbalance's mutexes. Spawned goroutines credit one Done when
+// their body (or a *sync.WaitGroup-taking callee's summary) calls
+// Done on the same WaitGroup. Loops whose iterations disagree on the
+// delta join to "unknown", which is silent — only provable imbalance
+// is reported.
+var WGBalance = &Analyzer{
+	Name: "wgbalance",
+	Doc:  "flags WaitGroup Add/Done imbalance along CFG paths, Add inside the spawned goroutine, and by-value WaitGroup parameters",
+	Run:  runWGBalance,
+}
+
+func runWGBalance(pass *Pass) {
+	checkWGParams(pass)
+	checkWGAddInGo(pass)
+	forEachFuncBody(pass, func(body *ast.BlockStmt) {
+		checkWGPaths(pass, body)
+	})
+}
+
+// checkWGParams reports sync.WaitGroup (value, not pointer) parameters.
+func checkWGParams(pass *Pass) {
+	check := func(ft *ast.FuncType) {
+		if ft.Params == nil {
+			return
+		}
+		for _, field := range ft.Params.List {
+			t := pass.TypeOf(field.Type)
+			if t == nil || !isSyncNamed(t, "WaitGroup") {
+				continue
+			}
+			pass.Reportf(field.Type.Pos(), "sync.WaitGroup parameter passed by value; Add/Done on the copy never release the caller's Wait — take *sync.WaitGroup")
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				check(n.Type)
+			case *ast.FuncLit:
+				check(n.Type)
+			}
+			return true
+		})
+	}
+}
+
+// checkWGAddInGo reports wg.Add calls inside a go-spawned function
+// literal when wg is declared outside the literal: the Add races the
+// Wait it is supposed to cover — whether Wait sees the increment
+// depends on goroutine scheduling. The fix is always to Add before
+// the go statement.
+func checkWGAddInGo(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, recvRoot := wgMethod(pass, call)
+				if name != "Add" || recvRoot == nil {
+					return true
+				}
+				if declaredOutsideLit(recvRoot, lit) {
+					pass.Reportf(call.Pos(), "wg.Add inside the spawned goroutine races Wait; call Add before the go statement")
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// wgMethod decodes call as a sync.WaitGroup method call, returning the
+// method name and the root object of the receiver expression (the
+// leftmost identifier), or "", nil.
+func wgMethod(pass *Pass, call *ast.CallExpr) (string, types.Object) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !isWaitGroupPtr(sig.Recv().Type()) {
+		return "", nil
+	}
+	return fn.Name(), rootObject(pass.Info, sel.X)
+}
+
+// rootObject resolves the leftmost identifier of a selector chain.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if o := info.Uses[v]; o != nil {
+				return o
+			}
+			return info.Defs[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutsideLit reports whether obj's declaration lies outside lit.
+func declaredOutsideLit(obj types.Object, lit *ast.FuncLit) bool {
+	return obj.Pos() < lit.Pos() || obj.Pos() >= lit.End()
+}
+
+// wgDelta is the abstract Add/Done balance of one WaitGroup: a known
+// integer delta, or top (unknown) once paths disagree or an Add
+// argument is non-constant.
+type wgDelta struct {
+	n   int
+	top bool
+}
+
+// wgState maps WaitGroup receiver texts to their delta. Absent keys
+// are delta zero.
+type wgState map[string]wgDelta
+
+type wgAnalysis struct {
+	pass *Pass
+	// hadAdd marks WaitGroups the function itself Adds to; negative
+	// deltas are only reported for those (a bare `defer wg.Done()` in
+	// a worker function is the other half of a caller's Add, not a
+	// double-Done).
+	hadAdd map[string]bool
+}
+
+func (a *wgAnalysis) Entry() FlowState { return wgState{} }
+
+func (a *wgAnalysis) Equal(x, y FlowState) bool {
+	sx, sy := x.(wgState), y.(wgState)
+	for k, v := range sx {
+		if sy.get(k) != v {
+			return false
+		}
+	}
+	for k, v := range sy {
+		if sx.get(k) != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (s wgState) get(k string) wgDelta { return s[k] }
+
+func (a *wgAnalysis) Join(x, y FlowState) FlowState {
+	sx, sy := x.(wgState), y.(wgState)
+	out := make(wgState, len(sx)+len(sy))
+	keys := make(map[string]bool, len(sx)+len(sy))
+	for k := range sx {
+		keys[k] = true
+	}
+	for k := range sy {
+		keys[k] = true
+	}
+	for k := range keys {
+		a, b := sx.get(k), sy.get(k)
+		switch {
+		case a == b:
+			if a != (wgDelta{}) {
+				out[k] = a
+			}
+		default:
+			out[k] = wgDelta{top: true}
+		}
+	}
+	return out
+}
+
+func (a *wgAnalysis) Transfer(n ast.Node, in FlowState) FlowState {
+	ops := a.wgOps(n)
+	if len(ops) == 0 {
+		return in
+	}
+	st := in.(wgState)
+	out := make(wgState, len(st)+1)
+	for k, v := range st {
+		out[k] = v
+	}
+	for _, op := range ops {
+		cur := out.get(op.key)
+		if op.top || cur.top {
+			out[op.key] = wgDelta{top: true}
+			continue
+		}
+		next := wgDelta{n: cur.n + op.delta}
+		if next == (wgDelta{}) {
+			delete(out, op.key)
+		} else {
+			out[op.key] = next
+		}
+	}
+	return out
+}
+
+type wgOp struct {
+	key   string
+	delta int
+	top   bool
+	wait  bool
+	pos   token.Pos
+}
+
+// wgOps extracts the WaitGroup operations performed by CFG node n:
+// direct Add/Done/Wait calls (deferred Dones included — they run by
+// function exit, which is the granularity the path check needs), and
+// one credited Done per spawned goroutine whose body or summarized
+// callee calls Done on the same WaitGroup.
+func (a *wgAnalysis) wgOps(n ast.Node) []wgOp {
+	var out []wgOp
+	var walk func(ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.RangeStmt:
+			// A CFG range head carries the whole statement; the body's
+			// ops replay in their own blocks, so only the ranged
+			// expression is evaluated here.
+			ast.Inspect(n.X, walk)
+			return false
+		case *ast.GoStmt:
+			for _, key := range a.spawnedDones(n) {
+				out = append(out, wgOp{key: key, delta: -1, pos: n.Pos()})
+			}
+			return false
+		case *ast.CallExpr:
+			name, _ := wgMethod(a.pass, n)
+			if name == "" {
+				return true
+			}
+			sel := n.Fun.(*ast.SelectorExpr)
+			key := types.ExprString(sel.X)
+			switch name {
+			case "Add":
+				op := wgOp{key: key, top: true, pos: n.Pos()}
+				if len(n.Args) == 1 {
+					if v, ok := constIntArg(a.pass.Info, n.Args[0]); ok {
+						op = wgOp{key: key, delta: v, pos: n.Pos()}
+					}
+				}
+				out = append(out, op)
+			case "Done":
+				out = append(out, wgOp{key: key, delta: -1, pos: n.Pos()})
+			case "Wait":
+				out = append(out, wgOp{key: key, wait: true, pos: n.Pos()})
+			}
+		}
+		return true
+	}
+	ast.Inspect(n, walk)
+	return out
+}
+
+// spawnedDones returns the WaitGroup keys a go statement's target
+// calls Done on: Done calls in a spawned literal's body (nested
+// literals excluded), or the Done effects in a named callee's summary
+// for each &wg-style argument.
+func (a *wgAnalysis) spawnedDones(g *ast.GoStmt) []string {
+	var keys []string
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		ast.Inspect(fun.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit, *ast.GoStmt:
+				return false
+			case *ast.CallExpr:
+				if name, _ := wgMethod(a.pass, n); name == "Done" {
+					sel := n.Fun.(*ast.SelectorExpr)
+					keys = append(keys, types.ExprString(sel.X))
+				}
+			}
+			return true
+		})
+	default:
+		callee := staticCallee(a.pass.Info, g.Call)
+		if callee == nil {
+			return nil
+		}
+		s := a.pass.Facts.Summary(callee)
+		if s == nil {
+			return nil
+		}
+		for ai, arg := range g.Call.Args {
+			e, ok := s.WGParams[ai]
+			if !ok || e.Dones == 0 {
+				continue
+			}
+			if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+				keys = append(keys, types.ExprString(u.X))
+			} else if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+				keys = append(keys, id.Name)
+			}
+		}
+	}
+	return keys
+}
+
+// checkWGPaths runs the delta dataflow over one body and reports
+// imbalances during a deterministic replay.
+func checkWGPaths(pass *Pass, body *ast.BlockStmt) {
+	a := &wgAnalysis{pass: pass, hadAdd: make(map[string]bool)}
+	// Flow-insensitive pre-pass: which WaitGroups does this function
+	// Add to at all?
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, _ := wgMethod(pass, call); name == "Add" {
+			sel := call.Fun.(*ast.SelectorExpr)
+			a.hadAdd[types.ExprString(sel.X)] = true
+		}
+		return true
+	})
+
+	g := BuildCFG(body, pass.Terminates)
+	res := RunForward(g, a)
+	for _, b := range g.Blocks {
+		in, ok := res.In[b]
+		if !ok {
+			continue
+		}
+		st := in
+		for _, n := range b.Nodes {
+			for _, op := range a.wgOps(n) {
+				cur := st.(wgState).get(op.key)
+				if cur.top {
+					continue
+				}
+				if op.wait && cur.n > 0 {
+					pass.Reportf(op.pos, "%s.Wait can block forever: %d Add(s) on this path have no matching Done or spawned goroutine calling Done", op.key, cur.n)
+				}
+				if !op.wait && !op.top && op.delta < 0 && a.hadAdd[op.key] && cur.n+op.delta < 0 {
+					pass.Reportf(op.pos, "%s.Done drives the counter negative on this path (Done without a matching Add panics)", op.key)
+				}
+			}
+			st = a.Transfer(n, st)
+		}
+	}
+}

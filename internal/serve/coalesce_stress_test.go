@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"tecopt/internal/tecerr"
+)
+
+// Coalescer cancellation stress, run under -race by `make serve-chaos`:
+// a leader whose request is cancelled mid-compute must not poison the
+// followers piled up behind it — each follower with a live context
+// recomputes and gets the real value. Repeated rounds race the
+// followers against the leader's map-delete/close on every schedule
+// the runtime produces.
+func TestCoalescerLeaderCancellationStress(t *testing.T) {
+	var c coalescer
+	c.init()
+	key := pointKey{current: 1.5, k: 2, l: 3}
+
+	const rounds = 50
+	const followers = 8
+	for r := 0; r < rounds; r++ {
+		leaderCtx, cancelLeader := context.WithCancel(context.Background())
+		leaderStarted := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, _ = c.do(leaderCtx, key, func() (float64, error) {
+				close(leaderStarted)
+				<-leaderCtx.Done()
+				return 0, tecerr.Cancelled("serve.point", context.Cause(leaderCtx))
+			})
+		}()
+		<-leaderStarted
+
+		errs := make(chan error, followers)
+		vals := make(chan float64, followers)
+		for i := 0; i < followers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				v, _, err := c.do(context.Background(), key, func() (float64, error) { return 7, nil })
+				vals <- v
+				errs <- err
+			}()
+		}
+		cancelLeader()
+		wg.Wait()
+		close(vals)
+		close(errs)
+		for err := range errs {
+			if err != nil {
+				t.Fatalf("round %d: follower inherited error %v", r, err)
+			}
+		}
+		for v := range vals {
+			if int(v) != 7 {
+				t.Fatalf("round %d: follower got %v, want 7", r, v)
+			}
+		}
+		c.mu.Lock()
+		n := len(c.inflight)
+		c.mu.Unlock()
+		if n != 0 {
+			t.Fatalf("round %d: inflight map holds %d entries after completion", r, n)
+		}
+	}
+}
